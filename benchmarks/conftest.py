@@ -1,0 +1,62 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper.  The
+heavy inputs — the two synthetic city datasets, their PACE models, V-path
+closures, query workloads and per-method routing records — are built once per
+session and shared, because the paper slices the same measurements along
+several axes (figure by distance, figure by budget, peak vs. off-peak,
+summary table).
+
+Each benchmark prints the rows the corresponding paper figure/table reports
+and also writes them to ``results/<experiment>.txt`` so a full
+``pytest benchmarks/ --benchmark-only`` run leaves a readable artefact behind.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import aalborg_like, xian_like
+from repro.evaluation.experiments import ExperimentContext, ExperimentScale
+from repro.evaluation.reporting import write_report
+
+#: Datasets benchmarked; the Xi'an stand-in uses fewer trajectories to stay laptop-sized.
+DATASET_NAMES = ("aalborg-like", "xian-like")
+
+
+def _scale() -> ExperimentScale:
+    return ExperimentScale(
+        tau=30,
+        taus=(15, 30, 50, 100),
+        deltas=(30.0, 60.0, 120.0, 240.0),
+        pairs_per_bucket=2,
+        budget_fractions=(0.5, 0.75, 1.0, 1.25, 1.5),
+        sample_destinations=2,
+        max_explored=1000,
+        accuracy_folds=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def contexts() -> dict[str, ExperimentContext]:
+    """One fully built experiment context per dataset."""
+    built: dict[str, ExperimentContext] = {}
+    built["aalborg-like"] = ExperimentContext.build(aalborg_like(), _scale())
+    built["xian-like"] = ExperimentContext.build(xian_like(scale=0.6), _scale())
+    return built
+
+
+@pytest.fixture(scope="session")
+def report_cache() -> dict[str, object]:
+    """Session cache so figure pairs sharing a computation (e.g. 10c/10d) do it once."""
+    return {}
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a report and persist it under results/."""
+
+    def _emit(report, filename: str) -> None:
+        write_report(report.render(), filename)
+
+    return _emit

@@ -1,0 +1,21 @@
+"""Figure 10(a): number of T-paths when varying the trajectory threshold τ."""
+
+import pytest
+
+from repro.evaluation.experiments import fig10a_tpath_counts
+
+DATASET_NAMES = ("aalborg-like", "xian-like")
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+def test_fig10a_tpath_counts(benchmark, contexts, emit, dataset):
+    context = contexts[dataset]
+
+    def run():
+        return fig10a_tpath_counts(context)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(report, f"fig10a_tpath_counts_{dataset}.txt")
+    totals = [row[1] for row in report.rows]
+    # Larger tau requires more trajectory support, so T-path counts must not increase.
+    assert totals == sorted(totals, reverse=True)

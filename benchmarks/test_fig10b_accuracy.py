@@ -1,0 +1,22 @@
+"""Figure 10(b): accuracy (KL divergence) of PACE estimates when varying τ."""
+
+import math
+
+import pytest
+
+from repro.evaluation.experiments import fig10b_accuracy
+
+DATASET_NAMES = ("aalborg-like", "xian-like")
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+def test_fig10b_accuracy(benchmark, contexts, emit, dataset):
+    context = contexts[dataset]
+
+    def run():
+        return fig10b_accuracy(context)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(report, f"fig10b_accuracy_{dataset}.txt")
+    kls = [row[1] for row in report.rows if not math.isnan(row[1])]
+    assert kls and all(kl >= 0 for kl in kls)

@@ -1,0 +1,30 @@
+"""Figure 10(c): number of V-paths when varying τ."""
+
+import pytest
+
+from repro.evaluation.experiments import fig10cd_vpaths
+
+DATASET_NAMES = ("aalborg-like", "xian-like")
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+def test_fig10c_vpath_counts(benchmark, contexts, emit, report_cache, dataset):
+    context = contexts[dataset]
+
+    def run():
+        key = f"fig10cd::{dataset}"
+        if key not in report_cache:
+            report_cache[key] = fig10cd_vpaths(context)
+        return report_cache[key]
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(report, f"fig10c_vpath_counts_{dataset}.txt")
+    vpath_counts = [row[2] for row in report.rows]
+    tpath_counts = [row[1] for row in report.rows]
+    # Fewer T-paths (larger tau) cannot produce more V-paths.
+    assert all(
+        later_v <= earlier_v or later_t > earlier_t
+        for (earlier_t, earlier_v), (later_t, later_v) in zip(
+            zip(tpath_counts, vpath_counts), zip(tpath_counts[1:], vpath_counts[1:])
+        )
+    )

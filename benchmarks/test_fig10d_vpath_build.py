@@ -1,0 +1,25 @@
+"""Figure 10(d): V-path construction runtime and resulting out-degrees when varying τ."""
+
+import pytest
+
+from repro.evaluation.experiments import fig10cd_vpaths
+
+DATASET_NAMES = ("aalborg-like", "xian-like")
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+def test_fig10d_vpath_build(benchmark, contexts, emit, report_cache, dataset):
+    context = contexts[dataset]
+
+    def run():
+        key = f"fig10cd::{dataset}"
+        if key not in report_cache:
+            report_cache[key] = fig10cd_vpaths(context)
+        return report_cache[key]
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(report, f"fig10d_vpath_build_{dataset}.txt")
+    for row in report.rows:
+        tau, _, _, _, _, build_seconds, avg_degree, max_degree = row
+        assert build_seconds >= 0
+        assert max_degree >= avg_degree

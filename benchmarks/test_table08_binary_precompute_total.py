@@ -1,0 +1,23 @@
+"""Table 8: total binary-heuristic pre-computation cost for all destinations."""
+
+import pytest
+
+from repro.evaluation.experiments import table8_binary_precompute_total
+
+DATASET_NAMES = ("aalborg-like", "xian-like")
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+def test_table08_binary_precompute_total(benchmark, contexts, emit, dataset):
+    context = contexts[dataset]
+
+    def run():
+        return table8_binary_precompute_total(context)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(report, f"table08_binary_precompute_total_{dataset}.txt")
+    # Both regimes are covered and T-B-EU stays the cheapest variant within each regime.
+    for regime in ("peak", "off-peak"):
+        rows = {row[1]: row[2] for row in report.rows if row[0] == regime}
+        assert set(rows) == {"T-B-EU", "T-B-E", "T-B-P"}
+        assert rows["T-B-EU"] <= rows["T-B-P"] + 1e-9

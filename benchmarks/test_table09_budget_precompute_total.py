@@ -1,0 +1,21 @@
+"""Table 9: total budget-specific heuristic pre-computation for all destinations."""
+
+import pytest
+
+from repro.evaluation.experiments import table9_budget_precompute_total
+
+DATASET_NAMES = ("aalborg-like", "xian-like")
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+def test_table09_budget_precompute_total(benchmark, contexts, emit, dataset):
+    context = contexts[dataset]
+
+    def run():
+        return table9_budget_precompute_total(context)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(report, f"table09_budget_precompute_total_{dataset}.txt")
+    for regime in ("peak", "off-peak"):
+        storage_by_delta = {row[1]: row[3] for row in report.rows if row[0] == regime}
+        assert storage_by_delta[30] >= storage_by_delta[240]

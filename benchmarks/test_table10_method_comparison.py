@@ -1,0 +1,27 @@
+"""Table 10: storage, pre-computation and routing runtime of all heuristic methods."""
+
+import pytest
+
+from repro.evaluation.experiments import table10_method_comparison
+
+DATASET_NAMES = ("aalborg-like", "xian-like")
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+def test_table10_method_comparison(benchmark, contexts, emit, dataset):
+    context = contexts[dataset]
+
+    def run():
+        return table10_method_comparison(context)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(report, f"table10_method_comparison_{dataset}.txt")
+
+    routing = {row[0]: row[3] for row in report.rows}
+    storage = {row[0]: row[1] for row in report.rows}
+    # Paper's qualitative ordering: the budget-specific V-path method routes fastest,
+    # while needing at least as much storage as the binary heuristics (small slack
+    # absorbs per-run noise on the laptop-scale workload).
+    assert routing["V-BS-60"] <= routing["T-B-EU"] * 1.1
+    assert routing["V-BS-60"] <= routing["T-B-P"] * 1.25
+    assert storage["T-BS-60"] >= storage["T-B-P"]

@@ -1,0 +1,74 @@
+"""Airport commute: risk-aware route choice under a hard deadline.
+
+This reproduces the paper's Table 1 intuition on a full network: the route
+with the smallest *average* travel time is not necessarily the route with the
+best chance of catching a flight.  We take one origin–destination pair, sweep
+the departure-time budget from tight to generous, and show how the best route
+(and its on-time probability) changes — including the peak vs. off-peak
+difference captured by the time-dependent PACE models.
+
+On a city-scale network the stochastic route's probability is at least the
+expected-time route's; on this small synthetic city the two often coincide,
+and occasional inversions can appear because the router ranks candidates by
+the convolution of V-path/T-path weights while the reported probabilities are
+re-evaluated under exact PACE semantics (see EXPERIMENTS.md, "known gaps").
+
+Run with::
+
+    python examples/airport_commute.py
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic import aalborg_like
+from repro.network.algorithms import shortest_path
+from repro.routing import RouterSettings, RoutingQuery, create_router
+from repro.tpaths import TPathMinerConfig, build_edge_graph, build_time_dependent_index
+from repro.vpaths import UpdatedPaceGraph
+
+
+def main() -> None:
+    dataset = aalborg_like(scale=0.5)
+    network = dataset.network
+    miner = TPathMinerConfig(tau=20, max_cardinality=4, resolution=5.0)
+
+    # Separate PACE models for peak and off-peak hours (time-dependent uncertainty).
+    index = build_time_dependent_index(network, list(dataset.trajectories), miner)
+
+    # Pick a commute: the most frequently travelled long origin-destination pair.
+    pair_counts: dict[tuple[int, int], int] = {}
+    for trajectory in dataset.trajectories:
+        if trajectory.num_edges >= 5:
+            key = (trajectory.path.source, trajectory.path.target)
+            pair_counts[key] = pair_counts.get(key, 0) + 1
+    (home, airport), _ = max(pair_counts.items(), key=lambda item: item[1])
+    print(f"commute: vertex {home} -> vertex {airport}")
+
+    for regime_name, departure in (("peak", 8 * 3600.0), ("off-peak", 13 * 3600.0)):
+        pace = index.graph_named(regime_name)
+        edge_graph = build_edge_graph(network, list(dataset.regime(regime_name)), miner)
+        updated, _ = UpdatedPaceGraph.build(pace)
+        router = create_router(
+            "V-BS-60", pace, updated, settings=RouterSettings(max_budget=3600.0)
+        )
+        fastest_path, expected_time = shortest_path(
+            network, home, airport, lambda e: edge_graph.expected_cost(e.edge_id)
+        )
+        print(f"\n=== {regime_name} (least expected travel time {expected_time / 60:.1f} min) ===")
+        print(f"{'budget':>10} | {'P(on time) best route':>22} | {'P(on time) avg-fastest route':>28} | route changed?")
+        for fraction in (0.8, 0.9, 1.0, 1.1, 1.25, 1.5):
+            budget = expected_time * fraction
+            result = router.route(
+                RoutingQuery(home, airport, budget=budget, departure_time=departure)
+            )
+            fastest_probability = pace.path_cost_distribution(fastest_path).prob_at_most(budget)
+            best_probability = result.probability if result.found else 0.0
+            changed = result.found and result.path.edges != fastest_path.edges
+            print(
+                f"{fraction:>9.0%} | {best_probability:>22.3f} | {fastest_probability:>28.3f} | "
+                f"{'yes' if changed else 'no'}"
+            )
+
+
+if __name__ == "__main__":
+    main()

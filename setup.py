@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+only so that editable installs work in fully offline environments where the
+``wheel`` package (required by PEP 660 editable installs) is unavailable:
+``python setup.py develop`` and ``pip install -e . --no-build-isolation``
+both fall back to it.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,7 @@
+"""Allow ``python -m repro`` to invoke the command-line interface."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

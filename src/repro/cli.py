@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The CLI wraps the most common workflows so the system can be exercised
+without writing Python:
+
+* ``stats``  — generate (or load) a dataset and print its Table-7 statistics,
+* ``build``  — run the offline pipeline (T-path mining, V-path closure) and
+  report index sizes,
+* ``route``  — answer a single arriving-on-time query with a chosen method,
+* ``bench``  — run one experiment driver (by figure/table name) and print its
+  rows.
+
+All commands operate on the bundled synthetic datasets (``aalborg-like``,
+``xian-like``, ``tiny``) so they work out of the box and deterministically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.datasets.synthetic import SyntheticDataset, aalborg_like, tiny_dataset, xian_like
+from repro.evaluation.experiments import (
+    ExperimentContext,
+    ExperimentScale,
+    fig10a_tpath_counts,
+    fig10b_accuracy,
+    fig10cd_vpaths,
+    fig11_binary_precompute,
+    fig12_budget_precompute,
+    fig19_case_study,
+    table7_data_statistics,
+    table8_binary_precompute_total,
+    table9_budget_precompute_total,
+    table10_method_comparison,
+)
+from repro.evaluation.reporting import render_report
+from repro.routing import METHOD_NAMES, RouterSettings, RoutingQuery, create_router
+from repro.tpaths import TPathMinerConfig, build_pace_graph
+from repro.vpaths import UpdatedPaceGraph
+
+__all__ = ["main", "build_parser"]
+
+_DATASETS = {
+    "tiny": tiny_dataset,
+    "aalborg-like": aalborg_like,
+    "xian-like": xian_like,
+}
+
+_EXPERIMENTS = {
+    "table7": lambda ctx: table7_data_statistics([ctx.dataset]),
+    "fig10a": fig10a_tpath_counts,
+    "fig10b": fig10b_accuracy,
+    "fig10cd": fig10cd_vpaths,
+    "fig11": fig11_binary_precompute,
+    "fig12": fig12_budget_precompute,
+    "table8": table8_binary_precompute_total,
+    "table9": table9_budget_precompute_total,
+    "table10": table10_method_comparison,
+    "fig19": fig19_case_study,
+}
+
+
+def _load_dataset(name: str) -> SyntheticDataset:
+    try:
+        return _DATASETS[name]()
+    except KeyError as exc:
+        raise SystemExit(f"unknown dataset {name!r}; choose from {sorted(_DATASETS)}") from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs generation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Path-centric stochastic routing (PACE) — reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    stats = subparsers.add_parser("stats", help="print Table-7 statistics of a dataset")
+    stats.add_argument("--dataset", default="tiny", choices=sorted(_DATASETS))
+
+    build = subparsers.add_parser("build", help="build the PACE index and report its size")
+    build.add_argument("--dataset", default="tiny", choices=sorted(_DATASETS))
+    build.add_argument("--tau", type=int, default=30, help="T-path trajectory threshold")
+    build.add_argument("--regime", default="peak", choices=["peak", "off-peak"])
+
+    route = subparsers.add_parser("route", help="answer one arriving-on-time query")
+    route.add_argument("--dataset", default="tiny", choices=sorted(_DATASETS))
+    route.add_argument("--method", default="V-BS-60", choices=list(METHOD_NAMES))
+    route.add_argument("--source", type=int, required=True)
+    route.add_argument("--destination", type=int, required=True)
+    route.add_argument("--budget", type=float, required=True, help="travel-time budget in seconds")
+    route.add_argument("--tau", type=int, default=20)
+    route.add_argument("--regime", default="peak", choices=["peak", "off-peak"])
+
+    bench = subparsers.add_parser("bench", help="run one experiment driver and print its rows")
+    bench.add_argument("experiment", choices=sorted(_EXPERIMENTS))
+    bench.add_argument("--dataset", default="tiny", choices=sorted(_DATASETS))
+    return parser
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args.dataset)
+    statistics = dataset.statistics()
+    print(render_report(f"Data statistics: {dataset.name}", ("metric", "value"), statistics.as_rows()))
+    return 0
+
+
+def _command_build(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args.dataset)
+    trajectories = list(dataset.regime(args.regime))
+    pace = build_pace_graph(
+        dataset.network, trajectories, TPathMinerConfig(tau=args.tau, resolution=5.0)
+    )
+    updated, stats = UpdatedPaceGraph.build(pace)
+    rows = [
+        ("regime", args.regime),
+        ("trajectories", len(trajectories)),
+        ("tau", args.tau),
+        ("T-paths", pace.num_tpaths),
+        ("V-paths", stats.count),
+        ("V-path build (s)", round(stats.build_seconds, 3)),
+        ("avg out-degree (G_p+)", round(updated.average_out_degree(), 2)),
+        ("max out-degree (G_p+)", updated.max_out_degree()),
+    ]
+    print(render_report(f"PACE index: {dataset.name}", ("property", "value"), rows))
+    return 0
+
+
+def _command_route(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args.dataset)
+    trajectories = list(dataset.regime(args.regime))
+    pace = build_pace_graph(
+        dataset.network, trajectories, TPathMinerConfig(tau=args.tau, resolution=5.0)
+    )
+    updated, _ = UpdatedPaceGraph.build(pace)
+    router = create_router(
+        args.method, pace, updated, settings=RouterSettings(max_budget=max(600.0, 2 * args.budget))
+    )
+    result = router.route(
+        RoutingQuery(source=args.source, destination=args.destination, budget=args.budget)
+    )
+    print(result.summary())
+    if result.found:
+        print("route vertices:", " -> ".join(str(v) for v in result.path.vertices))
+        return 0
+    return 1
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args.dataset)
+    scale = ExperimentScale(
+        taus=(15, 30), deltas=(60.0, 240.0), pairs_per_bucket=1, sample_destinations=2,
+        max_explored=1000, accuracy_folds=3,
+    )
+    context = ExperimentContext.build(dataset, scale)
+    report = _EXPERIMENTS[args.experiment](context)
+    print(report.render())
+    return 0
+
+
+_COMMANDS = {
+    "stats": _command_stats,
+    "build": _command_build,
+    "route": _command_route,
+    "bench": _command_bench,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,380 @@
+"""Discrete travel-cost distributions.
+
+The EDGE and PACE models both describe travel costs as discrete distributions,
+e.g. ``{[8, 0.9], [10, 0.1]}`` meaning a cost of 8 units with probability 0.9
+and 10 units with probability 0.1.  This module provides an immutable
+:class:`Distribution` value type together with the operations the routing
+algorithms need:
+
+* convolution (``⊕`` in the paper) for summing independent costs,
+* cumulative probabilities (``Prob(cost <= B)`` — the arriving-on-time
+  objective),
+* first-order stochastic dominance (the pruning rule used in the EDGE model
+  and, after V-paths are introduced, in the PACE model),
+* expectation / min / max summaries used as search priorities,
+* KL divergence, used by the accuracy experiment (Fig. 10b), and
+* re-binning and truncation used to keep supports bounded during long
+  convolution chains.
+
+Costs are represented as floats; in practice the estimators in
+:mod:`repro.tpaths` round costs onto a configurable resolution grid so that
+supports stay small.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+
+from repro.core.errors import DistributionError
+
+__all__ = ["Distribution", "PROBABILITY_TOLERANCE"]
+
+#: Probabilities are accepted as normalised when they sum to 1 within this tolerance.
+PROBABILITY_TOLERANCE = 1e-6
+
+
+def _merge_close_values(pairs: Iterable[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Merge identical support values, summing their probabilities."""
+    merged: dict[float, float] = {}
+    for value, prob in pairs:
+        merged[value] = merged.get(value, 0.0) + prob
+    return sorted(merged.items())
+
+
+class Distribution:
+    """An immutable discrete distribution over travel costs.
+
+    Instances are created from ``(cost, probability)`` pairs and validated:
+    probabilities must be non-negative and sum to one (within
+    :data:`PROBABILITY_TOLERANCE`); costs must be finite and non-negative.
+
+    Examples
+    --------
+    >>> d = Distribution.from_pairs([(8, 0.9), (10, 0.1)])
+    >>> d.expectation()
+    8.2
+    >>> d.prob_at_most(9)
+    0.9
+    """
+
+    __slots__ = ("_values", "_probs", "_cdf")
+
+    def __init__(self, pairs: Iterable[tuple[float, float]], *, normalise: bool = False):
+        merged = _merge_close_values(pairs)
+        if not merged:
+            raise DistributionError("a distribution needs at least one (cost, probability) pair")
+        values = []
+        probs = []
+        for value, prob in merged:
+            if not math.isfinite(value) or value < 0:
+                raise DistributionError(f"cost values must be finite and non-negative, got {value!r}")
+            if not math.isfinite(prob) or prob < -PROBABILITY_TOLERANCE:
+                raise DistributionError(f"probabilities must be non-negative, got {prob!r}")
+            if prob <= 0:
+                continue
+            values.append(float(value))
+            probs.append(float(prob))
+        if not values:
+            raise DistributionError("all probabilities were zero")
+        total = sum(probs)
+        if normalise:
+            probs = [p / total for p in probs]
+        elif abs(total - 1.0) > PROBABILITY_TOLERANCE:
+            raise DistributionError(f"probabilities must sum to 1, got {total!r}")
+        else:
+            # Remove the residual numerical drift so long convolution chains stay normalised.
+            probs = [p / total for p in probs]
+        self._values: tuple[float, ...] = tuple(values)
+        self._probs: tuple[float, ...] = tuple(probs)
+        cdf = []
+        acc = 0.0
+        for p in self._probs:
+            acc += p
+            cdf.append(acc)
+        self._cdf: tuple[float, ...] = tuple(cdf)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[float, float]], *, normalise: bool = False) -> "Distribution":
+        """Build a distribution from ``(cost, probability)`` pairs."""
+        return cls(pairs, normalise=normalise)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[float, float], *, normalise: bool = False) -> "Distribution":
+        """Build a distribution from a ``{cost: probability}`` mapping."""
+        return cls(mapping.items(), normalise=normalise)
+
+    @classmethod
+    def point(cls, value: float) -> "Distribution":
+        """A deterministic cost (probability mass 1 on ``value``)."""
+        return cls([(value, 1.0)])
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float], *, resolution: float = 1.0) -> "Distribution":
+        """Estimate an empirical distribution from observed costs.
+
+        ``resolution`` is the histogram bin width: each sample is rounded to
+        the nearest multiple of ``resolution`` before counting.  This mirrors
+        how the paper instantiates edge and T-path weights from trajectories.
+        """
+        if not samples:
+            raise DistributionError("cannot estimate a distribution from zero samples")
+        if resolution <= 0:
+            raise DistributionError("resolution must be positive")
+        counts: dict[float, int] = {}
+        for sample in samples:
+            if sample < 0 or not math.isfinite(sample):
+                raise DistributionError(f"samples must be finite and non-negative, got {sample!r}")
+            binned = round(sample / resolution) * resolution
+            counts[binned] = counts.get(binned, 0) + 1
+        n = len(samples)
+        return cls(((value, count / n) for value, count in counts.items()))
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def support(self) -> tuple[float, ...]:
+        """The cost values carrying positive probability, in increasing order."""
+        return self._values
+
+    @property
+    def probabilities(self) -> tuple[float, ...]:
+        """Probabilities aligned with :attr:`support`."""
+        return self._probs
+
+    def items(self) -> Iterator[tuple[float, float]]:
+        """Iterate over ``(cost, probability)`` pairs in increasing cost order."""
+        return zip(self._values, self._probs)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return self.items()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Distribution):
+            return NotImplemented
+        return self._values == other._values and all(
+            abs(a - b) <= PROBABILITY_TOLERANCE for a, b in zip(self._probs, other._probs)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._values, tuple(round(p, 9) for p in self._probs)))
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"[{v:g}, {p:.3g}]" for v, p in self.items())
+        return f"Distribution({{{pairs}}})"
+
+    def is_close(self, other: "Distribution", *, tolerance: float = 1e-9) -> bool:
+        """True when both distributions have the same support and near-equal probabilities."""
+        if self._values != other._values:
+            return False
+        return all(abs(a - b) <= tolerance for a, b in zip(self._probs, other._probs))
+
+    # ------------------------------------------------------------------ #
+    # Summaries
+    # ------------------------------------------------------------------ #
+    def expectation(self) -> float:
+        """The expected cost (the AVG column in Table 1 of the paper)."""
+        return sum(v * p for v, p in self.items())
+
+    def variance(self) -> float:
+        """The variance of the cost."""
+        mean = self.expectation()
+        return sum(p * (v - mean) ** 2 for v, p in self.items())
+
+    def min(self) -> float:
+        """The smallest cost with positive probability (used by budget pruning)."""
+        return self._values[0]
+
+    def max(self) -> float:
+        """The largest cost with positive probability."""
+        return self._values[-1]
+
+    def pdf(self, value: float, *, tolerance: float = 1e-9) -> float:
+        """Probability mass at ``value`` (0 when ``value`` is not in the support)."""
+        lo, hi = 0, len(self._values) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            v = self._values[mid]
+            if abs(v - value) <= tolerance:
+                return self._probs[mid]
+            if v < value:
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return 0.0
+
+    def cdf(self, value: float) -> float:
+        """``Prob(cost <= value)``."""
+        # Binary search for the right-most support value <= value.
+        lo, hi = 0, len(self._values)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._values[mid] <= value:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == 0:
+            return 0.0
+        return self._cdf[lo - 1]
+
+    def prob_at_most(self, budget: float) -> float:
+        """Alias for :meth:`cdf`; the arriving-on-time objective ``Prob(D(P) <= B)``."""
+        return self.cdf(budget)
+
+    def quantile(self, q: float) -> float:
+        """The smallest cost ``c`` with ``Prob(cost <= c) >= q``."""
+        if not 0.0 <= q <= 1.0:
+            raise DistributionError(f"quantile level must lie in [0, 1], got {q!r}")
+        for value, acc in zip(self._values, self._cdf):
+            if acc >= q - PROBABILITY_TOLERANCE:
+                return value
+        return self._values[-1]
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def convolve(self, other: "Distribution", *, max_support: int | None = None) -> "Distribution":
+        """The distribution of the sum of two independent costs (``⊕`` in the paper).
+
+        ``max_support`` optionally re-bins the result so that its support has
+        at most that many values; this bounds the cost of long convolution
+        chains during routing without affecting correctness materially.
+        """
+        accumulator: dict[float, float] = {}
+        for v1, p1 in self.items():
+            for v2, p2 in other.items():
+                total = v1 + v2
+                accumulator[total] = accumulator.get(total, 0.0) + p1 * p2
+        result = Distribution(accumulator.items(), normalise=True)
+        if max_support is not None and len(result) > max_support:
+            result = result.compress(max_support)
+        return result
+
+    def __add__(self, other: "Distribution") -> "Distribution":
+        if not isinstance(other, Distribution):
+            return NotImplemented
+        return self.convolve(other)
+
+    def shift(self, offset: float) -> "Distribution":
+        """Add a deterministic ``offset`` to every cost."""
+        if offset < 0 and self._values[0] + offset < 0:
+            raise DistributionError("shifting would create negative costs")
+        return Distribution(((v + offset, p) for v, p in self.items()))
+
+    def scale(self, factor: float) -> "Distribution":
+        """Multiply every cost by a positive ``factor``."""
+        if factor <= 0:
+            raise DistributionError("scale factor must be positive")
+        return Distribution(((v * factor, p) for v, p in self.items()))
+
+    def rebin(self, resolution: float) -> "Distribution":
+        """Round costs to the nearest multiple of ``resolution`` and merge masses."""
+        if resolution <= 0:
+            raise DistributionError("resolution must be positive")
+        return Distribution(
+            ((round(v / resolution) * resolution, p) for v, p in self.items()), normalise=True
+        )
+
+    def compress(self, max_support: int) -> "Distribution":
+        """Reduce the support to at most ``max_support`` values.
+
+        Mass is merged onto a uniform grid spanning ``[min, max]``; each value
+        is mapped to the nearest grid point.  The expectation is preserved up
+        to the grid resolution.
+        """
+        if max_support < 1:
+            raise DistributionError("max_support must be at least 1")
+        if len(self) <= max_support:
+            return self
+        lo, hi = self.min(), self.max()
+        if max_support == 1 or hi == lo:
+            return Distribution.point(self.expectation())
+        step = (hi - lo) / (max_support - 1)
+        accumulator: dict[float, float] = {}
+        for v, p in self.items():
+            idx = round((v - lo) / step)
+            grid_value = lo + idx * step
+            accumulator[grid_value] = accumulator.get(grid_value, 0.0) + p
+        return Distribution(accumulator.items(), normalise=True)
+
+    def truncate_above(self, budget: float) -> "Distribution":
+        """Collapse all mass above ``budget`` onto a single overflow value.
+
+        Useful during routing with a known budget: costs beyond the budget all
+        mean "late", so their exact values are irrelevant.
+        """
+        at_most = self.cdf(budget)
+        if at_most >= 1.0 - PROBABILITY_TOLERANCE:
+            return self
+        kept = [(v, p) for v, p in self.items() if v <= budget]
+        overflow_mass = 1.0 - at_most
+        overflow_value = max(self.max(), budget + 1.0)
+        kept.append((overflow_value, overflow_mass))
+        return Distribution(kept, normalise=True)
+
+    # ------------------------------------------------------------------ #
+    # Comparisons
+    # ------------------------------------------------------------------ #
+    def stochastically_dominates(self, other: "Distribution", *, strict: bool = False) -> bool:
+        """First-order stochastic dominance: smaller costs are uniformly more likely.
+
+        ``self`` dominates ``other`` when ``self.cdf(x) >= other.cdf(x)`` for
+        every ``x``.  With ``strict=True`` at least one inequality must be
+        strict.  This is the pruning relation of the EDGE model and, after
+        V-paths are introduced (Lemma 4.1), of the PACE model as well.
+        """
+        points = sorted(set(self._values) | set(other._values))
+        some_strict = False
+        for x in points:
+            own = self.cdf(x)
+            theirs = other.cdf(x)
+            if own < theirs - PROBABILITY_TOLERANCE:
+                return False
+            if own > theirs + PROBABILITY_TOLERANCE:
+                some_strict = True
+        return some_strict if strict else True
+
+    def kl_divergence(self, other: "Distribution", *, epsilon: float = 1e-6) -> float:
+        """KL divergence ``KL(self || other)`` on the union support.
+
+        Zero probabilities in ``other`` are smoothed with ``epsilon`` so that
+        the divergence stays finite, matching the accuracy evaluation of the
+        paper (Fig. 10b) where estimated distributions may miss rare costs.
+        """
+        points = sorted(set(self._values) | set(other._values))
+        own = [self.pdf(x) for x in points]
+        theirs = [max(other.pdf(x), epsilon) for x in points]
+        theirs_total = sum(theirs)
+        theirs = [t / theirs_total for t in theirs]
+        divergence = 0.0
+        for p, q in zip(own, theirs):
+            if p > 0:
+                divergence += p * math.log(p / q)
+        return divergence
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+    def sample(self, rng, size: int = 1) -> list[float]:
+        """Draw ``size`` independent samples using ``rng`` (a ``random.Random``)."""
+        if size < 0:
+            raise DistributionError("sample size must be non-negative")
+        out = []
+        for _ in range(size):
+            u = rng.random()
+            acc = 0.0
+            chosen = self._values[-1]
+            for value, prob in self.items():
+                acc += prob
+                if u <= acc:
+                    chosen = value
+                    break
+            out.append(chosen)
+        return out

@@ -1,0 +1,131 @@
+"""The edge-centric uncertain road network (EDGE model).
+
+The EDGE model assigns an independent cost distribution to every edge and
+computes the cost of a path by convolution (Section 2.1 of the paper).  It is
+both the classical baseline the paper compares against conceptually and the
+substrate for the EDGE-model stochastic router in :mod:`repro.edgemodel`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.distributions import Distribution
+from repro.core.elements import ElementKind, WeightedElement
+from repro.core.errors import GraphError, UnknownEdgeError
+from repro.core.paths import Path
+from repro.network.road_network import RoadNetwork
+
+__all__ = ["EdgeGraph"]
+
+
+class EdgeGraph:
+    """An uncertain road network in the edge-centric (EDGE) model.
+
+    Parameters
+    ----------
+    network:
+        The structural road network.
+    weights:
+        Cost distributions for (some) edges.  Edges without an explicit
+        distribution fall back to a deterministic free-flow travel time, the
+        same convention the paper uses for edges not covered by trajectories.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        weights: Mapping[int, Distribution] | None = None,
+        *,
+        fill_uncovered: bool = True,
+    ):
+        self._network = network
+        self._weights: dict[int, Distribution] = {}
+        if weights:
+            for edge_id, distribution in weights.items():
+                self.set_weight(edge_id, distribution)
+        if fill_uncovered:
+            for edge in network.edges():
+                if edge.edge_id not in self._weights:
+                    self._weights[edge.edge_id] = Distribution.point(
+                        round(edge.free_flow_time(), 3)
+                    )
+        else:
+            missing = [e.edge_id for e in network.edges() if e.edge_id not in self._weights]
+            if missing:
+                raise GraphError(
+                    f"{len(missing)} edges have no cost distribution (first: {missing[:5]})"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def network(self) -> RoadNetwork:
+        """The underlying structural road network."""
+        return self._network
+
+    def set_weight(self, edge_id: int, distribution: Distribution) -> None:
+        """Assign the cost distribution of an edge."""
+        if not self._network.has_edge(edge_id):
+            raise UnknownEdgeError(f"unknown edge {edge_id}")
+        self._weights[edge_id] = distribution
+
+    def weight(self, edge_id: int) -> Distribution:
+        """The cost distribution ``W(e)`` of an edge."""
+        try:
+            return self._weights[edge_id]
+        except KeyError as exc:
+            raise UnknownEdgeError(f"edge {edge_id} has no cost distribution") from exc
+
+    def weights(self) -> dict[int, Distribution]:
+        """A copy of the full edge-weight mapping."""
+        return dict(self._weights)
+
+    def min_cost(self, edge_id: int) -> float:
+        """The minimum possible cost of an edge (used for deterministic bounds)."""
+        return self.weight(edge_id).min()
+
+    def expected_cost(self, edge_id: int) -> float:
+        """The expected cost of an edge (used for workload budgets and baselines)."""
+        return self.weight(edge_id).expectation()
+
+    # ------------------------------------------------------------------ #
+    # Path costs
+    # ------------------------------------------------------------------ #
+    def path_cost_distribution(self, path: Path, *, max_support: int | None = None) -> Distribution:
+        """The convolution ``W(e1) ⊕ ... ⊕ W(en)`` of the path's edge costs."""
+        result: Distribution | None = None
+        for edge_id in path.edges:
+            weight = self.weight(edge_id)
+            result = weight if result is None else result.convolve(weight, max_support=max_support)
+        assert result is not None  # a Path always has at least one edge
+        return result
+
+    def path_expected_cost(self, path: Path) -> float:
+        """The expected cost of a path (sum of expected edge costs)."""
+        return sum(self.expected_cost(edge_id) for edge_id in path.edges)
+
+    def path_min_cost(self, path: Path) -> float:
+        """The minimum possible cost of a path (sum of minimum edge costs)."""
+        return sum(self.min_cost(edge_id) for edge_id in path.edges)
+
+    # ------------------------------------------------------------------ #
+    # Routing support
+    # ------------------------------------------------------------------ #
+    def outgoing_elements(self, vertex_id: int) -> list[WeightedElement]:
+        """The traversable elements from a vertex: in EDGE, just its outgoing edges."""
+        elements = []
+        for edge in self._network.out_edges(vertex_id):
+            path = Path([edge.edge_id], [edge.source, edge.target])
+            elements.append(
+                WeightedElement(
+                    kind=ElementKind.EDGE,
+                    path=path,
+                    distribution=self.weight(edge.edge_id),
+                )
+            )
+        return elements
+
+    def __repr__(self) -> str:
+        return f"EdgeGraph(network={self._network!r}, weighted_edges={len(self._weights)})"

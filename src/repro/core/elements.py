@@ -1,0 +1,107 @@
+"""Weighted graph elements: edges, T-paths and V-paths.
+
+Both the PACE graph and the updated PACE graph (after V-paths are added)
+expose the same kind of object when a routing algorithm asks "what can I
+traverse from vertex ``v``?": a *weighted element*, which is either
+
+* a single edge,
+* a T-path (a path with enough trajectory support to have its own joint
+  distribution), or
+* a V-path (a virtual path whose distribution was pre-assembled from
+  overlapping T-paths).
+
+Every element carries the underlying :class:`~repro.core.paths.Path` (so
+routing can expand it into road-network edges and avoid cycles) and the total
+cost :class:`~repro.core.distributions.Distribution`.  T-paths additionally
+carry their joint distribution, which is needed for the assembly operation and
+for building V-paths.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.distributions import Distribution
+from repro.core.joint import JointDistribution
+from repro.core.paths import Path
+
+__all__ = ["ElementKind", "WeightedElement"]
+
+
+class ElementKind(str, enum.Enum):
+    """The three kinds of traversable elements in (updated) PACE graphs."""
+
+    EDGE = "edge"
+    TPATH = "tpath"
+    VPATH = "vpath"
+
+
+@dataclass(frozen=True)
+class WeightedElement:
+    """A traversable element together with its cost information.
+
+    Attributes
+    ----------
+    kind:
+        Whether this is an edge, a T-path, or a V-path.
+    path:
+        The underlying sequence of road-network edges.
+    distribution:
+        The total-cost distribution ``W(element)``.
+    joint:
+        The joint per-edge distribution ``W_J(element)``; present for T-paths
+        (and for V-paths while they are being built), ``None`` for plain
+        edges whose joint is trivially their marginal.
+    support:
+        Number of trajectories that produced the element (0 for derived
+        elements such as uncovered edges or V-paths).
+    """
+
+    kind: ElementKind
+    path: Path
+    distribution: Distribution
+    joint: JointDistribution | None = None
+    support: int = 0
+
+    @property
+    def source(self) -> int:
+        """The vertex where the element starts."""
+        return self.path.source
+
+    @property
+    def target(self) -> int:
+        """The vertex where the element ends."""
+        return self.path.target
+
+    @property
+    def cardinality(self) -> int:
+        """The number of road-network edges the element covers."""
+        return self.path.cardinality
+
+    @property
+    def min_cost(self) -> float:
+        """The smallest possible cost of the element."""
+        return self.distribution.min()
+
+    def is_edge(self) -> bool:
+        return self.kind is ElementKind.EDGE
+
+    def is_tpath(self) -> bool:
+        return self.kind is ElementKind.TPATH
+
+    def is_vpath(self) -> bool:
+        return self.kind is ElementKind.VPATH
+
+    def joint_distribution(self) -> JointDistribution:
+        """The joint distribution; synthesised from the marginal for single edges."""
+        if self.joint is not None:
+            return self.joint
+        if self.path.cardinality != 1:
+            raise ValueError(
+                f"element over {self.path.cardinality} edges has no joint distribution"
+            )
+        edge_id = self.path.edges[0]
+        return JointDistribution(
+            (edge_id,), {(value,): prob for value, prob in self.distribution.items()}
+        )

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  More specific subclasses exist for the major
+subsystems (distributions, graphs, routing, heuristics, data handling), which
+keeps error handling explicit at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DistributionError(ReproError):
+    """Raised when a cost distribution is malformed or an operation on it is invalid."""
+
+
+class JointDistributionError(DistributionError):
+    """Raised for invalid joint-distribution construction or assembly."""
+
+
+class PathError(ReproError):
+    """Raised when an edge sequence does not form a valid (simple, connected) path."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed road networks or uncertain graphs."""
+
+
+class UnknownVertexError(GraphError):
+    """Raised when a vertex id is not present in the graph."""
+
+
+class UnknownEdgeError(GraphError):
+    """Raised when an edge id or (source, target) pair is not present in the graph."""
+
+
+class RoutingError(ReproError):
+    """Raised when a routing query cannot be evaluated."""
+
+
+class NoPathError(RoutingError):
+    """Raised when no path exists between the requested source and destination."""
+
+
+class HeuristicError(ReproError):
+    """Raised when a heuristic is queried for a destination it was not built for."""
+
+
+class DataError(ReproError):
+    """Raised for malformed trajectory / GPS input data."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when user-supplied parameters are inconsistent or out of range."""

@@ -1,0 +1,202 @@
+"""Paths as sequences of adjacent edges.
+
+A path in the paper is a sequence of adjacent, non-repeating edges
+``P = <e1, e2, ..., en>``.  T-paths, V-paths and candidate routing paths are
+all paths in this sense.  This module provides an immutable :class:`Path`
+value type with the algebra the PACE machinery relies on:
+
+* sub-paths and prefix/suffix tests,
+* the *overlap* between two paths (the suffix of the first that equals a
+  prefix of the second — this is the ``p_i ∩ p_{i+1}`` of Eq. 1),
+* concatenation of overlapping or adjacent paths, and
+* simplicity checks (no repeated vertex), needed when V-paths are built and
+  when candidate paths are extended during routing.
+
+A path stores both its edge-id sequence and its vertex-id sequence; the two
+are kept consistent at construction time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.core.errors import PathError
+
+__all__ = ["Path"]
+
+
+class Path:
+    """An immutable sequence of adjacent edges in a road network.
+
+    Parameters
+    ----------
+    edges:
+        The edge ids, in traversal order.
+    vertices:
+        The vertex ids visited, in order.  Must have exactly one more element
+        than ``edges``.
+    """
+
+    __slots__ = ("_edges", "_vertices")
+
+    def __init__(self, edges: Sequence[int], vertices: Sequence[int]):
+        if len(vertices) != len(edges) + 1:
+            raise PathError(
+                f"a path over {len(edges)} edges must visit {len(edges) + 1} vertices, "
+                f"got {len(vertices)}"
+            )
+        if not edges:
+            raise PathError("a path must contain at least one edge")
+        if len(set(edges)) != len(edges):
+            raise PathError("a path must not repeat an edge")
+        self._edges: tuple[int, ...] = tuple(int(e) for e in edges)
+        self._vertices: tuple[int, ...] = tuple(int(v) for v in vertices)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def edges(self) -> tuple[int, ...]:
+        """The edge ids in traversal order."""
+        return self._edges
+
+    @property
+    def vertices(self) -> tuple[int, ...]:
+        """The vertex ids visited, in order (one more than the number of edges)."""
+        return self._vertices
+
+    @property
+    def source(self) -> int:
+        """The first vertex of the path."""
+        return self._vertices[0]
+
+    @property
+    def target(self) -> int:
+        """The last vertex of the path."""
+        return self._vertices[-1]
+
+    @property
+    def cardinality(self) -> int:
+        """The number of edges (the paper groups T-paths by this value)."""
+        return len(self._edges)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._edges)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Path):
+            return NotImplemented
+        return self._edges == other._edges and self._vertices == other._vertices
+
+    def __hash__(self) -> int:
+        return hash((self._edges, self._vertices))
+
+    def __repr__(self) -> str:
+        return f"Path(edges={list(self._edges)}, vertices={list(self._vertices)})"
+
+    def is_simple(self) -> bool:
+        """True when no vertex is visited twice (loops are not allowed in candidates)."""
+        return len(set(self._vertices)) == len(self._vertices)
+
+    def visits(self, vertex: int) -> bool:
+        """True when ``vertex`` appears anywhere along the path."""
+        return vertex in self._vertices
+
+    # ------------------------------------------------------------------ #
+    # Sub-path algebra
+    # ------------------------------------------------------------------ #
+    def sub_path(self, start: int, stop: int) -> "Path":
+        """The sub-path covering edges ``start`` (inclusive) to ``stop`` (exclusive)."""
+        if not 0 <= start < stop <= len(self._edges):
+            raise PathError(f"invalid sub-path bounds [{start}, {stop}) for length {len(self)}")
+        return Path(self._edges[start:stop], self._vertices[start : stop + 1])
+
+    def prefix(self, length: int) -> "Path":
+        """The prefix consisting of the first ``length`` edges."""
+        return self.sub_path(0, length)
+
+    def suffix(self, length: int) -> "Path":
+        """The suffix consisting of the last ``length`` edges."""
+        return self.sub_path(len(self) - length, len(self))
+
+    def is_prefix_of(self, other: "Path") -> bool:
+        """True when ``self`` equals the first ``len(self)`` edges of ``other``."""
+        if len(self) > len(other):
+            return False
+        return other._edges[: len(self)] == self._edges
+
+    def is_suffix_of(self, other: "Path") -> bool:
+        """True when ``self`` equals the last ``len(self)`` edges of ``other``."""
+        if len(self) > len(other):
+            return False
+        return other._edges[-len(self) :] == self._edges
+
+    def is_sub_path_of(self, other: "Path") -> bool:
+        """True when ``self`` appears as a contiguous edge block inside ``other``."""
+        n, m = len(self), len(other)
+        if n > m:
+            return False
+        return any(other._edges[i : i + n] == self._edges for i in range(m - n + 1))
+
+    def index_of_edge(self, edge_id: int) -> int:
+        """The position of ``edge_id`` within the path, or ``-1`` when absent."""
+        try:
+            return self._edges.index(edge_id)
+        except ValueError:
+            return -1
+
+    # ------------------------------------------------------------------ #
+    # Overlap and concatenation
+    # ------------------------------------------------------------------ #
+    def overlap_with(self, other: "Path") -> "Path | None":
+        """The longest suffix of ``self`` that is a prefix of ``other``.
+
+        Returns ``None`` when the two paths share no edges in that pattern.
+        This is exactly the overlap ``p_i ∩ p_{i+1}`` used by the T-path
+        assembly operation (Eq. 1): two consecutive T-paths in a coarsest
+        sequence overlap on a common sub-path.
+        """
+        max_len = min(len(self), len(other))
+        for length in range(max_len, 0, -1):
+            if self._edges[-length:] == other._edges[:length]:
+                return self.suffix(length)
+        return None
+
+    def follows(self, other: "Path") -> bool:
+        """True when ``self`` starts at the vertex where ``other`` ends."""
+        return self.source == other.target
+
+    def concat(self, other: "Path") -> "Path":
+        """Concatenate an adjacent path (``other.source == self.target``)."""
+        if other.source != self.target:
+            raise PathError(
+                f"cannot concatenate: path ends at vertex {self.target} but the next "
+                f"path starts at vertex {other.source}"
+            )
+        edges = self._edges + other._edges
+        vertices = self._vertices + other._vertices[1:]
+        return Path(edges, vertices)
+
+    def merge_overlapping(self, other: "Path") -> "Path":
+        """Merge with a path that overlaps this one (suffix of ``self`` = prefix of ``other``).
+
+        The result covers the union of the two edge sequences; it is how two
+        overlapping T-paths are merged into a V-path.
+        """
+        overlap = self.overlap_with(other)
+        if overlap is None:
+            raise PathError("paths do not overlap; use concat() for adjacent paths")
+        extra = len(other) - len(overlap)
+        if extra == 0:
+            # ``other`` is entirely contained in the suffix of ``self``.
+            return self
+        edges = self._edges + other._edges[len(overlap) :]
+        vertices = self._vertices + other._vertices[len(overlap) + 1 :]
+        return Path(edges, vertices)
+
+    def reversed_vertices(self) -> tuple[int, ...]:
+        """The vertex sequence of the reversed path (used to build the reversed graph)."""
+        return tuple(reversed(self._vertices))

@@ -1,0 +1,22 @@
+"""Bundled datasets: the paper's running example and synthetic city datasets."""
+
+from repro.datasets.paper_example import PaperExample, build_paper_example
+from repro.datasets.synthetic import (
+    DatasetConfig,
+    SyntheticDataset,
+    aalborg_like,
+    build_dataset,
+    tiny_dataset,
+    xian_like,
+)
+
+__all__ = [
+    "PaperExample",
+    "build_paper_example",
+    "DatasetConfig",
+    "SyntheticDataset",
+    "build_dataset",
+    "aalborg_like",
+    "xian_like",
+    "tiny_dataset",
+]

@@ -1,0 +1,158 @@
+"""The running example of the paper (Figures 2, 3, 5 and 6).
+
+The paper illustrates the EDGE and PACE models with a small road network of
+eight vertices (``vs``, ``v1`` ... ``v6``, ``vd``) and ten edges, five T-paths
+and the derived reversed graph / heuristic tables.  This module rebuilds that
+example exactly (edge endpoints and distributions were reconstructed from
+Figures 2 and 5 and the worked iterations in Table 3), which makes it a
+precise fixture for unit tests:
+
+* ``v.getMin()`` values must match Figure 6(a) (edges only) and 6(b)
+  (edges + T-paths),
+* the shortest-path-tree iterations must match Table 3, and
+* path distributions such as ``D_J(<e1, e4, e9>) = p1 ⋄ p2`` must follow Eq. 1.
+
+The joint distributions of the T-paths are not printed in the paper (only the
+total-cost distributions are), so we construct joints whose totals equal the
+printed ones; all documented quantities depend only on those totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.distributions import Distribution
+from repro.core.edge_graph import EdgeGraph
+from repro.core.joint import JointDistribution
+from repro.core.pace_graph import PaceGraph
+from repro.network.road_network import RoadNetwork
+
+__all__ = [
+    "PaperExample",
+    "VS",
+    "V1",
+    "V2",
+    "V3",
+    "V4",
+    "V5",
+    "V6",
+    "VD",
+    "build_paper_example",
+]
+
+# Vertex ids: the paper's vs, v1..v6, vd.
+VS, V1, V2, V3, V4, V5, V6, VD = range(8)
+
+#: Edge endpoints keyed by the paper's edge number (1-based, e1..e10).
+_EDGE_ENDPOINTS = {
+    1: (VS, V1),
+    2: (VS, V4),
+    3: (V4, V5),
+    4: (V1, V2),
+    5: (V1, V5),
+    6: (V5, V6),
+    7: (V2, V6),
+    8: (V6, VD),
+    9: (V2, V3),
+    10: (V3, VD),
+}
+
+#: Edge cost distributions from Figure 2, keyed by the paper's edge number.
+_EDGE_WEIGHTS = {
+    1: [(8, 0.9), (10, 0.1)],
+    2: [(8, 1.0)],
+    3: [(13, 0.5), (16, 0.5)],
+    4: [(6, 0.2), (10, 0.8)],
+    5: [(4, 0.4), (6, 0.6)],
+    6: [(9, 0.3), (10, 0.7)],
+    7: [(12, 1.0)],
+    8: [(4, 1.0)],
+    9: [(5, 0.6), (7, 0.4)],
+    10: [(7, 1.0)],
+}
+
+#: T-path definitions from Figure 3: edge numbers and joint outcomes whose
+#: totals equal the printed total-cost distributions.
+_TPATH_JOINTS = {
+    "p1": ([1, 4], {(8.0, 8.0): 0.2, (10.0, 8.0): 0.8}),       # totals [16, .2], [18, .8]
+    "p2": ([4, 9], {(8.0, 5.0): 0.7, (8.0, 7.0): 0.3}),        # totals [13, .7], [15, .3]
+    "p3": ([3, 6], {(13.0, 9.0): 0.6, (18.0, 10.0): 0.4}),     # totals [22, .6], [28, .4]
+    "p4": ([6, 8], {(11.0, 4.0): 0.5, (12.0, 4.0): 0.5}),      # totals [15, .5], [16, .5]
+    "p5": ([3, 6, 8], {(13.0, 13.0, 4.0): 0.6, (15.0, 13.0, 4.0): 0.4}),  # [30, .6], [32, .4]
+}
+
+#: Planar coordinates (metres) laid out as in Figure 2: top row vs..v3, bottom row v4..vd.
+#: The spacing is chosen small enough that the Euclidean/max-speed heuristic (T-B-EU)
+#: stays admissible with respect to the abstract edge costs of the figure.
+_COORDINATES = {
+    VS: (0.0, 100.0),
+    V1: (100.0, 100.0),
+    V2: (200.0, 100.0),
+    V3: (300.0, 100.0),
+    V4: (0.0, 0.0),
+    V5: (100.0, 0.0),
+    V6: (200.0, 0.0),
+    VD: (300.0, 0.0),
+}
+
+#: Expected v.getMin() values for destination vd, from Figure 6.
+EDGE_ONLY_GET_MIN = {VS: 25, V1: 17, V2: 12, V3: 7, V4: 26, V5: 13, V6: 4, VD: 0}
+PACE_GET_MIN = {VS: 27, V1: 19, V2: 12, V3: 7, V4: 30, V5: 15, V6: 4, VD: 0}
+
+
+@dataclass(frozen=True)
+class PaperExample:
+    """The paper's running example, exposing both models and the name maps."""
+
+    network: RoadNetwork
+    edge_graph: EdgeGraph
+    pace_graph: PaceGraph
+    edge_ids: dict[str, int]
+    tpaths: dict[str, tuple[int, ...]]
+
+    @property
+    def source(self) -> int:
+        """The example's source vertex ``vs``."""
+        return VS
+
+    @property
+    def destination(self) -> int:
+        """The example's destination vertex ``vd``."""
+        return VD
+
+
+def build_paper_example(*, tau: int = 2) -> PaperExample:
+    """Build the Figure 2 / Figure 3 example network with its EDGE and PACE graphs."""
+    network = RoadNetwork(name="paper-example")
+    for vertex_id, (x, y) in _COORDINATES.items():
+        network.add_vertex(vertex_id, x, y)
+
+    edge_ids: dict[str, int] = {}
+    for number, (source, target) in _EDGE_ENDPOINTS.items():
+        # A 90 km/h speed limit keeps the Euclidean/max-speed bound below every
+        # abstract edge cost of the figure (e.g. e8 covers 100 m in 4 time units).
+        segment = network.add_edge(source, target, edge_id=number, length=100.0, speed_limit=90.0)
+        edge_ids[f"e{number}"] = segment.edge_id
+
+    weights = {
+        edge_ids[f"e{number}"]: Distribution.from_pairs(pairs)
+        for number, pairs in _EDGE_WEIGHTS.items()
+    }
+    edge_graph = EdgeGraph(network, weights)
+    pace_graph = PaceGraph(edge_graph, tau=tau)
+
+    tpath_edges: dict[str, tuple[int, ...]] = {}
+    for name, (edge_numbers, joint_pmf) in _TPATH_JOINTS.items():
+        ids = [edge_ids[f"e{n}"] for n in edge_numbers]
+        path = network.path_from_edge_ids(ids)
+        joint = JointDistribution(ids, joint_pmf)
+        pace_graph.add_tpath(path, joint, support=tau)
+        tpath_edges[name] = tuple(ids)
+
+    return PaperExample(
+        network=network,
+        edge_graph=edge_graph,
+        pace_graph=pace_graph,
+        edge_ids=edge_ids,
+        tpaths=tpath_edges,
+    )

@@ -1,0 +1,5 @@
+"""Routing in the classical edge-centric (EDGE) model."""
+
+from repro.edgemodel.routing import EdgeModelRouter, EdgeRouterConfig
+
+__all__ = ["EdgeModelRouter", "EdgeRouterConfig"]

@@ -1,0 +1,65 @@
+"""Plain-text reporting of experiment results.
+
+Every experiment driver returns structured rows; this module renders them as
+aligned text tables (the same rows/series the paper's figures and tables
+report) and optionally writes them to the ``results/`` directory so benchmark
+runs leave an inspectable artefact behind.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from pathlib import Path
+
+__all__ = ["format_table", "render_report", "write_report"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    string_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        for index, cell in enumerate(row):
+            if index >= len(widths):
+                widths.append(len(cell))
+            else:
+                widths[index] = max(widths[index], len(cell))
+    lines = [
+        " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in string_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.3f}".rstrip("0").rstrip(".")
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def render_report(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A titled table, ready to print."""
+    table = format_table(headers, rows)
+    separator = "=" * max(len(title), 8)
+    return f"{title}\n{separator}\n{table}\n"
+
+
+def write_report(
+    report: str, filename: str, *, directory: str | Path = "results", echo: bool = True
+) -> Path:
+    """Write a rendered report to ``results/<filename>`` and optionally print it."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / filename
+    path.write_text(report, encoding="utf-8")
+    if echo:
+        print(report)
+    return path

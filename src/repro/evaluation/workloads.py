@@ -1,0 +1,204 @@
+"""Generation of stochastic routing query workloads.
+
+The paper's workload generator (Section 5.1):
+
+* source–destination pairs are taken from the testing trajectories so that
+  the pairs are meaningful trips, and grouped into buckets by Euclidean
+  distance,
+* each pair receives five travel-time budgets at 50 %, 75 %, 100 %, 125 % and
+  150 % of the least *expected* travel time found by Dijkstra over expected
+  edge costs (too-small budgets make every path hopeless, too-large budgets
+  make every path certain).
+
+Because our synthetic cities are a few kilometres across rather than 35 km,
+the distance buckets are expressed as quantiles of the observed
+source–destination distances and labelled with their actual ranges; the
+bucket *roles* (short / medium / long / longest trips) match the paper's.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.core.edge_graph import EdgeGraph
+from repro.core.errors import ConfigurationError, NoPathError
+from repro.network.algorithms import shortest_path
+from repro.routing.queries import RoutingQuery
+from repro.trajectories.model import Trajectory
+
+__all__ = ["WorkloadConfig", "WorkloadQuery", "QueryWorkload", "generate_workload"]
+
+#: Budget levels, as fractions of the least expected travel time (the paper's 50 %–150 %).
+DEFAULT_BUDGET_FRACTIONS = (0.5, 0.75, 1.0, 1.25, 1.5)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of the workload generator."""
+
+    pairs_per_bucket: int = 6
+    num_buckets: int = 4
+    budget_fractions: tuple[float, ...] = DEFAULT_BUDGET_FRACTIONS
+    min_expected_time: float = 60.0
+    seed: int = 97
+
+    def validate(self) -> None:
+        if self.pairs_per_bucket < 1:
+            raise ConfigurationError("pairs_per_bucket must be positive")
+        if self.num_buckets < 1:
+            raise ConfigurationError("num_buckets must be positive")
+        if not self.budget_fractions:
+            raise ConfigurationError("at least one budget fraction is needed")
+        if any(f <= 0 for f in self.budget_fractions):
+            raise ConfigurationError("budget fractions must be positive")
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One query of the workload, annotated with its bucket and budget level."""
+
+    query: RoutingQuery
+    distance_bucket: str
+    distance_km: float
+    budget_fraction: float
+    least_expected_time: float
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A full workload: queries grouped by distance bucket and budget fraction."""
+
+    queries: tuple[WorkloadQuery, ...]
+    bucket_labels: tuple[str, ...]
+
+    def by_bucket(self, label: str) -> list[WorkloadQuery]:
+        return [q for q in self.queries if q.distance_bucket == label]
+
+    def by_budget_fraction(self, fraction: float) -> list[WorkloadQuery]:
+        return [q for q in self.queries if abs(q.budget_fraction - fraction) < 1e-9]
+
+    def budget_fractions(self) -> tuple[float, ...]:
+        return tuple(sorted({q.budget_fraction for q in self.queries}))
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+def _candidate_pairs(
+    edge_graph: EdgeGraph,
+    trajectories: Sequence[Trajectory],
+    rng: random.Random,
+    limit: int,
+) -> list[tuple[int, int]]:
+    """Source–destination pairs drawn from observed trips (falling back to random pairs)."""
+    seen: set[tuple[int, int]] = set()
+    pairs: list[tuple[int, int]] = []
+    shuffled = list(trajectories)
+    rng.shuffle(shuffled)
+    for trajectory in shuffled:
+        pair = (trajectory.path.source, trajectory.path.target)
+        if pair[0] != pair[1] and pair not in seen:
+            seen.add(pair)
+            pairs.append(pair)
+        if len(pairs) >= limit:
+            return pairs
+    vertices = list(edge_graph.network.vertex_ids())
+    attempts = 0
+    while len(pairs) < limit and attempts < limit * 50:
+        attempts += 1
+        source, destination = rng.choice(vertices), rng.choice(vertices)
+        if source == destination or (source, destination) in seen:
+            continue
+        seen.add((source, destination))
+        pairs.append((source, destination))
+    return pairs
+
+
+def generate_workload(
+    edge_graph: EdgeGraph,
+    trajectories: Sequence[Trajectory],
+    config: WorkloadConfig | None = None,
+    *,
+    departure_time: float = 8 * 3600.0,
+) -> QueryWorkload:
+    """Generate a bucketed query workload against an uncertain road network.
+
+    ``edge_graph`` provides the expected edge travel times used both for the
+    Dijkstra baseline that calibrates budgets and (via the network geometry)
+    for the distance buckets.
+    """
+    config = config or WorkloadConfig()
+    config.validate()
+    rng = random.Random(config.seed)
+    network = edge_graph.network
+
+    needed = config.pairs_per_bucket * config.num_buckets
+    candidates = _candidate_pairs(edge_graph, trajectories, rng, needed * 6)
+
+    # Annotate candidates with distance and least expected travel time; drop unreachable pairs.
+    annotated: list[tuple[int, int, float, float]] = []
+    for source, destination in candidates:
+        distance_km = network.euclidean_distance(source, destination) / 1000.0
+        try:
+            _, expected = shortest_path(
+                network, source, destination, lambda e: edge_graph.expected_cost(e.edge_id)
+            )
+        except NoPathError:
+            continue
+        if expected < config.min_expected_time:
+            continue
+        annotated.append((source, destination, distance_km, expected))
+        if len(annotated) >= needed * 4:
+            break
+    if not annotated:
+        raise ConfigurationError("could not find any routable source-destination pairs")
+
+    # Quantile-based distance buckets over the observed distances.
+    annotated.sort(key=lambda item: item[2])
+    distances = [item[2] for item in annotated]
+    bucket_edges = [
+        distances[min(len(distances) - 1, int(len(distances) * (i + 1) / config.num_buckets))]
+        for i in range(config.num_buckets)
+    ]
+    bucket_edges[-1] = distances[-1] + 1e-9
+
+    def bucket_index(distance: float) -> int:
+        for index, upper in enumerate(bucket_edges):
+            if distance <= upper:
+                return index
+        return len(bucket_edges) - 1
+
+    lower = 0.0
+    labels: list[str] = []
+    for upper in bucket_edges:
+        labels.append(f"({lower:.1f}, {upper:.1f}] km")
+        lower = upper
+
+    per_bucket: dict[int, list[tuple[int, int, float, float]]] = {}
+    for item in annotated:
+        per_bucket.setdefault(bucket_index(item[2]), []).append(item)
+
+    queries: list[WorkloadQuery] = []
+    for index in range(config.num_buckets):
+        bucket_items = per_bucket.get(index, [])
+        rng.shuffle(bucket_items)
+        for source, destination, distance_km, expected in bucket_items[: config.pairs_per_bucket]:
+            for fraction in config.budget_fractions:
+                budget = max(1.0, expected * fraction)
+                queries.append(
+                    WorkloadQuery(
+                        query=RoutingQuery(
+                            source=source,
+                            destination=destination,
+                            budget=budget,
+                            departure_time=departure_time,
+                        ),
+                        distance_bucket=labels[index],
+                        distance_km=distance_km,
+                        budget_fraction=fraction,
+                        least_expected_time=expected,
+                    )
+                )
+    return QueryWorkload(queries=tuple(queries), bucket_labels=tuple(labels))

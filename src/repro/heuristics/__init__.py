@@ -1,0 +1,38 @@
+"""Admissible search heuristics: binary (T-B-*) and budget-specific (T-BS-δ)."""
+
+from repro.heuristics.base import Heuristic, NoHeuristic, max_prob
+from repro.heuristics.binary import (
+    BinaryHeuristic,
+    EdgeOnlyBinaryHeuristic,
+    EuclideanBinaryHeuristic,
+    PaceBinaryHeuristic,
+)
+from repro.heuristics.budget import (
+    BudgetHeuristicConfig,
+    BudgetSpecificHeuristic,
+    build_heuristic_table,
+)
+from repro.heuristics.sptree import (
+    PaceShortestPathTree,
+    SpTreeLabel,
+    build_pace_shortest_path_tree,
+)
+from repro.heuristics.tables import HeuristicRow, HeuristicTable
+
+__all__ = [
+    "Heuristic",
+    "NoHeuristic",
+    "max_prob",
+    "BinaryHeuristic",
+    "EuclideanBinaryHeuristic",
+    "EdgeOnlyBinaryHeuristic",
+    "PaceBinaryHeuristic",
+    "BudgetHeuristicConfig",
+    "BudgetSpecificHeuristic",
+    "build_heuristic_table",
+    "PaceShortestPathTree",
+    "SpTreeLabel",
+    "build_pace_shortest_path_tree",
+    "HeuristicRow",
+    "HeuristicTable",
+]

@@ -1,0 +1,86 @@
+"""Heuristic interface shared by the routing algorithms.
+
+A heuristic estimates, for an intermediate vertex ``v_i`` and a remaining
+budget ``x``, the largest possible probability ``U(v_i, x)`` of reaching the
+query destination within ``x`` cost units (Section 3.1).  Routing only relies
+on two properties:
+
+* **admissibility** — ``U`` never under-estimates the true maximum
+  probability, so pruning and early termination stay correct, and
+* a cheap lower bound ``getMin(v_i)`` on the cost of reaching the destination
+  at all, used for budget pruning (``D(P).min + v.getMin() <= B``).
+
+Three implementations exist: the trivial heuristic (used by T-None / V-None),
+the binary heuristics (:mod:`repro.heuristics.binary`), and the
+budget-specific heuristic tables (:mod:`repro.heuristics.budget`).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.distributions import Distribution
+
+__all__ = ["Heuristic", "NoHeuristic", "max_prob"]
+
+
+class Heuristic(abc.ABC):
+    """Destination-specific admissible estimate of reachability probabilities."""
+
+    @property
+    @abc.abstractmethod
+    def destination(self) -> int:
+        """The destination vertex this heuristic was built for."""
+
+    @abc.abstractmethod
+    def min_cost(self, vertex: int) -> float:
+        """``v.getMin()``: a lower bound on the cost from ``vertex`` to the destination.
+
+        Returns ``inf`` when the destination is unreachable from ``vertex``.
+        """
+
+    @abc.abstractmethod
+    def probability(self, vertex: int, remaining_budget: float) -> float:
+        """``U(vertex, x)``: an upper bound on the probability of arriving within ``x``."""
+
+    def storage_bytes(self) -> int:
+        """Approximate storage needed to keep this heuristic in memory (for Tables 8–10)."""
+        return 0
+
+
+class NoHeuristic(Heuristic):
+    """The trivial heuristic: everything looks reachable for free.
+
+    Used by the baselines T-None and V-None; with it, ``maxProb`` degenerates
+    to the probability of the candidate path itself, exactly the priority the
+    existing PACE routing uses (Algorithm 1).
+    """
+
+    def __init__(self, destination: int):
+        self._destination = destination
+
+    @property
+    def destination(self) -> int:
+        return self._destination
+
+    def min_cost(self, vertex: int) -> float:
+        return 0.0
+
+    def probability(self, vertex: int, remaining_budget: float) -> float:
+        return 1.0 if remaining_budget >= 0 else 0.0
+
+
+def max_prob(distribution: Distribution, heuristic: Heuristic, vertex: int, budget: float) -> float:
+    """Eq. 3: the admissible upper bound on the arrival probability of a candidate path.
+
+    ``distribution`` is the cost distribution of the candidate path from the
+    source to ``vertex``; the heuristic bounds the probability of covering the
+    remaining distance within what is left of ``budget``.
+    """
+    total = 0.0
+    for cost, probability in distribution.items():
+        remaining = budget - cost
+        if remaining < 0:
+            continue
+        total += probability * heuristic.probability(vertex, remaining)
+    return total

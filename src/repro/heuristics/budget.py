@@ -1,0 +1,204 @@
+"""Budget-specific heuristic tables (Section 3.3, Algorithms 3 and 4).
+
+The budget-specific heuristic refines the binary heuristic by estimating, for
+every vertex ``v`` and every budget ``x`` on a grid ``δ, 2δ, ..., ηδ``, an
+admissible upper bound ``U(v, x)`` on the probability of reaching the
+destination within ``x``:
+
+    U(v, x) = max over outgoing elements <v, z> of
+              sum_c  W(<v, z>).pdf(c) · U(z, x - c)            (Eq. 5)
+
+where ``<v, z>`` may be an edge or a T-path.  The table is built backwards
+from the destination (whose row is identically 1) with the two observations
+the paper exploits: every row is 0 below the budget ``l`` implied by
+``v.getMin()`` and 1 from the first budget ``s`` where the maximum reaches 1,
+so only the cells in between are computed and stored.
+
+Admissibility is maintained throughout: rows that have not been computed yet
+are read through the binary heuristic (an upper bound), and every Bellman
+evaluation of Eq. 5 applied to upper bounds yields an upper bound.  Because
+real road networks contain cycles, the builder optionally performs additional
+sweeps that monotonically tighten the table without ever dropping below the
+true probabilities.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+from repro.heuristics.base import Heuristic
+from repro.heuristics.binary import BinaryHeuristic, PaceBinaryHeuristic
+from repro.heuristics.tables import HeuristicRow, HeuristicTable
+
+__all__ = ["BudgetHeuristicConfig", "BudgetSpecificHeuristic", "build_heuristic_table"]
+
+_ONE = 1.0 - 1e-9
+
+
+@dataclass(frozen=True)
+class BudgetHeuristicConfig:
+    """Parameters of the budget-specific heuristic.
+
+    ``delta`` is the budget granularity (the paper's ``δ``, default 60),
+    ``max_budget`` the largest budget the table must answer (the paper uses
+    5 000 seconds), and ``sweeps`` the number of backward passes over the
+    vertices (the first pass reproduces Algorithms 3–4; additional passes
+    tighten rows affected by cycles).
+    """
+
+    delta: float = 60.0
+    max_budget: float = 5000.0
+    sweeps: int = 2
+    grid_rounding: str = "ceil"
+
+    def validate(self) -> None:
+        if self.delta <= 0:
+            raise ConfigurationError("delta must be positive")
+        if self.max_budget < self.delta:
+            raise ConfigurationError("max_budget must be at least delta")
+        if self.sweeps < 1:
+            raise ConfigurationError("at least one sweep is required")
+        if self.grid_rounding not in ("ceil", "floor"):
+            raise ConfigurationError("grid_rounding must be 'ceil' or 'floor'")
+
+    @property
+    def eta(self) -> int:
+        """The number of columns of the heuristic table."""
+        return int(self.max_budget // self.delta) + (0 if self.max_budget % self.delta == 0 else 1)
+
+
+def build_heuristic_table(
+    graph,
+    destination: int,
+    config: BudgetHeuristicConfig | None = None,
+    *,
+    binary: BinaryHeuristic | None = None,
+) -> HeuristicTable:
+    """Build the heuristic table for one destination (Algorithms 3 and 4).
+
+    ``graph`` is any PACE-like graph exposing ``outgoing_elements`` /
+    ``network`` (a :class:`~repro.core.pace_graph.PaceGraph` or an
+    :class:`~repro.vpaths.updated_graph.UpdatedPaceGraph`).
+    """
+    config = config or BudgetHeuristicConfig()
+    config.validate()
+    binary = binary or PaceBinaryHeuristic(
+        graph if not hasattr(graph, "pace_graph") else graph.pace_graph, destination
+    )
+    eta = config.eta
+    delta = config.delta
+    table = HeuristicTable(destination=destination, delta=delta, eta=eta)
+
+    network = graph.network
+    # Destination row: probability 1 for every budget (second observation in the paper).
+    table.set_row(destination, HeuristicRow(first_index=1, values=()))
+
+    # Process vertices from the destination outwards (by increasing getMin); this is the
+    # FIFO expansion of Algorithm 3 collapsed into a deterministic order, so that most
+    # successor rows already exist when a row is computed.
+    reachable = [
+        (binary.min_cost(v), v)
+        for v in network.vertex_ids()
+        if v != destination and binary.min_cost(v) < float("inf")
+    ]
+    reachable.sort()
+
+    def value_of(vertex: int, budget: float) -> float:
+        """U(vertex, budget) from the table, falling back to the binary bound."""
+        if vertex == destination:
+            # Arriving exactly on budget counts (Prob(cost <= B)), so 0 remaining is fine.
+            return 1.0 if budget >= 0 else 0.0
+        if budget <= 0:
+            return 0.0
+        row = table.rows.get(vertex)
+        if row is None:
+            return binary.probability(vertex, budget)
+        column = min(table.column_for(budget, rounding=config.grid_rounding), eta)
+        return row.value_at_column(column)
+
+    def compute_row(vertex: int) -> HeuristicRow:
+        """One application of Eq. 5 for every budget column of ``vertex`` (Algorithm 4)."""
+        get_min = binary.min_cost(vertex)
+        first_index = max(1, table.column_for(get_min))
+        elements = graph.outgoing_elements(vertex)
+        values: list[float] = []
+        for column in range(first_index, eta + 1):
+            budget = column * delta
+            best = 0.0
+            for element in elements:
+                acc = 0.0
+                for cost, probability in element.distribution.items():
+                    remaining = budget - cost
+                    if remaining < 0:
+                        continue
+                    acc += probability * value_of(element.target, remaining)
+                if acc > best:
+                    best = acc
+                    if best >= _ONE:
+                        break
+            values.append(min(best, 1.0))
+            if best >= _ONE:
+                break
+        return HeuristicRow(first_index=first_index, values=tuple(values))
+
+    for _ in range(config.sweeps):
+        for _, vertex in reachable:
+            table.set_row(vertex, compute_row(vertex))
+    return table
+
+
+class BudgetSpecificHeuristic(Heuristic):
+    """The T-BS-δ heuristic: budget-specific probabilities from a pre-computed table."""
+
+    def __init__(
+        self,
+        graph,
+        destination: int,
+        config: BudgetHeuristicConfig | None = None,
+        *,
+        binary: BinaryHeuristic | None = None,
+    ):
+        self._config = config or BudgetHeuristicConfig()
+        self._config.validate()
+        pace_graph = graph.pace_graph if hasattr(graph, "pace_graph") else graph
+        self._binary = binary or PaceBinaryHeuristic(pace_graph, destination)
+        start = time.perf_counter()
+        self._table = build_heuristic_table(graph, destination, self._config, binary=self._binary)
+        self._build_seconds = time.perf_counter() - start
+
+    @property
+    def destination(self) -> int:
+        return self._table.destination
+
+    @property
+    def table(self) -> HeuristicTable:
+        """The underlying heuristic table (exposed for inspection and storage accounting)."""
+        return self._table
+
+    @property
+    def delta(self) -> float:
+        return self._config.delta
+
+    @property
+    def build_seconds(self) -> float:
+        """Wall-clock time spent building the table (Fig. 12 / Table 9)."""
+        return self._build_seconds
+
+    def min_cost(self, vertex: int) -> float:
+        return self._binary.min_cost(vertex)
+
+    def probability(self, vertex: int, remaining_budget: float) -> float:
+        if vertex == self.destination:
+            return 1.0 if remaining_budget >= 0 else 0.0
+        if remaining_budget < self.min_cost(vertex):
+            return 0.0
+        # Online queries always round the residual budget up to the grid ("ceil"), which
+        # keeps the heuristic admissible regardless of how the table itself was built.
+        return self._table.value(vertex, remaining_budget, rounding="ceil")
+
+    def storage_bytes(self) -> int:
+        """Table storage plus the underlying binary heuristic's getMin values."""
+        return self._table.storage_bytes() + self._binary.storage_bytes() + sys.getsizeof(self)

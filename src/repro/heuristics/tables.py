@@ -1,0 +1,114 @@
+"""Compact storage of budget-specific heuristic tables.
+
+A heuristic table (Section 3.3.1) has one row per vertex and one column per
+budget value ``δ, 2δ, ..., ηδ``.  The paper observes that each row is 0 up to
+some budget ``l`` and 1 from some budget ``s`` onwards, so only the cells in
+between need to be stored.  :class:`HeuristicRow` implements exactly that
+compressed representation and :class:`HeuristicTable` the per-destination
+collection of rows.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from dataclasses import dataclass, field
+
+from repro.core.errors import HeuristicError
+
+__all__ = ["HeuristicRow", "HeuristicTable"]
+
+
+@dataclass(frozen=True)
+class HeuristicRow:
+    """One compressed row ``U(v, ·)`` of a heuristic table.
+
+    ``first_index`` is the 1-based column of the first stored value (the
+    column of budget ``l``); columns before it are 0, columns after the last
+    stored value are 1.
+    """
+
+    first_index: int
+    values: tuple[float, ...]
+
+    def value_at_column(self, column: int) -> float:
+        """``U(v, column * δ)`` for a 1-based column index."""
+        if column < self.first_index:
+            return 0.0
+        offset = column - self.first_index
+        if offset < len(self.values):
+            return self.values[offset]
+        return 1.0
+
+    def storage_cells(self) -> int:
+        """The number of explicitly stored cells."""
+        return len(self.values)
+
+
+@dataclass
+class HeuristicTable:
+    """All rows of the budget-specific heuristic for one destination."""
+
+    destination: int
+    delta: float
+    eta: int
+    rows: dict[int, HeuristicRow] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise HeuristicError("delta must be positive")
+        if self.eta < 1:
+            raise HeuristicError("eta must be at least 1")
+
+    @property
+    def max_budget(self) -> float:
+        """The largest budget represented by the table, ``η · δ``."""
+        return self.eta * self.delta
+
+    def column_for(self, budget: float, *, rounding: str = "ceil") -> int:
+        """The column used to answer a query for ``budget``.
+
+        ``rounding="ceil"`` maps to the smallest grid value >= ``budget``:
+        because rows are non-decreasing in the budget this never
+        under-estimates ``U``, so admissibility is preserved for budgets
+        between grid points.  ``rounding="floor"`` maps to the largest grid
+        value <= ``budget``, which is how the paper's worked example
+        (Table 4) evaluates the recursion and gives tighter (but potentially
+        slightly under-estimating) values.
+        """
+        if budget <= 0:
+            return 0
+        if rounding == "floor":
+            return int(budget // self.delta)
+        return max(1, math.ceil(budget / self.delta - 1e-12))
+
+    def set_row(self, vertex: int, row: HeuristicRow) -> None:
+        self.rows[vertex] = row
+
+    def value(self, vertex: int, budget: float, *, rounding: str = "ceil") -> float:
+        """``U(vertex, budget)`` with the selected grid rounding."""
+        if budget < 0:
+            return 0.0
+        if vertex == self.destination:
+            return 1.0
+        if budget <= 0:
+            return 0.0
+        row = self.rows.get(vertex)
+        if row is None:
+            # Unknown vertex: fall back to the admissible (but useless) bound of 1.
+            return 1.0
+        column = self.column_for(budget, rounding=rounding)
+        if column > self.eta:
+            column = self.eta
+        return row.value_at_column(column)
+
+    def storage_cells(self) -> int:
+        """Total number of explicitly stored cells across all rows."""
+        return sum(row.storage_cells() for row in self.rows.values())
+
+    def storage_bytes(self) -> int:
+        """Approximate in-memory size of the table (used for Fig. 12 / Table 9)."""
+        cells = self.storage_cells()
+        per_cell = sys.getsizeof(1.0)
+        overhead = sum(sys.getsizeof(row) for row in self.rows.values())
+        return cells * per_cell + overhead + sys.getsizeof(self.rows)

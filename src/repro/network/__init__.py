@@ -1,0 +1,20 @@
+"""Road-network structures, generators, serialisation and statistics."""
+
+from repro.network.generators import GridCityConfig, generate_grid_city
+from repro.network.io import load_network, network_from_dict, network_to_dict, save_network
+from repro.network.road_network import RoadNetwork, RoadSegment, Vertex
+from repro.network.statistics import NetworkStatistics, compute_statistics
+
+__all__ = [
+    "RoadNetwork",
+    "RoadSegment",
+    "Vertex",
+    "GridCityConfig",
+    "generate_grid_city",
+    "network_to_dict",
+    "network_from_dict",
+    "save_network",
+    "load_network",
+    "NetworkStatistics",
+    "compute_statistics",
+]

@@ -1,0 +1,137 @@
+"""Deterministic shortest-path utilities.
+
+These are the classical building blocks the paper relies on around the
+stochastic machinery:
+
+* Dijkstra's algorithm with a pluggable edge-cost function, used to generate
+  meaningful travel-time budgets for the query workload (the paper runs
+  Dijkstra on expected travel times and sets budgets to 50–150 % of the
+  optimum) and to provide the deterministic "commercial router" baseline of
+  the case study, and
+* single-source cost maps over plain edges, used by the T-B-E binary
+  heuristic (shortest-path tree from the destination over the reversed graph,
+  edges only).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+
+from repro.core.errors import NoPathError, UnknownVertexError
+from repro.core.paths import Path
+from repro.network.road_network import RoadNetwork, RoadSegment
+
+__all__ = [
+    "single_source_costs",
+    "shortest_path",
+    "shortest_path_cost",
+    "free_flow_costs",
+]
+
+EdgeCostFunction = Callable[[RoadSegment], float]
+
+
+def free_flow_costs(network: RoadNetwork) -> EdgeCostFunction:
+    """An edge-cost function returning free-flow travel times in seconds."""
+    return lambda edge: edge.free_flow_time()
+
+
+def single_source_costs(
+    network: RoadNetwork,
+    source: int,
+    edge_cost: EdgeCostFunction,
+    *,
+    targets: set[int] | None = None,
+) -> dict[int, float]:
+    """Dijkstra single-source shortest-path costs from ``source``.
+
+    Returns a mapping vertex -> cost for every reachable vertex.  When
+    ``targets`` is given the search stops as soon as all targets are settled.
+    """
+    if not network.has_vertex(source):
+        raise UnknownVertexError(f"unknown vertex {source}")
+    remaining = set(targets) if targets else None
+    costs: dict[int, float] = {}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        cost, vertex = heapq.heappop(heap)
+        if vertex in costs:
+            continue
+        costs[vertex] = cost
+        if remaining is not None:
+            remaining.discard(vertex)
+            if not remaining:
+                break
+        for edge in network.out_edges(vertex):
+            if edge.target in costs:
+                continue
+            weight = edge_cost(edge)
+            if weight < 0:
+                raise ValueError(f"negative edge cost {weight} on edge {edge.edge_id}")
+            heapq.heappush(heap, (cost + weight, edge.target))
+    return costs
+
+
+def shortest_path(
+    network: RoadNetwork,
+    source: int,
+    destination: int,
+    edge_cost: EdgeCostFunction,
+) -> tuple[Path, float]:
+    """The least-cost path from ``source`` to ``destination`` and its cost.
+
+    Raises :class:`~repro.core.errors.NoPathError` when the destination is
+    unreachable.
+    """
+    if not network.has_vertex(source):
+        raise UnknownVertexError(f"unknown vertex {source}")
+    if not network.has_vertex(destination):
+        raise UnknownVertexError(f"unknown vertex {destination}")
+    if source == destination:
+        raise NoPathError("source and destination coincide; a path needs at least one edge")
+
+    settled: set[int] = set()
+    best: dict[int, float] = {source: 0.0}
+    parent_edge: dict[int, RoadSegment] = {}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        cost, vertex = heapq.heappop(heap)
+        if vertex in settled:
+            continue
+        settled.add(vertex)
+        if vertex == destination:
+            break
+        for edge in network.out_edges(vertex):
+            if edge.target in settled:
+                continue
+            candidate = cost + edge_cost(edge)
+            if candidate < best.get(edge.target, float("inf")):
+                best[edge.target] = candidate
+                parent_edge[edge.target] = edge
+                heapq.heappush(heap, (candidate, edge.target))
+
+    if destination not in settled:
+        raise NoPathError(f"no path from {source} to {destination}")
+
+    edge_ids: list[int] = []
+    vertex = destination
+    while vertex != source:
+        edge = parent_edge[vertex]
+        edge_ids.append(edge.edge_id)
+        vertex = edge.source
+    edge_ids.reverse()
+    return network.path_from_edge_ids(edge_ids), best[destination]
+
+
+def shortest_path_cost(
+    network: RoadNetwork,
+    source: int,
+    destination: int,
+    edge_cost: EdgeCostFunction,
+) -> float:
+    """The least cost from ``source`` to ``destination`` (without materialising the path)."""
+    costs = single_source_costs(network, source, edge_cost, targets={destination})
+    if destination not in costs:
+        raise NoPathError(f"no path from {source} to {destination}")
+    return costs[destination]

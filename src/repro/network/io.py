@@ -1,0 +1,80 @@
+"""Serialisation of road networks to and from JSON files.
+
+The on-disk format is a plain JSON document with ``vertices`` and ``edges``
+arrays, which keeps datasets inspectable and diff-able.  Cost distributions
+are serialised separately by :mod:`repro.core.pace_graph` /
+:mod:`repro.heuristics.storage` because they depend on the chosen model.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path as FilePath
+
+from repro.core.errors import DataError
+from repro.network.road_network import RoadNetwork
+
+__all__ = ["network_to_dict", "network_from_dict", "save_network", "load_network"]
+
+_FORMAT_VERSION = 1
+
+
+def network_to_dict(network: RoadNetwork) -> dict:
+    """Convert a road network to a JSON-serialisable dictionary."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": network.name,
+        "vertices": [
+            {"id": v.vertex_id, "x": v.x, "y": v.y} for v in network.vertices()
+        ],
+        "edges": [
+            {
+                "id": e.edge_id,
+                "source": e.source,
+                "target": e.target,
+                "length": e.length,
+                "speed_limit": e.speed_limit,
+            }
+            for e in network.edges()
+        ],
+    }
+
+
+def network_from_dict(payload: dict) -> RoadNetwork:
+    """Rebuild a road network from :func:`network_to_dict` output."""
+    try:
+        version = payload["format_version"]
+        if version != _FORMAT_VERSION:
+            raise DataError(f"unsupported network format version {version!r}")
+        network = RoadNetwork(name=payload.get("name", "road-network"))
+        for vertex in payload["vertices"]:
+            network.add_vertex(vertex["id"], vertex.get("x", 0.0), vertex.get("y", 0.0))
+        for edge in payload["edges"]:
+            network.add_edge(
+                edge["source"],
+                edge["target"],
+                edge_id=edge["id"],
+                length=edge["length"],
+                speed_limit=edge.get("speed_limit", 50.0),
+            )
+    except KeyError as exc:
+        raise DataError(f"malformed network payload, missing key {exc}") from exc
+    return network
+
+
+def save_network(network: RoadNetwork, path: str | FilePath) -> None:
+    """Write a road network to a JSON file."""
+    path = FilePath(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(network_to_dict(network), handle, indent=2)
+
+
+def load_network(path: str | FilePath) -> RoadNetwork:
+    """Read a road network from a JSON file produced by :func:`save_network`."""
+    path = FilePath(path)
+    if not path.exists():
+        raise DataError(f"network file not found: {path}")
+    with path.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return network_from_dict(payload)

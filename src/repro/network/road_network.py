@@ -1,0 +1,289 @@
+"""Directed road-network graphs with geometry.
+
+A road network is a directed graph ``G = (V, E)`` where vertices are road
+intersections (with planar coordinates) and edges are directed road segments
+(with a length and a speed limit).  The uncertain models of the paper — the
+edge-centric EDGE graph and the path-centric PACE graph — attach cost
+distributions on top of this structural layer (see :mod:`repro.core`).
+
+The class is intentionally self-contained (adjacency dictionaries, no
+third-party graph library) so that the routing algorithms in
+:mod:`repro.routing` control exactly what is traversed and how.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.core.errors import GraphError, PathError, UnknownEdgeError, UnknownVertexError
+from repro.core.paths import Path
+
+__all__ = ["Vertex", "RoadSegment", "RoadNetwork"]
+
+
+@dataclass(frozen=True)
+class Vertex:
+    """A road intersection (or dead end) with planar coordinates in metres."""
+
+    vertex_id: int
+    x: float
+    y: float
+
+    def distance_to(self, other: "Vertex") -> float:
+        """Euclidean distance in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+@dataclass(frozen=True)
+class RoadSegment:
+    """A directed road segment between two intersections.
+
+    ``length`` is in metres and ``speed_limit`` in km/h; together they give
+    the free-flow travel time used to derive deterministic costs for edges
+    with no trajectory coverage (as the paper does for small roads).
+    """
+
+    edge_id: int
+    source: int
+    target: int
+    length: float
+    speed_limit: float = 50.0
+
+    def free_flow_time(self) -> float:
+        """The minimum travel time in seconds at the speed limit."""
+        if self.speed_limit <= 0:
+            raise GraphError(f"edge {self.edge_id} has a non-positive speed limit")
+        return self.length / (self.speed_limit / 3.6)
+
+
+class RoadNetwork:
+    """A directed road network with geometry and constant-time adjacency lookups."""
+
+    def __init__(self, name: str = "road-network"):
+        self.name = name
+        self._vertices: dict[int, Vertex] = {}
+        self._edges: dict[int, RoadSegment] = {}
+        self._out: dict[int, list[int]] = {}
+        self._in: dict[int, list[int]] = {}
+        self._by_endpoints: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_vertex(self, vertex_id: int, x: float = 0.0, y: float = 0.0) -> Vertex:
+        """Add (or replace) a vertex and return it."""
+        vertex = Vertex(int(vertex_id), float(x), float(y))
+        self._vertices[vertex.vertex_id] = vertex
+        self._out.setdefault(vertex.vertex_id, [])
+        self._in.setdefault(vertex.vertex_id, [])
+        return vertex
+
+    def add_edge(
+        self,
+        source: int,
+        target: int,
+        *,
+        edge_id: int | None = None,
+        length: float | None = None,
+        speed_limit: float = 50.0,
+    ) -> RoadSegment:
+        """Add a directed road segment from ``source`` to ``target``.
+
+        ``length`` defaults to the Euclidean distance between the endpoints.
+        Parallel edges between the same pair of vertices are not supported.
+        """
+        if source not in self._vertices:
+            raise UnknownVertexError(f"unknown source vertex {source}")
+        if target not in self._vertices:
+            raise UnknownVertexError(f"unknown target vertex {target}")
+        if source == target:
+            raise GraphError("self-loop edges are not supported")
+        if (source, target) in self._by_endpoints:
+            raise GraphError(f"edge from {source} to {target} already exists")
+        if edge_id is None:
+            edge_id = len(self._edges)
+        if edge_id in self._edges:
+            raise GraphError(f"edge id {edge_id} already exists")
+        if length is None:
+            length = self._vertices[source].distance_to(self._vertices[target])
+        if length <= 0:
+            raise GraphError(f"edge length must be positive, got {length!r}")
+        segment = RoadSegment(int(edge_id), int(source), int(target), float(length), float(speed_limit))
+        self._edges[segment.edge_id] = segment
+        self._out[source].append(segment.edge_id)
+        self._in[target].append(segment.edge_id)
+        self._by_endpoints[(source, target)] = segment.edge_id
+        return segment
+
+    # ------------------------------------------------------------------ #
+    # Lookups
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over all vertices."""
+        return iter(self._vertices.values())
+
+    def vertex_ids(self) -> Iterator[int]:
+        """Iterate over all vertex ids."""
+        return iter(self._vertices.keys())
+
+    def edges(self) -> Iterator[RoadSegment]:
+        """Iterate over all road segments."""
+        return iter(self._edges.values())
+
+    def edge_ids(self) -> Iterator[int]:
+        """Iterate over all edge ids."""
+        return iter(self._edges.keys())
+
+    def has_vertex(self, vertex_id: int) -> bool:
+        return vertex_id in self._vertices
+
+    def has_edge(self, edge_id: int) -> bool:
+        return edge_id in self._edges
+
+    def vertex(self, vertex_id: int) -> Vertex:
+        """The vertex with the given id."""
+        try:
+            return self._vertices[vertex_id]
+        except KeyError as exc:
+            raise UnknownVertexError(f"unknown vertex {vertex_id}") from exc
+
+    def edge(self, edge_id: int) -> RoadSegment:
+        """The road segment with the given edge id."""
+        try:
+            return self._edges[edge_id]
+        except KeyError as exc:
+            raise UnknownEdgeError(f"unknown edge {edge_id}") from exc
+
+    def edge_between(self, source: int, target: int) -> RoadSegment:
+        """The road segment from ``source`` to ``target``."""
+        try:
+            return self._edges[self._by_endpoints[(source, target)]]
+        except KeyError as exc:
+            raise UnknownEdgeError(f"no edge from {source} to {target}") from exc
+
+    def has_edge_between(self, source: int, target: int) -> bool:
+        return (source, target) in self._by_endpoints
+
+    def out_edges(self, vertex_id: int) -> list[RoadSegment]:
+        """Outgoing road segments of a vertex."""
+        if vertex_id not in self._vertices:
+            raise UnknownVertexError(f"unknown vertex {vertex_id}")
+        return [self._edges[e] for e in self._out[vertex_id]]
+
+    def in_edges(self, vertex_id: int) -> list[RoadSegment]:
+        """Incoming road segments of a vertex."""
+        if vertex_id not in self._vertices:
+            raise UnknownVertexError(f"unknown vertex {vertex_id}")
+        return [self._edges[e] for e in self._in[vertex_id]]
+
+    def out_degree(self, vertex_id: int) -> int:
+        return len(self._out.get(vertex_id, []))
+
+    def in_degree(self, vertex_id: int) -> int:
+        return len(self._in.get(vertex_id, []))
+
+    def neighbours(self, vertex_id: int) -> list[int]:
+        """Vertices reachable from ``vertex_id`` by a single edge."""
+        return [self._edges[e].target for e in self._out.get(vertex_id, [])]
+
+    def euclidean_distance(self, a: int, b: int) -> float:
+        """Euclidean distance in metres between two vertices."""
+        return self.vertex(a).distance_to(self.vertex(b))
+
+    def max_speed_limit(self) -> float:
+        """The largest speed limit in the network (used by the T-B-EU heuristic)."""
+        if not self._edges:
+            raise GraphError("the network has no edges")
+        return max(edge.speed_limit for edge in self._edges.values())
+
+    # ------------------------------------------------------------------ #
+    # Paths
+    # ------------------------------------------------------------------ #
+    def path_from_edge_ids(self, edge_ids: Sequence[int]) -> Path:
+        """Build a :class:`~repro.core.paths.Path` from consecutive edge ids."""
+        if not edge_ids:
+            raise PathError("a path needs at least one edge")
+        segments = [self.edge(e) for e in edge_ids]
+        vertices = [segments[0].source]
+        for previous, current in zip(segments, segments[1:]):
+            if previous.target != current.source:
+                raise PathError(
+                    f"edges {previous.edge_id} and {current.edge_id} are not adjacent"
+                )
+        for segment in segments:
+            vertices.append(segment.target)
+        return Path([s.edge_id for s in segments], vertices)
+
+    def path_from_vertex_ids(self, vertex_ids: Sequence[int]) -> Path:
+        """Build a :class:`~repro.core.paths.Path` from a vertex sequence."""
+        if len(vertex_ids) < 2:
+            raise PathError("a path needs at least two vertices")
+        edge_ids = []
+        for a, b in zip(vertex_ids, vertex_ids[1:]):
+            edge_ids.append(self.edge_between(a, b).edge_id)
+        return Path(edge_ids, list(vertex_ids))
+
+    def path_length(self, path: Path) -> float:
+        """The total length in metres of a path."""
+        return sum(self.edge(e).length for e in path.edges)
+
+    def path_free_flow_time(self, path: Path) -> float:
+        """The total free-flow travel time in seconds of a path."""
+        return sum(self.edge(e).free_flow_time() for e in path.edges)
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+    def reversed(self) -> "RoadNetwork":
+        """A copy of the network with every edge direction flipped.
+
+        Edge ids are preserved, so paths in the reversed network can be mapped
+        back to the original; this is the structural part of the reversed
+        graph ``G_p_rev`` used when building heuristics.
+        """
+        reversed_network = RoadNetwork(name=f"{self.name}-reversed")
+        for vertex in self.vertices():
+            reversed_network.add_vertex(vertex.vertex_id, vertex.x, vertex.y)
+        for edge in self.edges():
+            reversed_network.add_edge(
+                edge.target,
+                edge.source,
+                edge_id=edge.edge_id,
+                length=edge.length,
+                speed_limit=edge.speed_limit,
+            )
+        return reversed_network
+
+    def subgraph(self, vertex_ids: Iterable[int]) -> "RoadNetwork":
+        """The induced subgraph over the given vertices (edge ids preserved)."""
+        keep = set(vertex_ids)
+        sub = RoadNetwork(name=f"{self.name}-subgraph")
+        for vertex_id in keep:
+            vertex = self.vertex(vertex_id)
+            sub.add_vertex(vertex.vertex_id, vertex.x, vertex.y)
+        for edge in self.edges():
+            if edge.source in keep and edge.target in keep:
+                sub.add_edge(
+                    edge.source,
+                    edge.target,
+                    edge_id=edge.edge_id,
+                    length=edge.length,
+                    speed_limit=edge.speed_limit,
+                )
+        return sub
+
+    def __repr__(self) -> str:
+        return (
+            f"RoadNetwork(name={self.name!r}, vertices={self.num_vertices}, "
+            f"edges={self.num_edges})"
+        )

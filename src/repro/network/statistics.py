@@ -1,0 +1,79 @@
+"""Descriptive statistics of road networks and trajectory sets (Table 7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.network.road_network import RoadNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance for type checkers only
+    from repro.trajectories.model import Trajectory
+
+__all__ = ["NetworkStatistics", "compute_statistics"]
+
+
+@dataclass(frozen=True)
+class NetworkStatistics:
+    """The per-dataset statistics the paper reports in Table 7."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    avg_vertex_degree: float
+    avg_edge_length: float
+    num_trajectories: int
+    avg_vertices_per_trajectory: float
+    edge_coverage: float
+
+    def as_rows(self) -> list[tuple[str, str]]:
+        """Rows in the same order as Table 7 (plus edge coverage, quoted in the text)."""
+        return [
+            ("Number of vertices", f"{self.num_vertices:,}"),
+            ("Number of edges", f"{self.num_edges:,}"),
+            ("AVG vertex degree", f"{self.avg_vertex_degree:.2f}"),
+            ("AVG edge length (m)", f"{self.avg_edge_length:.2f}"),
+            ("Number of traj.", f"{self.num_trajectories:,}"),
+            ("AVG number of vertices per traj.", f"{self.avg_vertices_per_trajectory:.2f}"),
+            ("Edge coverage by traj.", f"{self.edge_coverage:.1%}"),
+        ]
+
+
+def compute_statistics(
+    network: RoadNetwork,
+    trajectories: "list[Trajectory] | None" = None,
+    *,
+    name: str | None = None,
+) -> NetworkStatistics:
+    """Compute Table 7-style statistics for a network and optional trajectory set.
+
+    The average vertex degree follows the paper's convention of counting
+    outgoing edges per vertex (a two-way street contributes one outgoing edge
+    at each endpoint).
+    """
+    num_vertices = network.num_vertices
+    num_edges = network.num_edges
+    avg_degree = num_edges / num_vertices if num_vertices else 0.0
+    avg_length = (
+        sum(edge.length for edge in network.edges()) / num_edges if num_edges else 0.0
+    )
+
+    trajectories = trajectories or []
+    covered_edges: set[int] = set()
+    total_vertices = 0
+    for trajectory in trajectories:
+        covered_edges.update(trajectory.path.edges)
+        total_vertices += len(trajectory.path.vertices)
+    avg_traj_vertices = total_vertices / len(trajectories) if trajectories else 0.0
+    coverage = len(covered_edges) / num_edges if num_edges else 0.0
+
+    return NetworkStatistics(
+        name=name or network.name,
+        num_vertices=num_vertices,
+        num_edges=num_edges,
+        avg_vertex_degree=avg_degree,
+        avg_edge_length=avg_length,
+        num_trajectories=len(trajectories),
+        avg_vertices_per_trajectory=avg_traj_vertices,
+        edge_coverage=coverage,
+    )

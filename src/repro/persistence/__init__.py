@@ -1,0 +1,34 @@
+"""Persistence of offline artefacts: the routable index and pre-computed heuristics."""
+
+from repro.persistence.codecs import (
+    distribution_from_dict,
+    distribution_to_dict,
+    joint_from_dict,
+    joint_to_dict,
+)
+from repro.persistence.heuristics import (
+    binary_heuristic_from_dict,
+    binary_heuristic_to_dict,
+    heuristic_table_from_dict,
+    heuristic_table_to_dict,
+    load_heuristic_table,
+    save_heuristic_table,
+)
+from repro.persistence.index import index_from_dict, index_to_dict, load_index, save_index
+
+__all__ = [
+    "distribution_to_dict",
+    "distribution_from_dict",
+    "joint_to_dict",
+    "joint_from_dict",
+    "index_to_dict",
+    "index_from_dict",
+    "save_index",
+    "load_index",
+    "binary_heuristic_to_dict",
+    "binary_heuristic_from_dict",
+    "heuristic_table_to_dict",
+    "heuristic_table_from_dict",
+    "save_heuristic_table",
+    "load_heuristic_table",
+]

@@ -1,0 +1,65 @@
+"""JSON codecs for distributions and joint distributions.
+
+The offline/online split of the paper only pays off if the offline artefacts
+(the PACE graph, the V-paths, the heuristic tables) can be stored and loaded
+by the online routing service.  This module provides the low-level codecs for
+the probabilistic values; :mod:`repro.persistence.index` and
+:mod:`repro.persistence.heuristics` build the document formats on top.
+
+All formats are plain JSON-serialisable dictionaries: human-inspectable,
+diff-able and free of pickle's code-execution hazards.
+"""
+
+from __future__ import annotations
+
+from repro.core.distributions import Distribution
+from repro.core.errors import DataError
+from repro.core.joint import JointDistribution
+
+__all__ = [
+    "distribution_to_dict",
+    "distribution_from_dict",
+    "joint_to_dict",
+    "joint_from_dict",
+]
+
+
+def distribution_to_dict(distribution: Distribution) -> dict:
+    """Encode a cost distribution as ``{"costs": [...], "probabilities": [...]}``."""
+    return {
+        "costs": list(distribution.support),
+        "probabilities": list(distribution.probabilities),
+    }
+
+
+def distribution_from_dict(payload: dict) -> Distribution:
+    """Decode a distribution encoded by :func:`distribution_to_dict`."""
+    try:
+        costs = payload["costs"]
+        probabilities = payload["probabilities"]
+    except (KeyError, TypeError) as exc:
+        raise DataError(f"malformed distribution payload: {payload!r}") from exc
+    if len(costs) != len(probabilities):
+        raise DataError("distribution payload has mismatched costs/probabilities lengths")
+    return Distribution(zip(costs, probabilities), normalise=True)
+
+
+def joint_to_dict(joint: JointDistribution) -> dict:
+    """Encode a joint distribution as edge ids plus (cost-vector, probability) outcomes."""
+    return {
+        "edge_ids": list(joint.edge_ids),
+        "outcomes": [
+            {"costs": list(costs), "probability": probability} for costs, probability in joint.items()
+        ],
+    }
+
+
+def joint_from_dict(payload: dict) -> JointDistribution:
+    """Decode a joint distribution encoded by :func:`joint_to_dict`."""
+    try:
+        edge_ids = payload["edge_ids"]
+        outcomes = payload["outcomes"]
+        pmf = {tuple(entry["costs"]): entry["probability"] for entry in outcomes}
+    except (KeyError, TypeError) as exc:
+        raise DataError(f"malformed joint distribution payload: {payload!r}") from exc
+    return JointDistribution(edge_ids, pmf, normalise=True)

@@ -1,0 +1,104 @@
+"""Persistence of pre-computed heuristics.
+
+The heuristics are destination-specific and, at city scale, constitute the
+bulk of the offline investment the paper trades for fast online routing
+(Tables 8–10).  This module serialises them so a routing service can load the
+tables for its hot destinations instead of rebuilding them:
+
+* binary heuristics — the per-vertex ``getMin`` map, and
+* budget-specific heuristics — the compressed heuristic table (``l``/``s``
+  bounds and the cells in between) plus the ``getMin`` map used for budget
+  pruning.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path as FilePath
+
+from repro.core.errors import DataError
+from repro.heuristics.binary import BinaryHeuristic
+from repro.heuristics.budget import BudgetSpecificHeuristic
+from repro.heuristics.tables import HeuristicRow, HeuristicTable
+
+__all__ = [
+    "binary_heuristic_to_dict",
+    "binary_heuristic_from_dict",
+    "heuristic_table_to_dict",
+    "heuristic_table_from_dict",
+    "save_heuristic_table",
+    "load_heuristic_table",
+]
+
+_FORMAT_VERSION = 1
+
+
+def binary_heuristic_to_dict(heuristic: BinaryHeuristic) -> dict:
+    """Serialise a binary heuristic (its destination and per-vertex getMin values)."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "destination": heuristic.destination,
+        "min_costs": {str(vertex): value for vertex, value in heuristic.min_cost_map().items()},
+    }
+
+
+def binary_heuristic_from_dict(payload: dict) -> BinaryHeuristic:
+    """Rebuild a binary heuristic from :func:`binary_heuristic_to_dict` output."""
+    try:
+        destination = payload["destination"]
+        min_costs = {int(vertex): float(value) for vertex, value in payload["min_costs"].items()}
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataError(f"malformed binary heuristic payload: {exc}") from exc
+    return BinaryHeuristic(destination, min_costs)
+
+
+def heuristic_table_to_dict(source: HeuristicTable | BudgetSpecificHeuristic) -> dict:
+    """Serialise a heuristic table (accepts the table or the full heuristic)."""
+    table = source.table if isinstance(source, BudgetSpecificHeuristic) else source
+    return {
+        "format_version": _FORMAT_VERSION,
+        "destination": table.destination,
+        "delta": table.delta,
+        "eta": table.eta,
+        "rows": {
+            str(vertex): {"first_index": row.first_index, "values": list(row.values)}
+            for vertex, row in table.rows.items()
+        },
+    }
+
+
+def heuristic_table_from_dict(payload: dict) -> HeuristicTable:
+    """Rebuild a heuristic table from :func:`heuristic_table_to_dict` output."""
+    try:
+        if payload["format_version"] != _FORMAT_VERSION:
+            raise DataError(f"unsupported heuristic format version {payload['format_version']!r}")
+        table = HeuristicTable(
+            destination=payload["destination"], delta=payload["delta"], eta=payload["eta"]
+        )
+        for vertex, row in payload["rows"].items():
+            table.set_row(
+                int(vertex),
+                HeuristicRow(first_index=row["first_index"], values=tuple(row["values"])),
+            )
+    except (KeyError, TypeError) as exc:
+        raise DataError(f"malformed heuristic table payload: {exc}") from exc
+    return table
+
+
+def save_heuristic_table(
+    source: HeuristicTable | BudgetSpecificHeuristic, path: str | FilePath
+) -> None:
+    """Write a heuristic table to a JSON file."""
+    path = FilePath(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(heuristic_table_to_dict(source), handle)
+
+
+def load_heuristic_table(path: str | FilePath) -> HeuristicTable:
+    """Read a heuristic table written by :func:`save_heuristic_table`."""
+    path = FilePath(path)
+    if not path.exists():
+        raise DataError(f"heuristic table file not found: {path}")
+    with path.open("r", encoding="utf-8") as handle:
+        return heuristic_table_from_dict(json.load(handle))

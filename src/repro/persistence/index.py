@@ -1,0 +1,120 @@
+"""Persistence of the routable index: PACE graph and V-paths.
+
+A deployment builds the index offline (T-path mining on the trajectory
+warehouse, V-path closure) and ships it to the routing service.  This module
+serialises exactly that artefact:
+
+* the road network (delegated to :mod:`repro.network.io`),
+* the edge weight function ``W`` on ``E``,
+* every T-path with its joint distribution, and
+* every V-path with its pre-assembled total-cost distribution.
+
+The document is a single JSON object; :func:`save_index` / :func:`load_index`
+read and write it on disk.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path as FilePath
+
+from repro.core.edge_graph import EdgeGraph
+from repro.core.elements import ElementKind, WeightedElement
+from repro.core.errors import DataError
+from repro.core.pace_graph import PaceGraph
+from repro.network.io import network_from_dict, network_to_dict
+from repro.persistence.codecs import (
+    distribution_from_dict,
+    distribution_to_dict,
+    joint_from_dict,
+    joint_to_dict,
+)
+from repro.vpaths.updated_graph import UpdatedPaceGraph
+
+__all__ = ["index_to_dict", "index_from_dict", "save_index", "load_index"]
+
+_FORMAT_VERSION = 1
+
+
+def index_to_dict(graph: PaceGraph | UpdatedPaceGraph) -> dict:
+    """Serialise a PACE graph (optionally with its V-paths) to a JSON-ready dictionary."""
+    if isinstance(graph, UpdatedPaceGraph):
+        pace = graph.pace_graph
+        vpaths = list(graph.vpaths())
+    else:
+        pace = graph
+        vpaths = []
+    return {
+        "format_version": _FORMAT_VERSION,
+        "tau": pace.tau,
+        "network": network_to_dict(pace.network),
+        "edge_weights": {
+            str(edge_id): distribution_to_dict(distribution)
+            for edge_id, distribution in pace.edge_graph.weights().items()
+        },
+        "tpaths": [
+            {
+                "edge_ids": list(tpath.path.edges),
+                "support": tpath.support,
+                "joint": joint_to_dict(tpath.joint),
+            }
+            for tpath in pace.tpaths()
+        ],
+        "vpaths": [
+            {
+                "edge_ids": list(vpath.path.edges),
+                "distribution": distribution_to_dict(vpath.distribution),
+            }
+            for vpath in vpaths
+        ],
+    }
+
+
+def index_from_dict(payload: dict) -> UpdatedPaceGraph:
+    """Rebuild the routable index from :func:`index_to_dict` output.
+
+    Always returns an :class:`~repro.vpaths.updated_graph.UpdatedPaceGraph`;
+    when the document contains no V-paths the updated graph simply has none,
+    and its ``pace_graph`` attribute gives the plain PACE view.
+    """
+    try:
+        if payload["format_version"] != _FORMAT_VERSION:
+            raise DataError(f"unsupported index format version {payload['format_version']!r}")
+        network = network_from_dict(payload["network"])
+        weights = {
+            int(edge_id): distribution_from_dict(encoded)
+            for edge_id, encoded in payload["edge_weights"].items()
+        }
+        edge_graph = EdgeGraph(network, weights)
+        pace = PaceGraph(edge_graph, tau=payload["tau"])
+        for entry in payload["tpaths"]:
+            path = network.path_from_edge_ids(entry["edge_ids"])
+            pace.add_tpath(path, joint_from_dict(entry["joint"]), support=entry.get("support", 0))
+        vpaths = {}
+        for entry in payload["vpaths"]:
+            path = network.path_from_edge_ids(entry["edge_ids"])
+            vpaths[path.edges] = WeightedElement(
+                kind=ElementKind.VPATH,
+                path=path,
+                distribution=distribution_from_dict(entry["distribution"]),
+            )
+    except (KeyError, TypeError) as exc:
+        raise DataError(f"malformed index payload, missing key {exc}") from exc
+    return UpdatedPaceGraph(pace, vpaths)
+
+
+def save_index(graph: PaceGraph | UpdatedPaceGraph, path: str | FilePath) -> None:
+    """Write the index to a JSON file."""
+    path = FilePath(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(index_to_dict(graph), handle)
+
+
+def load_index(path: str | FilePath) -> UpdatedPaceGraph:
+    """Read an index written by :func:`save_index`."""
+    path = FilePath(path)
+    if not path.exists():
+        raise DataError(f"index file not found: {path}")
+    with path.open("r", encoding="utf-8") as handle:
+        return index_from_dict(json.load(handle))

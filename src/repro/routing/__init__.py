@@ -1,0 +1,33 @@
+"""Stochastic routing algorithms: baselines, heuristic-guided PACE routing and V-path routing."""
+
+from repro.routing.dijkstra import (
+    free_flow_costs,
+    shortest_path,
+    shortest_path_cost,
+    single_source_costs,
+)
+from repro.routing.dominance import DominancePruner
+from repro.routing.engine import METHOD_NAMES, RouterSettings, create_router
+from repro.routing.naive import NaivePaceRouter, NaiveRouterConfig
+from repro.routing.queries import RoutingQuery, RoutingResult
+from repro.routing.tpath_routing import HeuristicPaceRouter, HeuristicRouterConfig
+from repro.routing.vpath_routing import VPathRouter, VPathRouterConfig
+
+__all__ = [
+    "RoutingQuery",
+    "RoutingResult",
+    "NaivePaceRouter",
+    "NaiveRouterConfig",
+    "HeuristicPaceRouter",
+    "HeuristicRouterConfig",
+    "VPathRouter",
+    "VPathRouterConfig",
+    "DominancePruner",
+    "create_router",
+    "RouterSettings",
+    "METHOD_NAMES",
+    "shortest_path",
+    "shortest_path_cost",
+    "single_source_costs",
+    "free_flow_costs",
+]

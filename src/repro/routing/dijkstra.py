@@ -1,0 +1,21 @@
+"""Deterministic shortest-path utilities (re-exported).
+
+The implementations live in :mod:`repro.network.algorithms` so that lower
+layers (heuristics, trajectory generation) can use them without importing the
+routing package; this module re-exports them under the routing namespace for
+convenience.
+"""
+
+from repro.network.algorithms import (
+    free_flow_costs,
+    shortest_path,
+    shortest_path_cost,
+    single_source_costs,
+)
+
+__all__ = [
+    "single_source_costs",
+    "shortest_path",
+    "shortest_path_cost",
+    "free_flow_costs",
+]

@@ -1,0 +1,73 @@
+"""Stochastic-dominance pruning of candidate paths.
+
+Two candidate paths that reach the same intermediate vertex are comparable by
+first-order stochastic dominance of their cost distributions: if one is
+uniformly more likely to be cheap, the other can never end up with a higher
+arrival probability once both are extended by the *same* independent
+remainder, and may be pruned (Section 1 and Section 4.2).
+
+The rule requires the remainder's cost to be independent of the candidate's
+cost — which holds in the EDGE model and, thanks to V-paths, in the updated
+PACE graph (Lemma 4.1), but not in the plain PACE model.  The routing
+algorithms therefore only instantiate this pruner where it is sound.
+"""
+
+from __future__ import annotations
+
+from repro.core.distributions import Distribution
+
+__all__ = ["DominancePruner"]
+
+
+class DominancePruner:
+    """Tracks, per frontier vertex, the cost distributions of live candidates."""
+
+    def __init__(self) -> None:
+        self._frontier: dict[int, list[tuple[int, Distribution]]] = {}
+        self._pruned: set[int] = set()
+        self._checks = 0
+        self._prunes = 0
+
+    @property
+    def checks(self) -> int:
+        """Number of pairwise dominance checks performed."""
+        return self._checks
+
+    @property
+    def prunes(self) -> int:
+        """Number of candidates discarded by dominance."""
+        return self._prunes
+
+    def is_pruned(self, candidate_id: int) -> bool:
+        """True when a previously admitted candidate has since been dominated."""
+        return candidate_id in self._pruned
+
+    def admit(self, candidate_id: int, vertex: int, distribution: Distribution) -> bool:
+        """Try to admit a new candidate that currently ends at ``vertex``.
+
+        Returns ``False`` (and counts a prune) when an existing live candidate
+        at the same vertex stochastically dominates the new one.  Existing
+        candidates dominated by the new one are marked pruned so the routing
+        loop can skip them when they surface from its priority queue.
+        """
+        live = [
+            (other_id, other)
+            for other_id, other in self._frontier.get(vertex, [])
+            if other_id not in self._pruned
+        ]
+        for other_id, other in live:
+            self._checks += 1
+            if other.stochastically_dominates(distribution):
+                self._prunes += 1
+                return False
+        survivors = []
+        for other_id, other in live:
+            self._checks += 1
+            if distribution.stochastically_dominates(other, strict=True):
+                self._pruned.add(other_id)
+                self._prunes += 1
+            else:
+                survivors.append((other_id, other))
+        survivors.append((candidate_id, distribution))
+        self._frontier[vertex] = survivors
+        return True

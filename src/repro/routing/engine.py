@@ -1,0 +1,165 @@
+"""Router factory: build any of the paper's named routing methods.
+
+The experiments compare a fixed palette of methods (Section 5.1):
+
+========  =======================================================================
+Name      Meaning
+========  =======================================================================
+T-None    Algorithm 1 — plain PACE routing, no heuristic, no V-paths
+T-B-EU    Binary heuristic from Euclidean distance / maximum speed
+T-B-E     Binary heuristic from an edges-only reverse shortest-path tree
+T-B-P     Binary heuristic from the Algorithm 2 tree over edges and T-paths
+T-BS-δ    Budget-specific heuristic table with granularity δ (e.g. ``T-BS-60``)
+V-None    Algorithm 5 graph (with V-paths) but no heuristic
+V-B-P     V-path routing guided by the T-B-P binary heuristic
+V-BS-δ    V-path routing guided by the budget-specific heuristic
+========  =======================================================================
+
+:func:`create_router` maps those names onto configured router instances so the
+evaluation harness, the examples and user code all build methods the same way.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+from repro.core.pace_graph import PaceGraph
+from repro.heuristics.base import Heuristic
+from repro.heuristics.binary import (
+    EdgeOnlyBinaryHeuristic,
+    EuclideanBinaryHeuristic,
+    PaceBinaryHeuristic,
+)
+from repro.heuristics.budget import BudgetHeuristicConfig, BudgetSpecificHeuristic
+from repro.routing.naive import NaivePaceRouter, NaiveRouterConfig
+from repro.routing.tpath_routing import HeuristicPaceRouter, HeuristicRouterConfig
+from repro.routing.vpath_routing import VPathRouter, VPathRouterConfig
+from repro.vpaths.updated_graph import UpdatedPaceGraph
+
+__all__ = ["RouterSettings", "METHOD_NAMES", "create_router"]
+
+#: The method names used throughout the evaluation (δ = 60 written explicitly).
+METHOD_NAMES = (
+    "T-None",
+    "T-B-EU",
+    "T-B-E",
+    "T-B-P",
+    "T-BS-60",
+    "V-None",
+    "V-B-P",
+    "V-BS-60",
+)
+
+_BUDGET_PATTERN = re.compile(r"^(T|V)-BS-(\d+)$")
+
+
+@dataclass(frozen=True)
+class RouterSettings:
+    """Cross-cutting knobs shared by every router built by :func:`create_router`."""
+
+    max_support: int = 64
+    max_explored: int = 100000
+    max_budget: float = 5000.0
+    heuristic_sweeps: int = 2
+
+    def naive(self) -> NaiveRouterConfig:
+        return NaiveRouterConfig(max_support=self.max_support, max_explored=self.max_explored)
+
+    def heuristic(self) -> HeuristicRouterConfig:
+        return HeuristicRouterConfig(max_support=self.max_support, max_explored=self.max_explored)
+
+    def vpath(self, *, use_dominance: bool = True) -> VPathRouterConfig:
+        return VPathRouterConfig(
+            max_support=self.max_support,
+            max_explored=self.max_explored,
+            use_dominance=use_dominance,
+        )
+
+    def budget_config(self, delta: float) -> BudgetHeuristicConfig:
+        return BudgetHeuristicConfig(
+            delta=delta,
+            max_budget=max(self.max_budget, delta),
+            sweeps=self.heuristic_sweeps,
+        )
+
+
+def _binary_factory(kind: str, settings: RouterSettings):
+    def factory(graph, destination: int) -> Heuristic:
+        pace_graph = graph.pace_graph if isinstance(graph, UpdatedPaceGraph) else graph
+        if kind == "EU":
+            return EuclideanBinaryHeuristic(pace_graph.network, destination)
+        if kind == "E":
+            return EdgeOnlyBinaryHeuristic(pace_graph, destination)
+        return PaceBinaryHeuristic(pace_graph, destination)
+
+    return factory
+
+
+def _budget_factory(delta: float, settings: RouterSettings):
+    def factory(graph, destination: int) -> Heuristic:
+        return BudgetSpecificHeuristic(graph, destination, settings.budget_config(delta))
+
+    return factory
+
+
+def create_router(
+    method: str,
+    pace_graph: PaceGraph,
+    updated_graph: UpdatedPaceGraph | None = None,
+    *,
+    settings: RouterSettings | None = None,
+):
+    """Build the router implementing ``method``.
+
+    ``updated_graph`` (the V-path closure of ``pace_graph``) is required for
+    the ``V-*`` methods and ignored otherwise.
+    """
+    settings = settings or RouterSettings()
+    if method == "T-None":
+        return NaivePaceRouter(pace_graph, settings.naive())
+
+    if method in ("T-B-EU", "T-B-E", "T-B-P"):
+        kind = method.rsplit("-", 1)[-1]
+        return HeuristicPaceRouter(
+            pace_graph,
+            _binary_factory(kind, settings),
+            method_name=method,
+            config=settings.heuristic(),
+        )
+
+    budget_match = _BUDGET_PATTERN.match(method)
+    if budget_match and budget_match.group(1) == "T":
+        delta = float(budget_match.group(2))
+        return HeuristicPaceRouter(
+            pace_graph,
+            _budget_factory(delta, settings),
+            method_name=method,
+            config=settings.heuristic(),
+        )
+
+    if method.startswith("V-"):
+        if updated_graph is None:
+            raise ConfigurationError(f"method {method!r} needs the updated PACE graph (V-paths)")
+        if method == "V-None":
+            return VPathRouter(
+                updated_graph, None, method_name=method, config=settings.vpath()
+            )
+        if method == "V-B-P":
+            return VPathRouter(
+                updated_graph,
+                _binary_factory("P", settings),
+                method_name=method,
+                config=settings.vpath(),
+            )
+        if budget_match and budget_match.group(1) == "V":
+            delta = float(budget_match.group(2))
+            return VPathRouter(
+                updated_graph,
+                _budget_factory(delta, settings),
+                method_name=method,
+                config=settings.vpath(),
+            )
+
+    raise ConfigurationError(f"unknown routing method {method!r}")

@@ -1,0 +1,145 @@
+"""Heuristic-guided stochastic routing on the plain PACE graph (T-B-*, T-BS-δ).
+
+These routers keep the PACE cost semantics (candidate distributions are
+evaluated through the coarsest T-path assembly), but order and prune the
+exploration with an admissible heuristic:
+
+* candidates are prioritised by ``maxProb`` (Eq. 3) — the probability of the
+  candidate itself combined with the heuristic's bound on the remaining
+  travel,
+* candidates whose minimum cost plus ``getMin`` of their end vertex exceeds
+  the budget are discarded, and
+* the search stops as soon as the most promising candidate already ends at
+  the destination (admissibility makes this safe).
+
+Stochastic-dominance pruning is *not* used here: without V-paths it is
+unsound in PACE (Section 2.3).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+from repro.core.pace_graph import PaceGraph
+from repro.heuristics.base import Heuristic, max_prob
+from repro.routing.queries import RoutingQuery, RoutingResult
+
+__all__ = ["HeuristicRouterConfig", "HeuristicPaceRouter"]
+
+HeuristicFactory = Callable[[PaceGraph, int], Heuristic]
+
+
+@dataclass(frozen=True)
+class HeuristicRouterConfig:
+    """Limits and knobs of the heuristic-guided PACE router."""
+
+    max_support: int = 64
+    max_explored: int = 100000
+
+    def validate(self) -> None:
+        if self.max_support < 1:
+            raise ConfigurationError("max_support must be positive")
+        if self.max_explored < 1:
+            raise ConfigurationError("max_explored must be positive")
+
+
+class HeuristicPaceRouter:
+    """Best-first PACE routing guided by an admissible heuristic."""
+
+    def __init__(
+        self,
+        pace_graph: PaceGraph,
+        heuristic_factory: HeuristicFactory,
+        *,
+        method_name: str,
+        config: HeuristicRouterConfig | None = None,
+    ):
+        self._graph = pace_graph
+        self._factory = heuristic_factory
+        self.method_name = method_name
+        self._config = config or HeuristicRouterConfig()
+        self._config.validate()
+        self._heuristics: dict[int, Heuristic] = {}
+
+    # ------------------------------------------------------------------ #
+    # Heuristic management
+    # ------------------------------------------------------------------ #
+    def heuristic_for(self, destination: int) -> Heuristic:
+        """The (cached) destination-specific heuristic.
+
+        Heuristics are destination-specific pre-computations (Section 3); the
+        router keeps one per destination so repeated queries to the same
+        destination — the scenario the paper's offline/online split targets —
+        do not pay the construction cost again.
+        """
+        if destination not in self._heuristics:
+            self._heuristics[destination] = self._factory(self._graph, destination)
+        return self._heuristics[destination]
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def route(self, query: RoutingQuery) -> RoutingResult:
+        """Evaluate one arriving-on-time query."""
+        start = time.perf_counter()
+        graph = self._graph
+        budget = query.budget
+        heuristic = self.heuristic_for(query.destination)
+        explored = 0
+        counter = 0
+        heap: list[tuple[float, int, object]] = []
+
+        for element in graph.outgoing_elements(query.source):
+            path = element.path
+            if not path.is_simple():
+                continue
+            distribution = element.distribution
+            if distribution.min() + heuristic.min_cost(path.target) > budget:
+                continue
+            priority = max_prob(distribution, heuristic, path.target, budget)
+            if priority <= 0:
+                continue
+            counter += 1
+            heapq.heappush(heap, (-priority, counter, (path, distribution)))
+
+        best_path = None
+        best_prob = 0.0
+        best_distribution = None
+        while heap and explored < self._config.max_explored:
+            negative_priority, _, (path, distribution) = heapq.heappop(heap)
+            explored += 1
+            if path.target == query.destination:
+                # Admissible priorities: nothing left in the queue can beat this path.
+                best_path = path
+                best_prob = distribution.prob_at_most(budget)
+                best_distribution = distribution
+                break
+            for element in graph.outgoing_elements(path.target):
+                if any(path.visits(v) for v in element.path.vertices[1:]):
+                    continue
+                new_path = path.concat(element.path)
+                lower_bound = graph.path_min_cost(new_path) + heuristic.min_cost(new_path.target)
+                if lower_bound > budget:
+                    continue
+                new_distribution = graph.path_cost_distribution(
+                    new_path, max_support=self._config.max_support
+                )
+                priority = max_prob(new_distribution, heuristic, new_path.target, budget)
+                if priority <= 0:
+                    continue
+                counter += 1
+                heapq.heappush(heap, (-priority, counter, (new_path, new_distribution)))
+
+        return RoutingResult(
+            query=query,
+            method=self.method_name,
+            path=best_path,
+            probability=best_prob,
+            distribution=best_distribution,
+            explored=explored,
+            runtime_seconds=time.perf_counter() - start,
+        )

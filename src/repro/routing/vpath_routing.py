@@ -1,0 +1,184 @@
+"""V-path based stochastic routing (Algorithm 5: V-None, V-B-P, V-BS-δ).
+
+Routing on the updated PACE graph ``G_p+`` differs from the plain PACE
+routers in two ways that together give the paper's largest speed-ups:
+
+* candidate cost distributions are maintained *incrementally by convolution*
+  — extending a candidate with an edge, T-path or V-path convolves the
+  candidate's distribution with the element's total-cost distribution, which
+  Lemma 4.1 shows is exact, and
+* because the pieces are independent, **stochastic-dominance pruning** among
+  candidates ending at the same vertex becomes sound again and is applied on
+  every extension.
+
+With a heuristic (V-B-P, V-BS-δ) the search is best-first on ``maxProb`` and
+stops when the top of the queue reaches the destination; without one (V-None)
+it explores exhaustively in expected-cost order, exactly like the T-None
+baseline but with convolution and dominance pruning.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.distributions import Distribution
+from repro.core.errors import ConfigurationError
+from repro.core.paths import Path
+from repro.heuristics.base import Heuristic, NoHeuristic, max_prob
+from repro.routing.dominance import DominancePruner
+from repro.routing.queries import RoutingQuery, RoutingResult
+from repro.vpaths.updated_graph import UpdatedPaceGraph
+
+__all__ = ["VPathRouterConfig", "VPathRouter"]
+
+VPathHeuristicFactory = Callable[[UpdatedPaceGraph, int], Heuristic]
+
+
+@dataclass(frozen=True)
+class VPathRouterConfig:
+    """Limits and knobs of the V-path router.
+
+    ``reevaluate_with_pace`` controls whether the returned path's distribution
+    and probability are re-computed under exact PACE semantics (coarsest
+    T-path assembly) before being reported.  The search itself always follows
+    Algorithm 5 — candidates are maintained by convolution of element weights
+    — but a candidate may correspond to a finer-than-coarsest decomposition of
+    its underlying road path, in which case the convolution estimate differs
+    slightly from the PACE cost of that path; re-evaluating makes the reported
+    numbers directly comparable with the T-path routers.
+    """
+
+    max_support: int = 64
+    max_explored: int = 100000
+    use_dominance: bool = True
+    reevaluate_with_pace: bool = True
+
+    def validate(self) -> None:
+        if self.max_support < 1:
+            raise ConfigurationError("max_support must be positive")
+        if self.max_explored < 1:
+            raise ConfigurationError("max_explored must be positive")
+
+
+class VPathRouter:
+    """Algorithm 5 on the updated PACE graph, with optional heuristic guidance."""
+
+    def __init__(
+        self,
+        graph: UpdatedPaceGraph,
+        heuristic_factory: VPathHeuristicFactory | None = None,
+        *,
+        method_name: str | None = None,
+        config: VPathRouterConfig | None = None,
+    ):
+        self._graph = graph
+        self._factory = heuristic_factory
+        self.method_name = method_name or ("V-None" if heuristic_factory is None else "V-heuristic")
+        self._config = config or VPathRouterConfig()
+        self._config.validate()
+        self._heuristics: dict[int, Heuristic] = {}
+
+    # ------------------------------------------------------------------ #
+    # Heuristic management
+    # ------------------------------------------------------------------ #
+    def heuristic_for(self, destination: int) -> Heuristic:
+        """The cached destination-specific heuristic (trivial for V-None)."""
+        if destination not in self._heuristics:
+            if self._factory is None:
+                self._heuristics[destination] = NoHeuristic(destination)
+            else:
+                self._heuristics[destination] = self._factory(self._graph, destination)
+        return self._heuristics[destination]
+
+    @property
+    def guided(self) -> bool:
+        """True when an informative heuristic guides the search (early stop allowed)."""
+        return self._factory is not None
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def route(self, query: RoutingQuery) -> RoutingResult:
+        """Evaluate one arriving-on-time query on the updated PACE graph."""
+        start = time.perf_counter()
+        graph = self._graph
+        budget = query.budget
+        heuristic = self.heuristic_for(query.destination)
+        pruner = DominancePruner() if self._config.use_dominance else None
+        candidate_ids = itertools.count()
+        explored = 0
+        heap: list[tuple[float, int, Path, Distribution]] = []
+
+        def priority_of(path: Path, distribution: Distribution) -> float:
+            if self.guided:
+                return -max_prob(distribution, heuristic, path.target, budget)
+            return distribution.expectation()
+
+        def push(path: Path, distribution: Distribution) -> None:
+            candidate_id = next(candidate_ids)
+            if pruner is not None and not pruner.admit(candidate_id, path.target, distribution):
+                return
+            heapq.heappush(heap, (priority_of(path, distribution), candidate_id, path, distribution))
+
+        for element in graph.outgoing_elements(query.source):
+            path = element.path
+            if not path.is_simple():
+                continue
+            if element.distribution.min() + heuristic.min_cost(path.target) > budget:
+                continue
+            if self.guided and max_prob(element.distribution, heuristic, path.target, budget) <= 0:
+                continue
+            push(path, element.distribution)
+
+        best_path = None
+        best_prob = 0.0
+        best_distribution = None
+        while heap and explored < self._config.max_explored:
+            _, candidate_id, path, distribution = heapq.heappop(heap)
+            if pruner is not None and pruner.is_pruned(candidate_id):
+                continue
+            explored += 1
+            if path.target == query.destination:
+                probability = distribution.prob_at_most(budget)
+                if self.guided:
+                    best_path, best_prob, best_distribution = path, probability, distribution
+                    break
+                if probability > best_prob:
+                    best_path, best_prob, best_distribution = path, probability, distribution
+                continue
+            for element in graph.outgoing_elements(path.target):
+                if any(path.visits(v) for v in element.path.vertices[1:]):
+                    continue
+                minimum = distribution.min() + element.distribution.min()
+                if minimum + heuristic.min_cost(element.target) > budget:
+                    continue
+                new_path = path.concat(element.path)
+                new_distribution = distribution.convolve(
+                    element.distribution, max_support=self._config.max_support
+                )
+                if self.guided:
+                    bound = max_prob(new_distribution, heuristic, new_path.target, budget)
+                    if bound <= 0:
+                        continue
+                push(new_path, new_distribution)
+
+        if best_path is not None and self._config.reevaluate_with_pace:
+            best_distribution = graph.pace_graph.path_cost_distribution(
+                best_path, max_support=self._config.max_support
+            )
+            best_prob = best_distribution.prob_at_most(budget)
+
+        runtime = time.perf_counter() - start
+        return RoutingResult(
+            query=query,
+            method=self.method_name,
+            path=best_path,
+            probability=best_prob,
+            distribution=best_distribution,
+            explored=explored,
+            runtime_seconds=runtime,
+        )

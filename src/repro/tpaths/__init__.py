@@ -1,0 +1,20 @@
+"""T-path mining and PACE-model construction from trajectories."""
+
+from repro.tpaths.extraction import (
+    MinedTPath,
+    TPathMinerConfig,
+    build_edge_graph,
+    build_pace_graph,
+    mine_tpaths,
+)
+from repro.tpaths.time_dependent import TimeDependentPaceIndex, build_time_dependent_index
+
+__all__ = [
+    "TPathMinerConfig",
+    "MinedTPath",
+    "mine_tpaths",
+    "build_edge_graph",
+    "build_pace_graph",
+    "TimeDependentPaceIndex",
+    "build_time_dependent_index",
+]

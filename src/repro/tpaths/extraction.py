@@ -1,0 +1,167 @@
+"""Mining T-paths (trajectory paths) from a trajectory set.
+
+A T-path is a path that has been traversed by at least ``τ`` trajectories
+(Section 2.2 of the paper).  For every T-path the PACE model maintains the
+joint distribution over its per-edge costs, estimated directly from the
+(non-split) trajectory costs, which preserves the dependency among the edges.
+
+This module provides:
+
+* :func:`mine_tpaths` — enumerate every sub-path with at least ``τ``
+  traversals and estimate its joint distribution,
+* :func:`build_edge_graph` — instantiate the EDGE model (edge weights from
+  the split trajectory pieces, free-flow fallback for uncovered edges), and
+* :func:`build_pace_graph` — instantiate the full PACE model (edge weights
+  plus multi-edge T-paths).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.distributions import Distribution
+from repro.core.edge_graph import EdgeGraph
+from repro.core.errors import ConfigurationError
+from repro.core.joint import JointDistribution
+from repro.core.pace_graph import PaceGraph
+from repro.network.road_network import RoadNetwork
+from repro.trajectories.model import Trajectory
+
+__all__ = ["TPathMinerConfig", "MinedTPath", "mine_tpaths", "build_edge_graph", "build_pace_graph"]
+
+
+@dataclass(frozen=True)
+class TPathMinerConfig:
+    """Parameters controlling T-path mining.
+
+    Attributes
+    ----------
+    tau:
+        Minimum number of traversals a path needs to become a T-path (the
+        paper's threshold ``τ``; default 50, its default as well).
+    max_cardinality:
+        Upper bound on the number of edges of a mined T-path.  The paper does
+        not bound this explicitly, but in practice trajectory support decays
+        quickly with length; bounding it keeps mining polynomial and is the
+        lever the repro uses to stay laptop-sized.
+    resolution:
+        Histogram bin width (in cost units, i.e. seconds) for the estimated
+        distributions.
+    min_edge_support:
+        Minimum number of traversals for an edge to receive an empirical
+        distribution; below this the edge keeps its free-flow fallback.
+    """
+
+    tau: int = 50
+    max_cardinality: int = 4
+    resolution: float = 5.0
+    min_edge_support: int = 3
+
+    def validate(self) -> None:
+        if self.tau < 1:
+            raise ConfigurationError("tau must be at least 1")
+        if self.max_cardinality < 1:
+            raise ConfigurationError("max_cardinality must be at least 1")
+        if self.resolution <= 0:
+            raise ConfigurationError("resolution must be positive")
+        if self.min_edge_support < 1:
+            raise ConfigurationError("min_edge_support must be at least 1")
+
+
+@dataclass(frozen=True)
+class MinedTPath:
+    """One mined T-path: edge sequence, trajectory support, and estimated joint."""
+
+    edge_ids: tuple[int, ...]
+    support: int
+    joint: JointDistribution
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.edge_ids)
+
+
+def _collect_subpath_samples(
+    trajectories: Sequence[Trajectory], max_cardinality: int
+) -> dict[tuple[int, ...], list[tuple[float, ...]]]:
+    """Per sub-path (edge-id tuple), the list of per-edge cost vectors observed."""
+    samples: dict[tuple[int, ...], list[tuple[float, ...]]] = {}
+    for trajectory in trajectories:
+        edges = trajectory.path.edges
+        costs = trajectory.edge_costs
+        n = len(edges)
+        for start in range(n):
+            upper = min(max_cardinality, n - start)
+            for length in range(1, upper + 1):
+                key = edges[start : start + length]
+                samples.setdefault(key, []).append(costs[start : start + length])
+    return samples
+
+
+def mine_tpaths(
+    network: RoadNetwork,
+    trajectories: Sequence[Trajectory],
+    config: TPathMinerConfig | None = None,
+) -> list[MinedTPath]:
+    """Mine every sub-path traversed by at least ``τ`` trajectories.
+
+    Single-edge "T-paths" are included (they refine the edge weights); callers
+    that only care about multi-edge T-paths can filter on ``cardinality``.
+    """
+    config = config or TPathMinerConfig()
+    config.validate()
+    samples = _collect_subpath_samples(trajectories, config.max_cardinality)
+    mined: list[MinedTPath] = []
+    for edge_ids, vectors in samples.items():
+        if len(vectors) < config.tau:
+            continue
+        joint = JointDistribution.from_samples(edge_ids, vectors, resolution=config.resolution)
+        mined.append(MinedTPath(edge_ids=edge_ids, support=len(vectors), joint=joint))
+    mined.sort(key=lambda t: (t.cardinality, t.edge_ids))
+    return mined
+
+
+def build_edge_graph(
+    network: RoadNetwork,
+    trajectories: Sequence[Trajectory],
+    config: TPathMinerConfig | None = None,
+) -> EdgeGraph:
+    """Instantiate the EDGE model: per-edge empirical distributions, free-flow fallback.
+
+    This is the "split the trajectories to fit edges" estimation the paper
+    describes for the edge-centric model; dependencies between edges are lost
+    by construction.
+    """
+    config = config or TPathMinerConfig()
+    config.validate()
+    per_edge: dict[int, list[float]] = {}
+    for trajectory in trajectories:
+        for edge_id, cost in zip(trajectory.path.edges, trajectory.edge_costs):
+            per_edge.setdefault(edge_id, []).append(cost)
+    weights = {
+        edge_id: Distribution.from_samples(costs, resolution=config.resolution)
+        for edge_id, costs in per_edge.items()
+        if len(costs) >= config.min_edge_support
+    }
+    return EdgeGraph(network, weights, fill_uncovered=True)
+
+
+def build_pace_graph(
+    network: RoadNetwork,
+    trajectories: Sequence[Trajectory],
+    config: TPathMinerConfig | None = None,
+) -> PaceGraph:
+    """Instantiate the PACE model: the EDGE weights plus all multi-edge T-paths."""
+    config = config or TPathMinerConfig()
+    config.validate()
+    edge_graph = build_edge_graph(network, trajectories, config)
+    pace = PaceGraph(edge_graph, tau=config.tau)
+    for mined in mine_tpaths(network, trajectories, config):
+        if mined.cardinality < 2:
+            continue
+        path = network.path_from_edge_ids(mined.edge_ids)
+        if not path.is_simple():
+            continue
+        pace.add_tpath(path, mined.joint, support=mined.support)
+    return pace

@@ -1,0 +1,60 @@
+"""Time-dependent PACE models (peak vs. off-peak hours).
+
+The paper builds two uncertain graphs per network, one from trajectories
+departing in peak hours (7:00–8:30 and 16:00–17:30) and one from the rest,
+and routes against the graph matching the query's departure time.  This
+module wraps that convention.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+from repro.core.pace_graph import PaceGraph
+from repro.network.road_network import RoadNetwork
+from repro.tpaths.extraction import TPathMinerConfig, build_pace_graph
+from repro.trajectories.model import OFF_PEAK, PEAK, TimeRegime, Trajectory
+from repro.trajectories.splits import split_by_regime
+
+__all__ = ["TimeDependentPaceIndex", "build_time_dependent_index"]
+
+
+@dataclass(frozen=True)
+class TimeDependentPaceIndex:
+    """PACE graphs per time regime, selected by departure time."""
+
+    regimes: tuple[TimeRegime, ...]
+    graphs: dict[str, PaceGraph]
+
+    def graph_for(self, departure_time: float) -> PaceGraph:
+        """The PACE graph whose regime contains the departure time."""
+        for regime in self.regimes:
+            if regime.contains(departure_time):
+                return self.graphs[regime.name]
+        raise ConfigurationError(
+            f"departure time {departure_time!r} is not covered by any regime"
+        )
+
+    def graph_named(self, regime_name: str) -> PaceGraph:
+        """The PACE graph for a regime by name (``"peak"`` / ``"off-peak"``)."""
+        try:
+            return self.graphs[regime_name]
+        except KeyError as exc:
+            raise ConfigurationError(f"unknown regime {regime_name!r}") from exc
+
+
+def build_time_dependent_index(
+    network: RoadNetwork,
+    trajectories: Sequence[Trajectory],
+    config: TPathMinerConfig | None = None,
+    *,
+    regimes: Sequence[TimeRegime] = (PEAK, OFF_PEAK),
+) -> TimeDependentPaceIndex:
+    """Split trajectories by regime and build one PACE graph per regime."""
+    grouped = split_by_regime(list(trajectories), list(regimes))
+    graphs: dict[str, PaceGraph] = {}
+    for regime in regimes:
+        graphs[regime.name] = build_pace_graph(network, grouped[regime.name], config)
+    return TimeDependentPaceIndex(regimes=tuple(regimes), graphs=graphs)

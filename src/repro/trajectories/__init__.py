@@ -1,0 +1,42 @@
+"""Trajectory data: models, synthetic generation, GPS simulation, map matching and cleaning."""
+
+from repro.trajectories.generator import (
+    TrajectoryGenerator,
+    TrajectoryGeneratorConfig,
+    generate_trajectories,
+)
+from repro.trajectories.gps import GpsSimulatorConfig, simulate_gps_trace, simulate_gps_traces
+from repro.trajectories.map_matching import HmmMapMatcher, MapMatcherConfig, MatchResult
+from repro.trajectories.model import OFF_PEAK, PEAK, GpsPoint, GpsTrace, TimeRegime, Trajectory
+from repro.trajectories.outliers import (
+    OutlierFilterConfig,
+    clean_trajectories,
+    filter_implausible_speeds,
+    filter_statistical_outliers,
+)
+from repro.trajectories.splits import Fold, k_fold_split, split_by_regime
+
+__all__ = [
+    "Trajectory",
+    "GpsPoint",
+    "GpsTrace",
+    "TimeRegime",
+    "PEAK",
+    "OFF_PEAK",
+    "TrajectoryGenerator",
+    "TrajectoryGeneratorConfig",
+    "generate_trajectories",
+    "GpsSimulatorConfig",
+    "simulate_gps_trace",
+    "simulate_gps_traces",
+    "HmmMapMatcher",
+    "MapMatcherConfig",
+    "MatchResult",
+    "OutlierFilterConfig",
+    "clean_trajectories",
+    "filter_implausible_speeds",
+    "filter_statistical_outliers",
+    "Fold",
+    "k_fold_split",
+    "split_by_regime",
+]

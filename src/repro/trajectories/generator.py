@@ -1,0 +1,237 @@
+"""Synthetic generation of correlated vehicle trajectories.
+
+The paper estimates its uncertain road networks from large proprietary GPS
+fleets (Aalborg and Xi'an).  Those fleets are unavailable, so this module
+simulates the property of real traffic that motivates the PACE model: travel
+times on consecutive edges of a trip are *dependent* — a driver (or a traffic
+situation) that is slow on one edge tends to be slow on the next.
+
+The simulator combines three sources of variation:
+
+* a *regime* factor per departure period (peak hours are slower than
+  off-peak, and arterials are hit harder than residential streets),
+* a per-trip *driver factor* shared by every edge of the trip, and
+* a per-trip Markov *traffic state* (smooth / congested) that persists along
+  consecutive edges of the route.
+
+The driver factor and the traffic state both create exactly the positive
+dependency between consecutive edge costs that the EDGE model's independence
+assumption destroys and that T-path joints preserve — so the accuracy
+experiment of the paper (Fig. 10b) is meaningful on this data.
+
+Trips are concentrated on a configurable number of hub-to-hub relations so
+that popular paths accumulate enough trajectories to become T-paths, mirroring
+how real fleets concentrate on main roads.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError, NoPathError
+from repro.core.paths import Path
+from repro.network.road_network import RoadNetwork, RoadSegment
+from repro.network.algorithms import shortest_path
+from repro.trajectories.model import PEAK, Trajectory
+
+__all__ = ["TrajectoryGeneratorConfig", "TrajectoryGenerator", "generate_trajectories"]
+
+
+@dataclass(frozen=True)
+class TrajectoryGeneratorConfig:
+    """Parameters controlling the synthetic trajectory simulator."""
+
+    num_trajectories: int = 2000
+    num_hubs: int = 10
+    hub_trip_fraction: float = 0.8
+    alternative_route_fraction: float = 0.25
+    peak_fraction: float = 0.5
+    peak_congestion: float = 1.55
+    off_peak_congestion: float = 1.1
+    arterial_extra_congestion: float = 0.25
+    driver_sigma: float = 0.18
+    edge_noise_sigma: float = 0.06
+    congested_state_multiplier: float = 1.4
+    congested_state_probability: float = 0.3
+    state_persistence: float = 0.85
+    min_route_edges: int = 2
+    resolution: float = 1.0
+    seed: int = 13
+
+    def validate(self) -> None:
+        if self.num_trajectories < 1:
+            raise ConfigurationError("num_trajectories must be positive")
+        if self.num_hubs < 2:
+            raise ConfigurationError("num_hubs must be at least 2")
+        if not 0.0 <= self.hub_trip_fraction <= 1.0:
+            raise ConfigurationError("hub_trip_fraction must lie in [0, 1]")
+        if not 0.0 <= self.peak_fraction <= 1.0:
+            raise ConfigurationError("peak_fraction must lie in [0, 1]")
+        if not 0.0 <= self.alternative_route_fraction <= 1.0:
+            raise ConfigurationError("alternative_route_fraction must lie in [0, 1]")
+        if not 0.0 <= self.congested_state_probability <= 1.0:
+            raise ConfigurationError("congested_state_probability must lie in [0, 1]")
+        if not 0.0 <= self.state_persistence <= 1.0:
+            raise ConfigurationError("state_persistence must lie in [0, 1]")
+        if self.resolution <= 0:
+            raise ConfigurationError("resolution must be positive")
+        if self.min_route_edges < 1:
+            raise ConfigurationError("min_route_edges must be at least 1")
+
+
+class TrajectoryGenerator:
+    """Simulates a fleet of trips with correlated edge travel times."""
+
+    def __init__(self, network: RoadNetwork, config: TrajectoryGeneratorConfig | None = None):
+        self._network = network
+        self._config = config or TrajectoryGeneratorConfig()
+        self._config.validate()
+        self._rng = random.Random(self._config.seed)
+        self._route_cache: dict[tuple[int, int], list[Path]] = {}
+        self._hubs = self._select_hubs()
+
+    @property
+    def config(self) -> TrajectoryGeneratorConfig:
+        return self._config
+
+    @property
+    def hubs(self) -> list[int]:
+        """The hub vertices between which most synthetic trips run."""
+        return list(self._hubs)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def generate(self) -> list[Trajectory]:
+        """Generate the configured number of trajectories."""
+        trajectories: list[Trajectory] = []
+        attempts = 0
+        max_attempts = self._config.num_trajectories * 20
+        while len(trajectories) < self._config.num_trajectories and attempts < max_attempts:
+            attempts += 1
+            route = self._pick_route()
+            if route is None:
+                continue
+            departure = self._sample_departure_time()
+            costs = self._simulate_edge_costs(route, departure)
+            trajectories.append(
+                Trajectory(
+                    trajectory_id=len(trajectories),
+                    path=route,
+                    edge_costs=costs,
+                    departure_time=departure,
+                )
+            )
+        if len(trajectories) < self._config.num_trajectories:
+            raise NoPathError(
+                "could not generate enough trajectories; the network is too disconnected "
+                f"(generated {len(trajectories)} of {self._config.num_trajectories})"
+            )
+        return trajectories
+
+    # ------------------------------------------------------------------ #
+    # Route selection
+    # ------------------------------------------------------------------ #
+    def _select_hubs(self) -> list[int]:
+        vertices = sorted(
+            self._network.vertex_ids(),
+            key=lambda v: (self._network.out_degree(v) + self._network.in_degree(v)),
+            reverse=True,
+        )
+        pool = vertices[: max(self._config.num_hubs * 3, self._config.num_hubs)]
+        self._rng.shuffle(pool)
+        return pool[: self._config.num_hubs]
+
+    def _pick_route(self) -> Path | None:
+        if self._rng.random() < self._config.hub_trip_fraction:
+            source, destination = self._rng.sample(self._hubs, 2)
+        else:
+            source = self._rng.choice(list(self._network.vertex_ids()))
+            destination = self._rng.choice(list(self._network.vertex_ids()))
+            if source == destination:
+                return None
+        routes = self._routes_between(source, destination)
+        if not routes:
+            return None
+        if len(routes) > 1 and self._rng.random() < self._config.alternative_route_fraction:
+            return routes[1]
+        return routes[0]
+
+    def _routes_between(self, source: int, destination: int) -> list[Path]:
+        key = (source, destination)
+        if key in self._route_cache:
+            return self._route_cache[key]
+        routes: list[Path] = []
+        try:
+            primary, _ = shortest_path(
+                self._network, source, destination, lambda e: e.free_flow_time()
+            )
+            if primary.cardinality >= self._config.min_route_edges:
+                routes.append(primary)
+                penalised_edges = set(primary.edges)
+
+                def penalised_cost(edge: RoadSegment) -> float:
+                    factor = 1.6 if edge.edge_id in penalised_edges else 1.0
+                    return edge.free_flow_time() * factor
+
+                alternative, _ = shortest_path(self._network, source, destination, penalised_cost)
+                if (
+                    alternative.edges != primary.edges
+                    and alternative.cardinality >= self._config.min_route_edges
+                ):
+                    routes.append(alternative)
+        except NoPathError:
+            routes = []
+        self._route_cache[key] = routes
+        return routes
+
+    # ------------------------------------------------------------------ #
+    # Travel-time simulation
+    # ------------------------------------------------------------------ #
+    def _sample_departure_time(self) -> float:
+        if self._rng.random() < self._config.peak_fraction:
+            start, end = self._rng.choice(PEAK.intervals)
+            return self._rng.uniform(start, end)
+        # Off-peak: mid-day window (10:00–15:00) keeps trips inside one regime.
+        return self._rng.uniform(10 * 3600.0, 15 * 3600.0)
+
+    def _regime_factor(self, edge: RoadSegment, departure: float) -> float:
+        config = self._config
+        base = config.peak_congestion if PEAK.contains(departure) else config.off_peak_congestion
+        max_speed = self._network.max_speed_limit()
+        if edge.speed_limit >= max_speed - 1e-9 and PEAK.contains(departure):
+            base += config.arterial_extra_congestion
+        return base
+
+    def _simulate_edge_costs(self, route: Path, departure: float) -> tuple[float, ...]:
+        config = self._config
+        rng = self._rng
+        driver_factor = math.exp(rng.gauss(0.0, config.driver_sigma))
+        congested = rng.random() < config.congested_state_probability
+        costs: list[float] = []
+        for edge_id in route.edges:
+            edge = self._network.edge(edge_id)
+            state_multiplier = config.congested_state_multiplier if congested else 1.0
+            noise = math.exp(rng.gauss(0.0, config.edge_noise_sigma))
+            seconds = (
+                edge.free_flow_time()
+                * self._regime_factor(edge, departure)
+                * driver_factor
+                * state_multiplier
+                * noise
+            )
+            seconds = max(config.resolution, round(seconds / config.resolution) * config.resolution)
+            costs.append(seconds)
+            # Markov evolution of the congestion state along the route.
+            if rng.random() > config.state_persistence:
+                congested = not congested
+        return tuple(costs)
+
+
+def generate_trajectories(
+    network: RoadNetwork, config: TrajectoryGeneratorConfig | None = None
+) -> list[Trajectory]:
+    """Convenience wrapper: build a generator and produce one batch of trajectories."""
+    return TrajectoryGenerator(network, config).generate()

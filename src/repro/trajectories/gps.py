@@ -1,0 +1,115 @@
+"""Simulation of raw GPS traces from trajectories.
+
+The paper's raw input is GPS data sampled at 1 Hz (Aalborg) and 0.2 Hz
+(Xi'an), which is map matched onto the road network before distributions are
+estimated.  To exercise that part of the pipeline we go the other way:
+given a (ground-truth) trajectory we emit noisy GPS observations along its
+geometry at a configurable sampling interval, which the HMM map matcher in
+:mod:`repro.trajectories.map_matching` then has to match back onto the
+network.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+from repro.network.road_network import RoadNetwork
+from repro.trajectories.model import GpsPoint, GpsTrace, Trajectory
+
+__all__ = ["GpsSimulatorConfig", "simulate_gps_trace", "simulate_gps_traces"]
+
+
+@dataclass(frozen=True)
+class GpsSimulatorConfig:
+    """Parameters of the GPS observation simulator."""
+
+    sampling_interval: float = 5.0
+    noise_sigma: float = 12.0
+    seed: int = 29
+
+    def validate(self) -> None:
+        if self.sampling_interval <= 0:
+            raise ConfigurationError("sampling_interval must be positive")
+        if self.noise_sigma < 0:
+            raise ConfigurationError("noise_sigma must be non-negative")
+
+
+def _positions_along(
+    network: RoadNetwork, trajectory: Trajectory
+) -> list[tuple[float, float, float]]:
+    """(x, y, timestamp) triples describing the vehicle's true position over time."""
+    positions: list[tuple[float, float, float]] = []
+    clock = trajectory.departure_time
+    for edge_id, cost in zip(trajectory.path.edges, trajectory.edge_costs):
+        edge = network.edge(edge_id)
+        start = network.vertex(edge.source)
+        end = network.vertex(edge.target)
+        positions.append((start.x, start.y, clock))
+        clock += cost
+        positions.append((end.x, end.y, clock))
+    return positions
+
+
+def simulate_gps_trace(
+    network: RoadNetwork,
+    trajectory: Trajectory,
+    config: GpsSimulatorConfig | None = None,
+    *,
+    rng: random.Random | None = None,
+) -> GpsTrace:
+    """Emit a noisy GPS trace following the trajectory's path and timing."""
+    config = config or GpsSimulatorConfig()
+    config.validate()
+    rng = rng or random.Random(config.seed + trajectory.trajectory_id)
+    true_positions = _positions_along(network, trajectory)
+    start_time = true_positions[0][2]
+    end_time = true_positions[-1][2]
+
+    points: list[GpsPoint] = []
+    sample_time = start_time
+    index = 0
+    while sample_time <= end_time + 1e-9:
+        while index + 1 < len(true_positions) and true_positions[index + 1][2] < sample_time:
+            index += 1
+        x0, y0, t0 = true_positions[index]
+        x1, y1, t1 = true_positions[min(index + 1, len(true_positions) - 1)]
+        if t1 <= t0:
+            x, y = x1, y1
+        else:
+            fraction = (sample_time - t0) / (t1 - t0)
+            fraction = min(max(fraction, 0.0), 1.0)
+            x = x0 + fraction * (x1 - x0)
+            y = y0 + fraction * (y1 - y0)
+        points.append(
+            GpsPoint(
+                x=x + rng.gauss(0.0, config.noise_sigma),
+                y=y + rng.gauss(0.0, config.noise_sigma),
+                timestamp=sample_time,
+            )
+        )
+        sample_time += config.sampling_interval
+
+    if len(points) < 2:
+        # Very short trips still need two observations for a valid trace.
+        points.append(
+            GpsPoint(
+                x=true_positions[-1][0] + rng.gauss(0.0, config.noise_sigma),
+                y=true_positions[-1][1] + rng.gauss(0.0, config.noise_sigma),
+                timestamp=end_time,
+            )
+        )
+    return GpsTrace(trace_id=trajectory.trajectory_id, points=tuple(points))
+
+
+def simulate_gps_traces(
+    network: RoadNetwork,
+    trajectories: list[Trajectory],
+    config: GpsSimulatorConfig | None = None,
+) -> list[GpsTrace]:
+    """Simulate GPS traces for a whole batch of trajectories."""
+    config = config or GpsSimulatorConfig()
+    config.validate()
+    rng = random.Random(config.seed)
+    return [simulate_gps_trace(network, t, config, rng=rng) for t in trajectories]

@@ -1,0 +1,111 @@
+"""Trajectory data model.
+
+A trajectory is one observed trip through the road network: the path it
+followed (after map matching) plus the travel time spent on every edge, and
+the departure time of the trip.  Trajectories are the raw material from which
+the PACE model's edge weights and T-path joint distributions are estimated.
+
+GPS traces — the raw, noisy observations — are modelled separately and are
+converted into trajectories by the map matcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import DataError
+from repro.core.paths import Path
+
+__all__ = ["GpsPoint", "GpsTrace", "Trajectory", "TimeRegime", "PEAK", "OFF_PEAK"]
+
+
+@dataclass(frozen=True)
+class TimeRegime:
+    """A time-of-day regime (the paper builds separate models for peak and off-peak)."""
+
+    name: str
+    intervals: tuple[tuple[float, float], ...]
+
+    def contains(self, seconds_since_midnight: float) -> bool:
+        """True when a departure time falls inside this regime."""
+        return any(start <= seconds_since_midnight < end for start, end in self.intervals)
+
+
+#: Peak hours as defined in the paper: 7:00–8:30 and 16:00–17:30.
+PEAK = TimeRegime("peak", ((7 * 3600.0, 8.5 * 3600.0), (16 * 3600.0, 17.5 * 3600.0)))
+#: Everything outside the peak intervals.
+OFF_PEAK = TimeRegime(
+    "off-peak",
+    ((0.0, 7 * 3600.0), (8.5 * 3600.0, 16 * 3600.0), (17.5 * 3600.0, 24 * 3600.0)),
+)
+
+
+@dataclass(frozen=True)
+class GpsPoint:
+    """A single raw GPS observation (metres, seconds since midnight)."""
+
+    x: float
+    y: float
+    timestamp: float
+
+
+@dataclass(frozen=True)
+class GpsTrace:
+    """A raw GPS trace for one trip, before map matching."""
+
+    trace_id: int
+    points: tuple[GpsPoint, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 2:
+            raise DataError(f"GPS trace {self.trace_id} needs at least two points")
+        times = [p.timestamp for p in self.points]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise DataError(f"GPS trace {self.trace_id} has non-monotone timestamps")
+
+    @property
+    def departure_time(self) -> float:
+        return self.points[0].timestamp
+
+    @property
+    def duration(self) -> float:
+        return self.points[-1].timestamp - self.points[0].timestamp
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A map-matched trip: the path travelled and the cost spent on each edge."""
+
+    trajectory_id: int
+    path: Path
+    edge_costs: tuple[float, ...]
+    departure_time: float = 8 * 3600.0
+    metadata: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.edge_costs) != self.path.cardinality:
+            raise DataError(
+                f"trajectory {self.trajectory_id}: {len(self.edge_costs)} edge costs for a "
+                f"path with {self.path.cardinality} edges"
+            )
+        if any(cost <= 0 for cost in self.edge_costs):
+            raise DataError(f"trajectory {self.trajectory_id} has non-positive edge costs")
+
+    @property
+    def total_cost(self) -> float:
+        """The total travel time of the trip."""
+        return sum(self.edge_costs)
+
+    @property
+    def num_edges(self) -> int:
+        return self.path.cardinality
+
+    def cost_of_slice(self, start: int, stop: int) -> tuple[float, ...]:
+        """The per-edge costs of the sub-path covering edges ``[start, stop)``."""
+        if not 0 <= start < stop <= self.num_edges:
+            raise DataError(f"invalid slice [{start}, {stop}) for {self.num_edges} edges")
+        return self.edge_costs[start:stop]
+
+    def in_regime(self, regime: TimeRegime) -> bool:
+        """True when the trip departs inside the given time regime."""
+        return regime.contains(self.departure_time)

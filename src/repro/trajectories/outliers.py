@@ -1,0 +1,113 @@
+"""Outlier detection and filtering for trajectories.
+
+The paper filters abnormal trajectory data before estimating distributions
+(referencing dedicated time-series outlier-detection work).  Here we provide
+two complementary, deterministic filters that cover the failure modes a
+synthetic or real fleet exhibits:
+
+* a *physical plausibility* filter on per-edge speeds (a car cannot
+  meaningfully exceed the speed limit by a large factor, nor crawl below a
+  minimum speed for the whole edge), and
+* a *statistical* filter that removes trajectories whose total travel time is
+  an extreme outlier for their origin–destination relation (robust z-score
+  based on the median absolute deviation).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+from repro.network.road_network import RoadNetwork
+from repro.trajectories.model import Trajectory
+
+__all__ = ["OutlierFilterConfig", "filter_implausible_speeds", "filter_statistical_outliers", "clean_trajectories"]
+
+
+@dataclass(frozen=True)
+class OutlierFilterConfig:
+    """Parameters for trajectory cleaning."""
+
+    max_speed_factor: float = 1.6
+    min_speed_kmh: float = 2.0
+    robust_z_threshold: float = 4.0
+    min_group_size: int = 5
+
+    def validate(self) -> None:
+        if self.max_speed_factor <= 0:
+            raise ConfigurationError("max_speed_factor must be positive")
+        if self.min_speed_kmh < 0:
+            raise ConfigurationError("min_speed_kmh must be non-negative")
+        if self.robust_z_threshold <= 0:
+            raise ConfigurationError("robust_z_threshold must be positive")
+        if self.min_group_size < 2:
+            raise ConfigurationError("min_group_size must be at least 2")
+
+
+def filter_implausible_speeds(
+    network: RoadNetwork,
+    trajectories: list[Trajectory],
+    config: OutlierFilterConfig | None = None,
+) -> list[Trajectory]:
+    """Drop trajectories containing physically implausible per-edge speeds."""
+    config = config or OutlierFilterConfig()
+    config.validate()
+    kept: list[Trajectory] = []
+    for trajectory in trajectories:
+        plausible = True
+        for edge_id, cost in zip(trajectory.path.edges, trajectory.edge_costs):
+            edge = network.edge(edge_id)
+            speed_kmh = (edge.length / cost) * 3.6
+            if speed_kmh > edge.speed_limit * config.max_speed_factor:
+                plausible = False
+                break
+            if speed_kmh < config.min_speed_kmh:
+                plausible = False
+                break
+        if plausible:
+            kept.append(trajectory)
+    return kept
+
+
+def filter_statistical_outliers(
+    trajectories: list[Trajectory],
+    config: OutlierFilterConfig | None = None,
+) -> list[Trajectory]:
+    """Drop trajectories whose total time is an extreme outlier for their OD relation."""
+    config = config or OutlierFilterConfig()
+    config.validate()
+    groups: dict[tuple[int, int], list[Trajectory]] = {}
+    for trajectory in trajectories:
+        key = (trajectory.path.source, trajectory.path.target)
+        groups.setdefault(key, []).append(trajectory)
+
+    kept: list[Trajectory] = []
+    for group in groups.values():
+        if len(group) < config.min_group_size:
+            kept.extend(group)
+            continue
+        totals = [t.total_cost for t in group]
+        median = statistics.median(totals)
+        deviations = [abs(total - median) for total in totals]
+        mad = statistics.median(deviations)
+        if mad <= 0:
+            kept.extend(group)
+            continue
+        for trajectory, total in zip(group, totals):
+            robust_z = 0.6745 * (total - median) / mad
+            if abs(robust_z) <= config.robust_z_threshold:
+                kept.append(trajectory)
+    kept.sort(key=lambda t: t.trajectory_id)
+    return kept
+
+
+def clean_trajectories(
+    network: RoadNetwork,
+    trajectories: list[Trajectory],
+    config: OutlierFilterConfig | None = None,
+) -> list[Trajectory]:
+    """Apply both filters: physical plausibility first, then statistical outliers."""
+    config = config or OutlierFilterConfig()
+    plausible = filter_implausible_speeds(network, trajectories, config)
+    return filter_statistical_outliers(plausible, config)

@@ -1,0 +1,63 @@
+"""Cross-validation splits of trajectory sets.
+
+The paper's accuracy experiment (Fig. 10b) uses five-fold cross validation:
+the trajectory set is partitioned into five disjoint groups; each group is
+used once as the test set while the remaining four form the training set used
+to instantiate T-paths.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+from repro.trajectories.model import TimeRegime, Trajectory
+
+__all__ = ["Fold", "k_fold_split", "split_by_regime"]
+
+
+@dataclass(frozen=True)
+class Fold:
+    """One train/test split."""
+
+    index: int
+    train: tuple[Trajectory, ...]
+    test: tuple[Trajectory, ...]
+
+
+def k_fold_split(
+    trajectories: list[Trajectory], *, folds: int = 5, seed: int = 11
+) -> list[Fold]:
+    """Partition trajectories into ``folds`` disjoint groups and produce all splits."""
+    if folds < 2:
+        raise ConfigurationError("need at least two folds")
+    if len(trajectories) < folds:
+        raise ConfigurationError(
+            f"cannot split {len(trajectories)} trajectories into {folds} folds"
+        )
+    shuffled = list(trajectories)
+    random.Random(seed).shuffle(shuffled)
+    groups: list[list[Trajectory]] = [[] for _ in range(folds)]
+    for position, trajectory in enumerate(shuffled):
+        groups[position % folds].append(trajectory)
+
+    splits: list[Fold] = []
+    for index in range(folds):
+        test = tuple(groups[index])
+        train = tuple(t for j, group in enumerate(groups) if j != index for t in group)
+        splits.append(Fold(index=index, train=train, test=test))
+    return splits
+
+
+def split_by_regime(
+    trajectories: list[Trajectory], regimes: list[TimeRegime]
+) -> dict[str, list[Trajectory]]:
+    """Group trajectories by the time regime their departure falls into."""
+    grouped: dict[str, list[Trajectory]] = {regime.name: [] for regime in regimes}
+    for trajectory in trajectories:
+        for regime in regimes:
+            if regime.contains(trajectory.departure_time):
+                grouped[regime.name].append(trajectory)
+                break
+    return grouped

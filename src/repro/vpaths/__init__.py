@@ -1,0 +1,11 @@
+"""Virtual paths (V-paths): closure construction and the updated PACE graph."""
+
+from repro.vpaths.builder import VPathBuilderConfig, VPathBuildResult, build_vpaths
+from repro.vpaths.updated_graph import UpdatedPaceGraph
+
+__all__ = [
+    "VPathBuilderConfig",
+    "VPathBuildResult",
+    "build_vpaths",
+    "UpdatedPaceGraph",
+]

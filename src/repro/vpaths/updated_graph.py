@@ -1,0 +1,116 @@
+"""The updated PACE graph ``G_p+`` with V-paths.
+
+After the V-path closure, the graph offers for every vertex the set of
+outgoing *elements* — edges, T-paths and V-paths — each with a total-cost
+distribution.  Lemma 4.1 guarantees that the PACE cost distribution of any
+path can be obtained by convolving the weights of a non-overlapping
+decomposition into such elements, so routing on this graph uses convolution
+only, and stochastic-dominance pruning is sound again.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+from repro.core.elements import WeightedElement
+from repro.core.errors import GraphError
+from repro.core.pace_graph import PaceGraph
+from repro.network.road_network import RoadNetwork
+from repro.vpaths.builder import VPathBuilderConfig, VPathBuildResult, build_vpaths
+
+__all__ = ["UpdatedPaceGraph"]
+
+
+class UpdatedPaceGraph:
+    """A PACE graph augmented with pre-assembled V-paths (the paper's ``G_p+``)."""
+
+    def __init__(self, pace_graph: PaceGraph, vpaths: Mapping[tuple[int, ...], WeightedElement]):
+        self._pace_graph = pace_graph
+        self._vpaths: dict[tuple[int, ...], WeightedElement] = dict(vpaths)
+        self._vpaths_by_source: dict[int, list[WeightedElement]] = {}
+        self._vpaths_by_target: dict[int, list[WeightedElement]] = {}
+        for element in self._vpaths.values():
+            if not element.is_vpath():
+                raise GraphError("UpdatedPaceGraph only accepts V-path elements")
+            self._vpaths_by_source.setdefault(element.source, []).append(element)
+            self._vpaths_by_target.setdefault(element.target, []).append(element)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls, pace_graph: PaceGraph, config: VPathBuilderConfig | None = None
+    ) -> tuple["UpdatedPaceGraph", VPathBuildResult]:
+        """Run the V-path closure and wrap the result (returns graph and build stats)."""
+        result = build_vpaths(pace_graph, config)
+        return cls(pace_graph, result.vpaths), result
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def pace_graph(self) -> PaceGraph:
+        """The underlying PACE graph (edges and T-paths)."""
+        return self._pace_graph
+
+    @property
+    def network(self) -> RoadNetwork:
+        """The structural road network."""
+        return self._pace_graph.network
+
+    @property
+    def num_vpaths(self) -> int:
+        """The number of V-paths maintained."""
+        return len(self._vpaths)
+
+    def vpaths(self) -> Iterator[WeightedElement]:
+        """Iterate over all V-paths."""
+        return iter(self._vpaths.values())
+
+    def has_vpath(self, edge_ids: tuple[int, ...]) -> bool:
+        return tuple(edge_ids) in self._vpaths
+
+    def vpath(self, edge_ids: tuple[int, ...]) -> WeightedElement:
+        try:
+            return self._vpaths[tuple(edge_ids)]
+        except KeyError as exc:
+            raise GraphError(f"no V-path for edge sequence {edge_ids}") from exc
+
+    # ------------------------------------------------------------------ #
+    # Traversal
+    # ------------------------------------------------------------------ #
+    def outgoing_elements(self, vertex_id: int) -> list[WeightedElement]:
+        """Edges, T-paths and V-paths leaving a vertex."""
+        elements = self._pace_graph.outgoing_elements(vertex_id)
+        elements.extend(self._vpaths_by_source.get(vertex_id, []))
+        return elements
+
+    def incoming_elements(self, vertex_id: int) -> list[WeightedElement]:
+        """Edges, T-paths and V-paths arriving at a vertex."""
+        elements = self._pace_graph.incoming_elements(vertex_id)
+        elements.extend(self._vpaths_by_target.get(vertex_id, []))
+        return elements
+
+    def out_degree_with_vpaths(self, vertex_id: int) -> int:
+        """Number of traversable elements leaving a vertex in ``G_p+`` (Fig. 10d)."""
+        return self._pace_graph.out_degree_with_tpaths(vertex_id) + len(
+            self._vpaths_by_source.get(vertex_id, [])
+        )
+
+    def average_out_degree(self) -> float:
+        """Average out-degree over all vertices, counting edges, T-paths and V-paths."""
+        vertices = list(self.network.vertex_ids())
+        if not vertices:
+            return 0.0
+        return sum(self.out_degree_with_vpaths(v) for v in vertices) / len(vertices)
+
+    def max_out_degree(self) -> int:
+        """Maximum out-degree over all vertices, counting edges, T-paths and V-paths."""
+        return max(self.out_degree_with_vpaths(v) for v in self.network.vertex_ids())
+
+    def __repr__(self) -> str:
+        return (
+            f"UpdatedPaceGraph(network={self.network.name!r}, "
+            f"tpaths={self._pace_graph.num_tpaths}, vpaths={self.num_vpaths})"
+        )

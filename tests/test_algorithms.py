@@ -1,0 +1,103 @@
+"""Tests for the deterministic shortest-path utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import NoPathError, UnknownVertexError
+from repro.network.algorithms import (
+    free_flow_costs,
+    shortest_path,
+    shortest_path_cost,
+    single_source_costs,
+)
+from repro.network.road_network import RoadNetwork
+
+
+@pytest.fixture
+def line_network() -> RoadNetwork:
+    """0 -> 1 -> 2 -> 3 with a costly shortcut 0 -> 3."""
+    network = RoadNetwork()
+    for vertex in range(4):
+        network.add_vertex(vertex, vertex * 100.0, 0.0)
+    network.add_edge(0, 1, length=100, speed_limit=36)  # 10 s
+    network.add_edge(1, 2, length=100, speed_limit=36)  # 10 s
+    network.add_edge(2, 3, length=100, speed_limit=36)  # 10 s
+    network.add_edge(0, 3, length=600, speed_limit=36)  # 60 s shortcut that is not shorter
+    return network
+
+
+class TestSingleSource:
+    def test_costs_from_source(self, line_network):
+        costs = single_source_costs(line_network, 0, free_flow_costs(line_network))
+        assert costs[0] == 0
+        assert costs[1] == pytest.approx(10)
+        assert costs[3] == pytest.approx(30)
+
+    def test_targets_early_exit(self, line_network):
+        costs = single_source_costs(line_network, 0, free_flow_costs(line_network), targets={1})
+        assert 1 in costs
+
+    def test_unknown_source(self, line_network):
+        with pytest.raises(UnknownVertexError):
+            single_source_costs(line_network, 99, free_flow_costs(line_network))
+
+    def test_negative_cost_rejected(self, line_network):
+        with pytest.raises(ValueError):
+            single_source_costs(line_network, 0, lambda e: -1.0)
+
+    def test_unreachable_vertices_missing(self):
+        network = RoadNetwork()
+        network.add_vertex(0)
+        network.add_vertex(1, 10, 0)
+        costs = single_source_costs(network, 0, lambda e: 1.0)
+        assert 1 not in costs
+
+
+class TestShortestPath:
+    def test_prefers_cheaper_route(self, line_network):
+        path, cost = shortest_path(line_network, 0, 3, free_flow_costs(line_network))
+        assert cost == pytest.approx(30)
+        assert path.vertices == (0, 1, 2, 3)
+
+    def test_cost_function_changes_route(self, line_network):
+        # Make the intermediate edges expensive so the direct edge wins.
+        path, cost = shortest_path(
+            line_network, 0, 3, lambda e: 1000.0 if e.edge_id != 3 else 1.0
+        )
+        assert path.cardinality == 1
+        assert cost == pytest.approx(1.0)
+
+    def test_no_path_raises(self, line_network):
+        with pytest.raises(NoPathError):
+            shortest_path(line_network, 3, 0, free_flow_costs(line_network))
+
+    def test_same_source_destination_rejected(self, line_network):
+        with pytest.raises(NoPathError):
+            shortest_path(line_network, 1, 1, free_flow_costs(line_network))
+
+    def test_unknown_vertices_rejected(self, line_network):
+        with pytest.raises(UnknownVertexError):
+            shortest_path(line_network, 99, 0, free_flow_costs(line_network))
+        with pytest.raises(UnknownVertexError):
+            shortest_path(line_network, 0, 99, free_flow_costs(line_network))
+
+    def test_shortest_path_cost_matches_path(self, line_network):
+        _, cost = shortest_path(line_network, 0, 2, free_flow_costs(line_network))
+        assert shortest_path_cost(line_network, 0, 2, free_flow_costs(line_network)) == pytest.approx(cost)
+
+    def test_shortest_path_cost_unreachable(self, line_network):
+        with pytest.raises(NoPathError):
+            shortest_path_cost(line_network, 3, 0, free_flow_costs(line_network))
+
+    def test_paper_example_expected_route(self, paper_example):
+        """On the paper's example, minimum-cost routing (edge minima) gives 25 from vs to vd."""
+        pace = paper_example.pace_graph
+        path, cost = shortest_path(
+            paper_example.network,
+            paper_example.source,
+            paper_example.destination,
+            lambda e: pace.edge_weight(e.edge_id).min(),
+        )
+        assert cost == pytest.approx(25.0)
+        assert path.target == paper_example.destination

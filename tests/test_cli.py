@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_route_requires_endpoints_and_budget(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["route", "--source", "1"])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "--dataset", "atlantis"])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["stats"]).command == "stats"
+        assert parser.parse_args(["build", "--tau", "10"]).tau == 10
+        args = parser.parse_args(
+            ["route", "--source", "0", "--destination", "5", "--budget", "300"]
+        )
+        assert args.budget == 300.0
+        assert parser.parse_args(["bench", "table7"]).experiment == "table7"
+
+
+class TestCommands:
+    def test_stats_prints_table(self, capsys):
+        assert main(["stats", "--dataset", "tiny"]) == 0
+        output = capsys.readouterr().out
+        assert "Number of vertices" in output
+
+    def test_build_reports_index_sizes(self, capsys):
+        assert main(["build", "--dataset", "tiny", "--tau", "20"]) == 0
+        output = capsys.readouterr().out
+        assert "T-paths" in output and "V-paths" in output
+
+    def test_route_found(self, capsys, small_dataset):
+        trajectory = next(t for t in small_dataset.peak if t.num_edges >= 4)
+        exit_code = main(
+            [
+                "route",
+                "--dataset",
+                "tiny",
+                "--method",
+                "V-B-P",
+                "--source",
+                str(trajectory.path.source),
+                "--destination",
+                str(trajectory.path.target),
+                "--budget",
+                str(trajectory.total_cost * 2),
+                "--tau",
+                "20",
+            ]
+        )
+        assert exit_code == 0
+        assert "P(arrive within" in capsys.readouterr().out
+
+    def test_route_not_found_returns_nonzero(self, capsys, small_dataset):
+        trajectory = next(t for t in small_dataset.peak if t.num_edges >= 4)
+        exit_code = main(
+            [
+                "route",
+                "--dataset",
+                "tiny",
+                "--method",
+                "T-B-P",
+                "--source",
+                str(trajectory.path.source),
+                "--destination",
+                str(trajectory.path.target),
+                "--budget",
+                "1",
+            ]
+        )
+        assert exit_code == 1
+        assert "no path" in capsys.readouterr().out
+
+    def test_bench_table7(self, capsys):
+        assert main(["bench", "table7", "--dataset", "tiny"]) == 0
+        assert "Table 7" in capsys.readouterr().out

@@ -1,0 +1,92 @@
+"""Tests for the bundled datasets (paper example and synthetic cities)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.paper_example import (
+    EDGE_ONLY_GET_MIN,
+    PACE_GET_MIN,
+    VD,
+    VS,
+    build_paper_example,
+)
+from repro.datasets.synthetic import AALBORG_LIKE, XIAN_LIKE, aalborg_like, build_dataset, tiny_dataset
+from repro.trajectories.model import OFF_PEAK, PEAK
+
+
+class TestPaperExample:
+    def test_structure_matches_figure2(self, paper_example):
+        assert paper_example.network.num_vertices == 8
+        assert paper_example.network.num_edges == 10
+        assert paper_example.pace_graph.num_tpaths == 5
+
+    def test_edge_weights_match_figure2(self, paper_example):
+        pace = paper_example.pace_graph
+        assert pace.edge_weight(1).pdf(8) == pytest.approx(0.9)
+        assert pace.edge_weight(8).pdf(4) == pytest.approx(1.0)
+        assert pace.edge_weight(3).pdf(16) == pytest.approx(0.5)
+
+    def test_tpath_totals_match_figure3(self, paper_example):
+        pace = paper_example.pace_graph
+        assert pace.tpath((1, 4)).distribution.pdf(16) == pytest.approx(0.2)
+        assert pace.tpath((4, 9)).distribution.pdf(13) == pytest.approx(0.7)
+        assert pace.tpath((3, 6)).distribution.pdf(22) == pytest.approx(0.6)
+        assert pace.tpath((6, 8)).distribution.pdf(15) == pytest.approx(0.5)
+        assert pace.tpath((3, 6, 8)).distribution.pdf(30) == pytest.approx(0.6)
+
+    def test_reference_getmin_tables_are_consistent(self):
+        assert set(PACE_GET_MIN) == set(EDGE_ONLY_GET_MIN) == set(range(8))
+        assert PACE_GET_MIN[VD] == 0
+        assert all(PACE_GET_MIN[v] >= EDGE_ONLY_GET_MIN[v] for v in PACE_GET_MIN)
+
+    def test_source_destination_accessors(self, paper_example):
+        assert paper_example.source == VS
+        assert paper_example.destination == VD
+
+    def test_build_is_deterministic(self):
+        a = build_paper_example()
+        b = build_paper_example()
+        assert a.edge_ids == b.edge_ids
+        assert a.tpaths == b.tpaths
+
+
+class TestSyntheticDatasets:
+    def test_tiny_dataset_regime_split(self, small_dataset):
+        assert len(small_dataset.peak) + len(small_dataset.off_peak) == len(
+            small_dataset.trajectories
+        )
+        assert all(t.in_regime(PEAK) for t in small_dataset.peak)
+        assert all(t.in_regime(OFF_PEAK) for t in small_dataset.off_peak)
+
+    def test_tiny_dataset_statistics(self, small_dataset):
+        stats = small_dataset.statistics()
+        assert stats.num_vertices == small_dataset.network.num_vertices
+        assert stats.num_trajectories == len(small_dataset.trajectories)
+        assert 0 < stats.edge_coverage <= 1
+
+    def test_regime_accessor(self, small_dataset):
+        assert small_dataset.regime("peak") == small_dataset.peak
+        assert small_dataset.regime("off-peak") == small_dataset.off_peak
+        with pytest.raises(KeyError):
+            small_dataset.regime("weekend")
+
+    def test_tiny_dataset_deterministic(self):
+        a = tiny_dataset()
+        b = tiny_dataset()
+        assert len(a.trajectories) == len(b.trajectories)
+        assert a.trajectories[0].edge_costs == b.trajectories[0].edge_costs
+
+    def test_named_configs_have_distinct_roles(self):
+        assert AALBORG_LIKE.grid.rows < XIAN_LIKE.grid.rows
+        assert AALBORG_LIKE.name != XIAN_LIKE.name
+
+    def test_scale_parameter_shrinks_trajectories(self):
+        small = aalborg_like(scale=0.05)
+        assert len(small.trajectories) < 400
+        assert small.network.num_vertices > 50
+
+    def test_build_dataset_cleans_trajectories(self):
+        dataset = build_dataset(AALBORG_LIKE)
+        assert len(dataset.trajectories) <= AALBORG_LIKE.trajectories.num_trajectories
+        assert len(dataset.trajectories) > AALBORG_LIKE.trajectories.num_trajectories * 0.5

@@ -1,0 +1,351 @@
+"""Unit and property-based tests for discrete cost distributions."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distributions import PROBABILITY_TOLERANCE, Distribution
+from repro.core.errors import DistributionError
+
+
+# --------------------------------------------------------------------------- #
+# Construction and validation
+# --------------------------------------------------------------------------- #
+class TestConstruction:
+    def test_from_pairs_orders_support(self):
+        d = Distribution.from_pairs([(10, 0.1), (8, 0.9)])
+        assert d.support == (8.0, 10.0)
+        assert d.probabilities == (0.9, 0.1)
+
+    def test_from_mapping(self):
+        d = Distribution.from_mapping({5: 0.4, 7: 0.6})
+        assert d.pdf(5) == pytest.approx(0.4)
+        assert d.pdf(7) == pytest.approx(0.6)
+
+    def test_point_mass(self):
+        d = Distribution.point(12.5)
+        assert d.support == (12.5,)
+        assert d.expectation() == pytest.approx(12.5)
+        assert d.variance() == pytest.approx(0.0)
+
+    def test_duplicate_values_are_merged(self):
+        d = Distribution.from_pairs([(5, 0.3), (5, 0.2), (9, 0.5)])
+        assert d.pdf(5) == pytest.approx(0.5)
+
+    def test_zero_probability_entries_are_dropped(self):
+        d = Distribution.from_pairs([(5, 0.0), (9, 1.0)])
+        assert d.support == (9.0,)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DistributionError):
+            Distribution.from_pairs([])
+
+    def test_rejects_all_zero_probabilities(self):
+        with pytest.raises(DistributionError):
+            Distribution.from_pairs([(5, 0.0)])
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(DistributionError):
+            Distribution.from_pairs([(-1, 1.0)])
+
+    def test_rejects_negative_probability(self):
+        with pytest.raises(DistributionError):
+            Distribution.from_pairs([(1, 1.5), (2, -0.5)])
+
+    def test_rejects_unnormalised_without_flag(self):
+        with pytest.raises(DistributionError):
+            Distribution.from_pairs([(1, 0.4), (2, 0.4)])
+
+    def test_normalise_flag(self):
+        d = Distribution.from_pairs([(1, 2.0), (2, 6.0)], normalise=True)
+        assert d.pdf(1) == pytest.approx(0.25)
+        assert d.pdf(2) == pytest.approx(0.75)
+
+    def test_rejects_non_finite_cost(self):
+        with pytest.raises(DistributionError):
+            Distribution.from_pairs([(math.inf, 1.0)])
+
+    def test_from_samples_bins_on_resolution(self):
+        d = Distribution.from_samples([10.2, 9.8, 20.1, 19.9], resolution=1.0)
+        assert d.pdf(10) == pytest.approx(0.5)
+        assert d.pdf(20) == pytest.approx(0.5)
+
+    def test_from_samples_rejects_empty(self):
+        with pytest.raises(DistributionError):
+            Distribution.from_samples([])
+
+    def test_from_samples_rejects_bad_resolution(self):
+        with pytest.raises(DistributionError):
+            Distribution.from_samples([1.0], resolution=0.0)
+
+
+# --------------------------------------------------------------------------- #
+# Summaries and lookups
+# --------------------------------------------------------------------------- #
+class TestSummaries:
+    def test_table1_expectations(self):
+        """The paper's Table 1: P_A averages 49 minutes, P_B averages 52."""
+        p_a = Distribution.from_pairs([(40, 0.5), (50, 0.2), (60, 0.2), (70, 0.1)])
+        p_b = Distribution.from_pairs([(50, 0.8), (60, 0.2)])
+        assert p_a.expectation() == pytest.approx(49.0)
+        assert p_b.expectation() == pytest.approx(52.0)
+
+    def test_table1_on_time_probabilities(self):
+        """With a 60-minute budget P_A is riskier than P_B despite its lower mean."""
+        p_a = Distribution.from_pairs([(40, 0.5), (50, 0.2), (60, 0.2), (70, 0.1)])
+        p_b = Distribution.from_pairs([(50, 0.8), (60, 0.2)])
+        assert p_a.prob_at_most(60) == pytest.approx(0.9)
+        assert p_b.prob_at_most(60) == pytest.approx(1.0)
+
+    def test_cdf_between_support_points(self):
+        d = Distribution.from_pairs([(8, 0.9), (10, 0.1)])
+        assert d.cdf(7.9) == pytest.approx(0.0)
+        assert d.cdf(8) == pytest.approx(0.9)
+        assert d.cdf(9.5) == pytest.approx(0.9)
+        assert d.cdf(11) == pytest.approx(1.0)
+
+    def test_min_max(self):
+        d = Distribution.from_pairs([(8, 0.9), (10, 0.1)])
+        assert d.min() == 8
+        assert d.max() == 10
+
+    def test_pdf_missing_value_is_zero(self):
+        d = Distribution.from_pairs([(8, 0.9), (10, 0.1)])
+        assert d.pdf(9) == 0.0
+
+    def test_quantile(self):
+        d = Distribution.from_pairs([(5, 0.25), (10, 0.5), (20, 0.25)])
+        assert d.quantile(0.2) == 5
+        assert d.quantile(0.5) == 10
+        assert d.quantile(1.0) == 20
+
+    def test_quantile_rejects_out_of_range(self):
+        d = Distribution.point(5)
+        with pytest.raises(DistributionError):
+            d.quantile(1.5)
+
+    def test_variance(self):
+        d = Distribution.from_pairs([(0, 0.5), (10, 0.5)])
+        assert d.variance() == pytest.approx(25.0)
+
+    def test_len_and_iteration(self):
+        d = Distribution.from_pairs([(1, 0.5), (2, 0.5)])
+        assert len(d) == 2
+        assert list(d) == [(1.0, 0.5), (2.0, 0.5)]
+
+    def test_equality_and_hash(self):
+        a = Distribution.from_pairs([(1, 0.5), (2, 0.5)])
+        b = Distribution.from_pairs([(2, 0.5), (1, 0.5)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_repr_contains_pairs(self):
+        d = Distribution.from_pairs([(8, 0.9), (10, 0.1)])
+        assert "8" in repr(d) and "0.9" in repr(d)
+
+
+# --------------------------------------------------------------------------- #
+# Arithmetic
+# --------------------------------------------------------------------------- #
+class TestArithmetic:
+    def test_convolution_of_paper_edges(self):
+        """Convolving e1 and e4 of the paper example gives the EDGE-style estimate."""
+        e1 = Distribution.from_pairs([(8, 0.9), (10, 0.1)])
+        e4 = Distribution.from_pairs([(6, 0.2), (10, 0.8)])
+        combined = e1.convolve(e4)
+        assert combined.pdf(14) == pytest.approx(0.18)
+        assert combined.pdf(16) == pytest.approx(0.02)
+        assert combined.pdf(18) == pytest.approx(0.72)
+        assert combined.pdf(20) == pytest.approx(0.08)
+
+    def test_convolution_preserves_expectation(self):
+        a = Distribution.from_pairs([(3, 0.5), (5, 0.5)])
+        b = Distribution.from_pairs([(10, 0.2), (20, 0.8)])
+        assert (a + b).expectation() == pytest.approx(a.expectation() + b.expectation())
+
+    def test_convolution_with_point_shifts(self):
+        a = Distribution.from_pairs([(3, 0.5), (5, 0.5)])
+        shifted = a.convolve(Distribution.point(7))
+        assert shifted.support == (10.0, 12.0)
+
+    def test_convolution_max_support_compresses(self):
+        a = Distribution.from_samples(list(range(1, 30)))
+        b = Distribution.from_samples(list(range(1, 30)))
+        c = a.convolve(b, max_support=16)
+        assert len(c) <= 16
+        assert abs(c.expectation() - (a.expectation() + b.expectation())) < 2.0
+
+    def test_shift(self):
+        d = Distribution.from_pairs([(5, 1.0)]).shift(3)
+        assert d.support == (8.0,)
+
+    def test_shift_negative_guard(self):
+        with pytest.raises(DistributionError):
+            Distribution.point(2).shift(-5)
+
+    def test_scale(self):
+        d = Distribution.from_pairs([(4, 0.5), (8, 0.5)]).scale(0.5)
+        assert d.support == (2.0, 4.0)
+
+    def test_scale_rejects_non_positive(self):
+        with pytest.raises(DistributionError):
+            Distribution.point(1).scale(0)
+
+    def test_rebin(self):
+        d = Distribution.from_pairs([(9, 0.5), (11, 0.5)]).rebin(10)
+        assert d.support == (10.0,)
+
+    def test_compress_preserves_mass(self):
+        d = Distribution.from_samples(list(range(100)), resolution=1.0)
+        compressed = d.compress(10)
+        assert len(compressed) <= 10
+        assert sum(compressed.probabilities) == pytest.approx(1.0)
+
+    def test_compress_single_value(self):
+        d = Distribution.from_pairs([(1, 0.3), (2, 0.3), (3, 0.4)])
+        single = d.compress(1)
+        assert len(single) == 1
+
+    def test_truncate_above_collapses_tail(self):
+        d = Distribution.from_pairs([(5, 0.5), (50, 0.3), (100, 0.2)])
+        truncated = d.truncate_above(10)
+        assert truncated.prob_at_most(10) == pytest.approx(0.5)
+        assert len(truncated) == 2
+
+    def test_truncate_above_noop_when_within_budget(self):
+        d = Distribution.from_pairs([(5, 0.5), (7, 0.5)])
+        assert d.truncate_above(10) is d
+
+
+# --------------------------------------------------------------------------- #
+# Dominance, divergence, sampling
+# --------------------------------------------------------------------------- #
+class TestComparisons:
+    def test_dominance_basic(self):
+        fast = Distribution.from_pairs([(5, 0.8), (10, 0.2)])
+        slow = Distribution.from_pairs([(5, 0.2), (10, 0.8)])
+        assert fast.stochastically_dominates(slow)
+        assert not slow.stochastically_dominates(fast)
+
+    def test_dominance_is_reflexive_but_not_strict(self):
+        d = Distribution.from_pairs([(5, 0.5), (6, 0.5)])
+        assert d.stochastically_dominates(d)
+        assert not d.stochastically_dominates(d, strict=True)
+
+    def test_dominance_incomparable(self):
+        a = Distribution.from_pairs([(1, 0.5), (10, 0.5)])
+        b = Distribution.from_pairs([(4, 1.0)])
+        assert not a.stochastically_dominates(b)
+        assert not b.stochastically_dominates(a)
+
+    def test_dominance_preserved_by_convolution(self):
+        """The EDGE-model pruning argument: dominance survives adding the same edge."""
+        fast = Distribution.from_pairs([(5, 0.8), (10, 0.2)])
+        slow = Distribution.from_pairs([(5, 0.2), (10, 0.8)])
+        extension = Distribution.from_pairs([(3, 0.5), (4, 0.5)])
+        assert (fast + extension).stochastically_dominates(slow + extension)
+
+    def test_kl_divergence_zero_for_identical(self):
+        d = Distribution.from_pairs([(5, 0.5), (10, 0.5)])
+        assert d.kl_divergence(d) == pytest.approx(0.0, abs=1e-9)
+
+    def test_kl_divergence_positive_for_different(self):
+        a = Distribution.from_pairs([(5, 0.9), (10, 0.1)])
+        b = Distribution.from_pairs([(5, 0.1), (10, 0.9)])
+        assert a.kl_divergence(b) > 0.5
+
+    def test_kl_divergence_handles_missing_support(self):
+        a = Distribution.from_pairs([(5, 0.5), (10, 0.5)])
+        b = Distribution.from_pairs([(5, 1.0)])
+        assert math.isfinite(a.kl_divergence(b))
+
+    def test_sampling_matches_distribution(self):
+        d = Distribution.from_pairs([(1, 0.25), (2, 0.75)])
+        rng = random.Random(5)
+        samples = d.sample(rng, 4000)
+        assert abs(samples.count(2) / len(samples) - 0.75) < 0.05
+
+    def test_sample_negative_size_rejected(self):
+        with pytest.raises(DistributionError):
+            Distribution.point(1).sample(random.Random(0), -1)
+
+    def test_is_close(self):
+        a = Distribution.from_pairs([(1, 0.5), (2, 0.5)])
+        b = Distribution.from_pairs([(1, 0.5000000001), (2, 0.4999999999)])
+        assert a.is_close(b)
+
+
+# --------------------------------------------------------------------------- #
+# Property-based invariants
+# --------------------------------------------------------------------------- #
+def _distribution_strategy(max_size: int = 6):
+    return st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=200),
+            st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=max_size,
+    ).map(lambda pairs: Distribution.from_pairs(pairs, normalise=True))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_distribution_strategy())
+def test_probabilities_always_sum_to_one(distribution):
+    assert sum(distribution.probabilities) == pytest.approx(1.0, abs=PROBABILITY_TOLERANCE * 10)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_distribution_strategy())
+def test_cdf_is_monotone(distribution):
+    points = sorted(set(distribution.support))
+    values = [distribution.cdf(p) for p in points]
+    assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+    assert values[-1] == pytest.approx(1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_distribution_strategy(), _distribution_strategy())
+def test_convolution_is_commutative(a, b):
+    left = a.convolve(b)
+    right = b.convolve(a)
+    assert left.support == right.support
+    for value in left.support:
+        assert left.pdf(value) == pytest.approx(right.pdf(value), abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_distribution_strategy(), _distribution_strategy())
+def test_convolution_bounds(a, b):
+    combined = a.convolve(b)
+    assert combined.min() == pytest.approx(a.min() + b.min())
+    assert combined.max() == pytest.approx(a.max() + b.max())
+    assert combined.expectation() == pytest.approx(a.expectation() + b.expectation(), rel=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_distribution_strategy())
+def test_self_dominance_always_holds(distribution):
+    assert distribution.stochastically_dominates(distribution)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_distribution_strategy(), st.integers(min_value=1, max_value=5))
+def test_compress_keeps_normalisation_and_mean(distribution, max_support):
+    compressed = distribution.compress(max_support)
+    assert len(compressed) <= max_support
+    assert sum(compressed.probabilities) == pytest.approx(1.0, abs=1e-9)
+    span = max(distribution.max() - distribution.min(), 1.0)
+    assert abs(compressed.expectation() - distribution.expectation()) <= span
+
+
+@settings(max_examples=40, deadline=None)
+@given(_distribution_strategy(), st.floats(min_value=0, max_value=250, allow_nan=False))
+def test_kl_divergence_non_negative(distribution, _):
+    other = distribution.rebin(5.0)
+    assert distribution.kl_divergence(other) >= -1e-9

@@ -1,0 +1,74 @@
+"""Tests for the EDGE model graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.distributions import Distribution
+from repro.core.edge_graph import EdgeGraph
+from repro.core.errors import GraphError, UnknownEdgeError
+from repro.network.road_network import RoadNetwork
+
+
+@pytest.fixture
+def small_network() -> RoadNetwork:
+    network = RoadNetwork()
+    for vertex in range(3):
+        network.add_vertex(vertex, vertex * 100.0, 0.0)
+    network.add_edge(0, 1, length=100, speed_limit=36)
+    network.add_edge(1, 2, length=100, speed_limit=36)
+    return network
+
+
+class TestEdgeGraph:
+    def test_fill_uncovered_uses_free_flow(self, small_network):
+        graph = EdgeGraph(small_network)
+        assert graph.weight(0).support == (10.0,)
+
+    def test_explicit_weights_override_fallback(self, small_network):
+        weights = {0: Distribution.from_pairs([(12, 0.5), (20, 0.5)])}
+        graph = EdgeGraph(small_network, weights)
+        assert graph.weight(0).expectation() == pytest.approx(16.0)
+        assert graph.weight(1).support == (10.0,)
+
+    def test_strict_mode_requires_all_weights(self, small_network):
+        with pytest.raises(GraphError):
+            EdgeGraph(small_network, {0: Distribution.point(5)}, fill_uncovered=False)
+
+    def test_set_weight_unknown_edge(self, small_network):
+        graph = EdgeGraph(small_network)
+        with pytest.raises(UnknownEdgeError):
+            graph.set_weight(99, Distribution.point(1))
+
+    def test_path_cost_is_convolution(self, paper_example):
+        graph = paper_example.edge_graph
+        path = paper_example.network.path_from_edge_ids([1, 4])
+        distribution = graph.path_cost_distribution(path)
+        # e1 = [8,.9][10,.1], e4 = [6,.2][10,.8]
+        assert distribution.pdf(14) == pytest.approx(0.18)
+        assert distribution.pdf(18) == pytest.approx(0.72)
+
+    def test_path_expected_and_min_cost(self, paper_example):
+        graph = paper_example.edge_graph
+        path = paper_example.network.path_from_edge_ids([1, 4])
+        assert graph.path_min_cost(path) == pytest.approx(14.0)
+        assert graph.path_expected_cost(path) == pytest.approx(8.2 + 9.2)
+
+    def test_outgoing_elements_are_edges(self, paper_example):
+        elements = paper_example.edge_graph.outgoing_elements(paper_example.source)
+        assert {e.path.edges[0] for e in elements} == {1, 2}
+        assert all(e.is_edge() for e in elements)
+
+    def test_weights_copy_is_detached(self, small_network):
+        graph = EdgeGraph(small_network)
+        weights = graph.weights()
+        weights[0] = Distribution.point(999)
+        assert graph.weight(0).support == (10.0,)
+
+    def test_expected_and_min_cost_accessors(self, small_network):
+        graph = EdgeGraph(small_network, {0: Distribution.from_pairs([(5, 0.5), (15, 0.5)])})
+        assert graph.min_cost(0) == 5
+        assert graph.expected_cost(0) == pytest.approx(10.0)
+
+    def test_repr(self, small_network):
+        assert "weighted_edges=2" in repr(EdgeGraph(small_network))

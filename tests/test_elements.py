@@ -1,0 +1,67 @@
+"""Tests for weighted graph elements (edges, T-paths, V-paths)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.distributions import Distribution
+from repro.core.elements import ElementKind, WeightedElement
+from repro.core.joint import JointDistribution
+from repro.core.paths import Path
+
+
+@pytest.fixture
+def edge_element() -> WeightedElement:
+    return WeightedElement(
+        kind=ElementKind.EDGE,
+        path=Path([7], [0, 1]),
+        distribution=Distribution.from_pairs([(5, 0.5), (9, 0.5)]),
+    )
+
+
+@pytest.fixture
+def tpath_element() -> WeightedElement:
+    joint = JointDistribution((7, 8), {(5.0, 5.0): 0.5, (9.0, 9.0): 0.5})
+    return WeightedElement(
+        kind=ElementKind.TPATH,
+        path=Path([7, 8], [0, 1, 2]),
+        distribution=joint.total_cost_distribution(),
+        joint=joint,
+        support=60,
+    )
+
+
+class TestWeightedElement:
+    def test_endpoints_and_cardinality(self, tpath_element):
+        assert tpath_element.source == 0
+        assert tpath_element.target == 2
+        assert tpath_element.cardinality == 2
+
+    def test_min_cost(self, edge_element):
+        assert edge_element.min_cost == 5
+
+    def test_kind_predicates(self, edge_element, tpath_element):
+        assert edge_element.is_edge() and not edge_element.is_tpath()
+        assert tpath_element.is_tpath() and not tpath_element.is_vpath()
+
+    def test_joint_of_tpath_is_stored_joint(self, tpath_element):
+        assert tpath_element.joint_distribution() is tpath_element.joint
+
+    def test_joint_of_edge_synthesised_from_marginal(self, edge_element):
+        joint = edge_element.joint_distribution()
+        assert joint.edge_ids == (7,)
+        assert joint.probability_of((5.0,)) == pytest.approx(0.5)
+
+    def test_multi_edge_element_without_joint_raises(self):
+        element = WeightedElement(
+            kind=ElementKind.VPATH,
+            path=Path([1, 2], [0, 1, 2]),
+            distribution=Distribution.point(10),
+        )
+        with pytest.raises(ValueError):
+            element.joint_distribution()
+
+    def test_kind_enum_values(self):
+        assert ElementKind.EDGE.value == "edge"
+        assert ElementKind.TPATH.value == "tpath"
+        assert ElementKind.VPATH.value == "vpath"

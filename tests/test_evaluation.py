@@ -1,0 +1,121 @@
+"""Tests for the evaluation harness: workloads, accuracy, reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.evaluation.accuracy import evaluate_accuracy, path_groups
+from repro.evaluation.reporting import format_table, render_report, write_report
+from repro.evaluation.workloads import WorkloadConfig, generate_workload
+
+
+class TestWorkloads:
+    @pytest.fixture(scope="class")
+    def workload(self, small_edge_graph, small_dataset):
+        return generate_workload(
+            small_edge_graph,
+            list(small_dataset.peak),
+            WorkloadConfig(pairs_per_bucket=2, budget_fractions=(0.5, 1.0, 1.5), seed=5),
+        )
+
+    def test_every_pair_gets_every_budget_level(self, workload):
+        assert len(workload) % 3 == 0
+        assert workload.budget_fractions() == (0.5, 1.0, 1.5)
+
+    def test_buckets_are_labelled_and_ordered(self, workload):
+        assert len(workload.bucket_labels) == 4
+        assert all("km" in label for label in workload.bucket_labels)
+
+    def test_budgets_scale_with_fraction(self, workload):
+        by_pair = {}
+        for item in workload.queries:
+            key = (item.query.source, item.query.destination)
+            by_pair.setdefault(key, {})[item.budget_fraction] = item.query.budget
+        for budgets in by_pair.values():
+            assert budgets[0.5] < budgets[1.0] < budgets[1.5]
+            assert budgets[1.0] == pytest.approx(budgets[0.5] * 2.0, rel=1e-6)
+
+    def test_budget_equals_fraction_of_least_expected_time(self, workload):
+        for item in workload.queries:
+            assert item.query.budget == pytest.approx(
+                item.least_expected_time * item.budget_fraction
+            )
+
+    def test_by_bucket_and_by_fraction_filters(self, workload):
+        bucket = workload.bucket_labels[0]
+        assert all(q.distance_bucket == bucket for q in workload.by_bucket(bucket))
+        assert all(q.budget_fraction == 0.5 for q in workload.by_budget_fraction(0.5))
+
+    def test_queries_are_routable_pairs(self, workload, small_dataset):
+        for item in workload.queries:
+            assert small_dataset.network.has_vertex(item.query.source)
+            assert small_dataset.network.has_vertex(item.query.destination)
+            assert item.query.source != item.query.destination
+
+    def test_deterministic_given_seed(self, small_edge_graph, small_dataset):
+        config = WorkloadConfig(pairs_per_bucket=2, seed=11)
+        a = generate_workload(small_edge_graph, list(small_dataset.peak), config)
+        b = generate_workload(small_edge_graph, list(small_dataset.peak), config)
+        assert [(q.query.source, q.query.destination, q.query.budget) for q in a.queries] == [
+            (q.query.source, q.query.destination, q.query.budget) for q in b.queries
+        ]
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(pairs_per_bucket=0).validate()
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(budget_fractions=()).validate()
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(budget_fractions=(-0.5,)).validate()
+
+
+class TestAccuracy:
+    def test_path_groups_requires_support(self, small_dataset):
+        groups = path_groups(list(small_dataset.peak), min_support=5)
+        assert all(len(group) >= 5 for group in groups.values())
+
+    def test_accuracy_result_structure(self, small_dataset):
+        result = evaluate_accuracy(
+            small_dataset.network,
+            list(small_dataset.peak),
+            tau=15,
+            folds=3,
+            max_paths_per_fold=10,
+        )
+        assert result.tau == 15
+        assert result.evaluated_paths > 0
+        assert result.mean_kl >= 0
+        assert result.ci_low <= result.mean_kl <= result.ci_high
+
+    def test_kl_is_finite(self, small_dataset):
+        result = evaluate_accuracy(
+            small_dataset.network, list(small_dataset.peak), tau=20, folds=3, max_paths_per_fold=10
+        )
+        assert result.mean_kl < 10.0
+
+
+class TestReporting:
+    def test_format_table_aligns_columns(self):
+        table = format_table(["name", "value"], [["a", 1.5], ["long-name", 20000.0]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_format_table_number_rendering(self):
+        table = format_table(["x"], [[0.12345], [1234.5], [0.0]])
+        assert "0.1234" in table or "0.1235" in table
+        assert "1,234" in table or "1,235" in table
+
+    def test_render_report_contains_title(self):
+        report = render_report("My title", ["a"], [[1]])
+        assert report.startswith("My title")
+
+    def test_write_report(self, tmp_path, capsys):
+        path = write_report("hello", "report.txt", directory=tmp_path, echo=True)
+        assert path.read_text() == "hello"
+        assert "hello" in capsys.readouterr().out
+
+    def test_write_report_silent(self, tmp_path, capsys):
+        write_report("quiet", "report.txt", directory=tmp_path, echo=False)
+        assert capsys.readouterr().out == ""

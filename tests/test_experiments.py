@@ -1,0 +1,121 @@
+"""Integration tests for the experiment drivers (small-scale end-to-end runs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.experiments import (
+    ExperimentContext,
+    ExperimentScale,
+    fig10a_tpath_counts,
+    fig10cd_vpaths,
+    fig11_binary_precompute,
+    fig12_budget_precompute,
+    fig19_case_study,
+    routing_report_by_budget,
+    routing_report_by_distance,
+    table7_data_statistics,
+    table8_binary_precompute_total,
+    table10_method_comparison,
+)
+
+
+@pytest.fixture(scope="module")
+def context(small_dataset):
+    scale = ExperimentScale(
+        tau=20,
+        taus=(10, 20),
+        deltas=(60.0, 240.0),
+        pairs_per_bucket=1,
+        budget_fractions=(0.75, 1.25),
+        sample_destinations=2,
+        max_explored=1500,
+        accuracy_folds=3,
+    )
+    return ExperimentContext.build(small_dataset, scale)
+
+
+class TestContext:
+    def test_context_builds_both_regimes(self, context):
+        assert set(context.pace_graphs) == {"peak", "off-peak"}
+        assert set(context.updated_graphs) == {"peak", "off-peak"}
+        assert all(len(w) > 0 for w in context.workloads.values())
+
+    def test_routers_are_cached(self, context):
+        assert context.router("peak", "T-B-P") is context.router("peak", "T-B-P")
+
+    def test_routing_records_cached_and_complete(self, context):
+        records = context.routing_records("peak", "T-B-P")
+        assert len(records) == len(context.workloads["peak"])
+        assert context.routing_records("peak", "T-B-P") is records
+
+
+class TestDrivers:
+    def test_table7(self, context, small_dataset):
+        report = table7_data_statistics([small_dataset])
+        assert report.experiment == "Table 7"
+        assert len(report.rows) == 7
+        assert "Number of vertices" in report.render()
+
+    def test_fig10a_counts_decrease_with_tau(self, context):
+        report = fig10a_tpath_counts(context)
+        totals = [row[1] for row in report.rows]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_fig10cd_structure(self, context):
+        report = fig10cd_vpaths(context)
+        assert len(report.rows) == len(context.scale.taus)
+        for row in report.rows:
+            assert row[6] >= 0  # average out-degree
+
+    def test_fig11_orders_binary_variants(self, context):
+        report = fig11_binary_precompute(context)
+        methods = [row[0] for row in report.rows]
+        assert methods == ["T-B-EU", "T-B-E", "T-B-P"]
+        runtimes = {row[0]: row[1] for row in report.rows}
+        assert runtimes["T-B-EU"] <= runtimes["T-B-P"] + 1e-6
+
+    def test_table8_covers_both_regimes(self, context):
+        report = table8_binary_precompute_total(context)
+        regimes = {row[0] for row in report.rows}
+        assert regimes == {"peak", "off-peak"}
+
+    def test_fig12_storage_grows_with_smaller_delta(self, context):
+        report = fig12_budget_precompute(context)
+        storage = {row[0]: row[2] for row in report.rows}
+        assert storage[60] >= storage[240]
+
+    def test_routing_reports_have_one_row_per_group(self, context):
+        methods = ("T-B-P", "V-BS-60")
+        by_distance = routing_report_by_distance(
+            context, methods, regime="peak", experiment="Fig 13", title="t"
+        )
+        assert len(by_distance.rows) == len(context.workloads["peak"].bucket_labels)
+        by_budget = routing_report_by_budget(
+            context, methods, regime="peak", experiment="Fig 13", title="t"
+        )
+        assert len(by_budget.rows) == len(context.workloads["peak"].budget_fractions())
+
+    def test_guided_routing_is_faster_than_baseline(self, context):
+        """The core claim of the paper at small scale: heuristics beat T-None."""
+        baseline = context.routing_records("peak", "T-None")
+        guided = context.routing_records("peak", "V-BS-60")
+        baseline_mean = sum(r.runtime_seconds for r in baseline) / len(baseline)
+        guided_mean = sum(r.runtime_seconds for r in guided) / len(guided)
+        assert guided_mean < baseline_mean
+
+    def test_table10_structure(self, context):
+        report = table10_method_comparison(context)
+        methods = [row[0] for row in report.rows]
+        assert "V-BS-60" in methods and "T-B-EU" in methods
+        for row in report.rows:
+            assert row[1] >= 0 and row[2] >= 0 and row[3] >= 0
+
+    def test_fig19_stochastic_at_least_as_good_as_baseline(self, context):
+        report = fig19_case_study(context)
+        for row in report.rows:
+            assert row[2] >= row[3] - 1e-6
+
+    def test_reports_render_to_text(self, context):
+        text = fig11_binary_precompute(context).render()
+        assert "Figure 11" in text and "runtime" in text

@@ -1,0 +1,81 @@
+"""End-to-end tests of the HMM map matcher against the GPS simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import DataError
+from repro.network.generators import GridCityConfig, generate_grid_city
+from repro.trajectories.generator import TrajectoryGenerator, TrajectoryGeneratorConfig
+from repro.trajectories.gps import GpsSimulatorConfig, simulate_gps_trace
+from repro.trajectories.map_matching import HmmMapMatcher, MapMatcherConfig
+from repro.trajectories.model import GpsPoint, GpsTrace
+
+
+@pytest.fixture(scope="module")
+def network():
+    return generate_grid_city(GridCityConfig(rows=5, cols=5, spacing=300.0, seed=4))
+
+
+@pytest.fixture(scope="module")
+def matcher(network):
+    return HmmMapMatcher(network, MapMatcherConfig(candidate_radius=120.0, emission_sigma=25.0))
+
+
+@pytest.fixture(scope="module")
+def ground_truth(network):
+    config = TrajectoryGeneratorConfig(num_trajectories=12, num_hubs=5, seed=8, min_route_edges=3)
+    return TrajectoryGenerator(network, config).generate()
+
+
+class TestMapMatching:
+    def test_recovers_most_ground_truth_edges(self, network, matcher, ground_truth):
+        recovered = 0
+        total = 0
+        for trajectory in ground_truth[:8]:
+            trace = simulate_gps_trace(
+                network, trajectory, GpsSimulatorConfig(sampling_interval=4.0, noise_sigma=8.0)
+            )
+            result = matcher.match(trace)
+            truth = set(trajectory.path.edges)
+            matched = set(result.path.edges)
+            recovered += len(truth & matched)
+            total += len(truth)
+        assert recovered / total > 0.7
+
+    def test_matched_path_is_connected(self, network, matcher, ground_truth):
+        trajectory = ground_truth[0]
+        trace = simulate_gps_trace(network, trajectory, GpsSimulatorConfig(noise_sigma=10.0))
+        result = matcher.match(trace)
+        for a, b in zip(result.path.edges, result.path.edges[1:]):
+            assert network.edge(a).target == network.edge(b).source
+
+    def test_matched_fraction_reported(self, network, matcher, ground_truth):
+        trajectory = ground_truth[1]
+        trace = simulate_gps_trace(network, trajectory, GpsSimulatorConfig(noise_sigma=5.0))
+        result = matcher.match(trace)
+        assert 0 < result.matched_fraction <= 1.0
+
+    def test_to_trajectory_distributes_duration(self, network, matcher, ground_truth):
+        trajectory = ground_truth[2]
+        trace = simulate_gps_trace(network, trajectory, GpsSimulatorConfig(noise_sigma=5.0))
+        result = matcher.match(trace)
+        rebuilt = result.to_trajectory(network, trace)
+        assert rebuilt.total_cost == pytest.approx(trace.duration, rel=0.05)
+        assert rebuilt.num_edges == result.path.cardinality
+
+    def test_trace_far_from_network_rejected(self, matcher):
+        faraway = GpsTrace(
+            0,
+            (GpsPoint(1e7, 1e7, 0.0), GpsPoint(1e7 + 5, 1e7, 5.0), GpsPoint(1e7 + 10, 1e7, 10.0)),
+        )
+        with pytest.raises(DataError):
+            matcher.match(faraway)
+
+    def test_config_validation(self):
+        with pytest.raises(DataError):
+            MapMatcherConfig(candidate_radius=-1).validate()
+        with pytest.raises(DataError):
+            MapMatcherConfig(emission_sigma=0).validate()
+        with pytest.raises(DataError):
+            MapMatcherConfig(max_candidates=0).validate()

@@ -1,0 +1,113 @@
+"""Tests for the synthetic network generator, JSON I/O and Table-7 statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError, DataError
+from repro.network.generators import GridCityConfig, generate_grid_city
+from repro.network.io import load_network, network_from_dict, network_to_dict, save_network
+from repro.network.statistics import compute_statistics
+from repro.trajectories.model import Trajectory
+
+
+@pytest.fixture(scope="module")
+def city():
+    return generate_grid_city(GridCityConfig(rows=6, cols=6, seed=3))
+
+
+class TestGenerator:
+    def test_deterministic_given_seed(self):
+        a = generate_grid_city(GridCityConfig(rows=5, cols=5, seed=9))
+        b = generate_grid_city(GridCityConfig(rows=5, cols=5, seed=9))
+        assert a.num_vertices == b.num_vertices
+        assert a.num_edges == b.num_edges
+        assert [e.length for e in a.edges()] == [e.length for e in b.edges()]
+
+    def test_different_seed_changes_layout(self):
+        a = generate_grid_city(GridCityConfig(rows=5, cols=5, seed=9))
+        b = generate_grid_city(GridCityConfig(rows=5, cols=5, seed=10))
+        assert [round(v.x, 3) for v in a.vertices()] != [round(v.x, 3) for v in b.vertices()]
+
+    def test_two_way_streets(self, city):
+        forward = [(e.source, e.target) for e in city.edges()]
+        assert all((b, a) in set(forward) for a, b in forward)
+
+    def test_speed_hierarchy(self, city):
+        speeds = {e.speed_limit for e in city.edges()}
+        assert len(speeds) == 2  # arterials and residential streets
+
+    def test_no_isolated_vertices(self, city):
+        for vertex in city.vertex_ids():
+            assert city.out_degree(vertex) + city.in_degree(vertex) > 0
+
+    def test_average_degree_in_reasonable_range(self, city):
+        degree = city.num_edges / city.num_vertices
+        assert 1.5 <= degree <= 4.0
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_grid_city(GridCityConfig(rows=1, cols=5))
+        with pytest.raises(ConfigurationError):
+            generate_grid_city(GridCityConfig(spacing=-1))
+        with pytest.raises(ConfigurationError):
+            generate_grid_city(GridCityConfig(removal_probability=1.0))
+        with pytest.raises(ConfigurationError):
+            generate_grid_city(GridCityConfig(arterial_every=0))
+
+
+class TestIo:
+    def test_round_trip_dict(self, city):
+        rebuilt = network_from_dict(network_to_dict(city))
+        assert rebuilt.num_vertices == city.num_vertices
+        assert rebuilt.num_edges == city.num_edges
+        sample = next(iter(city.edges()))
+        clone = rebuilt.edge(sample.edge_id)
+        assert (clone.source, clone.target, clone.length) == (
+            sample.source,
+            sample.target,
+            sample.length,
+        )
+
+    def test_round_trip_file(self, city, tmp_path):
+        path = tmp_path / "network.json"
+        save_network(city, path)
+        rebuilt = load_network(path)
+        assert rebuilt.num_edges == city.num_edges
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            load_network(tmp_path / "missing.json")
+
+    def test_malformed_payload(self):
+        with pytest.raises(DataError):
+            network_from_dict({"format_version": 1, "vertices": []})
+
+    def test_unknown_version(self):
+        with pytest.raises(DataError):
+            network_from_dict({"format_version": 99, "vertices": [], "edges": []})
+
+
+class TestStatistics:
+    def test_without_trajectories(self, city):
+        stats = compute_statistics(city)
+        assert stats.num_vertices == city.num_vertices
+        assert stats.num_trajectories == 0
+        assert stats.edge_coverage == 0.0
+
+    def test_with_trajectories(self, city):
+        edge = next(iter(city.edges()))
+        path = city.path_from_edge_ids([edge.edge_id])
+        trajectory = Trajectory(trajectory_id=0, path=path, edge_costs=(30.0,))
+        stats = compute_statistics(city, [trajectory])
+        assert stats.num_trajectories == 1
+        assert stats.avg_vertices_per_trajectory == 2
+        assert 0 < stats.edge_coverage < 1
+
+    def test_as_rows_covers_table7_metrics(self, city):
+        labels = [label for label, _ in compute_statistics(city).as_rows()]
+        assert "Number of vertices" in labels
+        assert "Number of edges" in labels
+        assert "AVG vertex degree" in labels
+        assert "AVG edge length (m)" in labels
+        assert "Number of traj." in labels

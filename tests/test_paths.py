@@ -1,0 +1,161 @@
+"""Tests for the path algebra (sub-paths, overlaps, concatenation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import PathError
+from repro.core.paths import Path
+
+
+def make_chain(num_edges: int, *, start_vertex: int = 0, start_edge: int = 100) -> Path:
+    """A simple chain path of ``num_edges`` edges, e.g. v0 -e100-> v1 -e101-> v2 ..."""
+    edges = [start_edge + i for i in range(num_edges)]
+    vertices = [start_vertex + i for i in range(num_edges + 1)]
+    return Path(edges, vertices)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        path = make_chain(3)
+        assert path.source == 0
+        assert path.target == 3
+        assert path.cardinality == 3
+        assert len(path) == 3
+        assert list(path) == [100, 101, 102]
+
+    def test_vertex_count_must_match(self):
+        with pytest.raises(PathError):
+            Path([1, 2], [0, 1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(PathError):
+            Path([], [0])
+
+    def test_rejects_repeated_edge(self):
+        with pytest.raises(PathError):
+            Path([1, 1], [0, 1, 2])
+
+    def test_equality_and_hash(self):
+        assert make_chain(3) == make_chain(3)
+        assert hash(make_chain(3)) == hash(make_chain(3))
+        assert make_chain(3) != make_chain(4)
+
+    def test_is_simple(self):
+        assert make_chain(4).is_simple()
+        loop = Path([1, 2], [0, 1, 0])
+        assert not loop.is_simple()
+
+    def test_visits(self):
+        path = make_chain(3)
+        assert path.visits(2)
+        assert not path.visits(9)
+
+    def test_repr(self):
+        assert "100" in repr(make_chain(1))
+
+
+class TestSubPaths:
+    def test_sub_path(self):
+        path = make_chain(4)
+        sub = path.sub_path(1, 3)
+        assert sub.edges == (101, 102)
+        assert sub.vertices == (1, 2, 3)
+
+    def test_sub_path_bounds_checked(self):
+        with pytest.raises(PathError):
+            make_chain(3).sub_path(2, 2)
+        with pytest.raises(PathError):
+            make_chain(3).sub_path(-1, 2)
+        with pytest.raises(PathError):
+            make_chain(3).sub_path(0, 5)
+
+    def test_prefix_and_suffix(self):
+        path = make_chain(4)
+        assert path.prefix(2).edges == (100, 101)
+        assert path.suffix(2).edges == (102, 103)
+
+    def test_is_prefix_of(self):
+        path = make_chain(4)
+        assert path.prefix(2).is_prefix_of(path)
+        assert not path.suffix(2).is_prefix_of(path)
+        assert not make_chain(5).is_prefix_of(path)
+
+    def test_is_suffix_of(self):
+        path = make_chain(4)
+        assert path.suffix(3).is_suffix_of(path)
+        assert not path.prefix(2).is_suffix_of(path)
+
+    def test_is_sub_path_of(self):
+        path = make_chain(5)
+        assert path.sub_path(1, 4).is_sub_path_of(path)
+        other = Path([999], [0, 1])
+        assert not other.is_sub_path_of(path)
+
+    def test_index_of_edge(self):
+        path = make_chain(3)
+        assert path.index_of_edge(101) == 1
+        assert path.index_of_edge(12345) == -1
+
+
+class TestOverlapAndConcat:
+    def test_overlap_with_suffix_prefix(self):
+        """The paper's p1 = <e1, e4> and p2 = <e4, e9> overlap on <e4>."""
+        p1 = Path([1, 4], [0, 1, 2])
+        p2 = Path([4, 9], [1, 2, 3])
+        overlap = p1.overlap_with(p2)
+        assert overlap is not None
+        assert overlap.edges == (4,)
+
+    def test_overlap_longest_is_chosen(self):
+        p1 = Path([1, 2, 3], [0, 1, 2, 3])
+        p2 = Path([2, 3, 4], [1, 2, 3, 4])
+        overlap = p1.overlap_with(p2)
+        assert overlap.edges == (2, 3)
+
+    def test_no_overlap(self):
+        p1 = Path([1, 2], [0, 1, 2])
+        p2 = Path([5, 6], [2, 3, 4])
+        assert p1.overlap_with(p2) is None
+
+    def test_follows(self):
+        p1 = Path([1, 2], [0, 1, 2])
+        p2 = Path([5, 6], [2, 3, 4])
+        assert p2.follows(p1)
+        assert not p1.follows(p2)
+
+    def test_concat(self):
+        p1 = Path([1, 2], [0, 1, 2])
+        p2 = Path([5, 6], [2, 3, 4])
+        combined = p1.concat(p2)
+        assert combined.edges == (1, 2, 5, 6)
+        assert combined.vertices == (0, 1, 2, 3, 4)
+
+    def test_concat_requires_adjacency(self):
+        p1 = Path([1, 2], [0, 1, 2])
+        p3 = Path([7], [9, 10])
+        with pytest.raises(PathError):
+            p1.concat(p3)
+
+    def test_merge_overlapping(self):
+        """Merging the paper's p1 and p2 gives the underlying path <e1, e4, e9>."""
+        p1 = Path([1, 4], [0, 1, 2])
+        p2 = Path([4, 9], [1, 2, 3])
+        merged = p1.merge_overlapping(p2)
+        assert merged.edges == (1, 4, 9)
+        assert merged.vertices == (0, 1, 2, 3)
+
+    def test_merge_overlapping_contained(self):
+        p1 = Path([1, 2, 3], [0, 1, 2, 3])
+        contained = Path([3], [2, 3])
+        assert p1.merge_overlapping(contained) == p1
+
+    def test_merge_without_overlap_raises(self):
+        p1 = Path([1, 2], [0, 1, 2])
+        p2 = Path([5, 6], [2, 3, 4])
+        with pytest.raises(PathError):
+            p1.merge_overlapping(p2)
+
+    def test_reversed_vertices(self):
+        path = make_chain(3)
+        assert path.reversed_vertices() == (3, 2, 1, 0)

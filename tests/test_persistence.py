@@ -1,0 +1,136 @@
+"""Tests for persistence of the routable index and the heuristics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.distributions import Distribution
+from repro.core.errors import DataError
+from repro.core.joint import JointDistribution
+from repro.datasets.paper_example import VD, VS
+from repro.heuristics.binary import PaceBinaryHeuristic
+from repro.heuristics.budget import BudgetHeuristicConfig, BudgetSpecificHeuristic
+from repro.persistence.codecs import (
+    distribution_from_dict,
+    distribution_to_dict,
+    joint_from_dict,
+    joint_to_dict,
+)
+from repro.persistence.heuristics import (
+    binary_heuristic_from_dict,
+    binary_heuristic_to_dict,
+    heuristic_table_from_dict,
+    heuristic_table_to_dict,
+    load_heuristic_table,
+    save_heuristic_table,
+)
+from repro.persistence.index import index_from_dict, index_to_dict, load_index, save_index
+from repro.routing import RouterSettings, RoutingQuery, create_router
+from repro.vpaths.updated_graph import UpdatedPaceGraph
+
+
+class TestCodecs:
+    def test_distribution_round_trip(self):
+        original = Distribution.from_pairs([(8, 0.9), (10, 0.1)])
+        assert distribution_from_dict(distribution_to_dict(original)) == original
+
+    def test_distribution_malformed(self):
+        with pytest.raises(DataError):
+            distribution_from_dict({"costs": [1, 2]})
+        with pytest.raises(DataError):
+            distribution_from_dict({"costs": [1, 2], "probabilities": [1.0]})
+
+    def test_joint_round_trip(self):
+        original = JointDistribution((1, 2), {(8.0, 8.0): 0.25, (10.0, 9.0): 0.75})
+        restored = joint_from_dict(joint_to_dict(original))
+        assert restored.edge_ids == original.edge_ids
+        assert restored.probability_of((8.0, 8.0)) == pytest.approx(0.25)
+
+    def test_joint_malformed(self):
+        with pytest.raises(DataError):
+            joint_from_dict({"edge_ids": [1]})
+
+
+class TestIndexPersistence:
+    def test_round_trip_preserves_path_costs(self, paper_example, tmp_path):
+        updated, _ = UpdatedPaceGraph.build(paper_example.pace_graph)
+        path = tmp_path / "index.json"
+        save_index(updated, path)
+        restored = load_index(path)
+        assert restored.pace_graph.num_tpaths == paper_example.pace_graph.num_tpaths
+        assert restored.num_vpaths == updated.num_vpaths
+        for edge_ids in [(1, 4, 9), (1, 5, 6, 8), (2, 3, 6, 8)]:
+            route = paper_example.network.path_from_edge_ids(list(edge_ids))
+            original = paper_example.pace_graph.path_cost_distribution(route)
+            rebuilt = restored.pace_graph.path_cost_distribution(
+                restored.network.path_from_edge_ids(list(edge_ids))
+            )
+            assert rebuilt == original
+
+    def test_round_trip_without_vpaths(self, paper_example):
+        payload = index_to_dict(paper_example.pace_graph)
+        restored = index_from_dict(payload)
+        assert restored.num_vpaths == 0
+        assert restored.pace_graph.tau == paper_example.pace_graph.tau
+
+    def test_routing_on_reloaded_index_matches(self, paper_example, tmp_path):
+        updated, _ = UpdatedPaceGraph.build(paper_example.pace_graph)
+        save_index(updated, tmp_path / "index.json")
+        restored = load_index(tmp_path / "index.json")
+        settings = RouterSettings(max_budget=64)
+        query = RoutingQuery(VS, VD, budget=30)
+        original = create_router("T-B-P", paper_example.pace_graph, updated, settings=settings).route(query)
+        reloaded = create_router("T-B-P", restored.pace_graph, restored, settings=settings).route(query)
+        assert reloaded.path.edges == original.path.edges
+        assert reloaded.probability == pytest.approx(original.probability)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            load_index(tmp_path / "missing.json")
+
+    def test_malformed_payload(self):
+        with pytest.raises(DataError):
+            index_from_dict({"format_version": 1})
+        with pytest.raises(DataError):
+            index_from_dict({"format_version": 99})
+
+
+class TestHeuristicPersistence:
+    def test_binary_round_trip(self, paper_example):
+        original = PaceBinaryHeuristic(paper_example.pace_graph, VD)
+        restored = binary_heuristic_from_dict(binary_heuristic_to_dict(original))
+        for vertex in range(8):
+            assert restored.min_cost(vertex) == original.min_cost(vertex)
+            assert restored.probability(vertex, 20) == original.probability(vertex, 20)
+
+    def test_binary_malformed(self):
+        with pytest.raises(DataError):
+            binary_heuristic_from_dict({"destination": 1})
+
+    def test_table_round_trip(self, paper_example, tmp_path):
+        heuristic = BudgetSpecificHeuristic(
+            paper_example.pace_graph, VD, BudgetHeuristicConfig(delta=3, max_budget=36)
+        )
+        path = tmp_path / "table.json"
+        save_heuristic_table(heuristic, path)
+        restored = load_heuristic_table(path)
+        assert restored.destination == VD
+        assert restored.delta == 3
+        for vertex in range(8):
+            for budget in range(0, 39, 3):
+                assert restored.value(vertex, budget) == pytest.approx(
+                    heuristic.table.value(vertex, budget)
+                )
+
+    def test_table_accepts_raw_table(self, paper_example):
+        heuristic = BudgetSpecificHeuristic(
+            paper_example.pace_graph, VD, BudgetHeuristicConfig(delta=6, max_budget=36)
+        )
+        payload = heuristic_table_to_dict(heuristic.table)
+        assert heuristic_table_from_dict(payload).storage_cells() == heuristic.table.storage_cells()
+
+    def test_table_malformed(self, tmp_path):
+        with pytest.raises(DataError):
+            heuristic_table_from_dict({"format_version": 99})
+        with pytest.raises(DataError):
+            load_heuristic_table(tmp_path / "missing.json")

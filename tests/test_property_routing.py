@@ -1,0 +1,150 @@
+"""Property-based tests of routing invariants on randomly generated PACE graphs.
+
+These complement the exact paper-example tests: for arbitrary small uncertain
+road networks with randomly mined T-paths, the structural guarantees the
+algorithms rely on must hold — heuristic admissibility, monotonicity of the
+arriving-on-time objective in the budget, agreement between the guided
+routers and the exhaustive baseline, and the soundness of dominance pruning
+on the updated graph.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.edge_graph import EdgeGraph
+from repro.core.distributions import Distribution
+from repro.core.pace_graph import PaceGraph
+from repro.heuristics.base import max_prob
+from repro.heuristics.binary import PaceBinaryHeuristic
+from repro.heuristics.budget import BudgetHeuristicConfig, BudgetSpecificHeuristic
+from repro.network.road_network import RoadNetwork
+from repro.routing.naive import NaivePaceRouter, NaiveRouterConfig
+from repro.routing.queries import RoutingQuery
+from repro.routing.vpath_routing import VPathRouter, VPathRouterConfig
+from repro.tpaths.extraction import TPathMinerConfig, build_pace_graph
+from repro.trajectories.model import Trajectory
+from repro.vpaths.updated_graph import UpdatedPaceGraph
+
+
+def _random_instance(seed: int) -> tuple[PaceGraph, UpdatedPaceGraph, int, int]:
+    """A small random grid PACE graph plus a routable source/destination pair."""
+    rng = random.Random(seed)
+    rows, cols = 3, 4
+    network = RoadNetwork(name=f"random-{seed}")
+    for row in range(rows):
+        for col in range(cols):
+            network.add_vertex(row * cols + col, col * 100.0, row * 100.0)
+    for row in range(rows):
+        for col in range(cols):
+            here = row * cols + col
+            if col + 1 < cols:
+                network.add_edge(here, here + 1, speed_limit=50)
+                network.add_edge(here + 1, here, speed_limit=50)
+            if row + 1 < rows:
+                network.add_edge(here, here + cols, speed_limit=50)
+                network.add_edge(here + cols, here, speed_limit=50)
+
+    # Random trips between the two far corners (and a few random pairs), with
+    # correlated per-edge costs produced by a per-trip slowness factor.
+    trajectories = []
+    source, destination = 0, rows * cols - 1
+    for trip in range(40):
+        walk = [source]
+        current = source
+        while current != destination and len(walk) < 12:
+            candidates = [
+                e.target
+                for e in network.out_edges(current)
+                if e.target not in walk
+                and (e.target % cols >= current % cols)
+                and (e.target // cols >= current // cols)
+            ]
+            if not candidates:
+                break
+            current = rng.choice(candidates)
+            walk.append(current)
+        if current != destination:
+            continue
+        path = network.path_from_vertex_ids(walk)
+        slowness = rng.choice([1.0, 1.0, 1.4])
+        costs = tuple(
+            max(5.0, round((10 + 4 * rng.random()) * slowness / 5) * 5) for _ in path.edges
+        )
+        trajectories.append(Trajectory(trip, path, costs, departure_time=8 * 3600.0))
+    pace = build_pace_graph(
+        network, trajectories, TPathMinerConfig(tau=4, max_cardinality=3, resolution=5.0)
+    )
+    updated, _ = UpdatedPaceGraph.build(pace)
+    return pace, updated, source, destination
+
+
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_binary_heuristic_is_admissible_on_random_graphs(seed):
+    """getMin never exceeds the minimum cost of any concrete path to the destination."""
+    pace, _, source, destination = _random_instance(seed)
+    heuristic = PaceBinaryHeuristic(pace, destination)
+    baseline = NaivePaceRouter(pace, NaiveRouterConfig(max_explored=4000))
+    result = baseline.route(RoutingQuery(source, destination, budget=10_000.0))
+    if result.found:
+        assert heuristic.min_cost(source) <= result.distribution.min() + 1e-9
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_budget_heuristic_upper_bounds_every_candidate_path(seed):
+    """Eq. 3 with the budget-specific heuristic never under-estimates a real path's probability."""
+    pace, _, source, destination = _random_instance(seed)
+    heuristic = BudgetSpecificHeuristic(
+        pace, destination, BudgetHeuristicConfig(delta=15, max_budget=600)
+    )
+    baseline = NaivePaceRouter(pace, NaiveRouterConfig(max_explored=4000))
+    for budget in (60.0, 90.0, 120.0):
+        result = baseline.route(RoutingQuery(source, destination, budget=budget))
+        trivial_prefix = Distribution.point(0.0)
+        bound = max_prob(trivial_prefix, heuristic, source, budget)
+        assert bound >= result.probability - 1e-6
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_probability_is_monotone_in_budget(seed):
+    """A larger budget can never decrease the best arriving-on-time probability."""
+    pace, updated, source, destination = _random_instance(seed)
+    router = VPathRouter(updated, None, config=VPathRouterConfig(max_explored=4000))
+    probabilities = [
+        router.route(RoutingQuery(source, destination, budget=budget)).probability
+        for budget in (60.0, 90.0, 120.0, 200.0)
+    ]
+    assert all(b >= a - 1e-9 for a, b in zip(probabilities, probabilities[1:]))
+
+
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_dominance_pruning_never_hurts_result_quality(seed):
+    """With and without dominance pruning, exhaustive V-path routing agrees."""
+    _, updated, source, destination = _random_instance(seed)
+    query = RoutingQuery(source, destination, budget=120.0)
+    with_pruning = VPathRouter(
+        updated, None, config=VPathRouterConfig(max_explored=4000, use_dominance=True)
+    ).route(query)
+    without_pruning = VPathRouter(
+        updated, None, config=VPathRouterConfig(max_explored=4000, use_dominance=False)
+    ).route(query)
+    assert with_pruning.probability == pytest.approx(without_pruning.probability, abs=1e-6)
+
+
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_edge_fallback_weights_cover_whole_network(seed):
+    """Every edge of a mined graph has a usable weight (empirical or free-flow)."""
+    pace, _, _, _ = _random_instance(seed)
+    edge_graph: EdgeGraph = pace.edge_graph
+    for edge in pace.network.edges():
+        weight = edge_graph.weight(edge.edge_id)
+        assert weight.min() > 0

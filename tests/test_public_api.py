@@ -1,0 +1,91 @@
+"""Tests for the top-level public API surface."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_is_exposed(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackages_importable(self):
+        for module in (
+            "repro.core",
+            "repro.network",
+            "repro.trajectories",
+            "repro.tpaths",
+            "repro.vpaths",
+            "repro.heuristics",
+            "repro.routing",
+            "repro.edgemodel",
+            "repro.evaluation",
+            "repro.datasets",
+            "repro.persistence",
+        ):
+            assert importlib.import_module(module) is not None
+
+    def test_subpackage_all_names_resolve(self):
+        for module_name in (
+            "repro.core",
+            "repro.network",
+            "repro.trajectories",
+            "repro.tpaths",
+            "repro.vpaths",
+            "repro.heuristics",
+            "repro.routing",
+            "repro.edgemodel",
+            "repro.evaluation",
+            "repro.datasets",
+            "repro.persistence",
+        ):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_method_names_constant_matches_paper(self):
+        assert repro.METHOD_NAMES == (
+            "T-None",
+            "T-B-EU",
+            "T-B-E",
+            "T-B-P",
+            "T-BS-60",
+            "V-None",
+            "V-B-P",
+            "V-BS-60",
+        )
+
+    def test_public_docstrings_present(self):
+        undocumented = [
+            name
+            for name in repro.__all__
+            if name != "__version__" and not (getattr(repro, name).__doc__ or "").strip()
+        ]
+        assert not undocumented, f"public API members without docstrings: {undocumented}"
+
+    def test_error_hierarchy(self):
+        from repro.core import errors
+
+        subclasses = [
+            errors.DistributionError,
+            errors.JointDistributionError,
+            errors.PathError,
+            errors.GraphError,
+            errors.RoutingError,
+            errors.NoPathError,
+            errors.HeuristicError,
+            errors.DataError,
+            errors.ConfigurationError,
+        ]
+        for exc in subclasses:
+            assert issubclass(exc, errors.ReproError)
+        with pytest.raises(errors.ReproError):
+            raise errors.NoPathError("nothing here")

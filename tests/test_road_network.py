@@ -1,0 +1,143 @@
+"""Tests for the structural road-network graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import GraphError, PathError, UnknownEdgeError, UnknownVertexError
+from repro.network.road_network import RoadNetwork
+
+
+@pytest.fixture
+def square_network() -> RoadNetwork:
+    """A 2x2 grid with two-way streets, 4 vertices and 8 directed edges."""
+    network = RoadNetwork(name="square")
+    coordinates = {0: (0, 0), 1: (100, 0), 2: (0, 100), 3: (100, 100)}
+    for vertex_id, (x, y) in coordinates.items():
+        network.add_vertex(vertex_id, x, y)
+    for a, b in [(0, 1), (0, 2), (1, 3), (2, 3)]:
+        network.add_edge(a, b, speed_limit=50)
+        network.add_edge(b, a, speed_limit=50)
+    return network
+
+
+class TestConstruction:
+    def test_counts(self, square_network):
+        assert square_network.num_vertices == 4
+        assert square_network.num_edges == 8
+
+    def test_add_edge_requires_known_vertices(self, square_network):
+        with pytest.raises(UnknownVertexError):
+            square_network.add_edge(0, 99)
+        with pytest.raises(UnknownVertexError):
+            square_network.add_edge(99, 0)
+
+    def test_self_loops_rejected(self, square_network):
+        with pytest.raises(GraphError):
+            square_network.add_edge(0, 0)
+
+    def test_parallel_edges_rejected(self, square_network):
+        with pytest.raises(GraphError):
+            square_network.add_edge(0, 1)
+
+    def test_duplicate_edge_id_rejected(self, square_network):
+        with pytest.raises(GraphError):
+            square_network.add_edge(0, 3, edge_id=0)
+
+    def test_non_positive_length_rejected(self):
+        network = RoadNetwork()
+        network.add_vertex(0, 0, 0)
+        network.add_vertex(1, 0, 0)
+        with pytest.raises(GraphError):
+            network.add_edge(0, 1, length=0.0)
+
+    def test_default_length_is_euclidean(self, square_network):
+        edge = square_network.edge_between(0, 1)
+        assert edge.length == pytest.approx(100.0)
+
+    def test_free_flow_time(self, square_network):
+        edge = square_network.edge_between(0, 1)
+        assert edge.free_flow_time() == pytest.approx(100.0 / (50 / 3.6))
+
+    def test_repr(self, square_network):
+        assert "vertices=4" in repr(square_network)
+
+
+class TestLookups:
+    def test_vertex_and_edge_lookup(self, square_network):
+        assert square_network.vertex(0).x == 0
+        assert square_network.edge(0).source == 0
+        assert square_network.has_vertex(3)
+        assert not square_network.has_vertex(12)
+        assert square_network.has_edge(0)
+        assert not square_network.has_edge(99)
+
+    def test_unknown_lookups_raise(self, square_network):
+        with pytest.raises(UnknownVertexError):
+            square_network.vertex(42)
+        with pytest.raises(UnknownEdgeError):
+            square_network.edge(42)
+        with pytest.raises(UnknownEdgeError):
+            square_network.edge_between(0, 3)
+
+    def test_degrees_and_neighbours(self, square_network):
+        assert square_network.out_degree(0) == 2
+        assert square_network.in_degree(0) == 2
+        assert sorted(square_network.neighbours(0)) == [1, 2]
+
+    def test_out_edges_in_edges(self, square_network):
+        assert {e.target for e in square_network.out_edges(0)} == {1, 2}
+        assert {e.source for e in square_network.in_edges(3)} == {1, 2}
+
+    def test_out_edges_unknown_vertex(self, square_network):
+        with pytest.raises(UnknownVertexError):
+            square_network.out_edges(42)
+
+    def test_euclidean_distance(self, square_network):
+        assert square_network.euclidean_distance(0, 3) == pytest.approx(100 * 2**0.5)
+
+    def test_max_speed_limit(self, square_network):
+        assert square_network.max_speed_limit() == 50
+
+    def test_max_speed_limit_empty_network(self):
+        with pytest.raises(GraphError):
+            RoadNetwork().max_speed_limit()
+
+
+class TestPaths:
+    def test_path_from_vertex_ids(self, square_network):
+        path = square_network.path_from_vertex_ids([0, 1, 3])
+        assert path.source == 0
+        assert path.target == 3
+        assert path.cardinality == 2
+
+    def test_path_from_vertex_ids_needs_two_vertices(self, square_network):
+        with pytest.raises(PathError):
+            square_network.path_from_vertex_ids([0])
+
+    def test_path_from_edge_ids_checks_adjacency(self, square_network):
+        e01 = square_network.edge_between(0, 1).edge_id
+        e23 = square_network.edge_between(2, 3).edge_id
+        with pytest.raises(PathError):
+            square_network.path_from_edge_ids([e01, e23])
+
+    def test_path_length_and_time(self, square_network):
+        path = square_network.path_from_vertex_ids([0, 1, 3])
+        assert square_network.path_length(path) == pytest.approx(200.0)
+        assert square_network.path_free_flow_time(path) == pytest.approx(2 * 100 / (50 / 3.6))
+
+
+class TestDerivedViews:
+    def test_reversed_preserves_edge_ids(self, square_network):
+        reversed_network = square_network.reversed()
+        original = square_network.edge_between(0, 1)
+        flipped = reversed_network.edge(original.edge_id)
+        assert (flipped.source, flipped.target) == (1, 0)
+        assert reversed_network.num_edges == square_network.num_edges
+
+    def test_subgraph(self, square_network):
+        sub = square_network.subgraph([0, 1])
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 2
+        assert sub.has_edge_between(0, 1)
+        assert not sub.has_vertex(3)

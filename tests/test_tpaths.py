@@ -1,0 +1,134 @@
+"""Tests for T-path mining and PACE/EDGE model construction from trajectories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.paths import Path
+from repro.network.road_network import RoadNetwork
+from repro.tpaths.extraction import (
+    TPathMinerConfig,
+    build_edge_graph,
+    build_pace_graph,
+    mine_tpaths,
+)
+from repro.tpaths.time_dependent import build_time_dependent_index
+from repro.trajectories.model import Trajectory
+
+
+@pytest.fixture(scope="module")
+def chain_network() -> RoadNetwork:
+    """A simple 5-vertex chain 0 -> 1 -> 2 -> 3 -> 4."""
+    network = RoadNetwork()
+    for vertex in range(5):
+        network.add_vertex(vertex, vertex * 100.0, 0.0)
+    for vertex in range(4):
+        network.add_edge(vertex, vertex + 1, length=100, speed_limit=36)
+    return network
+
+
+def make_trips(network: RoadNetwork, edge_ids, costs_list, *, departure=8 * 3600.0) -> list[Trajectory]:
+    path = network.path_from_edge_ids(list(edge_ids))
+    return [
+        Trajectory(i, path, tuple(costs), departure_time=departure)
+        for i, costs in enumerate(costs_list)
+    ]
+
+
+class TestMining:
+    def test_threshold_controls_tpath_creation(self, chain_network):
+        trips = make_trips(chain_network, [0, 1], [(10, 10)] * 8 + [(15, 15)] * 2)
+        config_low = TPathMinerConfig(tau=5, max_cardinality=3, resolution=5)
+        config_high = TPathMinerConfig(tau=20, max_cardinality=3, resolution=5)
+        assert any(m.cardinality == 2 for m in mine_tpaths(chain_network, trips, config_low))
+        assert not any(m.cardinality == 2 for m in mine_tpaths(chain_network, trips, config_high))
+
+    def test_every_subpath_above_threshold_is_mined(self, chain_network):
+        trips = make_trips(chain_network, [0, 1, 2], [(10, 10, 10)] * 6)
+        mined = mine_tpaths(chain_network, trips, TPathMinerConfig(tau=5, max_cardinality=3, resolution=5))
+        keys = {m.edge_ids for m in mined}
+        assert keys == {(0,), (1,), (2,), (0, 1), (1, 2), (0, 1, 2)}
+
+    def test_max_cardinality_caps_tpath_length(self, chain_network):
+        trips = make_trips(chain_network, [0, 1, 2, 3], [(10, 10, 10, 10)] * 6)
+        mined = mine_tpaths(chain_network, trips, TPathMinerConfig(tau=5, max_cardinality=2, resolution=5))
+        assert max(m.cardinality for m in mined) == 2
+
+    def test_joint_preserves_dependency(self, chain_network):
+        """Fast-fast and slow-slow trips must stay correlated, as in the paper's intro."""
+        trips = make_trips(chain_network, [0, 1], [(10, 10)] * 8 + [(15, 15)] * 2)
+        mined = mine_tpaths(chain_network, trips, TPathMinerConfig(tau=5, max_cardinality=2, resolution=5))
+        joint = next(m.joint for m in mined if m.edge_ids == (0, 1))
+        assert joint.probability_of((10.0, 10.0)) == pytest.approx(0.8)
+        assert joint.probability_of((15.0, 15.0)) == pytest.approx(0.2)
+        assert joint.probability_of((10.0, 15.0)) == 0.0
+
+    def test_support_is_recorded(self, chain_network):
+        trips = make_trips(chain_network, [0, 1], [(10, 10)] * 7)
+        mined = mine_tpaths(chain_network, trips, TPathMinerConfig(tau=5, max_cardinality=2, resolution=5))
+        assert all(m.support == 7 for m in mined)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            TPathMinerConfig(tau=0).validate()
+        with pytest.raises(ConfigurationError):
+            TPathMinerConfig(max_cardinality=0).validate()
+        with pytest.raises(ConfigurationError):
+            TPathMinerConfig(resolution=0).validate()
+
+
+class TestModelConstruction:
+    def test_edge_graph_estimates_covered_edges(self, chain_network):
+        trips = make_trips(chain_network, [0, 1], [(10, 20)] * 6)
+        edge_graph = build_edge_graph(chain_network, trips, TPathMinerConfig(tau=5, resolution=5))
+        assert edge_graph.weight(0).expectation() == pytest.approx(10.0)
+        assert edge_graph.weight(1).expectation() == pytest.approx(20.0)
+        # Edge 3 is uncovered: falls back to the deterministic free-flow time.
+        assert len(edge_graph.weight(3)) == 1
+
+    def test_edge_graph_splits_trajectories_independently(self, chain_network):
+        """The EDGE model loses the fast-fast / slow-slow structure (paper's motivating example)."""
+        trips = make_trips(chain_network, [0, 1], [(10, 10)] * 8 + [(15, 15)] * 2)
+        edge_graph = build_edge_graph(chain_network, trips, TPathMinerConfig(tau=5, resolution=5))
+        combined = edge_graph.path_cost_distribution(chain_network.path_from_edge_ids([0, 1]))
+        # Independence smears probability onto the 25-minute total, which never happened.
+        assert combined.pdf(25) > 0
+
+    def test_pace_graph_keeps_dependency(self, chain_network):
+        trips = make_trips(chain_network, [0, 1], [(10, 10)] * 8 + [(15, 15)] * 2)
+        pace = build_pace_graph(chain_network, trips, TPathMinerConfig(tau=5, resolution=5))
+        distribution = pace.path_cost_distribution(chain_network.path_from_edge_ids([0, 1]))
+        assert distribution.pdf(20) == pytest.approx(0.8)
+        assert distribution.pdf(30) == pytest.approx(0.2)
+        assert distribution.pdf(25) == 0.0
+
+    def test_pace_graph_contains_only_multi_edge_tpaths(self, chain_network):
+        trips = make_trips(chain_network, [0, 1, 2], [(10, 10, 10)] * 6)
+        pace = build_pace_graph(chain_network, trips, TPathMinerConfig(tau=5, resolution=5))
+        assert pace.num_tpaths == 3  # (0,1), (1,2), (0,1,2)
+        assert all(t.cardinality >= 2 for t in pace.tpaths())
+
+    def test_pace_graph_on_small_dataset(self, small_pace_graph):
+        assert small_pace_graph.num_tpaths > 0
+        for tpath in small_pace_graph.tpaths():
+            assert tpath.support >= small_pace_graph.tau
+            assert tpath.joint is not None
+
+    def test_time_dependent_index(self, chain_network):
+        peak_trips = make_trips(chain_network, [0, 1], [(20, 20)] * 6, departure=8 * 3600.0)
+        off_peak_trips = make_trips(chain_network, [0, 1], [(10, 10)] * 6, departure=12 * 3600.0)
+        index = build_time_dependent_index(
+            chain_network, peak_trips + off_peak_trips, TPathMinerConfig(tau=5, resolution=5)
+        )
+        peak_graph = index.graph_for(7.5 * 3600)
+        off_peak_graph = index.graph_for(13 * 3600)
+        path = chain_network.path_from_edge_ids([0, 1])
+        assert peak_graph.path_expected_cost(path) > off_peak_graph.path_expected_cost(path)
+        assert index.graph_named("peak") is peak_graph
+
+    def test_time_dependent_unknown_regime(self, chain_network):
+        trips = make_trips(chain_network, [0, 1], [(10, 10)] * 6)
+        index = build_time_dependent_index(chain_network, trips, TPathMinerConfig(tau=5, resolution=5))
+        with pytest.raises(ConfigurationError):
+            index.graph_named("weekend")

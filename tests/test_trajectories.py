@@ -1,0 +1,242 @@
+"""Tests for the trajectory data model, generator, GPS simulation and cleaning."""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+import pytest
+
+from repro.core.errors import ConfigurationError, DataError
+from repro.core.paths import Path
+from repro.network.generators import GridCityConfig, generate_grid_city
+from repro.trajectories.generator import TrajectoryGenerator, TrajectoryGeneratorConfig
+from repro.trajectories.gps import GpsSimulatorConfig, simulate_gps_trace, simulate_gps_traces
+from repro.trajectories.model import OFF_PEAK, PEAK, GpsPoint, GpsTrace, Trajectory
+from repro.trajectories.outliers import (
+    OutlierFilterConfig,
+    clean_trajectories,
+    filter_implausible_speeds,
+    filter_statistical_outliers,
+)
+from repro.trajectories.splits import k_fold_split, split_by_regime
+
+
+@pytest.fixture(scope="module")
+def network():
+    return generate_grid_city(GridCityConfig(rows=5, cols=5, seed=21))
+
+
+@pytest.fixture(scope="module")
+def trajectories(network):
+    config = TrajectoryGeneratorConfig(num_trajectories=300, num_hubs=5, seed=17)
+    return TrajectoryGenerator(network, config).generate()
+
+
+class TestModel:
+    def test_regimes_cover_the_day(self):
+        for hour in range(24):
+            seconds = hour * 3600.0
+            assert PEAK.contains(seconds) != OFF_PEAK.contains(seconds)
+
+    def test_peak_definition_matches_paper(self):
+        assert PEAK.contains(7.5 * 3600)
+        assert PEAK.contains(16.5 * 3600)
+        assert not PEAK.contains(12 * 3600)
+
+    def test_trajectory_total_cost(self):
+        trajectory = Trajectory(0, Path([1, 2], [0, 1, 2]), (10.0, 20.0))
+        assert trajectory.total_cost == 30.0
+        assert trajectory.num_edges == 2
+
+    def test_trajectory_cost_slice(self):
+        trajectory = Trajectory(0, Path([1, 2, 3], [0, 1, 2, 3]), (10.0, 20.0, 30.0))
+        assert trajectory.cost_of_slice(1, 3) == (20.0, 30.0)
+        with pytest.raises(DataError):
+            trajectory.cost_of_slice(2, 2)
+
+    def test_trajectory_validation(self):
+        with pytest.raises(DataError):
+            Trajectory(0, Path([1, 2], [0, 1, 2]), (10.0,))
+        with pytest.raises(DataError):
+            Trajectory(0, Path([1], [0, 1]), (0.0,))
+
+    def test_trajectory_in_regime(self):
+        trajectory = Trajectory(0, Path([1], [0, 1]), (10.0,), departure_time=8 * 3600.0)
+        assert trajectory.in_regime(PEAK)
+        assert not trajectory.in_regime(OFF_PEAK)
+
+    def test_gps_trace_validation(self):
+        with pytest.raises(DataError):
+            GpsTrace(0, (GpsPoint(0, 0, 0),))
+        with pytest.raises(DataError):
+            GpsTrace(0, (GpsPoint(0, 0, 10), GpsPoint(0, 0, 5)))
+
+    def test_gps_trace_duration(self):
+        trace = GpsTrace(0, (GpsPoint(0, 0, 5), GpsPoint(1, 1, 25)))
+        assert trace.duration == 20
+        assert trace.departure_time == 5
+
+
+class TestGenerator:
+    def test_generates_requested_count(self, trajectories):
+        assert len(trajectories) == 300
+
+    def test_deterministic_given_seed(self, network):
+        config = TrajectoryGeneratorConfig(num_trajectories=50, num_hubs=5, seed=5)
+        a = TrajectoryGenerator(network, config).generate()
+        b = TrajectoryGenerator(network, config).generate()
+        assert [t.edge_costs for t in a] == [t.edge_costs for t in b]
+
+    def test_paths_are_connected_and_simple(self, network, trajectories):
+        for trajectory in trajectories[:50]:
+            path = trajectory.path
+            assert path.is_simple()
+            for edge_id, next_edge in zip(path.edges, path.edges[1:]):
+                assert network.edge(edge_id).target == network.edge(next_edge).source
+
+    def test_costs_positive_and_rounded(self, trajectories):
+        for trajectory in trajectories[:50]:
+            assert all(cost >= 1.0 for cost in trajectory.edge_costs)
+            assert all(abs(cost - round(cost)) < 1e-9 for cost in trajectory.edge_costs)
+
+    def test_peak_trips_are_slower_on_average(self, network):
+        config = TrajectoryGeneratorConfig(num_trajectories=400, num_hubs=5, seed=3)
+        generated = TrajectoryGenerator(network, config).generate()
+        by_regime = split_by_regime(generated, [PEAK, OFF_PEAK])
+        peak_speed = statistics.fmean(
+            network.path_length(t.path) / t.total_cost for t in by_regime["peak"]
+        )
+        off_peak_speed = statistics.fmean(
+            network.path_length(t.path) / t.total_cost for t in by_regime["off-peak"]
+        )
+        assert peak_speed < off_peak_speed
+
+    def test_consecutive_edge_costs_are_positively_correlated(self, trajectories, network):
+        """The whole point of PACE: consecutive edge costs must not be independent."""
+        ratios = []
+        for trajectory in trajectories:
+            for edge_a, edge_b, cost_a, cost_b in zip(
+                trajectory.path.edges,
+                trajectory.path.edges[1:],
+                trajectory.edge_costs,
+                trajectory.edge_costs[1:],
+            ):
+                slow_a = cost_a / network.edge(edge_a).free_flow_time()
+                slow_b = cost_b / network.edge(edge_b).free_flow_time()
+                ratios.append((slow_a, slow_b))
+        mean_a = statistics.fmean(a for a, _ in ratios)
+        mean_b = statistics.fmean(b for _, b in ratios)
+        covariance = statistics.fmean((a - mean_a) * (b - mean_b) for a, b in ratios)
+        assert covariance > 0
+
+    def test_hub_concentration_creates_repeated_paths(self, trajectories):
+        counts: dict[tuple[int, ...], int] = {}
+        for trajectory in trajectories:
+            counts[trajectory.path.edges] = counts.get(trajectory.path.edges, 0) + 1
+        assert max(counts.values()) >= 10
+
+    def test_invalid_configs_rejected(self, network):
+        with pytest.raises(ConfigurationError):
+            TrajectoryGenerator(network, TrajectoryGeneratorConfig(num_trajectories=0))
+        with pytest.raises(ConfigurationError):
+            TrajectoryGenerator(network, TrajectoryGeneratorConfig(num_hubs=1))
+        with pytest.raises(ConfigurationError):
+            TrajectoryGenerator(network, TrajectoryGeneratorConfig(peak_fraction=2.0))
+
+    def test_hubs_are_distinct_vertices(self, network):
+        generator = TrajectoryGenerator(network, TrajectoryGeneratorConfig(num_hubs=6, seed=2))
+        assert len(set(generator.hubs)) == 6
+
+
+class TestGpsSimulation:
+    def test_trace_spans_trip_duration(self, network, trajectories):
+        trajectory = trajectories[0]
+        trace = simulate_gps_trace(network, trajectory, GpsSimulatorConfig(sampling_interval=5.0))
+        assert trace.departure_time == pytest.approx(trajectory.departure_time)
+        assert trace.duration <= trajectory.total_cost + 5.0
+
+    def test_sampling_interval_controls_density(self, network, trajectories):
+        trajectory = trajectories[0]
+        dense = simulate_gps_trace(network, trajectory, GpsSimulatorConfig(sampling_interval=2.0))
+        sparse = simulate_gps_trace(network, trajectory, GpsSimulatorConfig(sampling_interval=20.0))
+        assert len(dense.points) > len(sparse.points)
+
+    def test_noise_perturbs_positions(self, network, trajectories):
+        trajectory = trajectories[0]
+        noisy = simulate_gps_trace(
+            network, trajectory, GpsSimulatorConfig(noise_sigma=30.0), rng=random.Random(1)
+        )
+        clean = simulate_gps_trace(
+            network, trajectory, GpsSimulatorConfig(noise_sigma=0.0), rng=random.Random(1)
+        )
+        displacement = max(
+            abs(a.x - b.x) + abs(a.y - b.y) for a, b in zip(noisy.points, clean.points)
+        )
+        assert displacement > 1.0
+
+    def test_batch_simulation(self, network, trajectories):
+        traces = simulate_gps_traces(network, trajectories[:5])
+        assert len(traces) == 5
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            GpsSimulatorConfig(sampling_interval=0).validate()
+
+
+class TestCleaning:
+    def test_implausible_speed_filtered(self, network):
+        edge = next(iter(network.edges()))
+        path = network.path_from_edge_ids([edge.edge_id])
+        teleport = Trajectory(0, path, (0.1,))
+        crawl = Trajectory(1, path, (edge.length * 10.0,))
+        normal = Trajectory(2, path, (edge.free_flow_time() * 1.2,))
+        kept = filter_implausible_speeds(network, [teleport, crawl, normal])
+        assert [t.trajectory_id for t in kept] == [2]
+
+    def test_statistical_outlier_filtered(self, network):
+        edge = next(iter(network.edges()))
+        path = network.path_from_edge_ids([edge.edge_id])
+        usual = [Trajectory(i, path, (30.0 + i % 3,)) for i in range(10)]
+        outlier = Trajectory(99, path, (400.0,))
+        kept = filter_statistical_outliers(usual + [outlier])
+        assert 99 not in {t.trajectory_id for t in kept}
+        assert len(kept) == 10
+
+    def test_small_groups_are_kept(self, network):
+        edge = next(iter(network.edges()))
+        path = network.path_from_edge_ids([edge.edge_id])
+        few = [Trajectory(i, path, (30.0 + 50 * i,)) for i in range(3)]
+        assert len(filter_statistical_outliers(few)) == 3
+
+    def test_clean_trajectories_pipeline(self, network, trajectories):
+        cleaned = clean_trajectories(network, list(trajectories))
+        assert 0 < len(cleaned) <= len(trajectories)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            OutlierFilterConfig(max_speed_factor=0).validate()
+
+
+class TestSplits:
+    def test_k_fold_partitions_are_disjoint_and_complete(self, trajectories):
+        folds = k_fold_split(list(trajectories), folds=5, seed=1)
+        assert len(folds) == 5
+        all_test_ids = [t.trajectory_id for fold in folds for t in fold.test]
+        assert sorted(all_test_ids) == sorted(t.trajectory_id for t in trajectories)
+        for fold in folds:
+            assert set(t.trajectory_id for t in fold.test).isdisjoint(
+                t.trajectory_id for t in fold.train
+            )
+            assert len(fold.train) + len(fold.test) == len(trajectories)
+
+    def test_k_fold_validation(self, trajectories):
+        with pytest.raises(ConfigurationError):
+            k_fold_split(list(trajectories), folds=1)
+        with pytest.raises(ConfigurationError):
+            k_fold_split(list(trajectories)[:3], folds=5)
+
+    def test_split_by_regime_covers_everything(self, trajectories):
+        grouped = split_by_regime(list(trajectories), [PEAK, OFF_PEAK])
+        assert len(grouped["peak"]) + len(grouped["off-peak"]) == len(trajectories)
+        assert all(t.in_regime(PEAK) for t in grouped["peak"])

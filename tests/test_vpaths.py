@@ -1,0 +1,133 @@
+"""Tests for V-path construction and the updated PACE graph (Lemma 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError, GraphError
+from repro.vpaths.builder import VPathBuilderConfig, build_vpaths
+from repro.vpaths.updated_graph import UpdatedPaceGraph
+
+
+class TestBuilder:
+    def test_paper_example_produces_the_expected_vpath(self, paper_example):
+        """p1 = <e1,e4> and p2 = <e4,e9> overlap, and <e1,e4,e9> is not a T-path -> V-path."""
+        result = build_vpaths(paper_example.pace_graph)
+        keys = set(result.vpaths)
+        assert (1, 4, 9) in keys
+
+    def test_no_vpath_when_underlying_path_is_a_tpath(self, paper_example):
+        """p3 = <e3,e6> and p4 = <e6,e8> overlap, but <e3,e6,e8> is already T-path p5."""
+        result = build_vpaths(paper_example.pace_graph)
+        # p5's edge sequence must not appear among the V-paths.
+        assert (3, 6, 8) not in set(result.vpaths)
+
+    def test_vpath_distribution_matches_assembly(self, paper_example):
+        """The V-path's stored total must equal the PACE assembly of its underlying path."""
+        pace = paper_example.pace_graph
+        result = build_vpaths(pace)
+        vpath = result.vpaths[(1, 4, 9)]
+        expected = pace.path_cost_distribution(paper_example.network.path_from_edge_ids([1, 4, 9]))
+        assert vpath.distribution == expected
+
+    def test_vpaths_do_not_keep_joints(self, paper_example):
+        result = build_vpaths(paper_example.pace_graph)
+        assert all(element.joint is None for element in result.vpaths.values())
+
+    def test_cardinality_histogram(self, paper_example):
+        result = build_vpaths(paper_example.pace_graph)
+        histogram = result.cardinality_histogram()
+        assert sum(histogram.values()) == result.count
+        assert all(card >= 3 for card in histogram)
+
+    def test_max_cardinality_caps_growth(self, small_pace_graph):
+        small = build_vpaths(small_pace_graph, VPathBuilderConfig(max_cardinality=3))
+        large = build_vpaths(small_pace_graph, VPathBuilderConfig(max_cardinality=8))
+        assert small.count <= large.count
+        if small.vpaths:
+            assert max(v.cardinality for v in small.vpaths.values()) <= 3
+
+    def test_max_vpaths_budget_respected(self, small_pace_graph):
+        result = build_vpaths(small_pace_graph, VPathBuilderConfig(max_vpaths=3))
+        assert result.count <= 3
+
+    def test_vpaths_are_simple_paths(self, small_pace_graph):
+        result = build_vpaths(small_pace_graph)
+        assert all(element.path.is_simple() for element in result.vpaths.values())
+
+    def test_vpaths_longer_than_tpaths(self, small_pace_graph):
+        """V-paths merge overlapping T-paths, so they cover strictly more edges."""
+        result = build_vpaths(small_pace_graph)
+        if result.count:
+            min_vpath = min(v.cardinality for v in result.vpaths.values())
+            assert min_vpath >= 3
+
+    def test_smaller_tau_gives_more_vpaths(self, small_dataset):
+        from repro.tpaths.extraction import TPathMinerConfig, build_pace_graph
+
+        trajectories = list(small_dataset.peak)
+        few_tpaths = build_pace_graph(
+            small_dataset.network, trajectories, TPathMinerConfig(tau=60, resolution=5)
+        )
+        many_tpaths = build_pace_graph(
+            small_dataset.network, trajectories, TPathMinerConfig(tau=10, resolution=5)
+        )
+        assert build_vpaths(many_tpaths).count >= build_vpaths(few_tpaths).count
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            VPathBuilderConfig(max_cardinality=1).validate()
+        with pytest.raises(ConfigurationError):
+            VPathBuilderConfig(max_vpaths=0).validate()
+        with pytest.raises(ConfigurationError):
+            VPathBuilderConfig(max_rounds=0).validate()
+
+
+class TestUpdatedGraph:
+    def test_outgoing_elements_include_vpaths(self, paper_example):
+        updated, _ = UpdatedPaceGraph.build(paper_example.pace_graph)
+        elements = updated.outgoing_elements(paper_example.source)
+        kinds = {(e.kind.value, e.path.edges) for e in elements}
+        assert ("vpath", (1, 4, 9)) in kinds
+        assert ("tpath", (1, 4)) in kinds
+        assert ("edge", (1,)) in kinds
+
+    def test_out_degree_increases_with_vpaths(self, paper_example):
+        updated, _ = UpdatedPaceGraph.build(paper_example.pace_graph)
+        pace_degree = paper_example.pace_graph.out_degree_with_tpaths(paper_example.source)
+        assert updated.out_degree_with_vpaths(paper_example.source) == pace_degree + 1
+
+    def test_average_and_max_out_degree(self, small_updated_graph):
+        assert small_updated_graph.average_out_degree() > 0
+        assert small_updated_graph.max_out_degree() >= small_updated_graph.average_out_degree()
+
+    def test_vpath_lookup(self, paper_example):
+        updated, _ = UpdatedPaceGraph.build(paper_example.pace_graph)
+        assert updated.has_vpath((1, 4, 9))
+        assert updated.vpath((1, 4, 9)).is_vpath()
+        assert not updated.has_vpath((2, 3))
+        with pytest.raises(GraphError):
+            updated.vpath((2, 3))
+
+    def test_incoming_elements_include_vpaths(self, paper_example):
+        updated, _ = UpdatedPaceGraph.build(paper_example.pace_graph)
+        incoming = updated.incoming_elements(3)  # v3 is the target of the V-path <e1,e4,e9>
+        assert any(e.is_vpath() for e in incoming)
+
+    def test_rejects_non_vpath_elements(self, paper_example):
+        tpath = next(iter(paper_example.pace_graph.tpaths()))
+        with pytest.raises(GraphError):
+            UpdatedPaceGraph(paper_example.pace_graph, {tpath.path.edges: tpath})
+
+    def test_convolution_only_evaluation_matches_pace(self, paper_example):
+        """Lemma 4.1 on the example: convolution over the V-path decomposition equals PACE."""
+        pace = paper_example.pace_graph
+        updated, _ = UpdatedPaceGraph.build(pace)
+        # Path <e1,e4,e9,e10> decomposes into the V-path (1,4,9) followed by edge 10.
+        vpath = updated.vpath((1, 4, 9))
+        combined = vpath.distribution.convolve(pace.edge_weight(10))
+        exact = pace.path_cost_distribution(paper_example.network.path_from_edge_ids([1, 4, 9, 10]))
+        assert combined == exact
+
+    def test_repr(self, small_updated_graph):
+        assert "vpaths=" in repr(small_updated_graph)
