@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from repro.datasets.synthetic import tiny_dataset
 from repro.network.algorithms import shortest_path
-from repro.routing import RouterSettings, RoutingQuery, create_router
+from repro.routing import RouterSettings, RoutingEngine, RoutingQuery
 from repro.tpaths import TPathMinerConfig, build_edge_graph, build_pace_graph
 from repro.vpaths import UpdatedPaceGraph
 
@@ -50,10 +50,12 @@ def main() -> None:
     print(f"query: {source} -> {destination}, budget {query.budget:.0f}s "
           f"(105% of the {expected_time:.0f}s least expected time)")
 
-    # max_explored bounds the exhaustive baseline; the guided router never comes close to it.
+    # One engine serves every method over the same graphs, sharing the
+    # destination-keyed heuristic cache across them.  max_explored bounds the
+    # exhaustive baseline; the guided router never comes close to it.
     settings = RouterSettings(max_budget=2 * query.budget, max_explored=5000)
-    fast_router = create_router("V-BS-60", pace, updated, settings=settings)
-    result = fast_router.route(query)
+    engine = RoutingEngine(pace, updated, settings=settings)
+    result = engine.route(query, method="V-BS-60")
     print(result.summary())
     if result.found:
         print(f"  route edges: {list(result.path.edges)}")
@@ -61,8 +63,7 @@ def main() -> None:
               f"expected cost = {result.distribution.expectation():.0f}s")
 
     # 5. The baseline explores far more candidate paths for the same answer.
-    baseline = create_router("T-None", pace, updated, settings=settings)
-    baseline_result = baseline.route(query)
+    baseline_result = engine.route(query, method="T-None")
     print(baseline_result.summary())
     if result.found and baseline_result.found:
         speedup = baseline_result.runtime_seconds / max(result.runtime_seconds, 1e-9)

@@ -9,4 +9,7 @@ both fall back to it.
 
 from setuptools import setup
 
-setup()
+setup(
+    # The distribution kernel (repro.core.distributions) is array-backed.
+    install_requires=["numpy>=1.22"],
+)

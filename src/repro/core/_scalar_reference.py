@@ -1,0 +1,157 @@
+"""Scalar reference implementation of the distribution kernel.
+
+This module preserves the original pure-Python semantics of
+:class:`repro.core.distributions.Distribution` — dict-accumulator
+convolution, tuple-scan CDF lookups, pairwise dominance over the merged
+support — from before the NumPy rewrite.  It exists for two reasons:
+
+* the property-based tests in ``tests/test_kernel_reference.py`` check that
+  the vectorized kernel agrees with this (much simpler, obviously-correct)
+  implementation on random distributions, and
+* the micro-benchmark in ``benchmarks/test_kernel_microbench.py`` measures
+  the vectorized kernel's speed-up against it on chained convolution and
+  dominance workloads.
+
+It is deliberately *not* exported from :mod:`repro.core`: production code
+must use :class:`~repro.core.distributions.Distribution`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator
+
+__all__ = ["ScalarDistribution"]
+
+_PROBABILITY_TOLERANCE = 1e-6
+
+
+def _merge_identical_values(pairs: Iterable[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Merge bit-identical support values, summing their probabilities."""
+    merged: dict[float, float] = {}
+    for value, prob in pairs:
+        merged[value] = merged.get(value, 0.0) + prob
+    return sorted(merged.items())
+
+
+class ScalarDistribution:
+    """The seed's dict-and-tuple distribution, kept as a reference oracle."""
+
+    __slots__ = ("_values", "_probs", "_cdf")
+
+    def __init__(self, pairs: Iterable[tuple[float, float]], *, normalise: bool = False):
+        merged = _merge_identical_values(pairs)
+        if not merged:
+            raise ValueError("a distribution needs at least one (cost, probability) pair")
+        values: list[float] = []
+        probs: list[float] = []
+        for value, prob in merged:
+            if not math.isfinite(value) or value < 0:
+                raise ValueError(f"cost values must be finite and non-negative, got {value!r}")
+            if not math.isfinite(prob) or prob < -_PROBABILITY_TOLERANCE:
+                raise ValueError(f"probabilities must be non-negative, got {prob!r}")
+            if prob <= 0:
+                continue
+            values.append(float(value))
+            probs.append(float(prob))
+        if not values:
+            raise ValueError("all probabilities were zero")
+        total = sum(probs)
+        if not normalise and abs(total - 1.0) > _PROBABILITY_TOLERANCE:
+            raise ValueError(f"probabilities must sum to 1, got {total!r}")
+        probs = [p / total for p in probs]
+        self._values: tuple[float, ...] = tuple(values)
+        self._probs: tuple[float, ...] = tuple(probs)
+        cdf = []
+        acc = 0.0
+        for p in self._probs:
+            acc += p
+            cdf.append(acc)
+        self._cdf: tuple[float, ...] = tuple(cdf)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def support(self) -> tuple[float, ...]:
+        return self._values
+
+    @property
+    def probabilities(self) -> tuple[float, ...]:
+        return self._probs
+
+    def items(self) -> Iterator[tuple[float, float]]:
+        return zip(self._values, self._probs)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def min(self) -> float:
+        return self._values[0]
+
+    def max(self) -> float:
+        return self._values[-1]
+
+    def expectation(self) -> float:
+        return sum(v * p for v, p in self.items())
+
+    def pdf(self, value: float, *, tolerance: float = 1e-9) -> float:
+        for v, p in self.items():
+            if abs(v - value) <= tolerance:
+                return p
+        return 0.0
+
+    def cdf(self, value: float) -> float:
+        lo, hi = 0, len(self._values)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._values[mid] <= value:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == 0:
+            return 0.0
+        return self._cdf[lo - 1]
+
+    def quantile(self, q: float) -> float:
+        for value, acc in zip(self._values, self._cdf):
+            if acc >= q - _PROBABILITY_TOLERANCE:
+                return value
+        return self._values[-1]
+
+    def convolve(self, other: "ScalarDistribution", *, max_support: int | None = None) -> "ScalarDistribution":
+        accumulator: dict[float, float] = {}
+        for v1, p1 in self.items():
+            for v2, p2 in other.items():
+                total = v1 + v2
+                accumulator[total] = accumulator.get(total, 0.0) + p1 * p2
+        result = ScalarDistribution(accumulator.items(), normalise=True)
+        if max_support is not None and len(result) > max_support:
+            result = result.compress(max_support)
+        return result
+
+    def compress(self, max_support: int) -> "ScalarDistribution":
+        if max_support < 1:
+            raise ValueError("max_support must be at least 1")
+        if len(self) <= max_support:
+            return self
+        lo, hi = self.min(), self.max()
+        if max_support == 1 or hi == lo:
+            return ScalarDistribution([(self.expectation(), 1.0)])
+        step = (hi - lo) / (max_support - 1)
+        accumulator: dict[float, float] = {}
+        for v, p in self.items():
+            idx = round((v - lo) / step)
+            grid_value = lo + idx * step
+            accumulator[grid_value] = accumulator.get(grid_value, 0.0) + p
+        return ScalarDistribution(accumulator.items(), normalise=True)
+
+    def stochastically_dominates(self, other: "ScalarDistribution", *, strict: bool = False) -> bool:
+        points = sorted(set(self._values) | set(other._values))
+        some_strict = False
+        for x in points:
+            own = self.cdf(x)
+            theirs = other.cdf(x)
+            if own < theirs - _PROBABILITY_TOLERANCE:
+                return False
+            if own > theirs + _PROBABILITY_TOLERANCE:
+                some_strict = True
+        return some_strict if strict else True

@@ -19,27 +19,74 @@ algorithms need:
 Costs are represented as floats; in practice the estimators in
 :mod:`repro.tpaths` round costs onto a configurable resolution grid so that
 supports stay small.
+
+Internally every distribution is backed by a pair of sorted NumPy arrays
+(support values and probabilities) plus a precomputed CDF, so that the hot
+operations of the routing algorithms — convolution, CDF lookups, stochastic
+dominance, compression and sampling — run as vectorized array kernels rather
+than Python-level dict and tuple scans.  Construction and convolution are
+size-adaptive: below :data:`VECTORIZE_THRESHOLD` support values the fixed
+per-call overhead of NumPy dominates, so tiny distributions (the bulk of raw
+edge weights) take a scalar fast path that produces bit-identical state.  The
+public API is unchanged: :attr:`Distribution.support` and
+:attr:`Distribution.probabilities` are still tuples of plain Python floats,
+so persistence codecs and report renderers can keep treating distributions as
+JSON-friendly value objects.
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, bisect_right
 from collections.abc import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
 
 from repro.core.errors import DistributionError
 
-__all__ = ["Distribution", "PROBABILITY_TOLERANCE"]
+__all__ = ["Distribution", "PROBABILITY_TOLERANCE", "SUPPORT_MERGE_TOLERANCE"]
 
 #: Probabilities are accepted as normalised when they sum to 1 within this tolerance.
 PROBABILITY_TOLERANCE = 1e-6
 
+#: Support values closer than this (relative to their magnitude, with an absolute
+#: floor of 1) are considered the same cost and merged.  Long convolution chains
+#: otherwise accumulate near-duplicate supports (``0.1 + 0.2`` vs ``0.3``) that
+#: bloat distributions and defeat ``max_support``.
+SUPPORT_MERGE_TOLERANCE = 1e-9
 
-def _merge_close_values(pairs: Iterable[tuple[float, float]]) -> list[tuple[float, float]]:
-    """Merge identical support values, summing their probabilities."""
-    merged: dict[float, float] = {}
-    for value, prob in pairs:
-        merged[value] = merged.get(value, 0.0) + prob
-    return sorted(merged.items())
+#: Inputs smaller than this take the scalar construction/convolution path; the
+#: crossover where NumPy's fixed per-call overhead is amortised sits around a
+#: few dozen elements on current hardware.
+VECTORIZE_THRESHOLD = 32
+
+
+def _merge_close_values(
+    values: np.ndarray, probs: np.ndarray, *, tolerance: float = SUPPORT_MERGE_TOLERANCE
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge support values that coincide within ``tolerance``, summing their masses.
+
+    Values are grouped by scanning the sorted support and starting a new group
+    whenever the gap to the previous value exceeds ``tolerance * max(1, |v|)``;
+    each group collapses onto its first (smallest) value, so bit-identical
+    values merge exactly — no arithmetic perturbs the survivor — and values
+    that differ only by float rounding noise (``0.1 + 0.2`` vs ``0.3``) merge
+    within the tolerance.
+    """
+    order = np.argsort(values, kind="stable")
+    values = values[order]
+    probs = probs[order]
+    if values.size <= 1:
+        return values, probs
+    gaps = np.diff(values)
+    scale = np.maximum(1.0, np.abs(values[:-1]))
+    starts = np.concatenate(([True], gaps > tolerance * scale))
+    groups = np.cumsum(starts) - 1
+    count = int(groups[-1]) + 1
+    if count == values.size:
+        return values, probs
+    mass = np.bincount(groups, weights=probs, minlength=count)
+    return values[starts], mass
 
 
 class Distribution:
@@ -58,41 +105,174 @@ class Distribution:
     0.9
     """
 
-    __slots__ = ("_values", "_probs", "_cdf")
+    __slots__ = ("_values", "_probs", "_cdf", "_cdf0", "_support", "_probabilities")
 
     def __init__(self, pairs: Iterable[tuple[float, float]], *, normalise: bool = False):
-        merged = _merge_close_values(pairs)
-        if not merged:
+        pairs = list(pairs)
+        if not pairs:
             raise DistributionError("a distribution needs at least one (cost, probability) pair")
-        values = []
-        probs = []
-        for value, prob in merged:
-            if not math.isfinite(value) or value < 0:
-                raise DistributionError(f"cost values must be finite and non-negative, got {value!r}")
-            if not math.isfinite(prob) or prob < -PROBABILITY_TOLERANCE:
-                raise DistributionError(f"probabilities must be non-negative, got {prob!r}")
-            if prob <= 0:
-                continue
-            values.append(float(value))
-            probs.append(float(prob))
-        if not values:
-            raise DistributionError("all probabilities were zero")
-        total = sum(probs)
-        if normalise:
-            probs = [p / total for p in probs]
-        elif abs(total - 1.0) > PROBABILITY_TOLERANCE:
-            raise DistributionError(f"probabilities must sum to 1, got {total!r}")
+        try:
+            values = [float(value) for value, _ in pairs]
+            probs = [float(prob) for _, prob in pairs]
+        except (TypeError, ValueError) as exc:
+            raise DistributionError("pairs must be (cost, probability) 2-tuples") from exc
+        if len(values) <= VECTORIZE_THRESHOLD:
+            self._init_small(values, probs, normalise=normalise)
         else:
-            # Remove the residual numerical drift so long convolution chains stay normalised.
-            probs = [p / total for p in probs]
-        self._values: tuple[float, ...] = tuple(values)
-        self._probs: tuple[float, ...] = tuple(probs)
-        cdf = []
-        acc = 0.0
-        for p in self._probs:
-            acc += p
-            cdf.append(acc)
-        self._cdf: tuple[float, ...] = tuple(cdf)
+            self._init_from_arrays(
+                np.asarray(values, dtype=float), np.asarray(probs, dtype=float), normalise=normalise
+            )
+
+    def _init_small(
+        self, values: list[float], probs: list[float], *, normalise: bool, validate: bool = True
+    ) -> None:
+        """Scalar constructor path: same merge/validate semantics, no array overhead.
+
+        Mirrors :meth:`_init_from_arrays` exactly (including the chained
+        tolerance merge relative to the previous sorted value) so that the two
+        paths produce identical state for the same input.
+        """
+        if len(values) > 1:
+            order = sorted(range(len(values)), key=values.__getitem__)
+            merged_values: list[float] = []
+            merged_probs: list[float] = []
+            previous = None
+            for index in order:
+                value = values[index]
+                prob = probs[index]
+                if previous is not None and value - previous <= SUPPORT_MERGE_TOLERANCE * max(
+                    1.0, abs(previous)
+                ):
+                    merged_probs[-1] += prob
+                else:
+                    merged_values.append(value)
+                    merged_probs.append(prob)
+                previous = value
+            values, probs = merged_values, merged_probs
+        if validate:
+            kept_values: list[float] = []
+            kept_probs: list[float] = []
+            for value, prob in zip(values, probs):
+                if not math.isfinite(value) or value < 0:
+                    raise DistributionError(f"cost values must be finite and non-negative, got {value!r}")
+                if not math.isfinite(prob) or prob < -PROBABILITY_TOLERANCE:
+                    raise DistributionError(f"probabilities must be non-negative, got {prob!r}")
+                if prob <= 0:
+                    continue
+                kept_values.append(value)
+                kept_probs.append(prob)
+        else:
+            kept_values, kept_probs = list(values), list(probs)
+        if not kept_values:
+            raise DistributionError("all probabilities were zero")
+        total = sum(kept_probs)
+        if not normalise and abs(total - 1.0) > PROBABILITY_TOLERANCE:
+            raise DistributionError(f"probabilities must sum to 1, got {total!r}")
+        # Remove the residual numerical drift so long convolution chains stay normalised.
+        kept_probs = [prob / total for prob in kept_probs]
+        self._values: np.ndarray = np.asarray(kept_values, dtype=float)
+        self._probs: np.ndarray = np.asarray(kept_probs, dtype=float)
+        self._cdf: np.ndarray = np.cumsum(self._probs)
+        self._cdf0 = None
+        self._support: tuple[float, ...] = tuple(kept_values)
+        self._probabilities: tuple[float, ...] = tuple(kept_probs)
+
+    def _init_from_arrays(
+        self,
+        values: np.ndarray,
+        probs: np.ndarray,
+        *,
+        normalise: bool,
+        validate: bool = True,
+        merge: bool = True,
+    ) -> None:
+        """Vectorized constructor body: merge, validate, normalise, precompute the CDF.
+
+        Internal callers whose arrays are clean by construction (e.g.
+        :meth:`compress` bucketing onto a fresh finite grid with positive
+        masses) pass ``validate=False`` / ``merge=False`` to skip the
+        corresponding array passes.
+        """
+        if validate:
+            # Values are checked before merging: the tolerance merge groups by
+            # gaps to the previous sorted value, and a NaN gap compares False,
+            # which would silently absorb a NaN cost into the preceding group.
+            bad_values = ~(np.isfinite(values) & (values >= 0))
+            if bad_values.any():
+                offender = values[bad_values][0]
+                raise DistributionError(
+                    f"cost values must be finite and non-negative, got {float(offender)!r}"
+                )
+        if merge:
+            values, probs = _merge_close_values(values, probs)
+        if validate:
+            bad_probs = ~np.isfinite(probs) | (probs < -PROBABILITY_TOLERANCE)
+            if bad_probs.any():
+                offender = probs[bad_probs][0]
+                raise DistributionError(f"probabilities must be non-negative, got {float(offender)!r}")
+            keep = probs > 0
+            if not keep.any():
+                raise DistributionError("all probabilities were zero")
+            values = values[keep]
+            probs = probs[keep]
+        total = float(probs.sum())
+        if not normalise and abs(total - 1.0) > PROBABILITY_TOLERANCE:
+            raise DistributionError(f"probabilities must sum to 1, got {total!r}")
+        # Remove the residual numerical drift so long convolution chains stay normalised.
+        probs = probs / total
+        self._values: np.ndarray = values
+        self._probs: np.ndarray = probs
+        self._cdf: np.ndarray = np.cumsum(probs)
+        self._cdf0 = None
+        self._support: tuple[float, ...] = tuple(values.tolist())
+        self._probabilities: tuple[float, ...] = tuple(probs.tolist())
+
+    @classmethod
+    def _from_arrays(
+        cls,
+        values: np.ndarray,
+        probs: np.ndarray,
+        *,
+        normalise: bool = True,
+        validate: bool = True,
+        merge: bool = True,
+    ) -> "Distribution":
+        """Fast internal constructor from raw (unsorted, possibly duplicated) arrays."""
+        self = object.__new__(cls)
+        if values.size == 0:
+            raise DistributionError("a distribution needs at least one (cost, probability) pair")
+        self._init_from_arrays(
+            np.asarray(values, dtype=float),
+            np.asarray(probs, dtype=float),
+            normalise=normalise,
+            validate=validate,
+            merge=merge,
+        )
+        return self
+
+    @classmethod
+    def _from_lists(
+        cls,
+        values: list[float],
+        probs: list[float],
+        *,
+        normalise: bool = True,
+        validate: bool = True,
+    ) -> "Distribution":
+        """Fast internal constructor from raw scalar lists."""
+        self = object.__new__(cls)
+        if not values:
+            raise DistributionError("a distribution needs at least one (cost, probability) pair")
+        if len(values) <= VECTORIZE_THRESHOLD:
+            self._init_small(values, probs, normalise=normalise, validate=validate)
+        else:
+            self._init_from_arrays(
+                np.asarray(values, dtype=float),
+                np.asarray(probs, dtype=float),
+                normalise=normalise,
+                validate=validate,
+            )
+        return self
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -120,18 +300,17 @@ class Distribution:
         the nearest multiple of ``resolution`` before counting.  This mirrors
         how the paper instantiates edge and T-path weights from trajectories.
         """
-        if not samples:
+        samples = np.asarray(list(samples), dtype=float)
+        if samples.size == 0:
             raise DistributionError("cannot estimate a distribution from zero samples")
         if resolution <= 0:
             raise DistributionError("resolution must be positive")
-        counts: dict[float, int] = {}
-        for sample in samples:
-            if sample < 0 or not math.isfinite(sample):
-                raise DistributionError(f"samples must be finite and non-negative, got {sample!r}")
-            binned = round(sample / resolution) * resolution
-            counts[binned] = counts.get(binned, 0) + 1
-        n = len(samples)
-        return cls(((value, count / n) for value, count in counts.items()))
+        if not np.all(np.isfinite(samples) & (samples >= 0)):
+            offender = samples[~(np.isfinite(samples) & (samples >= 0))][0]
+            raise DistributionError(f"samples must be finite and non-negative, got {float(offender)!r}")
+        binned = np.round(samples / resolution) * resolution
+        values, counts = np.unique(binned, return_counts=True)
+        return cls._from_arrays(values, counts / samples.size, normalise=True)
 
     # ------------------------------------------------------------------ #
     # Inspection
@@ -139,19 +318,19 @@ class Distribution:
     @property
     def support(self) -> tuple[float, ...]:
         """The cost values carrying positive probability, in increasing order."""
-        return self._values
+        return self._support
 
     @property
     def probabilities(self) -> tuple[float, ...]:
         """Probabilities aligned with :attr:`support`."""
-        return self._probs
+        return self._probabilities
 
     def items(self) -> Iterator[tuple[float, float]]:
         """Iterate over ``(cost, probability)`` pairs in increasing cost order."""
-        return zip(self._values, self._probs)
+        return zip(self._support, self._probabilities)
 
     def __len__(self) -> int:
-        return len(self._values)
+        return len(self._support)
 
     def __iter__(self) -> Iterator[tuple[float, float]]:
         return self.items()
@@ -159,12 +338,12 @@ class Distribution:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Distribution):
             return NotImplemented
-        return self._values == other._values and all(
-            abs(a - b) <= PROBABILITY_TOLERANCE for a, b in zip(self._probs, other._probs)
+        return self._support == other._support and all(
+            abs(a - b) <= PROBABILITY_TOLERANCE for a, b in zip(self._probabilities, other._probabilities)
         )
 
     def __hash__(self) -> int:
-        return hash((self._values, tuple(round(p, 9) for p in self._probs)))
+        return hash((self._support, tuple(round(p, 9) for p in self._probabilities)))
 
     def __repr__(self) -> str:
         pairs = ", ".join(f"[{v:g}, {p:.3g}]" for v, p in self.items())
@@ -172,57 +351,57 @@ class Distribution:
 
     def is_close(self, other: "Distribution", *, tolerance: float = 1e-9) -> bool:
         """True when both distributions have the same support and near-equal probabilities."""
-        if self._values != other._values:
+        if self._support != other._support:
             return False
-        return all(abs(a - b) <= tolerance for a, b in zip(self._probs, other._probs))
+        return all(abs(a - b) <= tolerance for a, b in zip(self._probabilities, other._probabilities))
 
     # ------------------------------------------------------------------ #
     # Summaries
     # ------------------------------------------------------------------ #
     def expectation(self) -> float:
         """The expected cost (the AVG column in Table 1 of the paper)."""
-        return sum(v * p for v, p in self.items())
+        return float(np.dot(self._values, self._probs))
 
     def variance(self) -> float:
         """The variance of the cost."""
         mean = self.expectation()
-        return sum(p * (v - mean) ** 2 for v, p in self.items())
+        return float(np.dot(self._probs, (self._values - mean) ** 2))
 
     def min(self) -> float:
         """The smallest cost with positive probability (used by budget pruning)."""
-        return self._values[0]
+        return self._support[0]
 
     def max(self) -> float:
         """The largest cost with positive probability."""
-        return self._values[-1]
+        return self._support[-1]
 
     def pdf(self, value: float, *, tolerance: float = 1e-9) -> float:
         """Probability mass at ``value`` (0 when ``value`` is not in the support)."""
-        lo, hi = 0, len(self._values) - 1
-        while lo <= hi:
-            mid = (lo + hi) // 2
-            v = self._values[mid]
-            if abs(v - value) <= tolerance:
-                return self._probs[mid]
-            if v < value:
-                lo = mid + 1
-            else:
-                hi = mid - 1
+        # Scalar lookups bisect the cached tuples: a single-point np.searchsorted
+        # costs more in call overhead than the whole binary search.
+        index = bisect_left(self._support, value)
+        for candidate in (index - 1, index):
+            if 0 <= candidate < len(self._support) and abs(self._support[candidate] - value) <= tolerance:
+                return self._probabilities[candidate]
         return 0.0
 
     def cdf(self, value: float) -> float:
         """``Prob(cost <= value)``."""
-        # Binary search for the right-most support value <= value.
-        lo, hi = 0, len(self._values)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if self._values[mid] <= value:
-                lo = mid + 1
-            else:
-                hi = mid
-        if lo == 0:
+        index = bisect_right(self._support, value)
+        if index == 0:
             return 0.0
-        return self._cdf[lo - 1]
+        return float(self._cdf[index - 1])
+
+    def _cdf_at(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`cdf` over an array of query points."""
+        indices = np.searchsorted(self._values, points, side="right")
+        padded = self._cdf0
+        if padded is None:
+            # Cached lazily: dominance-heavy workloads query the same
+            # distribution's CDF many times.
+            padded = np.concatenate(([0.0], self._cdf))
+            self._cdf0 = padded
+        return padded[indices]
 
     def prob_at_most(self, budget: float) -> float:
         """Alias for :meth:`cdf`; the arriving-on-time objective ``Prob(D(P) <= B)``."""
@@ -232,10 +411,10 @@ class Distribution:
         """The smallest cost ``c`` with ``Prob(cost <= c) >= q``."""
         if not 0.0 <= q <= 1.0:
             raise DistributionError(f"quantile level must lie in [0, 1], got {q!r}")
-        for value, acc in zip(self._values, self._cdf):
-            if acc >= q - PROBABILITY_TOLERANCE:
-                return value
-        return self._values[-1]
+        index = int(np.searchsorted(self._cdf, q - PROBABILITY_TOLERANCE, side="left"))
+        if index >= self._values.size:
+            return self._support[-1]
+        return self._support[index]
 
     # ------------------------------------------------------------------ #
     # Arithmetic
@@ -243,16 +422,32 @@ class Distribution:
     def convolve(self, other: "Distribution", *, max_support: int | None = None) -> "Distribution":
         """The distribution of the sum of two independent costs (``⊕`` in the paper).
 
+        Computed as a vectorized outer sum of the two supports with an outer
+        product of the masses, accumulated onto the grid of distinct sums;
+        tiny operands (product of support sizes up to 64 cells) take a scalar
+        accumulator path that beats the array setup overhead.
         ``max_support`` optionally re-bins the result so that its support has
         at most that many values; this bounds the cost of long convolution
         chains during routing without affecting correctness materially.
         """
-        accumulator: dict[float, float] = {}
-        for v1, p1 in self.items():
-            for v2, p2 in other.items():
-                total = v1 + v2
-                accumulator[total] = accumulator.get(total, 0.0) + p1 * p2
-        result = Distribution(accumulator.items(), normalise=True)
+        if len(self._support) * len(other._support) <= 64:
+            accumulator: dict[float, float] = {}
+            for v1, p1 in zip(self._support, self._probabilities):
+                for v2, p2 in zip(other._support, other._probabilities):
+                    total = v1 + v2
+                    accumulator[total] = accumulator.get(total, 0.0) + p1 * p2
+            result = Distribution._from_lists(
+                list(accumulator.keys()), list(accumulator.values()), normalise=True, validate=False
+            )
+        else:
+            sums = np.add.outer(self._values, other._values).ravel()
+            masses = np.outer(self._probs, other._probs).ravel()
+            grid, inverse = np.unique(sums, return_inverse=True)
+            accumulated = np.bincount(inverse, weights=masses, minlength=grid.size)
+            # Sums of finite non-negative costs with positive masses need no
+            # validation; the tolerance merge still runs to collapse float-noise
+            # near-duplicates that np.unique keeps apart.
+            result = Distribution._from_arrays(grid, accumulated, normalise=True, validate=False)
         if max_support is not None and len(result) > max_support:
             result = result.compress(max_support)
         return result
@@ -264,30 +459,29 @@ class Distribution:
 
     def shift(self, offset: float) -> "Distribution":
         """Add a deterministic ``offset`` to every cost."""
-        if offset < 0 and self._values[0] + offset < 0:
+        if offset < 0 and self._support[0] + offset < 0:
             raise DistributionError("shifting would create negative costs")
-        return Distribution(((v + offset, p) for v, p in self.items()))
+        return Distribution._from_arrays(self._values + offset, self._probs, normalise=True)
 
     def scale(self, factor: float) -> "Distribution":
         """Multiply every cost by a positive ``factor``."""
         if factor <= 0:
             raise DistributionError("scale factor must be positive")
-        return Distribution(((v * factor, p) for v, p in self.items()))
+        return Distribution._from_arrays(self._values * factor, self._probs, normalise=True)
 
     def rebin(self, resolution: float) -> "Distribution":
         """Round costs to the nearest multiple of ``resolution`` and merge masses."""
         if resolution <= 0:
             raise DistributionError("resolution must be positive")
-        return Distribution(
-            ((round(v / resolution) * resolution, p) for v, p in self.items()), normalise=True
-        )
+        binned = np.round(self._values / resolution) * resolution
+        return Distribution._from_arrays(binned, self._probs, normalise=True)
 
     def compress(self, max_support: int) -> "Distribution":
         """Reduce the support to at most ``max_support`` values.
 
         Mass is merged onto a uniform grid spanning ``[min, max]``; each value
-        is mapped to the nearest grid point.  The expectation is preserved up
-        to the grid resolution.
+        is mapped to the nearest grid point (integer bucketing).  The
+        expectation is preserved up to the grid resolution.
         """
         if max_support < 1:
             raise DistributionError("max_support must be at least 1")
@@ -297,12 +491,15 @@ class Distribution:
         if max_support == 1 or hi == lo:
             return Distribution.point(self.expectation())
         step = (hi - lo) / (max_support - 1)
-        accumulator: dict[float, float] = {}
-        for v, p in self.items():
-            idx = round((v - lo) / step)
-            grid_value = lo + idx * step
-            accumulator[grid_value] = accumulator.get(grid_value, 0.0) + p
-        return Distribution(accumulator.items(), normalise=True)
+        buckets = np.round((self._values - lo) / step).astype(np.int64)
+        mass = np.bincount(buckets, weights=self._probs, minlength=max_support)
+        grid = lo + np.arange(mass.size) * step
+        occupied = mass > 0
+        # The grid is sorted, distinct, finite and non-negative and every kept
+        # bucket carries positive mass: skip the merge and validation passes.
+        return Distribution._from_arrays(
+            grid[occupied], mass[occupied], normalise=True, validate=False, merge=False
+        )
 
     def truncate_above(self, budget: float) -> "Distribution":
         """Collapse all mass above ``budget`` onto a single overflow value.
@@ -313,11 +510,11 @@ class Distribution:
         at_most = self.cdf(budget)
         if at_most >= 1.0 - PROBABILITY_TOLERANCE:
             return self
-        kept = [(v, p) for v, p in self.items() if v <= budget]
-        overflow_mass = 1.0 - at_most
+        within = self._values <= budget
         overflow_value = max(self.max(), budget + 1.0)
-        kept.append((overflow_value, overflow_mass))
-        return Distribution(kept, normalise=True)
+        values = np.concatenate((self._values[within], [overflow_value]))
+        probs = np.concatenate((self._probs[within], [1.0 - at_most]))
+        return Distribution._from_arrays(values, probs, normalise=True)
 
     # ------------------------------------------------------------------ #
     # Comparisons
@@ -328,18 +525,35 @@ class Distribution:
         ``self`` dominates ``other`` when ``self.cdf(x) >= other.cdf(x)`` for
         every ``x``.  With ``strict=True`` at least one inequality must be
         strict.  This is the pruning relation of the EDGE model and, after
-        V-paths are introduced (Lemma 4.1), of the PACE model as well.
+        V-paths are introduced (Lemma 4.1), of the PACE model as well.  Both
+        CDFs are evaluated on the merged support grid in one vectorized pass
+        (scalar loop below the vectorization threshold).
         """
-        points = sorted(set(self._values) | set(other._values))
-        some_strict = False
-        for x in points:
-            own = self.cdf(x)
-            theirs = other.cdf(x)
-            if own < theirs - PROBABILITY_TOLERANCE:
-                return False
-            if own > theirs + PROBABILITY_TOLERANCE:
-                some_strict = True
-        return some_strict if strict else True
+        # Cheap bail-out: if other has mass strictly below self's entire
+        # support, self's CDF is 0 where other's is already positive.
+        if self._support[0] > other._support[0] and other._probabilities[0] > PROBABILITY_TOLERANCE:
+            return False
+        if len(self._support) + len(other._support) <= VECTORIZE_THRESHOLD:
+            some_strict = False
+            for x in sorted(set(self._support) | set(other._support)):
+                own_at = self.cdf(x)
+                theirs_at = other.cdf(x)
+                if own_at < theirs_at - PROBABILITY_TOLERANCE:
+                    return False
+                if own_at > theirs_at + PROBABILITY_TOLERANCE:
+                    some_strict = True
+            return some_strict if strict else True
+        # Step CDFs only change at support points, so checking the (unsorted,
+        # possibly duplicated) concatenation of both supports is equivalent to
+        # checking the merged grid — and skips union1d's sort + dedup.
+        points = np.concatenate((self._values, other._values))
+        own = self._cdf_at(points)
+        theirs = other._cdf_at(points)
+        if bool(np.any(own < theirs - PROBABILITY_TOLERANCE)):
+            return False
+        if strict:
+            return bool(np.any(own > theirs + PROBABILITY_TOLERANCE))
+        return True
 
     def kl_divergence(self, other: "Distribution", *, epsilon: float = 1e-6) -> float:
         """KL divergence ``KL(self || other)`` on the union support.
@@ -348,33 +562,37 @@ class Distribution:
         the divergence stays finite, matching the accuracy evaluation of the
         paper (Fig. 10b) where estimated distributions may miss rare costs.
         """
-        points = sorted(set(self._values) | set(other._values))
-        own = [self.pdf(x) for x in points]
-        theirs = [max(other.pdf(x), epsilon) for x in points]
-        theirs_total = sum(theirs)
-        theirs = [t / theirs_total for t in theirs]
-        divergence = 0.0
-        for p, q in zip(own, theirs):
-            if p > 0:
-                divergence += p * math.log(p / q)
-        return divergence
+        points = np.union1d(self._values, other._values)
+        own = np.zeros(points.size)
+        own[np.searchsorted(points, self._values)] = self._probs
+        theirs = np.full(points.size, epsilon)
+        positions = np.searchsorted(points, other._values)
+        theirs[positions] = np.maximum(other._probs, epsilon)
+        theirs = theirs / theirs.sum()
+        positive = own > 0
+        return float(np.sum(own[positive] * np.log(own[positive] / theirs[positive])))
 
     # ------------------------------------------------------------------ #
     # Sampling
     # ------------------------------------------------------------------ #
     def sample(self, rng, size: int = 1) -> list[float]:
-        """Draw ``size`` independent samples using ``rng`` (a ``random.Random``)."""
+        """Draw ``size`` independent samples using ``rng``.
+
+        ``rng`` may be a ``random.Random`` or a NumPy ``Generator``.  Sampling
+        inverts the precomputed CDF with ``np.searchsorted``, so every uniform
+        draw maps to the exact support value whose cumulative probability
+        covers it — including draws that land in the extreme tail when the
+        stored probabilities sum to just under 1.
+        """
         if size < 0:
             raise DistributionError("sample size must be non-negative")
-        out = []
-        for _ in range(size):
-            u = rng.random()
-            acc = 0.0
-            chosen = self._values[-1]
-            for value, prob in self.items():
-                acc += prob
-                if u <= acc:
-                    chosen = value
-                    break
-            out.append(chosen)
-        return out
+        if size == 0:
+            return []
+        try:
+            uniforms = np.asarray(rng.random(size), dtype=float)
+        except TypeError:
+            # random.Random.random takes no size argument.
+            uniforms = np.array([rng.random() for _ in range(size)], dtype=float)
+        indices = np.searchsorted(self._cdf, uniforms, side="left")
+        indices = np.minimum(indices, self._values.size - 1)
+        return self._values[indices].tolist()

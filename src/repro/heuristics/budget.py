@@ -24,6 +24,7 @@ true probabilities.
 
 from __future__ import annotations
 
+import math
 import sys
 import time
 from dataclasses import dataclass
@@ -66,8 +67,16 @@ class BudgetHeuristicConfig:
 
     @property
     def eta(self) -> int:
-        """The number of columns of the heuristic table."""
-        return int(self.max_budget // self.delta) + (0 if self.max_budget % self.delta == 0 else 1)
+        """The number of columns of the heuristic table.
+
+        ``eta`` is the smallest integer with ``eta * delta >= max_budget``.
+        Computed from the rounded ratio rather than float ``//`` / ``%``,
+        which misfire on fractional grids: ``max_budget=0.1+0.2, delta=0.1``
+        has ``max_budget % delta == 4e-17`` and would grow a spurious fourth
+        column.
+        """
+        ratio = self.max_budget / self.delta
+        return max(1, math.ceil(ratio - 1e-9))
 
 
 def build_heuristic_table(

@@ -25,10 +25,15 @@ __all__ = [
 
 
 def distribution_to_dict(distribution: Distribution) -> dict:
-    """Encode a cost distribution as ``{"costs": [...], "probabilities": [...]}``."""
+    """Encode a cost distribution as ``{"costs": [...], "probabilities": [...]}``.
+
+    Values are coerced to plain Python floats so that array-backed
+    distributions stay JSON-serialisable even if a NumPy scalar ever leaks
+    into the public tuples.
+    """
     return {
-        "costs": list(distribution.support),
-        "probabilities": list(distribution.probabilities),
+        "costs": [float(cost) for cost in distribution.support],
+        "probabilities": [float(probability) for probability in distribution.probabilities],
     }
 
 

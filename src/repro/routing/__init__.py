@@ -7,7 +7,13 @@ from repro.routing.dijkstra import (
     single_source_costs,
 )
 from repro.routing.dominance import DominancePruner
-from repro.routing.engine import METHOD_NAMES, RouterSettings, create_router
+from repro.routing.engine import (
+    METHOD_NAMES,
+    HeuristicCache,
+    RouterSettings,
+    RoutingEngine,
+    create_router,
+)
 from repro.routing.naive import NaivePaceRouter, NaiveRouterConfig
 from repro.routing.queries import RoutingQuery, RoutingResult
 from repro.routing.tpath_routing import HeuristicPaceRouter, HeuristicRouterConfig
@@ -25,6 +31,8 @@ __all__ = [
     "DominancePruner",
     "create_router",
     "RouterSettings",
+    "RoutingEngine",
+    "HeuristicCache",
     "METHOD_NAMES",
     "shortest_path",
     "shortest_path_cost",

@@ -1,4 +1,4 @@
-"""Router factory: build any of the paper's named routing methods.
+"""Router factory and batch routing engine.
 
 The experiments compare a fixed palette of methods (Section 5.1):
 
@@ -17,11 +17,24 @@ V-BS-δ    V-path routing guided by the budget-specific heuristic
 
 :func:`create_router` maps those names onto configured router instances so the
 evaluation harness, the examples and user code all build methods the same way.
+
+:class:`RoutingEngine` is the serving facade on top of the factory: it owns
+one PACE graph (plus its V-path closure), builds routers lazily, and shares a
+single destination-keyed :class:`HeuristicCache` across *all* of them, so the
+expensive destination-specific pre-computations (reverse shortest-path trees,
+Eq. 5 budget tables) are built once per destination rather than once per
+router instance.  Its :meth:`RoutingEngine.route_many` entry point evaluates a
+batch of queries — grouped by destination for cache locality, optionally
+fanned out over a thread pool — which is how the evaluation harness and the
+examples now drive query traffic.
 """
 
 from __future__ import annotations
 
 import re
+import threading
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.core.errors import ConfigurationError
@@ -34,11 +47,18 @@ from repro.heuristics.binary import (
 )
 from repro.heuristics.budget import BudgetHeuristicConfig, BudgetSpecificHeuristic
 from repro.routing.naive import NaivePaceRouter, NaiveRouterConfig
+from repro.routing.queries import RoutingQuery, RoutingResult
 from repro.routing.tpath_routing import HeuristicPaceRouter, HeuristicRouterConfig
 from repro.routing.vpath_routing import VPathRouter, VPathRouterConfig
 from repro.vpaths.updated_graph import UpdatedPaceGraph
 
-__all__ = ["RouterSettings", "METHOD_NAMES", "create_router"]
+__all__ = [
+    "RouterSettings",
+    "METHOD_NAMES",
+    "create_router",
+    "HeuristicCache",
+    "RoutingEngine",
+]
 
 #: The method names used throughout the evaluation (δ = 60 written explicitly).
 METHOD_NAMES = (
@@ -53,6 +73,22 @@ METHOD_NAMES = (
 )
 
 _BUDGET_PATTERN = re.compile(r"^(T|V)-BS-(\d+)$")
+
+#: Fixed (non-δ-parameterised) method names the factory accepts.
+_FIXED_METHODS = ("T-None", "T-B-EU", "T-B-E", "T-B-P", "V-None", "V-B-P")
+
+
+def _check_method_known(method: str) -> None:
+    """Reject unknown method names with a message that lists the palette."""
+    if method in _FIXED_METHODS or _BUDGET_PATTERN.match(method):
+        return
+    raise ConfigurationError(
+        f"unknown routing method {method!r}; known methods are "
+        f"{', '.join(METHOD_NAMES)} (T-BS-<delta> / V-BS-<delta> accept any integer delta). "
+        "Note that V-path routing only exists as V-None, V-B-P and V-BS-<delta>: "
+        "the Euclidean (B-EU) and edges-only (B-E) binary heuristics have no V-variant "
+        "because V-path search is only evaluated with the PACE-aware heuristics in the paper."
+    )
 
 
 @dataclass(frozen=True)
@@ -85,21 +121,84 @@ class RouterSettings:
         )
 
 
-def _binary_factory(kind: str, settings: RouterSettings):
+class HeuristicCache:
+    """Destination-keyed cache of heuristic instances, shared across routers.
+
+    Heuristics are destination-specific pre-computations (Section 3).  Without
+    sharing, every router instance pays for its own copies: ``T-B-P`` and
+    ``V-B-P`` each build the same reverse shortest-path tree, and every
+    ``BudgetSpecificHeuristic`` Bellman table is rebuilt per router.  The cache
+    is keyed by ``(heuristic kind, graph identity, destination)`` so different
+    heuristic families and graphs never collide, and it is thread-safe so a
+    :class:`RoutingEngine` worker pool can share it.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, Heuristic] = {}
+        self._lock = threading.Lock()
+        self._building: dict[tuple, threading.Lock] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_build(self, key: tuple, builder: Callable[[], Heuristic]) -> Heuristic:
+        """Return the cached heuristic for ``key``, building it (once) on a miss.
+
+        Concurrent misses on the *same* key serialise on a per-key lock so the
+        expensive build runs exactly once (same-destination queries are
+        adjacent in a batch and land on different workers simultaneously);
+        builds for different keys proceed in parallel.
+        """
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self.hits += 1
+                return cached
+            key_lock = self._building.setdefault(key, threading.Lock())
+        with key_lock:
+            with self._lock:
+                cached = self._entries.get(key)
+                if cached is not None:
+                    self.hits += 1
+                    return cached
+            built = builder()
+            with self._lock:
+                self._entries[key] = built
+                self.misses += 1
+                self._building.pop(key, None)
+        return built
+
+
+def _binary_factory(kind: str, settings: RouterSettings, cache: HeuristicCache | None = None):
     def factory(graph, destination: int) -> Heuristic:
         pace_graph = graph.pace_graph if isinstance(graph, UpdatedPaceGraph) else graph
-        if kind == "EU":
-            return EuclideanBinaryHeuristic(pace_graph.network, destination)
-        if kind == "E":
-            return EdgeOnlyBinaryHeuristic(pace_graph, destination)
-        return PaceBinaryHeuristic(pace_graph, destination)
+
+        def build() -> Heuristic:
+            if kind == "EU":
+                return EuclideanBinaryHeuristic(pace_graph.network, destination)
+            if kind == "E":
+                return EdgeOnlyBinaryHeuristic(pace_graph, destination)
+            return PaceBinaryHeuristic(pace_graph, destination)
+
+        if cache is None:
+            return build()
+        return cache.get_or_build(("binary", kind, id(pace_graph), destination), build)
 
     return factory
 
 
-def _budget_factory(delta: float, settings: RouterSettings):
+def _budget_factory(delta: float, settings: RouterSettings, cache: HeuristicCache | None = None):
     def factory(graph, destination: int) -> Heuristic:
-        return BudgetSpecificHeuristic(graph, destination, settings.budget_config(delta))
+        def build() -> Heuristic:
+            return BudgetSpecificHeuristic(graph, destination, settings.budget_config(delta))
+
+        if cache is None:
+            return build()
+        # Budget tables depend on the graph the router searches (plain vs V-path
+        # closure), so the graph identity is part of the key.
+        return cache.get_or_build(("budget", delta, id(graph), destination), build)
 
     return factory
 
@@ -110,12 +209,17 @@ def create_router(
     updated_graph: UpdatedPaceGraph | None = None,
     *,
     settings: RouterSettings | None = None,
+    heuristic_cache: HeuristicCache | None = None,
 ):
     """Build the router implementing ``method``.
 
     ``updated_graph`` (the V-path closure of ``pace_graph``) is required for
-    the ``V-*`` methods and ignored otherwise.
+    the ``V-*`` methods and ignored otherwise.  ``heuristic_cache`` optionally
+    shares destination-keyed heuristics across routers; use one cache per
+    ``(pace_graph, updated_graph)`` pair (a :class:`RoutingEngine` does this
+    automatically).
     """
+    _check_method_known(method)
     settings = settings or RouterSettings()
     if method == "T-None":
         return NaivePaceRouter(pace_graph, settings.naive())
@@ -124,7 +228,7 @@ def create_router(
         kind = method.rsplit("-", 1)[-1]
         return HeuristicPaceRouter(
             pace_graph,
-            _binary_factory(kind, settings),
+            _binary_factory(kind, settings, heuristic_cache),
             method_name=method,
             config=settings.heuristic(),
         )
@@ -134,32 +238,141 @@ def create_router(
         delta = float(budget_match.group(2))
         return HeuristicPaceRouter(
             pace_graph,
-            _budget_factory(delta, settings),
+            _budget_factory(delta, settings, heuristic_cache),
             method_name=method,
             config=settings.heuristic(),
         )
 
-    if method.startswith("V-"):
-        if updated_graph is None:
-            raise ConfigurationError(f"method {method!r} needs the updated PACE graph (V-paths)")
-        if method == "V-None":
-            return VPathRouter(
-                updated_graph, None, method_name=method, config=settings.vpath()
-            )
-        if method == "V-B-P":
-            return VPathRouter(
-                updated_graph,
-                _binary_factory("P", settings),
-                method_name=method,
-                config=settings.vpath(),
-            )
-        if budget_match and budget_match.group(1) == "V":
-            delta = float(budget_match.group(2))
-            return VPathRouter(
-                updated_graph,
-                _budget_factory(delta, settings),
-                method_name=method,
-                config=settings.vpath(),
-            )
+    if updated_graph is None:
+        raise ConfigurationError(f"method {method!r} needs the updated PACE graph (V-paths)")
+    if method == "V-None":
+        return VPathRouter(updated_graph, None, method_name=method, config=settings.vpath())
+    if method == "V-B-P":
+        return VPathRouter(
+            updated_graph,
+            _binary_factory("P", settings, heuristic_cache),
+            method_name=method,
+            config=settings.vpath(),
+        )
+    delta = float(budget_match.group(2))
+    return VPathRouter(
+        updated_graph,
+        _budget_factory(delta, settings, heuristic_cache),
+        method_name=method,
+        config=settings.vpath(),
+    )
 
-    raise ConfigurationError(f"unknown routing method {method!r}")
+
+class RoutingEngine:
+    """Batch query serving facade over one PACE graph and its V-path closure.
+
+    The engine owns the graphs, builds routers for the paper's named methods
+    lazily, and shares a single :class:`HeuristicCache` across all of them.
+    Queries are answered one at a time with :meth:`route` or in batches with
+    :meth:`route_many`; batches are evaluated grouped by destination (so each
+    destination's heuristic is built exactly once and then reused while hot)
+    and can optionally fan out over a thread pool.
+
+    Batch evaluation is purely an execution strategy: per-query results —
+    best path, arrival probability, cost distribution — are identical to
+    calling :meth:`route` once per query, because every router's search is
+    deterministic given its (deterministically built, cached) heuristic.
+    """
+
+    def __init__(
+        self,
+        pace_graph: PaceGraph,
+        updated_graph: UpdatedPaceGraph | None = None,
+        *,
+        settings: RouterSettings | None = None,
+    ):
+        self._pace_graph = pace_graph
+        self._updated_graph = updated_graph
+        self._settings = settings or RouterSettings()
+        self._cache = HeuristicCache()
+        self._routers: dict[str, object] = {}
+        self._router_lock = threading.Lock()
+
+    # -------------------------------------------------------------- #
+    # Introspection
+    # -------------------------------------------------------------- #
+    @property
+    def pace_graph(self) -> PaceGraph:
+        return self._pace_graph
+
+    @property
+    def updated_graph(self) -> UpdatedPaceGraph | None:
+        return self._updated_graph
+
+    @property
+    def settings(self) -> RouterSettings:
+        return self._settings
+
+    @property
+    def heuristic_cache(self) -> HeuristicCache:
+        """The destination-keyed heuristic cache shared by every router."""
+        return self._cache
+
+    # -------------------------------------------------------------- #
+    # Routers
+    # -------------------------------------------------------------- #
+    def router(self, method: str):
+        """The (lazily built, cached) router implementing ``method``."""
+        with self._router_lock:
+            if method not in self._routers:
+                self._routers[method] = create_router(
+                    method,
+                    self._pace_graph,
+                    self._updated_graph,
+                    settings=self._settings,
+                    heuristic_cache=self._cache,
+                )
+            return self._routers[method]
+
+    def prewarm(self, method: str, destinations: Sequence[int]) -> None:
+        """Build the heuristics for ``destinations`` ahead of query traffic."""
+        router = self.router(method)
+        heuristic_for = getattr(router, "heuristic_for", None)
+        if heuristic_for is None:
+            return
+        for destination in destinations:
+            heuristic_for(destination)
+
+    # -------------------------------------------------------------- #
+    # Routing
+    # -------------------------------------------------------------- #
+    def route(self, query: RoutingQuery, *, method: str) -> RoutingResult:
+        """Evaluate one arriving-on-time query with ``method``."""
+        return self.router(method).route(query)
+
+    def route_many(
+        self,
+        queries: Sequence[RoutingQuery],
+        *,
+        method: str,
+        workers: int | None = None,
+    ) -> list[RoutingResult]:
+        """Evaluate a batch of queries, returning results in input order.
+
+        Queries are processed grouped by destination so that each
+        destination-specific heuristic is built once and stays hot for all its
+        queries.  With ``workers`` > 1 the batch fans out over a thread pool;
+        the shared heuristic cache is thread-safe, and results are identical
+        to (and ordered like) the serial evaluation.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        router = self.router(method)
+        order = sorted(range(len(queries)), key=lambda i: (queries[i].destination, i))
+        results: list[RoutingResult | None] = [None] * len(queries)
+        if workers is not None and workers > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                for index, result in zip(
+                    order, pool.map(lambda i: router.route(queries[i]), order)
+                ):
+                    results[index] = result
+        else:
+            for index in order:
+                results[index] = router.route(queries[index])
+        return results  # type: ignore[return-value]

@@ -70,6 +70,19 @@ class TestConstruction:
         with pytest.raises(DistributionError):
             Distribution.from_pairs([(math.inf, 1.0)])
 
+    def test_rejects_non_finite_cost_on_large_inputs(self):
+        """Regression: the vectorized path must not let the tolerance merge absorb NaN.
+
+        A NaN gap compares False against the merge tolerance, so validating
+        after merging would silently fold a NaN cost into the previous support
+        group once the input exceeds the scalar-path threshold.
+        """
+        n = 40
+        pairs = [(float(i), 1.0 / (n + 1)) for i in range(n)]
+        for bad in (math.nan, math.inf, -1.0):
+            with pytest.raises(DistributionError):
+                Distribution.from_pairs(pairs + [(bad, 1.0 / (n + 1))], normalise=True)
+
     def test_from_samples_bins_on_resolution(self):
         d = Distribution.from_samples([10.2, 9.8, 20.1, 19.9], resolution=1.0)
         assert d.pdf(10) == pytest.approx(0.5)
@@ -223,6 +236,42 @@ class TestArithmetic:
 
 
 # --------------------------------------------------------------------------- #
+# Support merging (regression: near-duplicate floats must merge)
+# --------------------------------------------------------------------------- #
+class TestCloseValueMerging:
+    def test_float_noise_duplicates_are_merged(self):
+        """0.1 + 0.2 and 0.3 differ only by float rounding noise and must merge."""
+        d = Distribution.from_pairs([(0.1 + 0.2, 0.5), (0.3, 0.5)])
+        assert len(d) == 1
+        assert d.pdf(0.3) == pytest.approx(1.0)
+
+    def test_convolution_chains_do_not_bloat_support(self):
+        """Convolving fractional supports must not keep near-identical sums apart.
+
+        0.1 + 0.2 and 0.3 + 0.0 produce bit-different floats for the same
+        cost; without tolerance merging the result would carry 4 support
+        values and defeat ``max_support`` bounding on long chains.
+        """
+        a = Distribution.from_pairs([(0.1, 0.5), (0.3, 0.5)])
+        b = Distribution.from_pairs([(0.0, 0.5), (0.2, 0.5)])
+        convolved = a.convolve(b)
+        assert len(convolved) == 3
+        assert convolved.pdf(0.3) == pytest.approx(0.5)
+
+    def test_well_separated_values_are_not_merged(self):
+        d = Distribution.from_pairs([(1.0, 0.5), (1.0 + 1e-6, 0.5)])
+        assert len(d) == 2
+
+    def test_merge_tolerance_scales_with_magnitude(self):
+        # The tolerance is relative (1e-9 of the value): at magnitude 1e6 a gap
+        # of 1e-4 is float noise and merges, while a real gap of 10 does not.
+        d = Distribution.from_pairs([(1e6, 0.5), (1e6 + 1e-4, 0.5)])
+        assert len(d) == 1
+        separated = Distribution.from_pairs([(1e6, 0.5), (1e6 + 10.0, 0.5)])
+        assert len(separated) == 2
+
+
+# --------------------------------------------------------------------------- #
 # Dominance, divergence, sampling
 # --------------------------------------------------------------------------- #
 class TestComparisons:
@@ -273,6 +322,51 @@ class TestComparisons:
     def test_sample_negative_size_rejected(self):
         with pytest.raises(DistributionError):
             Distribution.point(1).sample(random.Random(0), -1)
+
+    def test_sample_zero_size(self):
+        assert Distribution.point(1).sample(random.Random(0), 0) == []
+
+    def test_sample_inverts_cdf_exactly(self):
+        """Sampling is searchsorted on the precomputed CDF (regression).
+
+        The old linear scan re-accumulated probabilities with a running float
+        sum and fell back to the last value when the accumulator stayed below
+        the uniform draw; the samples must instead come from the exact stored
+        CDF boundaries.
+        """
+
+        class FakeRng:
+            def __init__(self, draws):
+                self._draws = list(draws)
+
+            def random(self):
+                return self._draws.pop(0)
+
+        d = Distribution.from_pairs([(1, 0.3), (2, 0.5), (3, 0.2)])
+        cdf_first = d.probabilities[0]
+        draws = [0.0, cdf_first, cdf_first + 1e-12, 0.999, 1.0 - 2**-53]
+        samples = d.sample(FakeRng(draws), len(draws))
+        assert samples == [1.0, 1.0, 2.0, 3.0, 3.0]
+
+    def test_sample_tail_when_probabilities_sum_just_under_one(self):
+        """Draws beyond the stored total mass must map to the largest cost."""
+
+        class AlmostOneRng:
+            def random(self):
+                return 1.0 - 2**-53
+
+        # Accepted as normalised (within tolerance) and renormalised internally.
+        d = Distribution.from_pairs([(5, 0.25), (7, 0.75 - 5e-7)])
+        assert d.sample(AlmostOneRng(), 3) == [7.0, 7.0, 7.0]
+
+    def test_sample_accepts_numpy_generator(self):
+        import numpy as np
+
+        d = Distribution.from_pairs([(1, 0.25), (2, 0.75)])
+        samples = d.sample(np.random.default_rng(7), 2000)
+        assert len(samples) == 2000
+        assert set(samples) <= {1.0, 2.0}
+        assert abs(samples.count(2.0) / 2000 - 0.75) < 0.05
 
     def test_is_close(self):
         a = Distribution.from_pairs([(1, 0.5), (2, 0.5)])

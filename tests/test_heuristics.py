@@ -30,6 +30,36 @@ from repro.heuristics.tables import HeuristicRow, HeuristicTable
 
 
 # --------------------------------------------------------------------------- #
+# Budget heuristic configuration (eta grid sizing)
+# --------------------------------------------------------------------------- #
+class TestBudgetConfigEta:
+    def test_eta_integer_grids(self):
+        assert BudgetHeuristicConfig(delta=60.0, max_budget=5000.0).eta == 84
+        assert BudgetHeuristicConfig(delta=60.0, max_budget=4800.0).eta == 80
+        assert BudgetHeuristicConfig(delta=60.0, max_budget=60.0).eta == 1
+
+    def test_eta_fractional_grids(self):
+        """Regression: float // and % misfire on fractional deltas.
+
+        ``max_budget = 0.1 + 0.2`` has ``max_budget % 0.1 == 4e-17``, which the
+        old computation turned into a spurious fourth column.
+        """
+        assert BudgetHeuristicConfig(delta=0.1, max_budget=0.1 + 0.2).eta == 3
+        assert BudgetHeuristicConfig(delta=0.1, max_budget=0.3).eta == 3
+        assert BudgetHeuristicConfig(delta=0.1, max_budget=0.35).eta == 4
+        assert BudgetHeuristicConfig(delta=0.25, max_budget=1.0).eta == 4
+        assert BudgetHeuristicConfig(delta=1.1, max_budget=3.3).eta == 3
+
+    def test_eta_covers_max_budget(self):
+        for delta in (0.1, 0.25, 1.1, 7.0, 60.0):
+            for steps in range(1, 12):
+                config = BudgetHeuristicConfig(delta=delta, max_budget=delta * steps)
+                assert config.eta == steps
+                # The grid must reach the configured budget (within float noise).
+                assert config.eta * delta >= config.max_budget - 1e-9 * config.max_budget
+
+
+# --------------------------------------------------------------------------- #
 # Base heuristic and Eq. 3
 # --------------------------------------------------------------------------- #
 class TestBase:

@@ -50,6 +50,17 @@ class TestCodecs:
         with pytest.raises(DataError):
             joint_from_dict({"edge_ids": [1]})
 
+    def test_array_backed_distribution_is_json_serialisable(self):
+        """The NumPy-backed kernel must round-trip through actual JSON text."""
+        import json
+
+        original = Distribution.from_pairs([(8, 0.9), (10, 0.1)])
+        convolved = original.convolve(original, max_support=4)
+        payload = json.dumps(distribution_to_dict(convolved))
+        restored = distribution_from_dict(json.loads(payload))
+        assert restored == convolved
+        assert all(isinstance(c, float) for c in json.loads(payload)["costs"])
+
 
 class TestIndexPersistence:
     def test_round_trip_preserves_path_costs(self, paper_example, tmp_path):

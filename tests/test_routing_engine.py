@@ -1,0 +1,210 @@
+"""Tests for the batch routing engine and the shared heuristic cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.datasets.paper_example import VD, VS
+from repro.evaluation.workloads import WorkloadConfig, generate_workload
+from repro.routing.engine import (
+    METHOD_NAMES,
+    HeuristicCache,
+    RouterSettings,
+    RoutingEngine,
+    create_router,
+)
+from repro.routing.queries import RoutingQuery
+from repro.vpaths.updated_graph import UpdatedPaceGraph
+
+
+@pytest.fixture(scope="module")
+def updated_example(paper_example):
+    updated, _ = UpdatedPaceGraph.build(paper_example.pace_graph)
+    return updated
+
+
+def _engine(paper_example, updated_example, **kwargs) -> RoutingEngine:
+    settings = kwargs.pop("settings", RouterSettings(max_budget=120.0))
+    return RoutingEngine(paper_example.pace_graph, updated_example, settings=settings)
+
+
+def _example_queries(paper_example) -> list[RoutingQuery]:
+    vertices = sorted(paper_example.network.vertex_ids())
+    queries = [RoutingQuery(VS, VD, budget=budget) for budget in (24.0, 30.0, 40.0)]
+    # A second destination so batches exercise the destination grouping.
+    other = next(v for v in vertices if v not in (VS, VD))
+    queries.append(RoutingQuery(VS, other, budget=30.0))
+    queries.append(RoutingQuery(VS, VD, budget=26.0))
+    return queries
+
+
+class TestUnknownMethodError:
+    @pytest.mark.parametrize("method", ["V-B-EU", "V-B-E", "nonsense", "T-BS", "V-BS-"])
+    def test_unknown_method_lists_palette(self, paper_example, updated_example, method):
+        with pytest.raises(ConfigurationError) as excinfo:
+            create_router(method, paper_example.pace_graph, updated_example)
+        message = str(excinfo.value)
+        assert method in message
+        for name in METHOD_NAMES:
+            assert name in message
+        assert "V-None" in message and "V-B-P" in message
+
+    def test_unknown_v_variant_rejected_even_without_updated_graph(self, paper_example):
+        # The name check fires before the missing-updated-graph check, so the
+        # user learns the method does not exist rather than being told to
+        # build V-paths for it.
+        with pytest.raises(ConfigurationError, match="unknown routing method"):
+            create_router("V-B-EU", paper_example.pace_graph, None)
+
+    def test_known_methods_still_build(self, paper_example, updated_example):
+        for method in METHOD_NAMES:
+            router = create_router(method, paper_example.pace_graph, updated_example)
+            assert router is not None
+
+
+class TestHeuristicCache:
+    def test_get_or_build_builds_once(self):
+        cache = HeuristicCache()
+        built = []
+
+        def builder():
+            built.append(1)
+            return object()
+
+        first = cache.get_or_build(("k", 1), builder)
+        second = cache.get_or_build(("k", 1), builder)
+        assert first is second
+        assert len(built) == 1
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_distinct_keys_do_not_collide(self):
+        cache = HeuristicCache()
+        a = cache.get_or_build(("a", 1), object)
+        b = cache.get_or_build(("b", 1), object)
+        assert a is not b
+        assert len(cache) == 2
+
+
+class TestRoutingEngine:
+    def test_route_matches_standalone_router(self, paper_example, updated_example):
+        engine = _engine(paper_example, updated_example)
+        query = RoutingQuery(VS, VD, budget=30.0)
+        for method in METHOD_NAMES:
+            standalone = create_router(
+                method,
+                paper_example.pace_graph,
+                updated_example,
+                settings=RouterSettings(max_budget=120.0),
+            ).route(query)
+            via_engine = engine.route(query, method=method)
+            assert via_engine.probability == pytest.approx(standalone.probability, abs=1e-12)
+            assert (via_engine.path is None) == (standalone.path is None)
+            if via_engine.path is not None:
+                assert via_engine.path.edges == standalone.path.edges
+
+    @pytest.mark.parametrize("method", ["T-B-P", "T-BS-60", "V-BS-60"])
+    def test_route_many_matches_per_query_routing(self, paper_example, updated_example, method):
+        engine = _engine(paper_example, updated_example)
+        queries = _example_queries(paper_example)
+        batch = engine.route_many(queries, method=method)
+        assert len(batch) == len(queries)
+        for query, result in zip(queries, batch):
+            single = engine.route(query, method=method)
+            assert result.query is query
+            assert result.probability == pytest.approx(single.probability, abs=1e-12)
+            if result.path is not None:
+                assert result.path.edges == single.path.edges
+
+    def test_route_many_parallel_matches_serial(self, paper_example, updated_example):
+        queries = _example_queries(paper_example)
+        serial = _engine(paper_example, updated_example).route_many(queries, method="V-BS-60")
+        parallel_engine = _engine(paper_example, updated_example)
+        parallel = parallel_engine.route_many(queries, method="V-BS-60", workers=4)
+        for a, b in zip(serial, parallel):
+            assert a.probability == pytest.approx(b.probability, abs=1e-12)
+            assert (a.path is None) == (b.path is None)
+            if a.path is not None:
+                assert a.path.edges == b.path.edges
+        # Concurrent misses on the same destination must serialise on the
+        # per-key build lock: exactly one build per distinct destination.
+        distinct_destinations = len({q.destination for q in queries})
+        assert parallel_engine.heuristic_cache.misses == distinct_destinations
+
+    def test_route_many_empty_batch(self, paper_example, updated_example):
+        assert _engine(paper_example, updated_example).route_many([], method="T-B-P") == []
+
+    def test_heuristics_shared_across_methods(self, paper_example, updated_example):
+        # T-B-P and V-B-P both use the PACE binary heuristic over the same
+        # underlying graph: with a shared cache the second method is a cache hit.
+        engine = _engine(paper_example, updated_example)
+        query = RoutingQuery(VS, VD, budget=30.0)
+        engine.route(query, method="T-B-P")
+        assert engine.heuristic_cache.misses == 1
+        engine.route(query, method="V-B-P")
+        assert engine.heuristic_cache.misses == 1
+        assert engine.heuristic_cache.hits >= 1
+
+    def test_budget_tables_not_shared_across_graphs(self, paper_example, updated_example):
+        # T-BS and V-BS build their Eq. 5 tables over different graphs (plain
+        # vs V-path closure), so they must *not* share entries.
+        engine = _engine(paper_example, updated_example)
+        query = RoutingQuery(VS, VD, budget=30.0)
+        engine.route(query, method="T-BS-60")
+        misses_after_t = engine.heuristic_cache.misses
+        engine.route(query, method="V-BS-60")
+        assert engine.heuristic_cache.misses == misses_after_t + 1
+
+    def test_repeated_queries_reuse_cached_heuristic(self, paper_example, updated_example):
+        engine = _engine(paper_example, updated_example)
+        queries = [RoutingQuery(VS, VD, budget=budget) for budget in (24.0, 30.0, 40.0)]
+        engine.route_many(queries, method="T-BS-60")
+        assert engine.heuristic_cache.misses == 1
+
+    def test_prewarm_builds_heuristics(self, paper_example, updated_example):
+        engine = _engine(paper_example, updated_example)
+        engine.prewarm("T-BS-60", [VD])
+        assert engine.heuristic_cache.misses == 1
+        engine.route(RoutingQuery(VS, VD, budget=30.0), method="T-BS-60")
+        assert engine.heuristic_cache.misses == 1
+
+    def test_router_instances_are_cached(self, paper_example, updated_example):
+        engine = _engine(paper_example, updated_example)
+        assert engine.router("T-B-P") is engine.router("T-B-P")
+
+
+class TestFig13StyleWorkload:
+    """Acceptance check: batching is purely an execution strategy.
+
+    On a fig13-style workload (source–destination pairs from observed trips,
+    budgets as fractions of the least expected travel time), ``route_many``
+    must report identical best-path probabilities to routing each query
+    individually through a standalone router.
+    """
+
+    @pytest.mark.parametrize("method", ["T-B-P", "T-BS-60", "V-BS-60"])
+    def test_route_many_matches_per_query_routing(
+        self, method, small_dataset, small_edge_graph, small_pace_graph, small_updated_graph
+    ):
+        workload = generate_workload(
+            small_edge_graph,
+            list(small_dataset.peak),
+            WorkloadConfig(pairs_per_bucket=1, num_buckets=2, budget_fractions=(0.75, 1.0, 1.25)),
+        )
+        queries = [wq.query for wq in workload.queries]
+        assert queries, "workload generation produced no queries"
+        settings = RouterSettings(
+            max_budget=max(q.budget for q in queries) + 60.0, max_explored=2000
+        )
+        engine = RoutingEngine(small_pace_graph, small_updated_graph, settings=settings)
+        batch = engine.route_many(queries, method=method)
+
+        standalone = create_router(
+            method, small_pace_graph, small_updated_graph, settings=settings
+        )
+        for query, batched in zip(queries, batch):
+            single = standalone.route(query)
+            assert batched.probability == single.probability
+            assert (batched.path is None) == (single.path is None)
+            if batched.path is not None:
+                assert batched.path.edges == single.path.edges
