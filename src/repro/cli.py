@@ -3,12 +3,16 @@
 The CLI wraps the most common workflows so the system can be exercised
 without writing Python:
 
-* ``stats``  — generate (or load) a dataset and print its Table-7 statistics,
-* ``build``  — run the offline pipeline (T-path mining, V-path closure) and
+* ``stats``   — generate (or load) a dataset and print its Table-7 statistics,
+* ``build``   — run the offline pipeline (T-path mining, V-path closure) and
   report index sizes,
-* ``route``  — answer a single arriving-on-time query with a chosen method,
-* ``bench``  — run one experiment driver (by figure/table name) and print its
-  rows.
+* ``prewarm`` — build the heuristics of a method for a set of destinations
+  and persist them to a bundle file a serving process can load,
+* ``route``   — answer a single arriving-on-time query with a chosen method,
+  optionally prewarming its heuristics from such a bundle instead of
+  rebuilding them, and
+* ``bench``   — run one experiment driver (by figure/table name) and print
+  its rows.
 
 All commands operate on the bundled synthetic datasets (``aalborg-like``,
 ``xian-like``, ``tiny``) so they work out of the box and deterministically.
@@ -36,7 +40,7 @@ from repro.evaluation.experiments import (
     table10_method_comparison,
 )
 from repro.evaluation.reporting import render_report
-from repro.routing import METHOD_NAMES, RouterSettings, RoutingQuery, create_router
+from repro.routing import METHOD_NAMES, RouterSettings, RoutingEngine, RoutingQuery
 from repro.tpaths import TPathMinerConfig, build_pace_graph
 from repro.vpaths import UpdatedPaceGraph
 
@@ -85,6 +89,21 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--tau", type=int, default=30, help="T-path trajectory threshold")
     build.add_argument("--regime", default="peak", choices=["peak", "off-peak"])
 
+    prewarm = subparsers.add_parser(
+        "prewarm", help="pre-compute heuristics for destinations and save them to a bundle"
+    )
+    prewarm.add_argument("--dataset", default="tiny", choices=sorted(_DATASETS))
+    prewarm.add_argument("--method", default="V-BS-60", choices=list(METHOD_NAMES))
+    prewarm.add_argument(
+        "--destinations", type=int, nargs="+", required=True, help="destination vertex ids"
+    )
+    prewarm.add_argument("--out", required=True, help="bundle file to write")
+    prewarm.add_argument("--tau", type=int, default=20)
+    prewarm.add_argument("--regime", default="peak", choices=["peak", "off-peak"])
+    prewarm.add_argument(
+        "--max-budget", type=float, default=600.0, help="largest budget the tables must answer"
+    )
+
     route = subparsers.add_parser("route", help="answer one arriving-on-time query")
     route.add_argument("--dataset", default="tiny", choices=sorted(_DATASETS))
     route.add_argument("--method", default="V-BS-60", choices=list(METHOD_NAMES))
@@ -93,6 +112,11 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("--budget", type=float, required=True, help="travel-time budget in seconds")
     route.add_argument("--tau", type=int, default=20)
     route.add_argument("--regime", default="peak", choices=["peak", "off-peak"])
+    route.add_argument(
+        "--heuristics",
+        default=None,
+        help="heuristic bundle (from 'prewarm') to load instead of rebuilding",
+    )
 
     bench = subparsers.add_parser("bench", help="run one experiment driver and print its rows")
     bench.add_argument("experiment", choices=sorted(_EXPERIMENTS))
@@ -128,18 +152,46 @@ def _command_build(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_route(args: argparse.Namespace) -> int:
+def _build_engine(args: argparse.Namespace, max_budget: float) -> RoutingEngine:
     dataset = _load_dataset(args.dataset)
     trajectories = list(dataset.regime(args.regime))
     pace = build_pace_graph(
         dataset.network, trajectories, TPathMinerConfig(tau=args.tau, resolution=5.0)
     )
     updated, _ = UpdatedPaceGraph.build(pace)
-    router = create_router(
-        args.method, pace, updated, settings=RouterSettings(max_budget=max(600.0, 2 * args.budget))
-    )
-    result = router.route(
-        RoutingQuery(source=args.source, destination=args.destination, budget=args.budget)
+    return RoutingEngine(pace, updated, settings=RouterSettings(max_budget=max_budget))
+
+
+def _command_prewarm(args: argparse.Namespace) -> int:
+    engine = _build_engine(args, args.max_budget)
+    built = engine.prewarm(args.method, args.destinations)
+    saved = engine.save_heuristics(args.out)
+    rows = [
+        ("method", args.method),
+        ("destinations", " ".join(str(d) for d in args.destinations)),
+        ("heuristics built", built),
+        ("bundle entries", saved),
+        ("bundle file", args.out),
+    ]
+    print(render_report(f"Prewarmed heuristics: {args.dataset}", ("property", "value"), rows))
+    return 0
+
+
+def _command_route(args: argparse.Namespace) -> int:
+    max_budget = max(600.0, 2 * args.budget)
+    engine = _build_engine(args, max_budget)
+    if args.heuristics:
+        loaded = engine.prewarm(args.heuristics)
+        print(f"prewarmed {loaded} heuristics from {args.heuristics}")
+        if loaded == 0:
+            print(
+                "warning: the bundle held no servable heuristics (budget tables "
+                f"must cover max_budget={max_budget:g} — re-run prewarm with a "
+                "larger --max-budget — and must be ceil-built); rebuilding from scratch"
+            )
+    result = engine.route(
+        RoutingQuery(source=args.source, destination=args.destination, budget=args.budget),
+        method=args.method,
     )
     print(result.summary())
     if result.found:
@@ -163,6 +215,7 @@ def _command_bench(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "stats": _command_stats,
     "build": _command_build,
+    "prewarm": _command_prewarm,
     "route": _command_route,
     "bench": _command_bench,
 }

@@ -325,6 +325,20 @@ class Distribution:
         """Probabilities aligned with :attr:`support`."""
         return self._probabilities
 
+    @property
+    def values_array(self) -> np.ndarray:
+        """The support as a float64 array (treat as read-only; shared, not copied).
+
+        Batch consumers — the Eq. 5 Bellman kernel, vectorized ``maxProb`` —
+        read this instead of re-materialising :attr:`support` tuples.
+        """
+        return self._values
+
+    @property
+    def probabilities_array(self) -> np.ndarray:
+        """Probabilities aligned with :attr:`values_array` (treat as read-only)."""
+        return self._probs
+
     def items(self) -> Iterator[tuple[float, float]]:
         """Iterate over ``(cost, probability)`` pairs in increasing cost order."""
         return zip(self._support, self._probabilities)

@@ -469,11 +469,11 @@ def table8_binary_precompute_total(context: ExperimentContext) -> ExperimentRepo
 # --------------------------------------------------------------------------- #
 def _budget_heuristic_cost(
     context: ExperimentContext, regime: str, delta: float, destinations: Sequence[int]
-) -> tuple[float, float]:
-    """Mean per-destination (build seconds, storage bytes) for one δ."""
+) -> tuple[float, float, float]:
+    """Mean per-destination (build seconds, storage bytes, Bellman sweeps) for one δ."""
     pace = context.pace_graphs[regime]
     settings = context.router_settings()
-    runtimes, storages = [], []
+    runtimes, storages, sweeps = [], [], []
     for destination in destinations:
         heuristic = BudgetSpecificHeuristic(
             pace,
@@ -486,7 +486,8 @@ def _budget_heuristic_cost(
         )
         runtimes.append(heuristic.build_seconds)
         storages.append(heuristic.storage_bytes())
-    return statistics.fmean(runtimes), statistics.fmean(storages)
+        sweeps.append(heuristic.sweeps_performed)
+    return statistics.fmean(runtimes), statistics.fmean(storages), statistics.fmean(sweeps)
 
 
 def fig12_budget_precompute(context: ExperimentContext, *, regime: str = "peak") -> ExperimentReport:
@@ -494,14 +495,19 @@ def fig12_budget_precompute(context: ExperimentContext, *, regime: str = "peak")
     destinations = _sample_destinations(context, regime)
     rows = []
     for delta in context.scale.deltas:
-        runtime, storage = _budget_heuristic_cost(context, regime, delta, destinations)
-        rows.append((int(delta), round(runtime, 4), round(storage / 1024.0, 2)))
+        runtime, storage, sweeps = _budget_heuristic_cost(context, regime, delta, destinations)
+        rows.append(
+            (int(delta), round(runtime, 4), round(storage / 1024.0, 2), round(sweeps, 1))
+        )
     return ExperimentReport(
         experiment="Figure 12",
         title=f"Budget-specific heuristic pre-computation per destination ({context.dataset.name}, {regime})",
-        headers=("delta", "runtime (s)", "storage (KB)"),
+        headers=("delta", "runtime (s)", "storage (KB)", "sweeps"),
         rows=tuple(rows),
-        notes="Expected shape: smaller delta -> larger tables and longer build times.",
+        notes=(
+            "Expected shape: smaller delta -> larger tables and longer build times. "
+            "'sweeps' counts the Bellman passes of the dirty-worklist builder."
+        ),
     )
 
 
@@ -512,7 +518,7 @@ def table9_budget_precompute_total(context: ExperimentContext) -> ExperimentRepo
     for regime in context.REGIMES:
         destinations = _sample_destinations(context, regime)
         for delta in context.scale.deltas:
-            runtime, storage = _budget_heuristic_cost(context, regime, delta, destinations)
+            runtime, storage, _ = _budget_heuristic_cost(context, regime, delta, destinations)
             rows.append(
                 (
                     regime,
@@ -615,7 +621,7 @@ def table10_method_comparison(context: ExperimentContext, *, regime: str = "peak
             precompute_hours = statistics.fmean(runtimes) * num_vertices / 3600.0
             storage_gb = statistics.fmean(storages) * num_vertices / (1024.0**3)
         else:
-            runtime, storage = _budget_heuristic_cost(context, regime, delta, destinations)
+            runtime, storage, _ = _budget_heuristic_cost(context, regime, delta, destinations)
             precompute_hours = runtime * num_vertices / 3600.0
             storage_gb = storage * num_vertices / (1024.0**3)
         if method.startswith("V-"):

@@ -19,9 +19,15 @@ from __future__ import annotations
 
 import abc
 
+import numpy as np
+
 from repro.core.distributions import Distribution
 
 __all__ = ["Heuristic", "NoHeuristic", "max_prob"]
+
+#: Below this support size the scalar ``maxProb`` loop beats the fixed
+#: per-call overhead of the vectorized batch lookup.
+_BATCH_THRESHOLD = 8
 
 
 class Heuristic(abc.ABC):
@@ -42,6 +48,17 @@ class Heuristic(abc.ABC):
     @abc.abstractmethod
     def probability(self, vertex: int, remaining_budget: float) -> float:
         """``U(vertex, x)``: an upper bound on the probability of arriving within ``x``."""
+
+    def probability_batch(self, vertex: int, budgets) -> np.ndarray:
+        """``U(vertex, ·)`` for a whole array of residual budgets.
+
+        The default falls back to one :meth:`probability` call per budget;
+        the table- and step-function-backed heuristics override it with a
+        single vectorized lookup, which is what makes batched ``maxProb``
+        evaluation cheap.
+        """
+        budgets = np.asarray(budgets, dtype=float)
+        return np.array([self.probability(vertex, float(budget)) for budget in budgets])
 
     def storage_bytes(self) -> int:
         """Approximate storage needed to keep this heuristic in memory (for Tables 8–10)."""
@@ -69,14 +86,27 @@ class NoHeuristic(Heuristic):
     def probability(self, vertex: int, remaining_budget: float) -> float:
         return 1.0 if remaining_budget >= 0 else 0.0
 
+    def probability_batch(self, vertex: int, budgets) -> np.ndarray:
+        budgets = np.asarray(budgets, dtype=float)
+        return np.where(budgets >= 0, 1.0, 0.0)
+
 
 def max_prob(distribution: Distribution, heuristic: Heuristic, vertex: int, budget: float) -> float:
     """Eq. 3: the admissible upper bound on the arrival probability of a candidate path.
 
     ``distribution`` is the cost distribution of the candidate path from the
     source to ``vertex``; the heuristic bounds the probability of covering the
-    remaining distance within what is left of ``budget``.
+    remaining distance within what is left of ``budget``.  Large supports are
+    evaluated as one batched ``U(vertex, ·)`` lookup over the whole support
+    instead of a Python-level call per cost outcome.
     """
+    if len(distribution) > _BATCH_THRESHOLD:
+        remaining = budget - distribution.values_array
+        feasible = remaining >= 0
+        if not feasible.any():
+            return 0.0
+        bounds = heuristic.probability_batch(vertex, remaining[feasible])
+        return float(np.dot(distribution.probabilities_array[feasible], bounds))
     total = 0.0
     for cost, probability in distribution.items():
         remaining = budget - cost

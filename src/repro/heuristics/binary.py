@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import sys
 
+import numpy as np
+
 from repro.core.pace_graph import PaceGraph
 from repro.heuristics.base import Heuristic
 from repro.heuristics.sptree import build_pace_shortest_path_tree
@@ -53,6 +55,11 @@ class BinaryHeuristic(Heuristic):
 
     def probability(self, vertex: int, remaining_budget: float) -> float:
         return 1.0 if remaining_budget >= self.min_cost(vertex) else 0.0
+
+    def probability_batch(self, vertex: int, budgets) -> np.ndarray:
+        """The 0/1 step at ``getMin(vertex)`` over a whole array of budgets."""
+        budgets = np.asarray(budgets, dtype=float)
+        return np.where(budgets >= self.min_cost(vertex), 1.0, 0.0)
 
     def storage_bytes(self) -> int:
         """One numeric ``getMin`` value per vertex, as the paper accounts storage."""

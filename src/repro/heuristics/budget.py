@@ -17,9 +17,33 @@ so only the cells in between are computed and stored.
 Admissibility is maintained throughout: rows that have not been computed yet
 are read through the binary heuristic (an upper bound), and every Bellman
 evaluation of Eq. 5 applied to upper bounds yields an upper bound.  Because
-real road networks contain cycles, the builder optionally performs additional
-sweeps that monotonically tighten the table without ever dropping below the
-true probabilities.
+real road networks contain cycles, the builder performs additional sweeps
+that monotonically tighten the table without ever dropping below the true
+probabilities.
+
+**Vectorized Bellman kernel.**  :func:`build_heuristic_table` evaluates Eq. 5
+for *all* budget columns of a vertex at once instead of cell by cell.  For
+every outgoing element the builder precomputes, once per build,
+
+* the gather matrix ``cols[k, j] = column_of(j·δ − c_k)`` mapping each
+  (support point, budget column) pair to the successor row cell it reads,
+* the constant contribution vector for elements whose target is the
+  destination (``Σ_k p_k · [j·δ ≥ c_k]``), and
+* the constant fallback vector used while the target row does not exist yet
+  (the binary bound evaluated at the exact residual ``j·δ − c_k``).
+
+One application of Eq. 5 to a vertex row is then, per element, a single fancy
+gather of the target's dense row followed by a pdf-weighted mat-vec, and the
+element maximum plus the 0/1 saturation trimming back to the compressed
+``l``/``s`` form are NumPy reductions.  Sweeping is organised as a
+Gauss–Seidel *dirty worklist* over vertices in increasing ``getMin`` order:
+after the first full pass only rows whose successors changed are re-swept,
+and the build stops as soon as a pass is a no-op — safe because Eq. 5 is
+monotone, so re-evaluating a row whose inputs did not change cannot change
+it.  ``BudgetHeuristicConfig.sweeps`` caps the number of passes
+(``sweeps=None`` runs to the fixpoint).  The pre-rewrite cell-at-a-time
+builder is preserved in :mod:`repro.heuristics._scalar_reference` as the
+property-test oracle and benchmark baseline.
 """
 
 from __future__ import annotations
@@ -29,14 +53,25 @@ import sys
 import time
 from dataclasses import dataclass
 
-from repro.core.errors import ConfigurationError
+import numpy as np
+
+from repro.core.errors import ConfigurationError, HeuristicError
 from repro.heuristics.base import Heuristic
 from repro.heuristics.binary import BinaryHeuristic, PaceBinaryHeuristic
-from repro.heuristics.tables import HeuristicRow, HeuristicTable
+from repro.heuristics.tables import (
+    _CEIL_EPSILON,
+    _FLOOR_EPSILON,
+    HeuristicRow,
+    HeuristicTable,
+    columns_for_budgets,
+)
 
 __all__ = ["BudgetHeuristicConfig", "BudgetSpecificHeuristic", "build_heuristic_table"]
 
 _ONE = 1.0 - 1e-9
+
+#: Safety cap for ``sweeps=None``; monotone tightening stabilises long before.
+_CONVERGENCE_SWEEP_CAP = 10_000
 
 
 @dataclass(frozen=True)
@@ -45,14 +80,16 @@ class BudgetHeuristicConfig:
 
     ``delta`` is the budget granularity (the paper's ``δ``, default 60),
     ``max_budget`` the largest budget the table must answer (the paper uses
-    5 000 seconds), and ``sweeps`` the number of backward passes over the
-    vertices (the first pass reproduces Algorithms 3–4; additional passes
-    tighten rows affected by cycles).
+    5 000 seconds), and ``sweeps`` the maximum number of backward passes over
+    the vertices (the first pass reproduces Algorithms 3–4; additional passes
+    tighten rows affected by cycles).  The builder stops early once a pass
+    changes nothing; ``sweeps=None`` removes the cap entirely and runs the
+    dirty worklist to its fixpoint.
     """
 
     delta: float = 60.0
     max_budget: float = 5000.0
-    sweeps: int = 2
+    sweeps: int | None = 2
     grid_rounding: str = "ceil"
 
     def validate(self) -> None:
@@ -60,7 +97,7 @@ class BudgetHeuristicConfig:
             raise ConfigurationError("delta must be positive")
         if self.max_budget < self.delta:
             raise ConfigurationError("max_budget must be at least delta")
-        if self.sweeps < 1:
+        if self.sweeps is not None and self.sweeps < 1:
             raise ConfigurationError("at least one sweep is required")
         if self.grid_rounding not in ("ceil", "floor"):
             raise ConfigurationError("grid_rounding must be 'ceil' or 'floor'")
@@ -79,6 +116,54 @@ class BudgetHeuristicConfig:
         return max(1, math.ceil(ratio - 1e-9))
 
 
+#: Rows saturate to 1 after a few stored cells on real grids (that is the
+#: point of the ``l``/``s`` compression).  Rows expected to saturate within
+#: ``_SCALAR_HEAD`` columns are therefore evaluated with plain scalar loops —
+#: below that size NumPy's fixed per-call overhead loses to the seed's triple
+#: loop, the same crossover the distribution kernel handles with its
+#: ``VECTORIZE_THRESHOLD``.  The expectation comes from the row's previous
+#: stored band (or, on the first sweep, the cost spread of its outgoing
+#: elements relative to δ); rows expected to be wide — fine grids over wide
+#: distributions, the expensive corner of Fig. 12 — run as vectorized column
+#: blocks that double in size.  Either path stops at the first saturated
+#: column, and both paths share the memoized per-element block data.
+_SCALAR_HEAD = 4
+_FIRST_BLOCK = 8
+
+
+class _ElementKernel:
+    """Per-element state of the Eq. 5 evaluation.
+
+    ``target`` is ``None`` when the element ends at the destination (its
+    contribution is a constant in the budget column).  ``support``/``weights``
+    are the plain-float tuples the scalar head iterates; ``costs``/``probs``
+    the arrays the vectorized tail reads.  Block data — the gather matrix
+    ``cols[k, j] = column_of(j·δ − c_k)``, the constant destination
+    contribution and the binary fallback used while the target row does not
+    exist — is computed on first visit of each column block and memoized, so
+    elements of rows that saturate early never materialise the full
+    ``support × eta`` matrices.
+    """
+
+    __slots__ = ("target", "distribution", "support", "weights", "min_cost_target", "blocks")
+
+    def __init__(self, target, distribution, min_cost_target):
+        self.target = target
+        self.distribution = distribution
+        self.support = distribution.support
+        self.weights = distribution.probabilities
+        self.min_cost_target = min_cost_target
+        self.blocks: list = []
+
+    @property
+    def costs(self):
+        return self.distribution.values_array
+
+    @property
+    def probs(self):
+        return self.distribution.probabilities_array
+
+
 def build_heuristic_table(
     graph,
     destination: int,
@@ -90,7 +175,9 @@ def build_heuristic_table(
 
     ``graph`` is any PACE-like graph exposing ``outgoing_elements`` /
     ``network`` (a :class:`~repro.core.pace_graph.PaceGraph` or an
-    :class:`~repro.vpaths.updated_graph.UpdatedPaceGraph`).
+    :class:`~repro.vpaths.updated_graph.UpdatedPaceGraph`).  Eq. 5 is
+    evaluated with the batched Bellman kernel described in the module
+    docstring; results match the scalar reference builder sweep for sweep.
     """
     config = config or BudgetHeuristicConfig()
     config.validate()
@@ -99,6 +186,7 @@ def build_heuristic_table(
     )
     eta = config.eta
     delta = config.delta
+    rounding = config.grid_rounding
     table = HeuristicTable(destination=destination, delta=delta, eta=eta)
 
     network = graph.network
@@ -114,48 +202,244 @@ def build_heuristic_table(
         if v != destination and binary.min_cost(v) < float("inf")
     ]
     reachable.sort()
+    order = [vertex for _, vertex in reachable]
+    index_of = {vertex: position for position, vertex in enumerate(order)}
+    n = len(order)
+    if n == 0:
+        table.sweeps_performed = 0
+        return table
 
-    def value_of(vertex: int, budget: float) -> float:
-        """U(vertex, budget) from the table, falling back to the binary bound."""
-        if vertex == destination:
-            # Arriving exactly on budget counts (Prob(cost <= B)), so 0 remaining is fine.
-            return 1.0 if budget >= 0 else 0.0
-        if budget <= 0:
-            return 0.0
-        row = table.rows.get(vertex)
-        if row is None:
-            return binary.probability(vertex, budget)
-        column = min(table.column_for(budget, rounding=config.grid_rounding), eta)
-        return row.value_at_column(column)
+    #: Budgets of the grid columns 1..eta, exactly as the scalar loop computes them.
+    budgets = np.arange(1, eta + 1) * delta
 
-    def compute_row(vertex: int) -> HeuristicRow:
-        """One application of Eq. 5 for every budget column of ``vertex`` (Algorithm 4)."""
-        get_min = binary.min_cost(vertex)
-        first_index = max(1, table.column_for(get_min))
-        elements = graph.outgoing_elements(vertex)
+    # ---------------------------------------------------------------- #
+    # Per-element kernels (cost-column offsets and pdf weights)
+    # ---------------------------------------------------------------- #
+    kernels: list[list[_ElementKernel]] = []
+    first_index_of = np.empty(n, dtype=np.int64)
+    predecessors: list[set[int]] = [set() for _ in range(n)]
+    for position, vertex in enumerate(order):
+        first_index_of[position] = max(1, table.column_for(binary.min_cost(vertex)))
+        vertex_kernels: list[_ElementKernel] = []
+        for element in graph.outgoing_elements(vertex):
+            target = element.target
+            distribution = element.distribution
+            if target == destination:
+                vertex_kernels.append(_ElementKernel(None, distribution, 0.0))
+                continue
+            target_position = index_of.get(target)
+            if target_position is None:
+                # The destination is unreachable from the target: the element
+                # contributes 0 at every budget, forever.
+                continue
+            vertex_kernels.append(
+                _ElementKernel(target_position, distribution, binary.min_cost(target))
+            )
+            predecessors[target_position].add(position)
+        kernels.append(vertex_kernels)
+    #: First-sweep estimate of each row's band width in columns: a row stays
+    #: below 1 at least across the cost spread of its outgoing elements.
+    band_estimate = [
+        max(
+            (
+                (kernel.support[-1] - kernel.support[0]) / delta
+                for kernel in vertex_kernels
+            ),
+            default=0.0,
+        )
+        for vertex_kernels in kernels
+    ]
+
+    def element_block(kernel: _ElementKernel, block_index: int, lo: int, hi: int):
+        """Memoized block data of one element for grid columns ``lo+1..hi`` (0-based slice).
+
+        Blocks are visited strictly in order (``compute_values`` walks them
+        from 0), so at most the next block is missing; computing a later one
+        first would silently backfill earlier slots with the wrong range.
+        """
+        assert len(kernel.blocks) >= block_index, "column blocks must be visited in order"
+        if len(kernel.blocks) == block_index:
+            remaining = budgets[None, lo:hi] - kernel.costs[:, None]
+            if kernel.target is None:
+                # Destination target: U is 1 whenever any residual budget remains.
+                kernel.blocks.append(kernel.probs @ (remaining >= 0.0))
+            else:
+                cols = np.minimum(
+                    columns_for_budgets(remaining, delta, rounding=rounding), eta
+                ).astype(np.int64, copy=False)
+                # The binary fallback is only read while the target row does
+                # not exist yet — rare, since successors (smaller getMin) are
+                # swept first — so it is filled lazily on first use.
+                kernel.blocks.append([cols, None])
+        return kernel.blocks[block_index]
+
+    # NOTE: the dense U mirror below is O(V × (η+1)) float64 working memory
+    # during a build — fine at laptop/city scale (a few hundred MB at 100k
+    # vertices × η≈500), but for full-country grids a lazily materialised or
+    # band-compressed mirror would be needed (tracked in ROADMAP.md).
+
+    # Dense working matrix: dense[i, j] = U(order[i], j·δ) as currently stored
+    # (column 0 is budget 0, always 0 for non-destination rows).  The
+    # compressed rows themselves live in ``row_objects`` (mirroring the
+    # table) for cheap scalar reads.
+    dense = np.zeros((n, eta + 1))
+    has_row = np.zeros(n, dtype=bool)
+    row_objects: list[HeuristicRow | None] = [None] * n
+
+    budget_list = budgets.tolist()
+    if rounding == "floor":
+        def scalar_column(residual: float) -> int:
+            column = math.floor(residual / delta + _FLOOR_EPSILON)
+            return column if column < eta else eta
+    else:
+        def scalar_column(residual: float) -> int:
+            column = math.ceil(residual / delta - _CEIL_EPSILON)
+            if column < 1:
+                column = 1
+            return column if column < eta else eta
+
+    def compute_head(position: int, stop: int) -> tuple[list[float], bool]:
+        """Seed-style scalar evaluation of the first few columns of a row."""
+        vertex_kernels = kernels[position]
         values: list[float] = []
-        for column in range(first_index, eta + 1):
-            budget = column * delta
+        saturated = False
+        for index in range(int(first_index_of[position]) - 1, stop):
+            budget = budget_list[index]
             best = 0.0
-            for element in elements:
+            for kernel in vertex_kernels:
                 acc = 0.0
-                for cost, probability in element.distribution.items():
-                    remaining = budget - cost
-                    if remaining < 0:
-                        continue
-                    acc += probability * value_of(element.target, remaining)
+                target = kernel.target
+                if target is None:
+                    for cost, weight in zip(kernel.support, kernel.weights):
+                        if budget >= cost:
+                            acc += weight
+                elif has_row[target]:
+                    target_row = row_objects[target]
+                    for cost, weight in zip(kernel.support, kernel.weights):
+                        residual = budget - cost
+                        if residual <= 0:
+                            continue
+                        acc += weight * target_row.value_at_column(scalar_column(residual))
+                else:
+                    min_cost_target = kernel.min_cost_target
+                    for cost, weight in zip(kernel.support, kernel.weights):
+                        residual = budget - cost
+                        if residual > 0 and residual >= min_cost_target:
+                            acc += weight
                 if acc > best:
                     best = acc
                     if best >= _ONE:
                         break
             values.append(min(best, 1.0))
             if best >= _ONE:
+                saturated = True
                 break
-        return HeuristicRow(first_index=first_index, values=tuple(values))
+        return values, saturated
 
-    for _ in range(config.sweeps):
-        for _, vertex in reachable:
-            table.set_row(vertex, compute_row(vertex))
+    def compute_values(position: int) -> np.ndarray:
+        """Eq. 5 for every stored budget column of a vertex.
+
+        Size-adaptive like the distribution kernel: rows expected to be
+        narrow — previous stored band within ``_SCALAR_HEAD`` cells, or on
+        their first sweep an element cost spread within ``_SCALAR_HEAD``
+        columns — start with a scalar head, below which NumPy's per-call
+        overhead loses to plain loops.  Rows expected to be wide skip
+        straight to the vectorized blocks.  Blocks stay aligned to the row's
+        ``l`` bound regardless of the head, so their memoized gather matrices
+        are shared between both paths; either way evaluation stops at the
+        first saturated column, keeping the work proportional to the
+        compressed band the row stores.
+        """
+        first_index = int(first_index_of[position])
+        previous = row_objects[position]
+        if previous is None:
+            expected_narrow = band_estimate[position] <= _SCALAR_HEAD
+        else:
+            expected_narrow = previous.values.size <= _SCALAR_HEAD
+        head_allow = _SCALAR_HEAD if expected_narrow else 0
+        head_stop = min(eta, first_index - 1 + head_allow)
+        head, saturated = compute_head(position, head_stop)
+        if saturated or head_stop >= eta:
+            return np.asarray(head)
+        vertex_kernels = kernels[position]
+        pieces: list[np.ndarray] = [np.asarray(head)] if head else []
+        consumed = first_index - 1 + len(head)  # columns already evaluated
+        lo = first_index - 1  # 0-based index into the 1..eta column range
+        block_index = 0
+        width = _FIRST_BLOCK
+        while lo < eta:
+            hi = min(eta, lo + width)
+            best = np.zeros(hi - lo)
+            for kernel in vertex_kernels:
+                block = element_block(kernel, block_index, lo, hi)
+                if kernel.target is None:
+                    acc = block
+                elif has_row[kernel.target]:
+                    acc = kernel.probs @ dense[kernel.target][block[0]]
+                else:
+                    acc = block[1]
+                    if acc is None:
+                        remaining = budgets[None, lo:hi] - kernel.costs[:, None]
+                        acc = kernel.probs @ (
+                            (remaining > 0) & (remaining >= kernel.min_cost_target)
+                        )
+                        block[1] = acc
+                np.maximum(best, acc, out=best)
+            np.minimum(best, 1.0, out=best)
+            usable = best[consumed - lo :] if consumed > lo else best
+            # 0/1 saturation trimming: stop the row at the first column whose
+            # maximum saturates; later columns are implicitly 1 (budget ``s``).
+            saturated_at = np.flatnonzero(usable >= _ONE)
+            if saturated_at.size:
+                pieces.append(usable[: saturated_at[0] + 1])
+                break
+            pieces.append(usable)
+            consumed = hi
+            lo = hi
+            block_index += 1
+            width *= 2
+        if not pieces:
+            return np.empty(0)
+        return np.concatenate(pieces) if len(pieces) > 1 else pieces[0]
+
+    # ---------------------------------------------------------------- #
+    # Gauss–Seidel sweeps over a dirty worklist
+    # ---------------------------------------------------------------- #
+    max_sweeps = config.sweeps if config.sweeps is not None else _CONVERGENCE_SWEEP_CAP
+    dirty = np.ones(n, dtype=bool)
+    next_dirty = np.zeros(n, dtype=bool)
+    sweeps_done = 0
+    while sweeps_done < max_sweeps and dirty.any():
+        for position in range(n):
+            if not dirty[position]:
+                continue
+            dirty[position] = False
+            values = compute_values(position)
+            previous = row_objects[position]
+            if previous is not None and np.array_equal(previous.values, values):
+                continue
+            first_index = int(first_index_of[position])
+            row = HeuristicRow(first_index=first_index, values=values)
+            # Refresh the dense mirror in place (no per-row allocation).
+            dense_row = dense[position]
+            stored = min(row.values.size, max(0, eta + 1 - first_index))
+            dense_row[: min(first_index, eta + 1)] = 0.0
+            dense_row[first_index : first_index + stored] = row.values[:stored]
+            dense_row[first_index + stored :] = 1.0
+            row_objects[position] = row
+            has_row[position] = True
+            table.set_row(order[position], row)
+            for predecessor in predecessors[position]:
+                # Predecessors later in the current pass pick the change up
+                # immediately (Gauss–Seidel); earlier ones wait for the next.
+                if predecessor > position:
+                    dirty[predecessor] = True
+                else:
+                    next_dirty[predecessor] = True
+        dirty, next_dirty = next_dirty, dirty
+        next_dirty[:] = False
+        sweeps_done += 1
+    table.sweeps_performed = sweeps_done
     return table
 
 
@@ -178,6 +462,36 @@ class BudgetSpecificHeuristic(Heuristic):
         self._table = build_heuristic_table(graph, destination, self._config, binary=self._binary)
         self._build_seconds = time.perf_counter() - start
 
+    @classmethod
+    def from_table(
+        cls,
+        table: HeuristicTable,
+        *,
+        binary: BinaryHeuristic,
+        config: BudgetHeuristicConfig | None = None,
+    ) -> "BudgetSpecificHeuristic":
+        """Wrap an already built (e.g. persisted) table without rebuilding it.
+
+        This is how :meth:`repro.routing.engine.RoutingEngine.prewarm` turns
+        tables loaded from disk back into servable heuristics: online queries
+        only need the table and the binary ``getMin`` map, so no Bellman sweep
+        runs.
+        """
+        if binary.destination != table.destination:
+            raise HeuristicError(
+                f"binary heuristic destination {binary.destination} does not match "
+                f"table destination {table.destination}"
+            )
+        self = object.__new__(cls)
+        self._config = config or BudgetHeuristicConfig(
+            delta=table.delta, max_budget=table.max_budget
+        )
+        self._config.validate()
+        self._binary = binary
+        self._table = table
+        self._build_seconds = 0.0
+        return self
+
     @property
     def destination(self) -> int:
         return self._table.destination
@@ -188,13 +502,33 @@ class BudgetSpecificHeuristic(Heuristic):
         return self._table
 
     @property
+    def binary(self) -> BinaryHeuristic:
+        """The binary heuristic supplying ``getMin`` (exposed for persistence)."""
+        return self._binary
+
+    @property
     def delta(self) -> float:
         return self._config.delta
+
+    @property
+    def grid_rounding(self) -> str:
+        """How the table's cells were rounded onto the grid when built.
+
+        ``"ceil"`` tables are admissible; ``"floor"`` tables (the paper's
+        Table 4 mode) may slightly under-estimate and must not be served
+        where admissibility is required.
+        """
+        return self._config.grid_rounding
 
     @property
     def build_seconds(self) -> float:
         """Wall-clock time spent building the table (Fig. 12 / Table 9)."""
         return self._build_seconds
+
+    @property
+    def sweeps_performed(self) -> int:
+        """Bellman passes the dirty-worklist builder ran (0 for loaded tables)."""
+        return self._table.sweeps_performed
 
     def min_cost(self, vertex: int) -> float:
         return self._binary.min_cost(vertex)
@@ -207,6 +541,14 @@ class BudgetSpecificHeuristic(Heuristic):
         # Online queries always round the residual budget up to the grid ("ceil"), which
         # keeps the heuristic admissible regardless of how the table itself was built.
         return self._table.value(vertex, remaining_budget, rounding="ceil")
+
+    def probability_batch(self, vertex: int, budgets) -> np.ndarray:
+        """Vectorized :meth:`probability` over an array of residual budgets."""
+        budgets = np.asarray(budgets, dtype=float)
+        if vertex == self.destination:
+            return np.where(budgets >= 0, 1.0, 0.0)
+        values = self._table.values_at(vertex, budgets, rounding="ceil")
+        return np.where(budgets < self.min_cost(vertex), 0.0, values)
 
     def storage_bytes(self) -> int:
         """Table storage plus the underlying binary heuristic's getMin values."""

@@ -1,4 +1,4 @@
-"""Compact storage of budget-specific heuristic tables.
+"""Compact, array-backed storage of budget-specific heuristic tables.
 
 A heuristic table (Section 3.3.1) has one row per vertex and one column per
 budget value ``δ, 2δ, ..., ηδ``.  The paper observes that each row is 0 up to
@@ -6,6 +6,13 @@ some budget ``l`` and 1 from some budget ``s`` onwards, so only the cells in
 between need to be stored.  :class:`HeuristicRow` implements exactly that
 compressed representation and :class:`HeuristicTable` the per-destination
 collection of rows.
+
+Rows are backed by contiguous ``float64`` NumPy arrays rather than Python
+tuples: the Eq. 5 Bellman kernel in :mod:`repro.heuristics.budget` reads whole
+rows as dense vectors, online routing answers batched ``probability`` queries
+with one gather per distribution support (:meth:`HeuristicRow.values_at_columns`
+/ :meth:`HeuristicTable.values_at`), and ``storage_bytes`` accounts the actual
+8 bytes per stored cell instead of boxed-float sizes.
 """
 
 from __future__ import annotations
@@ -14,35 +21,123 @@ import math
 import sys
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.errors import HeuristicError
 
-__all__ = ["HeuristicRow", "HeuristicTable"]
+__all__ = ["HeuristicRow", "HeuristicTable", "columns_for_budgets"]
+
+#: Tolerance of the ceil column rounding (relative to the budget/δ ratio).
+_CEIL_EPSILON = 1e-12
+#: Tolerance of the floor column rounding.  Float division makes exact grid
+#: multiples land just below the integer (``0.3 / 0.1 == 2.999...96``), so the
+#: ratio is nudged up before flooring — the same fix ``BudgetHeuristicConfig.eta``
+#: applies to the ceil direction.
+_FLOOR_EPSILON = 1e-9
 
 
-@dataclass(frozen=True)
+def columns_for_budgets(budgets, delta: float, *, rounding: str = "ceil") -> np.ndarray:
+    """Vectorized :meth:`HeuristicTable.column_for` over an array of budgets.
+
+    Returns one 0-based-for-zero / 1-based-for-grid column index per budget:
+    non-positive budgets map to column 0, positive budgets to the grid column
+    selected by ``rounding`` (see :meth:`HeuristicTable.column_for`).  The
+    Bellman kernel uses this to translate whole ``budget - cost`` matrices
+    into gather indices in one pass.
+    """
+    budgets = np.asarray(budgets, dtype=float)
+    ratio = budgets / delta
+    if rounding == "floor":
+        columns = np.floor(ratio + _FLOOR_EPSILON)
+    else:
+        columns = np.maximum(1.0, np.ceil(ratio - _CEIL_EPSILON))
+    return np.where(budgets <= 0, 0, columns.astype(np.int64))
+
+
+@dataclass(frozen=True, eq=False)
 class HeuristicRow:
     """One compressed row ``U(v, ·)`` of a heuristic table.
 
     ``first_index`` is the 1-based column of the first stored value (the
     column of budget ``l``); columns before it are 0, columns after the last
-    stored value are 1.
+    stored value are 1.  ``values`` is kept as a contiguous, read-only
+    ``float64`` array so whole rows can be read vectorized.
     """
 
     first_index: int
-    values: tuple[float, ...]
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        array = np.asarray(self.values, dtype=float)
+        if array is self.values:
+            # The caller's own array: copy before freezing, so constructing a
+            # row never turns someone else's buffer read-only behind their back.
+            array = array.copy()
+        array = np.ascontiguousarray(array)
+        if array.ndim != 1:
+            raise HeuristicError("row values must be a one-dimensional sequence")
+        array.setflags(write=False)
+        object.__setattr__(self, "values", array)
+        object.__setattr__(self, "_padded", None)
+        object.__setattr__(self, "_scalar_cells", None)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HeuristicRow):
+            return NotImplemented
+        return self.first_index == other.first_index and np.array_equal(self.values, other.values)
+
+    def __hash__(self) -> int:
+        return hash((self.first_index, self.values.tobytes()))
 
     def value_at_column(self, column: int) -> float:
         """``U(v, column * δ)`` for a 1-based column index."""
-        if column < self.first_index:
-            return 0.0
         offset = column - self.first_index
-        if offset < len(self.values):
-            return self.values[offset]
+        if offset < 0:
+            return 0.0
+        cells = self._scalar_cells
+        if cells is None:
+            # Cached plain-float tuple: scalar lookups (the Bellman head and
+            # single probability queries) read rows many times, and tuple
+            # indexing is an order of magnitude cheaper than boxing one
+            # ndarray element per call.
+            cells = tuple(self.values.tolist())
+            object.__setattr__(self, "_scalar_cells", cells)
+        if offset < len(cells):
+            return cells[offset]
         return 1.0
+
+    def values_at_columns(self, columns) -> np.ndarray:
+        """Vectorized :meth:`value_at_column` over an array of column indices."""
+        padded = self._padded
+        if padded is None:
+            # Stored cells followed by the implicit 1.0 tail: one clipped
+            # gather answers any batch of column lookups.  Built lazily —
+            # only query-time lookups need it, not the table builder.
+            padded = np.concatenate((self.values, [1.0]))
+            padded.setflags(write=False)
+            object.__setattr__(self, "_padded", padded)
+        offsets = np.asarray(columns, dtype=np.int64) - self.first_index
+        gathered = padded[np.clip(offsets, 0, self.values.size)]
+        return np.where(offsets < 0, 0.0, gathered)
+
+    def dense(self, eta: int) -> np.ndarray:
+        """The row as a dense vector over columns ``0..eta`` (0s, cells, 1s).
+
+        Column 0 (budget 0) is always 0 for a non-destination row, so
+        non-positive residual budgets gather 0.  This is the reference
+        expansion (used by tests and inspection); the Bellman kernel keeps
+        its own dense mirror updated in place to avoid per-row allocations.
+        """
+        out = np.ones(eta + 1)
+        out[: min(self.first_index, eta + 1)] = 0.0
+        stored = min(self.values.size, max(0, eta + 1 - self.first_index))
+        if stored > 0:
+            out[self.first_index : self.first_index + stored] = self.values[:stored]
+        return out
 
     def storage_cells(self) -> int:
         """The number of explicitly stored cells."""
-        return len(self.values)
+        return int(self.values.size)
 
 
 @dataclass
@@ -53,6 +148,8 @@ class HeuristicTable:
     delta: float
     eta: int
     rows: dict[int, HeuristicRow] = field(default_factory=dict)
+    #: Number of Bellman passes the builder performed (0 for loaded tables).
+    sweeps_performed: int = 0
 
     def __post_init__(self) -> None:
         if self.delta <= 0:
@@ -75,12 +172,17 @@ class HeuristicTable:
         value <= ``budget``, which is how the paper's worked example
         (Table 4) evaluates the recursion and gives tighter (but potentially
         slightly under-estimating) values.
+
+        Both directions are computed from the rounded ``budget / delta``
+        ratio; plain float ``//`` misfires on fractional grids
+        (``0.3 // 0.1 == 2.0``) because exact grid multiples divide to just
+        below the integer.
         """
         if budget <= 0:
             return 0
         if rounding == "floor":
-            return int(budget // self.delta)
-        return max(1, math.ceil(budget / self.delta - 1e-12))
+            return math.floor(budget / self.delta + _FLOOR_EPSILON)
+        return max(1, math.ceil(budget / self.delta - _CEIL_EPSILON))
 
     def set_row(self, vertex: int, row: HeuristicRow) -> None:
         self.rows[vertex] = row
@@ -102,13 +204,32 @@ class HeuristicTable:
             column = self.eta
         return row.value_at_column(column)
 
+    def values_at(self, vertex: int, budgets, *, rounding: str = "ceil") -> np.ndarray:
+        """Vectorized :meth:`value` over an array of budgets (one vertex).
+
+        This is the batch entry point ``maxProb`` uses: one call answers
+        ``U(vertex, ·)`` for a whole distribution support instead of one
+        Python-level lookup per cost outcome.
+        """
+        budgets = np.asarray(budgets, dtype=float)
+        if vertex == self.destination:
+            return np.where(budgets >= 0, 1.0, 0.0)
+        row = self.rows.get(vertex)
+        if row is None:
+            return np.where(budgets > 0, 1.0, 0.0)
+        columns = np.minimum(columns_for_budgets(budgets, self.delta, rounding=rounding), self.eta)
+        return np.where(budgets > 0, row.values_at_columns(columns), 0.0)
+
     def storage_cells(self) -> int:
         """Total number of explicitly stored cells across all rows."""
         return sum(row.storage_cells() for row in self.rows.values())
 
     def storage_bytes(self) -> int:
-        """Approximate in-memory size of the table (used for Fig. 12 / Table 9)."""
-        cells = self.storage_cells()
-        per_cell = sys.getsizeof(1.0)
-        overhead = sum(sys.getsizeof(row) for row in self.rows.values())
-        return cells * per_cell + overhead + sys.getsizeof(self.rows)
+        """In-memory size of the table (used for Fig. 12 / Table 9).
+
+        Stored cells are contiguous ``float64`` (8 bytes each); every row
+        additionally pays its array header and ``first_index`` bookkeeping.
+        """
+        cells = sum(row.values.nbytes for row in self.rows.values())
+        per_row_overhead = 48  # ndarray header + first_index + dataclass slots
+        return cells + per_row_overhead * len(self.rows) + sys.getsizeof(self.rows)

@@ -9,9 +9,13 @@ from repro.persistence.codecs import (
 from repro.persistence.heuristics import (
     binary_heuristic_from_dict,
     binary_heuristic_to_dict,
+    budget_heuristic_from_dict,
+    budget_heuristic_to_dict,
     heuristic_table_from_dict,
     heuristic_table_to_dict,
+    load_heuristic_bundle,
     load_heuristic_table,
+    save_heuristic_bundle,
     save_heuristic_table,
 )
 from repro.persistence.index import index_from_dict, index_to_dict, load_index, save_index
@@ -27,8 +31,12 @@ __all__ = [
     "load_index",
     "binary_heuristic_to_dict",
     "binary_heuristic_from_dict",
+    "budget_heuristic_to_dict",
+    "budget_heuristic_from_dict",
     "heuristic_table_to_dict",
     "heuristic_table_from_dict",
     "save_heuristic_table",
     "load_heuristic_table",
+    "save_heuristic_bundle",
+    "load_heuristic_bundle",
 ]

@@ -5,20 +5,30 @@ bulk of the offline investment the paper trades for fast online routing
 (Tables 8–10).  This module serialises them so a routing service can load the
 tables for its hot destinations instead of rebuilding them:
 
-* binary heuristics — the per-vertex ``getMin`` map, and
+* binary heuristics — the per-vertex ``getMin`` map,
 * budget-specific heuristics — the compressed heuristic table (``l``/``s``
   bounds and the cells in between) plus the ``getMin`` map used for budget
-  pruning.
+  pruning, and
+* heuristic *bundles* — a list of tagged heuristic payloads covering many
+  destinations, which is what :meth:`repro.routing.engine.RoutingEngine.save_heuristics`
+  writes and :meth:`~repro.routing.engine.RoutingEngine.prewarm` reads.
+
+All files are strict JSON: unreachable vertices carry ``getMin = inf``, which
+standard JSON cannot represent, so infinities are stored as the string
+sentinel ``"inf"`` and every writer passes ``allow_nan=False`` (the legacy
+non-standard ``Infinity`` token is still accepted on load).
 """
 
 from __future__ import annotations
 
 import json
+import math
+from collections.abc import Sequence
 from pathlib import Path as FilePath
 
 from repro.core.errors import DataError
 from repro.heuristics.binary import BinaryHeuristic
-from repro.heuristics.budget import BudgetSpecificHeuristic
+from repro.heuristics.budget import BudgetHeuristicConfig, BudgetSpecificHeuristic
 from repro.heuristics.tables import HeuristicRow, HeuristicTable
 
 __all__ = [
@@ -26,29 +36,56 @@ __all__ = [
     "binary_heuristic_from_dict",
     "heuristic_table_to_dict",
     "heuristic_table_from_dict",
+    "budget_heuristic_to_dict",
+    "budget_heuristic_from_dict",
     "save_heuristic_table",
     "load_heuristic_table",
+    "save_heuristic_bundle",
+    "load_heuristic_bundle",
 ]
 
 _FORMAT_VERSION = 1
+_BUNDLE_FORMAT_VERSION = 1
+
+#: JSON-safe stand-in for ``float("inf")`` getMin values (unreachable vertices).
+_INFINITY_SENTINEL = "inf"
+
+
+def _encode_min_cost(value: float) -> float | str:
+    return value if math.isfinite(value) else _INFINITY_SENTINEL
 
 
 def binary_heuristic_to_dict(heuristic: BinaryHeuristic) -> dict:
-    """Serialise a binary heuristic (its destination and per-vertex getMin values)."""
+    """Serialise a binary heuristic (its destination and per-vertex getMin values).
+
+    Infinite ``getMin`` values (vertices that cannot reach the destination)
+    are stored as the string sentinel ``"inf"`` so the document stays strict
+    JSON; :func:`binary_heuristic_from_dict` converts them back.
+    """
     return {
         "format_version": _FORMAT_VERSION,
         "destination": heuristic.destination,
-        "min_costs": {str(vertex): value for vertex, value in heuristic.min_cost_map().items()},
+        "min_costs": {
+            str(vertex): _encode_min_cost(value)
+            for vertex, value in heuristic.min_cost_map().items()
+        },
     }
 
 
 def binary_heuristic_from_dict(payload: dict) -> BinaryHeuristic:
-    """Rebuild a binary heuristic from :func:`binary_heuristic_to_dict` output."""
+    """Rebuild a binary heuristic from :func:`binary_heuristic_to_dict` output.
+
+    Accepts the ``"inf"`` sentinel (and the legacy non-standard ``Infinity``
+    token, which Python's json module used to emit) for unreachable vertices.
+    """
     try:
         destination = payload["destination"]
+        # float() parses numbers as well as the "inf" / "Infinity" sentinels.
         min_costs = {int(vertex): float(value) for vertex, value in payload["min_costs"].items()}
     except (KeyError, TypeError, ValueError) as exc:
         raise DataError(f"malformed binary heuristic payload: {exc}") from exc
+    if any(math.isnan(value) for value in min_costs.values()):
+        raise DataError("malformed binary heuristic payload: NaN getMin value")
     return BinaryHeuristic(destination, min_costs)
 
 
@@ -61,7 +98,7 @@ def heuristic_table_to_dict(source: HeuristicTable | BudgetSpecificHeuristic) ->
         "delta": table.delta,
         "eta": table.eta,
         "rows": {
-            str(vertex): {"first_index": row.first_index, "values": list(row.values)}
+            str(vertex): {"first_index": row.first_index, "values": row.values.tolist()}
             for vertex, row in table.rows.items()
         },
     }
@@ -85,6 +122,35 @@ def heuristic_table_from_dict(payload: dict) -> HeuristicTable:
     return table
 
 
+def budget_heuristic_to_dict(heuristic: BudgetSpecificHeuristic) -> dict:
+    """Serialise a budget-specific heuristic: its table plus the getMin map.
+
+    The build's ``grid_rounding`` is recorded because it decides
+    admissibility: ``"floor"``-built cells may slightly under-estimate, so a
+    loader that needs admissible bounds must be able to tell the modes apart.
+    """
+    return {
+        "format_version": _FORMAT_VERSION,
+        "grid_rounding": heuristic.grid_rounding,
+        "table": heuristic_table_to_dict(heuristic.table),
+        "binary": binary_heuristic_to_dict(heuristic.binary),
+    }
+
+
+def budget_heuristic_from_dict(payload: dict) -> BudgetSpecificHeuristic:
+    """Rebuild a servable budget-specific heuristic without re-running Eq. 5."""
+    try:
+        table = heuristic_table_from_dict(payload["table"])
+        binary = binary_heuristic_from_dict(payload["binary"])
+        grid_rounding = payload.get("grid_rounding", "ceil")
+    except (KeyError, TypeError) as exc:
+        raise DataError(f"malformed budget heuristic payload: {exc}") from exc
+    config = BudgetHeuristicConfig(
+        delta=table.delta, max_budget=table.max_budget, grid_rounding=grid_rounding
+    )
+    return BudgetSpecificHeuristic.from_table(table, binary=binary, config=config)
+
+
 def save_heuristic_table(
     source: HeuristicTable | BudgetSpecificHeuristic, path: str | FilePath
 ) -> None:
@@ -92,7 +158,7 @@ def save_heuristic_table(
     path = FilePath(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w", encoding="utf-8") as handle:
-        json.dump(heuristic_table_to_dict(source), handle)
+        json.dump(heuristic_table_to_dict(source), handle, allow_nan=False)
 
 
 def load_heuristic_table(path: str | FilePath) -> HeuristicTable:
@@ -102,3 +168,46 @@ def load_heuristic_table(path: str | FilePath) -> HeuristicTable:
         raise DataError(f"heuristic table file not found: {path}")
     with path.open("r", encoding="utf-8") as handle:
         return heuristic_table_from_dict(json.load(handle))
+
+
+def save_heuristic_bundle(entries: Sequence[dict], path: str | FilePath) -> None:
+    """Write a list of tagged heuristic entries as one strict-JSON document.
+
+    Each entry is a dict with a ``kind`` tag (``"binary"`` or ``"budget"``), a
+    ``heuristic`` payload produced by the codecs above, and whatever routing
+    metadata the writer needs to key its cache (variant, δ, graph flavour).
+    The document is intentionally a dumb envelope: the
+    :class:`~repro.routing.engine.RoutingEngine` decides what the entries
+    mean.
+    """
+    path = FilePath(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format_version": _BUNDLE_FORMAT_VERSION,
+        "kind": "heuristic-bundle",
+        "entries": list(entries),
+    }
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, allow_nan=False)
+
+
+def load_heuristic_bundle(path: str | FilePath) -> list[dict]:
+    """Read the entries of a bundle written by :func:`save_heuristic_bundle`."""
+    path = FilePath(path)
+    if not path.exists():
+        raise DataError(f"heuristic bundle file not found: {path}")
+    with path.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    try:
+        if payload["kind"] != "heuristic-bundle":
+            raise DataError(f"not a heuristic bundle: {path}")
+        if payload["format_version"] != _BUNDLE_FORMAT_VERSION:
+            raise DataError(
+                f"unsupported heuristic bundle version {payload['format_version']!r}"
+            )
+        entries = payload["entries"]
+    except (KeyError, TypeError) as exc:
+        raise DataError(f"malformed heuristic bundle: {exc}") from exc
+    if not isinstance(entries, list):
+        raise DataError("malformed heuristic bundle: entries must be a list")
+    return entries

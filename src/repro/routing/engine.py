@@ -36,8 +36,9 @@ import threading
 from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path as FilePath
 
-from repro.core.errors import ConfigurationError
+from repro.core.errors import ConfigurationError, DataError
 from repro.core.pace_graph import PaceGraph
 from repro.heuristics.base import Heuristic
 from repro.heuristics.binary import (
@@ -46,6 +47,14 @@ from repro.heuristics.binary import (
     PaceBinaryHeuristic,
 )
 from repro.heuristics.budget import BudgetHeuristicConfig, BudgetSpecificHeuristic
+from repro.persistence.heuristics import (
+    binary_heuristic_from_dict,
+    binary_heuristic_to_dict,
+    budget_heuristic_from_dict,
+    budget_heuristic_to_dict,
+    load_heuristic_bundle,
+    save_heuristic_bundle,
+)
 from repro.routing.naive import NaivePaceRouter, NaiveRouterConfig
 from repro.routing.queries import RoutingQuery, RoutingResult
 from repro.routing.tpath_routing import HeuristicPaceRouter, HeuristicRouterConfig
@@ -142,6 +151,20 @@ class HeuristicCache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def insert(self, key: tuple, heuristic: Heuristic) -> None:
+        """Seed the cache with an already built heuristic (e.g. loaded from disk).
+
+        Counts as neither a hit nor a miss; subsequent :meth:`get_or_build`
+        calls for ``key`` are hits and never invoke their builder.
+        """
+        with self._lock:
+            self._entries[key] = heuristic
+
+    def snapshot(self) -> dict[tuple, Heuristic]:
+        """A point-in-time copy of the cached entries (used for persistence)."""
+        with self._lock:
+            return dict(self._entries)
 
     def get_or_build(self, key: tuple, builder: Callable[[], Heuristic]) -> Heuristic:
         """Return the cached heuristic for ``key``, building it (once) on a miss.
@@ -277,6 +300,12 @@ class RoutingEngine:
     best path, arrival probability, cost distribution — are identical to
     calling :meth:`route` once per query, because every router's search is
     deterministic given its (deterministically built, cached) heuristic.
+
+    The cache is also the unit of persistence: :meth:`save_heuristics` writes
+    every cached heuristic (binary ``getMin`` maps and Eq. 5 budget tables)
+    to one bundle file, and :meth:`prewarm` with a path loads such a bundle
+    back, so a serving process answers its hot destinations from disk instead
+    of re-running the offline pre-computation.
     """
 
     def __init__(
@@ -329,14 +358,164 @@ class RoutingEngine:
                 )
             return self._routers[method]
 
-    def prewarm(self, method: str, destinations: Sequence[int]) -> None:
-        """Build the heuristics for ``destinations`` ahead of query traffic."""
-        router = self.router(method)
+    def prewarm(
+        self, source: str | FilePath, destinations: Sequence[int] | None = None
+    ) -> int:
+        """Warm the heuristic cache ahead of query traffic.
+
+        Two forms are supported:
+
+        * ``prewarm(method, destinations)`` — *build* the heuristics of
+          ``method`` for the given destinations (the offline investment).
+        * ``prewarm(path)`` — *load* every heuristic persisted by
+          :meth:`save_heuristics` (see :meth:`load_heuristics`), so a serving
+          process starts answering from the pre-computed tables instead of
+          rebuilding them.
+
+        Returns the number of heuristics made hot.
+        """
+        if destinations is None:
+            if not FilePath(source).exists():
+                raise DataError(
+                    f"heuristic bundle file not found: {source} (prewarm without "
+                    "destinations loads a heuristic bundle from disk; to build "
+                    "heuristics for a method, pass a destinations sequence)"
+                )
+            return self.load_heuristics(source)
+        router = self.router(source)
         heuristic_for = getattr(router, "heuristic_for", None)
         if heuristic_for is None:
-            return
+            return 0
         for destination in destinations:
             heuristic_for(destination)
+        return len(destinations)
+
+    # -------------------------------------------------------------- #
+    # Heuristic persistence (prewarm a serving process from disk)
+    # -------------------------------------------------------------- #
+    def _graph_flavour(self, graph_id: int) -> str | None:
+        if graph_id == id(self._pace_graph):
+            return "pace"
+        if self._updated_graph is not None and graph_id == id(self._updated_graph):
+            return "updated"
+        return None
+
+    def _graph_signature(self, flavour: str) -> list:
+        """A cheap structural fingerprint of the graph heuristics were built over.
+
+        Heuristic tables are only meaningful for the exact graph they were
+        computed on; the fingerprint (vertex/edge/T-path/V-path counts)
+        rejects bundles from a different dataset, regime, τ or V-path closure
+        at load time instead of serving silently wrong bounds.
+        """
+        network = self._pace_graph.network
+        signature = [network.num_vertices, network.num_edges, self._pace_graph.num_tpaths]
+        if flavour == "updated" and self._updated_graph is not None:
+            signature.append(self._updated_graph.num_vpaths)
+        return signature
+
+    def save_heuristics(self, path: str | FilePath) -> int:
+        """Persist every cached heuristic to ``path`` as one bundle document.
+
+        Binary heuristics store their ``getMin`` maps, budget-specific
+        heuristics their Eq. 5 tables plus ``getMin`` maps; each entry is
+        tagged with the cache metadata (variant, δ, which graph it was built
+        over, a structural graph fingerprint) needed to re-key and validate
+        it on load.  Returns the number of entries written.
+        """
+        entries: list[dict] = []
+        for key, heuristic in sorted(self._cache.snapshot().items(), key=lambda kv: str(kv[0])):
+            kind = key[0]
+            if kind == "binary":
+                _, variant, graph_id, _destination = key
+                if graph_id != id(self._pace_graph):
+                    continue
+                entries.append(
+                    {
+                        "kind": "binary",
+                        "variant": variant,
+                        "destination": heuristic.destination,
+                        "graph_signature": self._graph_signature("pace"),
+                        "heuristic": binary_heuristic_to_dict(heuristic),
+                    }
+                )
+            elif kind == "budget":
+                _, delta, graph_id, _destination = key
+                flavour = self._graph_flavour(graph_id)
+                if flavour is None:
+                    continue
+                entries.append(
+                    {
+                        "kind": "budget",
+                        "delta": delta,
+                        "graph": flavour,
+                        "destination": heuristic.destination,
+                        "graph_signature": self._graph_signature(flavour),
+                        "heuristic": budget_heuristic_to_dict(heuristic),
+                    }
+                )
+        save_heuristic_bundle(entries, path)
+        return len(entries)
+
+    def load_heuristics(self, path: str | FilePath) -> int:
+        """Load a :meth:`save_heuristics` bundle into the heuristic cache.
+
+        Entries are validated before they are served: a bundle written over a
+        structurally different graph (other dataset, regime, τ, or V-path
+        closure) is rejected with a :class:`~repro.core.errors.DataError`,
+        and budget tables that cannot provide admissible bounds here are
+        skipped — tables that do not cover this engine's
+        ``settings.max_budget`` (residual budgets would cap at their grid)
+        and tables built with ``grid_rounding="floor"`` (cells may
+        under-estimate).  Skipped heuristics are simply rebuilt on demand.
+        Returns the number of entries loaded.
+        """
+        loaded = 0
+        for entry in load_heuristic_bundle(path):
+            try:
+                kind = entry["kind"]
+                if kind == "binary":
+                    flavour = "pace"
+                    heuristic = binary_heuristic_from_dict(entry["heuristic"])
+                    key = ("binary", entry["variant"], id(self._pace_graph), heuristic.destination)
+                elif kind == "budget":
+                    flavour = entry.get("graph", "pace")
+                    if flavour == "pace":
+                        graph = self._pace_graph
+                    else:
+                        graph = self._updated_graph
+                        if graph is None:
+                            # Tables built over the V-path closure are useless
+                            # without one; skip rather than mis-key them.
+                            continue
+                    heuristic = budget_heuristic_from_dict(entry["heuristic"])
+                    if float(entry["delta"]) != heuristic.table.delta:
+                        raise DataError(
+                            f"bundle entry delta {entry['delta']!r} does not match "
+                            f"its table delta {heuristic.table.delta!r}"
+                        )
+                    if heuristic.table.max_budget < self._settings.max_budget - 1e-9:
+                        # The table cannot answer this engine's largest budgets.
+                        continue
+                    if heuristic.grid_rounding != "ceil":
+                        # Floor-built cells may under-estimate (inadmissible);
+                        # routing needs upper bounds, so rebuild instead.
+                        continue
+                    key = ("budget", float(entry["delta"]), id(graph), heuristic.destination)
+                else:
+                    raise DataError(f"unknown heuristic bundle entry kind {kind!r}")
+                signature = entry.get("graph_signature")
+                if signature is not None and list(signature) != self._graph_signature(flavour):
+                    raise DataError(
+                        f"heuristic bundle was built over a different graph "
+                        f"(signature {signature} != {self._graph_signature(flavour)}); "
+                        "rebuild or load the matching index"
+                    )
+            except (KeyError, TypeError) as exc:
+                raise DataError(f"malformed heuristic bundle entry: {exc}") from exc
+            self._cache.insert(key, heuristic)
+            loaded += 1
+        return loaded
 
     # -------------------------------------------------------------- #
     # Routing

@@ -87,3 +87,46 @@ class TestCommands:
     def test_bench_table7(self, capsys):
         assert main(["bench", "table7", "--dataset", "tiny"]) == 0
         assert "Table 7" in capsys.readouterr().out
+
+    def test_prewarm_then_route_from_bundle(self, capsys, tmp_path, small_dataset):
+        trajectory = next(t for t in small_dataset.peak if t.num_edges >= 4)
+        destination = trajectory.path.target
+        bundle = tmp_path / "heuristics.json"
+        assert main(
+            [
+                "prewarm",
+                "--dataset",
+                "tiny",
+                "--method",
+                "T-BS-60",
+                "--destinations",
+                str(destination),
+                "--out",
+                str(bundle),
+                "--max-budget",
+                str(max(600.0, trajectory.total_cost * 4)),
+            ]
+        ) == 0
+        assert "bundle entries" in capsys.readouterr().out
+        assert bundle.exists()
+        exit_code = main(
+            [
+                "route",
+                "--dataset",
+                "tiny",
+                "--method",
+                "T-BS-60",
+                "--source",
+                str(trajectory.path.source),
+                "--destination",
+                str(destination),
+                "--budget",
+                str(trajectory.total_cost * 2),
+                "--heuristics",
+                str(bundle),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "prewarmed 1 heuristics" in output
+        assert "P(arrive within" in output

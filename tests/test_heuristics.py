@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.core.distributions import Distribution
@@ -211,6 +212,74 @@ class TestTables:
         assert table.storage_cells() == 3
         assert table.storage_bytes() > 0
 
+    def test_storage_bytes_counts_eight_bytes_per_cell(self):
+        table = HeuristicTable(destination=0, delta=10.0, eta=100)
+        table.set_row(1, HeuristicRow(first_index=1, values=tuple([0.5] * 10)))
+        small = table.storage_bytes()
+        table.set_row(2, HeuristicRow(first_index=1, values=tuple([0.5] * 60)))
+        assert table.storage_bytes() >= small + 60 * 8
+
+    def test_column_for_floor_fractional_grid_regression(self):
+        """Regression: ``int(budget // delta)`` misfires on fractional grids.
+
+        ``0.3 // 0.1 == 2.0`` because 0.3/0.1 divides to just below 3; the
+        floor column must be computed from the rounded ratio like ``eta`` is.
+        """
+        table = HeuristicTable(destination=0, delta=0.1, eta=10)
+        assert table.column_for(0.3, rounding="floor") == 3
+        assert table.column_for(0.1 + 0.2, rounding="floor") == 3
+        assert table.column_for(0.7, rounding="floor") == 7
+        assert table.column_for(0.25, rounding="floor") == 2
+        for steps in range(1, 11):
+            assert table.column_for(steps * 0.1, rounding="floor") == steps
+            assert table.column_for(steps * 0.1, rounding="ceil") == steps
+        # Floor stays a floor: strictly between grid points it rounds down.
+        assert table.column_for(0.35, rounding="floor") == 3
+        assert table.column_for(0.05, rounding="floor") == 0
+        assert table.column_for(-1.0, rounding="floor") == 0
+
+    def test_row_values_are_read_only_arrays(self):
+        row = HeuristicRow(first_index=2, values=(0.2, 0.7))
+        assert isinstance(row.values, np.ndarray)
+        with pytest.raises(ValueError):
+            row.values[0] = 0.9
+
+    def test_row_construction_does_not_freeze_callers_array(self):
+        mine = np.array([0.1, 0.5])
+        row = HeuristicRow(first_index=1, values=mine)
+        mine[0] = 0.9  # the caller's buffer stays writable...
+        assert row.value_at_column(1) == 0.1  # ...and the row kept its own copy
+
+    def test_rows_stay_hashable_and_equal_by_value(self):
+        row = HeuristicRow(first_index=2, values=(0.2, 0.7))
+        twin = HeuristicRow(first_index=2, values=(0.2, 0.7))
+        other = HeuristicRow(first_index=2, values=(0.2, 0.8))
+        assert row == twin and row != other
+        assert len({row, twin, other}) == 2
+
+    def test_row_vectorized_column_lookup_matches_scalar(self):
+        row = HeuristicRow(first_index=3, values=(0.2, 0.7))
+        columns = np.arange(0, 9)
+        batch = row.values_at_columns(columns)
+        assert batch.tolist() == [row.value_at_column(int(c)) for c in columns]
+
+    def test_row_dense_expansion(self):
+        row = HeuristicRow(first_index=3, values=(0.2, 0.7))
+        assert row.dense(6).tolist() == [0.0, 0.0, 0.0, 0.2, 0.7, 1.0, 1.0]
+        # first_index beyond eta: all zeros.
+        assert HeuristicRow(first_index=9, values=()).dense(4).tolist() == [0.0] * 5
+
+    def test_table_vectorized_value_lookup_matches_scalar(self):
+        table = HeuristicTable(destination=0, delta=10.0, eta=5)
+        table.set_row(1, HeuristicRow(first_index=2, values=(0.4, 0.8)))
+        budgets = [-5.0, 0.0, 3.0, 10.0, 15.0, 20.0, 25.0, 49.0, 50.0, 1000.0]
+        for rounding in ("ceil", "floor"):
+            batch = table.values_at(1, budgets, rounding=rounding)
+            assert batch.tolist() == [table.value(1, b, rounding=rounding) for b in budgets]
+        # Destination and unknown-vertex fallbacks.
+        assert table.values_at(0, budgets).tolist() == [table.value(0, b) for b in budgets]
+        assert table.values_at(42, budgets).tolist() == [table.value(42, b) for b in budgets]
+
 
 # --------------------------------------------------------------------------- #
 # Budget-specific heuristic (Algorithms 3-4)
@@ -317,3 +386,46 @@ class TestBudgetSpecific:
     def test_eta_computation(self):
         assert BudgetHeuristicConfig(delta=60, max_budget=3600).eta == 60
         assert BudgetHeuristicConfig(delta=60, max_budget=3601).eta == 61
+
+    def test_sweeps_none_means_convergence(self, paper_example):
+        config = BudgetHeuristicConfig(delta=3, max_budget=36, sweeps=None)
+        config.validate()
+        table = build_heuristic_table(paper_example.pace_graph, VD, config)
+        assert table.sweeps_performed >= 1
+        # The paper example converges immediately: the fixpoint equals sweeps=2.
+        fixed = build_heuristic_table(
+            paper_example.pace_graph, VD, BudgetHeuristicConfig(delta=3, max_budget=36, sweeps=2)
+        )
+        for vertex in range(8):
+            for budget in range(0, 39, 3):
+                assert table.value(vertex, budget) == pytest.approx(fixed.value(vertex, budget))
+
+    def test_probability_batch_matches_scalar(self, paper_example):
+        heuristic = BudgetSpecificHeuristic(
+            paper_example.pace_graph, VD, BudgetHeuristicConfig(delta=3, max_budget=36)
+        )
+        budgets = np.array([-3.0, 0.0, 1.0, 3.0, 14.5, 18.0, 36.0, 50.0])
+        for vertex in list(range(8)) + [VD]:
+            batch = heuristic.probability_batch(vertex, budgets)
+            expected = [heuristic.probability(vertex, float(b)) for b in budgets]
+            assert batch.tolist() == expected
+
+    def test_binary_probability_batch_matches_scalar(self, paper_example):
+        heuristic = PaceBinaryHeuristic(paper_example.pace_graph, VD)
+        budgets = np.array([-1.0, 0.0, 18.9, 19.0, 100.0])
+        for vertex in range(8):
+            batch = heuristic.probability_batch(vertex, budgets)
+            assert batch.tolist() == [heuristic.probability(vertex, float(b)) for b in budgets]
+
+    def test_max_prob_vectorized_path_matches_loop(self, paper_example):
+        """Supports above the batch threshold take the vectorized maxProb path."""
+        heuristic = BudgetSpecificHeuristic(
+            paper_example.pace_graph, VD, BudgetHeuristicConfig(delta=3, max_budget=36)
+        )
+        wide = Distribution.from_pairs([(float(c), 1.0 / 12.0) for c in range(2, 26, 2)])
+        assert len(wide) > 8
+        for budget in (10.0, 21.0, 30.0, 60.0):
+            expected = sum(
+                p * heuristic.probability(V1, budget - c) for c, p in wide.items() if budget - c >= 0
+            )
+            assert max_prob(wide, heuristic, V1, budget) == pytest.approx(expected, abs=1e-12)

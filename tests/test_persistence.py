@@ -16,12 +16,17 @@ from repro.persistence.codecs import (
     joint_from_dict,
     joint_to_dict,
 )
+from repro.heuristics.binary import BinaryHeuristic
 from repro.persistence.heuristics import (
     binary_heuristic_from_dict,
     binary_heuristic_to_dict,
+    budget_heuristic_from_dict,
+    budget_heuristic_to_dict,
     heuristic_table_from_dict,
     heuristic_table_to_dict,
+    load_heuristic_bundle,
     load_heuristic_table,
+    save_heuristic_bundle,
     save_heuristic_table,
 )
 from repro.persistence.index import index_from_dict, index_to_dict, load_index, save_index
@@ -145,3 +150,84 @@ class TestHeuristicPersistence:
             heuristic_table_from_dict({"format_version": 99})
         with pytest.raises(DataError):
             load_heuristic_table(tmp_path / "missing.json")
+
+    def test_binary_round_trips_unreachable_vertices_as_strict_json(self):
+        """``getMin = inf`` must survive strict JSON (no non-standard Infinity)."""
+        import json
+
+        original = BinaryHeuristic(7, {1: 12.5, 2: float("inf"), 3: 0.0})
+        payload = binary_heuristic_to_dict(original)
+        text = json.dumps(payload, allow_nan=False)  # raises on raw inf/nan
+        assert "Infinity" not in text
+        restored = binary_heuristic_from_dict(json.loads(text))
+        assert restored.min_cost(1) == 12.5
+        assert restored.min_cost(2) == float("inf")
+        assert restored.probability(2, 1e12) == 0.0
+        assert restored.min_cost(3) == 0.0
+
+    def test_binary_accepts_legacy_infinity_token(self):
+        """Files written before the sentinel used json's non-standard Infinity."""
+        import json
+
+        legacy = '{"format_version": 1, "destination": 0, "min_costs": {"4": Infinity}}'
+        restored = binary_heuristic_from_dict(json.loads(legacy))
+        assert restored.min_cost(4) == float("inf")
+
+    def test_binary_rejects_nan(self):
+        with pytest.raises(DataError):
+            binary_heuristic_from_dict(
+                {"format_version": 1, "destination": 0, "min_costs": {"1": "nan"}}
+            )
+
+    def test_budget_heuristic_round_trip(self, paper_example):
+        heuristic = BudgetSpecificHeuristic(
+            paper_example.pace_graph, VD, BudgetHeuristicConfig(delta=3, max_budget=36)
+        )
+        restored = budget_heuristic_from_dict(budget_heuristic_to_dict(heuristic))
+        assert restored.destination == VD
+        assert restored.delta == 3
+        assert restored.build_seconds == 0.0
+        for vertex in range(8):
+            assert restored.min_cost(vertex) == heuristic.min_cost(vertex)
+            for budget in range(0, 42, 3):
+                assert restored.probability(vertex, budget) == heuristic.probability(vertex, budget)
+
+
+class TestHeuristicBundle:
+    def test_round_trip(self, paper_example, tmp_path):
+        heuristic = BudgetSpecificHeuristic(
+            paper_example.pace_graph, VD, BudgetHeuristicConfig(delta=6, max_budget=36)
+        )
+        entries = [
+            {
+                "kind": "budget",
+                "delta": 6.0,
+                "graph": "pace",
+                "destination": VD,
+                "heuristic": budget_heuristic_to_dict(heuristic),
+            },
+            {
+                "kind": "binary",
+                "variant": "P",
+                "destination": VD,
+                "heuristic": binary_heuristic_to_dict(heuristic.binary),
+            },
+        ]
+        path = tmp_path / "bundle.json"
+        save_heuristic_bundle(entries, path)
+        loaded = load_heuristic_bundle(path)
+        assert [e["kind"] for e in loaded] == ["budget", "binary"]
+        restored = budget_heuristic_from_dict(loaded[0]["heuristic"])
+        assert restored.table.storage_cells() == heuristic.table.storage_cells()
+
+    def test_missing_and_malformed(self, tmp_path):
+        with pytest.raises(DataError):
+            load_heuristic_bundle(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"kind": "something-else", "format_version": 1, "entries": []}')
+        with pytest.raises(DataError):
+            load_heuristic_bundle(bad)
+        worse = tmp_path / "worse.json"
+        worse.write_text('{"kind": "heuristic-bundle", "format_version": 99, "entries": []}')
+        with pytest.raises(DataError):
+            load_heuristic_bundle(worse)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.errors import ConfigurationError
+from repro.core.errors import ConfigurationError, DataError
 from repro.datasets.paper_example import VD, VS
 from repro.evaluation.workloads import WorkloadConfig, generate_workload
 from repro.routing.engine import (
@@ -163,7 +163,7 @@ class TestRoutingEngine:
 
     def test_prewarm_builds_heuristics(self, paper_example, updated_example):
         engine = _engine(paper_example, updated_example)
-        engine.prewarm("T-BS-60", [VD])
+        assert engine.prewarm("T-BS-60", [VD]) == 1
         assert engine.heuristic_cache.misses == 1
         engine.route(RoutingQuery(VS, VD, budget=30.0), method="T-BS-60")
         assert engine.heuristic_cache.misses == 1
@@ -171,6 +171,145 @@ class TestRoutingEngine:
     def test_router_instances_are_cached(self, paper_example, updated_example):
         engine = _engine(paper_example, updated_example)
         assert engine.router("T-B-P") is engine.router("T-B-P")
+
+
+class TestHeuristicPersistenceRoundTrip:
+    """Acceptance check: prewarming from disk replaces the offline rebuild.
+
+    An engine that loaded persisted heuristics must answer every query
+    identically to one that built them fresh, without a single cache miss.
+    """
+
+    METHODS = ("T-B-P", "T-BS-60", "V-BS-60")
+
+    def test_prewarm_from_disk_matches_fresh_build(
+        self, paper_example, updated_example, tmp_path
+    ):
+        queries = _example_queries(paper_example)
+        fresh = _engine(paper_example, updated_example)
+        fresh_results = {
+            method: fresh.route_many(queries, method=method) for method in self.METHODS
+        }
+        bundle = tmp_path / "heuristics.json"
+        saved = fresh.save_heuristics(bundle)
+        assert saved == len(fresh.heuristic_cache)
+
+        warmed = _engine(paper_example, updated_example)
+        assert warmed.prewarm(bundle) == saved
+        for method in self.METHODS:
+            for query, expected in zip(queries, fresh_results[method]):
+                result = warmed.route(query, method=method)
+                assert result.probability == expected.probability
+                assert (result.path is None) == (expected.path is None)
+                if result.path is not None:
+                    assert result.path.edges == expected.path.edges
+        # Nothing was rebuilt: every heuristic came from disk.
+        assert warmed.heuristic_cache.misses == 0
+        assert warmed.heuristic_cache.hits > 0
+
+    def test_prewarm_accepts_string_paths(self, paper_example, updated_example, tmp_path):
+        engine = _engine(paper_example, updated_example)
+        engine.prewarm("T-BS-60", [VD])
+        bundle = tmp_path / "bundle.json"
+        engine.save_heuristics(str(bundle))
+        other = _engine(paper_example, updated_example)
+        assert other.prewarm(str(bundle)) == 1
+
+    def test_prewarm_method_without_destinations_is_rejected(
+        self, paper_example, updated_example
+    ):
+        # A method name is not a bundle file; the error explains both forms.
+        engine = _engine(paper_example, updated_example)
+        with pytest.raises(DataError, match="destinations"):
+            engine.prewarm("T-BS-60")
+
+    def test_undersized_budget_tables_are_skipped_not_served(
+        self, paper_example, updated_example, tmp_path
+    ):
+        """A table that cannot answer the engine's budgets must not be loaded.
+
+        Serving it would cap residual budgets at the table's own grid and
+        under-estimate the admissible bound, silently changing routing
+        results; skipping it makes the engine rebuild a correct table.
+        """
+        small = RoutingEngine(
+            paper_example.pace_graph, updated_example, settings=RouterSettings(max_budget=24.0)
+        )
+        small.prewarm("T-BS-6", [VD])
+        bundle = tmp_path / "small.json"
+        assert small.save_heuristics(bundle) == 1
+
+        big = RoutingEngine(
+            paper_example.pace_graph, updated_example, settings=RouterSettings(max_budget=120.0)
+        )
+        assert big.prewarm(bundle) == 0  # undersized table skipped
+        query = RoutingQuery(VS, VD, budget=40.0)
+        warmed_result = big.route(query, method="T-BS-6")
+        assert big.heuristic_cache.misses == 1  # rebuilt, not served stale
+        fresh = RoutingEngine(
+            paper_example.pace_graph, updated_example, settings=RouterSettings(max_budget=120.0)
+        )
+        fresh_result = fresh.route(query, method="T-BS-6")
+        assert warmed_result.probability == fresh_result.probability
+        assert warmed_result.path.edges == fresh_result.path.edges
+
+    def test_floor_built_tables_are_skipped_not_served(
+        self, paper_example, updated_example, tmp_path
+    ):
+        """Floor-built cells may under-estimate; routing needs admissible bounds."""
+        from repro.heuristics.budget import BudgetHeuristicConfig, BudgetSpecificHeuristic
+        from repro.persistence.heuristics import budget_heuristic_to_dict, save_heuristic_bundle
+
+        floor_heuristic = BudgetSpecificHeuristic(
+            paper_example.pace_graph,
+            VD,
+            BudgetHeuristicConfig(delta=60, max_budget=120, grid_rounding="floor"),
+        )
+        network = paper_example.pace_graph.network
+        entry = {
+            "kind": "budget",
+            "delta": 60.0,
+            "graph": "pace",
+            "destination": VD,
+            "graph_signature": [
+                network.num_vertices,
+                network.num_edges,
+                paper_example.pace_graph.num_tpaths,
+            ],
+            "heuristic": budget_heuristic_to_dict(floor_heuristic),
+        }
+        bundle = tmp_path / "floor.json"
+        save_heuristic_bundle([entry], bundle)
+        engine = _engine(paper_example, updated_example)
+        assert engine.prewarm(bundle) == 0
+        engine.route(RoutingQuery(VS, VD, budget=30.0), method="T-BS-60")
+        assert engine.heuristic_cache.misses == 1  # rebuilt with ceil rounding
+
+    def test_bundle_from_different_graph_is_rejected(
+        self, paper_example, updated_example, small_pace_graph, tmp_path
+    ):
+        engine = _engine(paper_example, updated_example)
+        engine.prewarm("T-BS-60", [VD])
+        bundle = tmp_path / "bundle.json"
+        engine.save_heuristics(bundle)
+        other = RoutingEngine(small_pace_graph, None, settings=RouterSettings(max_budget=120.0))
+        with pytest.raises(DataError, match="different graph"):
+            other.prewarm(bundle)
+
+    def test_updated_graph_tables_skipped_without_vpaths(
+        self, paper_example, updated_example, tmp_path
+    ):
+        # Save from an engine with the V-path closure, load into one without.
+        full = _engine(paper_example, updated_example)
+        full.prewarm("V-BS-60", [VD])
+        full.prewarm("T-BS-60", [VD])
+        bundle = tmp_path / "bundle.json"
+        assert full.save_heuristics(bundle) == 2
+        plain = RoutingEngine(paper_example.pace_graph, None, settings=RouterSettings(max_budget=120.0))
+        # Only the plain-graph table is loadable; the V-path one is skipped.
+        assert plain.prewarm(bundle) == 1
+        plain.route(RoutingQuery(VS, VD, budget=30.0), method="T-BS-60")
+        assert plain.heuristic_cache.misses == 0
 
 
 class TestFig13StyleWorkload:
