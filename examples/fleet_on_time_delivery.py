@@ -53,6 +53,9 @@ def main() -> None:
             network, depot, customer, lambda e: edge_graph.expected_cost(e.edge_id)
         )
         plans.append((expected_path, expected_time * 1.1))
+    # SerialBackend is the default; swap in ThreadBackend(workers=...) or — for
+    # engines built from an EngineSpec — ProcessBackend to scale the manifest
+    # across cores (see examples/batch_serving.py).
     results = engine.route_many(
         [
             RoutingQuery(depot, customer, budget=budget)
@@ -76,6 +79,12 @@ def main() -> None:
     print("-" * 80)
     print(f"expected on-time deliveries (stochastic plan):    {stochastic_total:.2f} / {count}")
     print(f"expected on-time deliveries (conventional plan):  {conventional_total:.2f} / {count}")
+
+    stats = engine.stats()
+    print(f"engine stats: {stats.queries_total} queries, "
+          f"{stats.cache_misses} heuristic builds "
+          f"({stats.heuristic_build_seconds:.2f}s offline), "
+          f"{stats.cache_hits} cache hits")
 
 
 if __name__ == "__main__":

@@ -42,9 +42,18 @@ from repro.network import GridCityConfig, RoadNetwork, generate_grid_city
 from repro.persistence import load_index, save_index
 from repro.routing import (
     METHOD_NAMES,
+    EngineSpec,
+    MethodSpec,
+    ProcessBackend,
     RouterSettings,
+    RouteRequest,
+    RouteResponse,
+    RoutingEngine,
     RoutingQuery,
     RoutingResult,
+    RoutingService,
+    SerialBackend,
+    ThreadBackend,
     create_router,
 )
 from repro.tpaths import TPathMinerConfig, build_edge_graph, build_pace_graph, mine_tpaths
@@ -96,4 +105,13 @@ __all__ = [
     "RouterSettings",
     "create_router",
     "METHOD_NAMES",
+    "MethodSpec",
+    "RoutingEngine",
+    "EngineSpec",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "RouteRequest",
+    "RouteResponse",
+    "RoutingService",
 ]

@@ -3,28 +3,36 @@
 The CLI wraps the most common workflows so the system can be exercised
 without writing Python:
 
-* ``stats``   — generate (or load) a dataset and print its Table-7 statistics,
-* ``build``   — run the offline pipeline (T-path mining, V-path closure) and
+* ``stats``       — generate (or load) a dataset and print its Table-7 statistics,
+* ``build``       — run the offline pipeline (T-path mining, V-path closure) and
   report index sizes,
-* ``prewarm`` — build the heuristics of a method for a set of destinations
+* ``prewarm``     — build the heuristics of a method for a set of destinations
   and persist them to a bundle file a serving process can load,
-* ``route``   — answer a single arriving-on-time query with a chosen method,
+* ``route``       — answer a single arriving-on-time query with a chosen method,
   optionally prewarming its heuristics from such a bundle instead of
-  rebuilding them, and
-* ``bench``   — run one experiment driver (by figure/table name) and print
+  rebuilding them,
+* ``route-batch`` — answer a JSONL file of requests through the typed service
+  API, over a chosen execution backend (serial, threads, or a multiprocess
+  worker pool), writing one JSON response per line, and
+* ``bench``       — run one experiment driver (by figure/table name) and print
   its rows.
 
-All commands operate on the bundled synthetic datasets (``aalborg-like``,
-``xian-like``, ``tiny``) so they work out of the box and deterministically.
+``--method`` accepts any name :meth:`repro.routing.MethodSpec.parse`
+understands — the paper's fixed palette plus arbitrary-δ budget methods like
+``T-BS-240``.  All commands operate on the bundled synthetic datasets
+(``aalborg-like``, ``xian-like``, ``tiny``) so they work out of the box and
+deterministically.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 
-from repro.datasets.synthetic import SyntheticDataset, aalborg_like, tiny_dataset, xian_like
+from repro.core.errors import ConfigurationError
+from repro.datasets.synthetic import DATASET_NAMES, SyntheticDataset, dataset_by_name
 from repro.evaluation.experiments import (
     ExperimentContext,
     ExperimentScale,
@@ -40,17 +48,23 @@ from repro.evaluation.experiments import (
     table10_method_comparison,
 )
 from repro.evaluation.reporting import render_report
-from repro.routing import METHOD_NAMES, RouterSettings, RoutingEngine, RoutingQuery
+from repro.routing import (
+    METHOD_NAMES,
+    EngineSpec,
+    MethodSpec,
+    ProcessBackend,
+    RouterSettings,
+    RoutingEngine,
+    RoutingQuery,
+    RoutingService,
+    SerialBackend,
+    ThreadBackend,
+)
+from repro.routing.service import RouteResponse
 from repro.tpaths import TPathMinerConfig, build_pace_graph
 from repro.vpaths import UpdatedPaceGraph
 
 __all__ = ["main", "build_parser"]
-
-_DATASETS = {
-    "tiny": tiny_dataset,
-    "aalborg-like": aalborg_like,
-    "xian-like": xian_like,
-}
 
 _EXPERIMENTS = {
     "table7": lambda ctx: table7_data_statistics([ctx.dataset]),
@@ -65,12 +79,22 @@ _EXPERIMENTS = {
     "fig19": fig19_case_study,
 }
 
+_BACKENDS = ("serial", "thread", "process")
+
 
 def _load_dataset(name: str) -> SyntheticDataset:
     try:
-        return _DATASETS[name]()
+        return dataset_by_name(name)
     except KeyError as exc:
-        raise SystemExit(f"unknown dataset {name!r}; choose from {sorted(_DATASETS)}") from exc
+        raise SystemExit(str(exc)) from exc
+
+
+def _method_name(value: str) -> str:
+    """argparse type for ``--method``: any name MethodSpec parses, canonicalised."""
+    try:
+        return MethodSpec.parse(value).canonical_name
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,20 +104,24 @@ def build_parser() -> argparse.ArgumentParser:
         description="Path-centric stochastic routing (PACE) — reproduction CLI",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+    method_help = (
+        f"routing method ({', '.join(METHOD_NAMES)}; "
+        "T-BS-<delta> / V-BS-<delta> accept any positive delta)"
+    )
 
     stats = subparsers.add_parser("stats", help="print Table-7 statistics of a dataset")
-    stats.add_argument("--dataset", default="tiny", choices=sorted(_DATASETS))
+    stats.add_argument("--dataset", default="tiny", choices=list(DATASET_NAMES))
 
     build = subparsers.add_parser("build", help="build the PACE index and report its size")
-    build.add_argument("--dataset", default="tiny", choices=sorted(_DATASETS))
+    build.add_argument("--dataset", default="tiny", choices=list(DATASET_NAMES))
     build.add_argument("--tau", type=int, default=30, help="T-path trajectory threshold")
     build.add_argument("--regime", default="peak", choices=["peak", "off-peak"])
 
     prewarm = subparsers.add_parser(
         "prewarm", help="pre-compute heuristics for destinations and save them to a bundle"
     )
-    prewarm.add_argument("--dataset", default="tiny", choices=sorted(_DATASETS))
-    prewarm.add_argument("--method", default="V-BS-60", choices=list(METHOD_NAMES))
+    prewarm.add_argument("--dataset", default="tiny", choices=list(DATASET_NAMES))
+    prewarm.add_argument("--method", default="V-BS-60", type=_method_name, help=method_help)
     prewarm.add_argument(
         "--destinations", type=int, nargs="+", required=True, help="destination vertex ids"
     )
@@ -105,8 +133,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     route = subparsers.add_parser("route", help="answer one arriving-on-time query")
-    route.add_argument("--dataset", default="tiny", choices=sorted(_DATASETS))
-    route.add_argument("--method", default="V-BS-60", choices=list(METHOD_NAMES))
+    route.add_argument("--dataset", default="tiny", choices=list(DATASET_NAMES))
+    route.add_argument("--method", default="V-BS-60", type=_method_name, help=method_help)
     route.add_argument("--source", type=int, required=True)
     route.add_argument("--destination", type=int, required=True)
     route.add_argument("--budget", type=float, required=True, help="travel-time budget in seconds")
@@ -118,9 +146,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="heuristic bundle (from 'prewarm') to load instead of rebuilding",
     )
 
+    batch = subparsers.add_parser(
+        "route-batch",
+        help="answer a JSONL file of route requests through the service API",
+        description=(
+            "Read one JSON route request per line ({\"source\": .., \"destination\": .., "
+            "\"budget\": .., optional \"departure_time\"/\"method\"/\"request_id\"}), "
+            "answer them through the typed RoutingService over the chosen execution "
+            "backend, and write one JSON response per line, in input order.  Malformed "
+            "lines produce structured invalid_request responses instead of aborting "
+            "the batch."
+        ),
+    )
+    batch.add_argument("--dataset", default="tiny", choices=list(DATASET_NAMES))
+    batch.add_argument("--method", default="V-BS-60", type=_method_name, help=method_help)
+    batch.add_argument("--input", required=True, help="JSONL request file ('-' for stdin)")
+    batch.add_argument("--output", default="-", help="JSONL response file ('-' for stdout)")
+    batch.add_argument(
+        "--backend",
+        default="serial",
+        choices=list(_BACKENDS),
+        help="execution backend for the batch",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=4, help="worker count for the thread/process backends"
+    )
+    batch.add_argument("--tau", type=int, default=20)
+    batch.add_argument("--regime", default="peak", choices=["peak", "off-peak"])
+    batch.add_argument(
+        "--heuristics",
+        default=None,
+        help=(
+            "heuristic bundle (from 'prewarm') loaded into the engine — and, with "
+            "--backend process, into every worker"
+        ),
+    )
+    batch.add_argument(
+        "--max-budget", type=float, default=600.0, help="largest budget the tables must answer"
+    )
+
     bench = subparsers.add_parser("bench", help="run one experiment driver and print its rows")
     bench.add_argument("experiment", choices=sorted(_EXPERIMENTS))
-    bench.add_argument("--dataset", default="tiny", choices=sorted(_DATASETS))
+    bench.add_argument("--dataset", default="tiny", choices=list(DATASET_NAMES))
     return parser
 
 
@@ -153,18 +220,20 @@ def _command_build(args: argparse.Namespace) -> int:
 
 
 def _build_engine(args: argparse.Namespace, max_budget: float) -> RoutingEngine:
-    dataset = _load_dataset(args.dataset)
-    trajectories = list(dataset.regime(args.regime))
-    pace = build_pace_graph(
-        dataset.network, trajectories, TPathMinerConfig(tau=args.tau, resolution=5.0)
-    )
-    updated, _ = UpdatedPaceGraph.build(pace)
-    return RoutingEngine(pace, updated, settings=RouterSettings(max_budget=max_budget))
+    # Engines are built from a spec so the multiprocess backend can hand the
+    # same recipe to its workers (content fingerprints verify the rebuild).
+    spec = EngineSpec(dataset=args.dataset, regime=args.regime, tau=args.tau)
+    return spec.build_engine(settings=RouterSettings(max_budget=max_budget))
 
 
 def _command_prewarm(args: argparse.Namespace) -> int:
     engine = _build_engine(args, args.max_budget)
-    built = engine.prewarm(args.method, args.destinations)
+    try:
+        built = engine.prewarm(args.method, args.destinations)
+    except ConfigurationError as exc:
+        # e.g. a heuristic-free method (T-None / V-None): nothing to prewarm.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     saved = engine.save_heuristics(args.out)
     rows = [
         ("method", args.method),
@@ -200,6 +269,72 @@ def _command_route(args: argparse.Namespace) -> int:
     return 1
 
 
+def _make_backend(args: argparse.Namespace):
+    if args.backend == "thread":
+        return ThreadBackend(workers=args.workers)
+    if args.backend == "process":
+        return ProcessBackend(workers=args.workers, heuristics_path=args.heuristics)
+    return SerialBackend()
+
+
+def _read_jsonl_requests(handle) -> list[dict | RouteResponse]:
+    """Parse request lines; undecodable lines become ready-made error responses."""
+    items: list[dict | RouteResponse] = []
+    for number, line in enumerate(handle, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            items.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            items.append(
+                RouteResponse.failure("invalid_request", f"line {number} is not JSON: {exc}")
+            )
+    return items
+
+
+def _command_route_batch(args: argparse.Namespace) -> int:
+    engine = _build_engine(args, args.max_budget)
+    if args.heuristics:
+        loaded = engine.prewarm(args.heuristics)
+        print(f"prewarmed {loaded} heuristics from {args.heuristics}", file=sys.stderr)
+    service = RoutingService(engine, default_method=args.method)
+    backend = _make_backend(args)
+
+    if args.input == "-":
+        items = _read_jsonl_requests(sys.stdin)
+    else:
+        with open(args.input, "r", encoding="utf-8") as handle:
+            items = _read_jsonl_requests(handle)
+
+    payloads = [item for item in items if not isinstance(item, RouteResponse)]
+    try:
+        answered = iter(service.handle_batch(payloads, backend=backend))
+        responses = [
+            item if isinstance(item, RouteResponse) else next(answered) for item in items
+        ]
+    finally:
+        if isinstance(backend, ProcessBackend):
+            backend.close()
+
+    lines = [json.dumps(response.to_dict(), allow_nan=False) for response in responses]
+    if args.output == "-":
+        for line in lines:
+            print(line)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + ("\n" if lines else ""))
+    failures = sum(1 for response in responses if not response.ok)
+    print(
+        f"route-batch: {len(responses)} responses ({len(responses) - failures} ok, "
+        f"{failures} errors) via {args.backend} backend",
+        file=sys.stderr,
+    )
+    # Mirror `route`: success only when every request was answered ok, so
+    # shell pipelines can gate on the exit code.
+    return 0 if failures == 0 else 1
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args.dataset)
     scale = ExperimentScale(
@@ -217,6 +352,7 @@ _COMMANDS = {
     "build": _command_build,
     "prewarm": _command_prewarm,
     "route": _command_route,
+    "route-batch": _command_route_batch,
     "bench": _command_bench,
 }
 

@@ -20,7 +20,11 @@ This module provides:
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from collections.abc import Iterable, Iterator
+
+import numpy as np
 
 from repro.core.distributions import Distribution
 from repro.core.edge_graph import EdgeGraph
@@ -45,6 +49,7 @@ class PaceGraph:
         self._tpaths_by_source: dict[int, list[WeightedElement]] = {}
         self._tpaths_by_target: dict[int, list[WeightedElement]] = {}
         self._tpaths_by_first_edge: dict[int, list[WeightedElement]] = {}
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -97,6 +102,51 @@ class PaceGraph:
         """T-paths ending at a vertex."""
         return list(self._tpaths_by_target.get(vertex_id, []))
 
+    def content_fingerprint(self) -> str:
+        """A stable digest of everything routing-relevant in this graph.
+
+        Two independently built graphs with identical content — vertices with
+        coordinates, edges with geometry, edge cost distributions, τ, and the
+        T-paths with their joints — produce the same fingerprint, even in
+        different processes.  This is the portable replacement for
+        ``id(graph)``: heuristic cache keys and persisted bundles keyed by the
+        fingerprint can be shared between engines and across process
+        boundaries (the same deterministic dataset spec rebuilds the same
+        graph, hence the same fingerprint).
+
+        The digest is cached and invalidated by :meth:`add_tpath`; mutating
+        the underlying :class:`~repro.core.edge_graph.EdgeGraph` directly
+        after fingerprinting is not supported.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = self._compute_fingerprint()
+        return self._fingerprint
+
+    def _compute_fingerprint(self) -> str:
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(b"pace-graph/v1")
+        digest.update(struct.pack("<q", self._tau))
+        network = self.network
+        digest.update(struct.pack("<qq", network.num_vertices, network.num_edges))
+        for vertex in sorted(network.vertices(), key=lambda v: v.vertex_id):
+            digest.update(struct.pack("<qdd", vertex.vertex_id, vertex.x, vertex.y))
+        for edge in sorted(network.edges(), key=lambda e: e.edge_id):
+            digest.update(
+                struct.pack(
+                    "<qqqdd", edge.edge_id, edge.source, edge.target, edge.length, edge.speed_limit
+                )
+            )
+            _hash_distribution(digest, self._edge_graph.weight(edge.edge_id))
+        for key in sorted(self._tpaths):
+            digest.update(struct.pack("<q", len(key)))
+            digest.update(np.asarray(key, dtype=np.int64).tobytes())
+            joint = self._tpaths[key].joint
+            if joint is not None:
+                for costs in sorted(joint.pmf):
+                    _hash_floats(digest, costs)
+                    digest.update(struct.pack("<d", joint.pmf[costs]))
+        return digest.hexdigest()
+
     # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
@@ -111,6 +161,7 @@ class PaceGraph:
             raise GraphError(
                 f"joint distribution edges {joint.edge_ids} do not match the path edges {path.edges}"
             )
+        self._fingerprint = None
         if path.cardinality == 1:
             self._edge_graph.set_weight(path.edges[0], joint.total_cost_distribution())
             return self.edge_element(path.edges[0])
@@ -307,6 +358,18 @@ class PaceGraph:
             f"PaceGraph(network={self.network.name!r}, tau={self._tau}, "
             f"tpaths={self.num_tpaths})"
         )
+
+
+def _hash_floats(digest, values) -> None:
+    """Feed a sequence of floats into ``digest`` as their exact IEEE-754 bytes."""
+    digest.update(np.asarray(values, dtype=np.float64).tobytes())
+
+
+def _hash_distribution(digest, distribution: Distribution) -> None:
+    """Feed a cost distribution (support and probabilities) into ``digest``."""
+    digest.update(struct.pack("<q", len(distribution)))
+    _hash_floats(digest, distribution.values_array)
+    _hash_floats(digest, distribution.probabilities_array)
 
 
 def _prune_states(

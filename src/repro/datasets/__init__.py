@@ -2,10 +2,12 @@
 
 from repro.datasets.paper_example import PaperExample, build_paper_example
 from repro.datasets.synthetic import (
+    DATASET_NAMES,
     DatasetConfig,
     SyntheticDataset,
     aalborg_like,
     build_dataset,
+    dataset_by_name,
     tiny_dataset,
     xian_like,
 )
@@ -19,4 +21,6 @@ __all__ = [
     "aalborg_like",
     "xian_like",
     "tiny_dataset",
+    "dataset_by_name",
+    "DATASET_NAMES",
 ]

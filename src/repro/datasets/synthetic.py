@@ -27,7 +27,16 @@ from repro.trajectories.model import OFF_PEAK, PEAK, Trajectory
 from repro.trajectories.outliers import OutlierFilterConfig, clean_trajectories
 from repro.trajectories.splits import split_by_regime
 
-__all__ = ["SyntheticDataset", "DatasetConfig", "aalborg_like", "xian_like", "build_dataset", "tiny_dataset"]
+__all__ = [
+    "SyntheticDataset",
+    "DatasetConfig",
+    "aalborg_like",
+    "xian_like",
+    "build_dataset",
+    "tiny_dataset",
+    "dataset_by_name",
+    "DATASET_NAMES",
+]
 
 
 @dataclass(frozen=True)
@@ -152,6 +161,31 @@ def xian_like(*, scale: float = 1.0) -> SyntheticDataset:
             ),
         )
     return build_dataset(config)
+
+
+#: The named bundled datasets; generation is deterministic, so loading the same
+#: name in two different processes yields structurally identical datasets.
+_DATASET_BUILDERS = {
+    "tiny": lambda: tiny_dataset(),
+    "aalborg-like": lambda: aalborg_like(),
+    "xian-like": lambda: xian_like(),
+}
+
+DATASET_NAMES = tuple(sorted(_DATASET_BUILDERS))
+
+
+def dataset_by_name(name: str) -> SyntheticDataset:
+    """Build one of the bundled deterministic datasets by its registry name.
+
+    This is the lookup behind every place that names a dataset instead of
+    holding one — the CLI, and the :class:`~repro.routing.backends.EngineSpec`
+    that multiprocess workers rebuild their engines from.
+    """
+    try:
+        builder = _DATASET_BUILDERS[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown dataset {name!r}; choose from {DATASET_NAMES}") from exc
+    return builder()
 
 
 def tiny_dataset(*, seed: int = 7) -> SyntheticDataset:

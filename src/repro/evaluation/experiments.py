@@ -41,6 +41,7 @@ from repro.heuristics.binary import (
 from repro.heuristics.budget import BudgetHeuristicConfig, BudgetSpecificHeuristic
 from repro.network.algorithms import shortest_path
 from repro.routing.engine import RouterSettings, RoutingEngine
+from repro.routing.methods import MethodSpec
 from repro.routing.queries import RoutingQuery
 from repro.tpaths.extraction import TPathMinerConfig, build_edge_graph, build_pace_graph, mine_tpaths
 from repro.vpaths.builder import VPathBuilderConfig
@@ -225,10 +226,10 @@ class ExperimentContext:
             )
         return self._engines[regime]
 
-    def router(self, regime: str, method: str):
+    def router(self, regime: str, method: str | MethodSpec):
         return self.engine(regime).router(method)
 
-    def routing_records(self, regime: str, method: str) -> list[RoutingRecord]:
+    def routing_records(self, regime: str, method: str | MethodSpec) -> list[RoutingRecord]:
         """Run (once) and cache the full workload for a method in a regime.
 
         Heuristics are prewarmed before the batch so that ``runtime_seconds``
@@ -238,14 +239,19 @@ class ExperimentContext:
         in which methods are evaluated, since methods in a regime share the
         engine's heuristic cache.
         """
+        spec = MethodSpec.coerce(method)
+        method = spec.canonical_name
         key = (regime, method)
         if key not in self._records:
             engine = self.engine(regime)
             workload_queries = self.workloads[regime].queries
-            destinations = {workload_query.query.destination for workload_query in workload_queries}
-            engine.prewarm(method, sorted(destinations))
+            if spec.supports_prewarm:
+                destinations = {
+                    workload_query.query.destination for workload_query in workload_queries
+                }
+                engine.prewarm(spec, sorted(destinations))
             results = engine.route_many(
-                [workload_query.query for workload_query in workload_queries], method=method
+                [workload_query.query for workload_query in workload_queries], method=spec
             )
             self._records[key] = [
                 RoutingRecord(

@@ -175,10 +175,12 @@ def save_heuristic_bundle(entries: Sequence[dict], path: str | FilePath) -> None
 
     Each entry is a dict with a ``kind`` tag (``"binary"`` or ``"budget"``), a
     ``heuristic`` payload produced by the codecs above, and whatever routing
-    metadata the writer needs to key its cache (variant, δ, graph flavour).
-    The document is intentionally a dumb envelope: the
-    :class:`~repro.routing.engine.RoutingEngine` decides what the entries
-    mean.
+    metadata the writer needs to key its cache (variant, δ, graph flavour,
+    and — since the cache became content-addressed — the
+    ``graph_fingerprint`` that makes the bundle loadable by any process over
+    structurally identical graphs).  The document is intentionally a dumb
+    envelope: the :class:`~repro.routing.engine.RoutingEngine` decides what
+    the entries mean.
     """
     path = FilePath(path)
     path.parent.mkdir(parents=True, exist_ok=True)

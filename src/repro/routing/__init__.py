@@ -1,5 +1,19 @@
-"""Stochastic routing algorithms: baselines, heuristic-guided PACE routing and V-path routing."""
+"""Stochastic routing algorithms: baselines, heuristic-guided PACE routing and V-path routing.
 
+The serving stack layers as: routers (one per method) → the batch
+:class:`RoutingEngine` with its shared heuristic cache → pluggable
+:mod:`execution backends <repro.routing.backends>` (serial / threads /
+processes) → the typed :mod:`service API <repro.routing.service>` with its
+wire-format requests, responses and error taxonomy.
+"""
+
+from repro.routing.backends import (
+    EngineSpec,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+)
 from repro.routing.dijkstra import (
     free_flow_costs,
     shortest_path,
@@ -9,13 +23,22 @@ from repro.routing.dijkstra import (
 from repro.routing.dominance import DominancePruner
 from repro.routing.engine import (
     METHOD_NAMES,
+    EngineStats,
     HeuristicCache,
     RouterSettings,
     RoutingEngine,
     create_router,
 )
+from repro.routing.methods import MethodSpec
 from repro.routing.naive import NaivePaceRouter, NaiveRouterConfig
 from repro.routing.queries import RoutingQuery, RoutingResult
+from repro.routing.service import (
+    ERROR_CODES,
+    RouteError,
+    RouteRequest,
+    RouteResponse,
+    RoutingService,
+)
 from repro.routing.tpath_routing import HeuristicPaceRouter, HeuristicRouterConfig
 from repro.routing.vpath_routing import VPathRouter, VPathRouterConfig
 
@@ -29,11 +52,23 @@ __all__ = [
     "VPathRouter",
     "VPathRouterConfig",
     "DominancePruner",
+    "MethodSpec",
     "create_router",
     "RouterSettings",
     "RoutingEngine",
+    "EngineStats",
     "HeuristicCache",
     "METHOD_NAMES",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "EngineSpec",
+    "ERROR_CODES",
+    "RouteError",
+    "RouteRequest",
+    "RouteResponse",
+    "RoutingService",
     "shortest_path",
     "shortest_path_cost",
     "single_source_costs",

@@ -1,0 +1,356 @@
+"""Execution backends for batch routing: serial, threads, and processes.
+
+:meth:`repro.routing.engine.RoutingEngine.route_many` separates *what* a batch
+means (per-query results identical to one :meth:`~RoutingEngine.route` call
+per query) from *how* it is executed.  A backend receives the engine, the
+parsed :class:`~repro.routing.methods.MethodSpec` and the query batch, and
+returns results **in input order**:
+
+* :class:`SerialBackend` — one destination-grouped pass in the calling thread
+  (the default; heuristics stay hot across same-destination queries),
+* :class:`ThreadBackend` — fan-out over a thread pool sharing the engine's
+  thread-safe heuristic cache; helps when routing releases the GIL, and
+* :class:`ProcessBackend` — fan-out over worker *processes*.  The pure-Python
+  best-first search loops are GIL-bound, so threads cannot scale them;
+  processes can, but they cannot share live graph objects.  Each worker
+  therefore initialises once from the engine's :class:`EngineSpec` (a
+  serialisable recipe that deterministically rebuilds the same graphs —
+  verified via the content fingerprint) plus, optionally, a persisted
+  heuristic bundle, and then answers destination-grouped chunks.
+
+Every backend preserves input order and result parity with the serial
+evaluation, because each router's search is deterministic given its
+(deterministically built or loaded) heuristic.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from pathlib import Path as FilePath
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.core.errors import ConfigurationError, DataError
+from repro.routing.methods import MethodSpec
+from repro.routing.queries import RoutingQuery, RoutingResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.routing.engine import RouterSettings, RoutingEngine
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "EngineSpec",
+    "destination_grouped_order",
+]
+
+
+def destination_grouped_order(queries: Sequence[RoutingQuery]) -> list[int]:
+    """Query indices sorted by destination (ties keep input order).
+
+    Batches are evaluated grouped by destination so each destination-specific
+    heuristic is built (or loaded) once and stays hot for all its queries.
+    """
+    return sorted(range(len(queries)), key=lambda i: (queries[i].destination, i))
+
+
+def _destination_chunks(queries: Sequence[RoutingQuery], order: Sequence[int]) -> list[list[int]]:
+    """Split a destination-grouped order into per-destination index chunks."""
+    chunks: list[list[int]] = []
+    current_destination: int | None = None
+    for index in order:
+        destination = queries[index].destination
+        if not chunks or destination != current_destination:
+            chunks.append([])
+            current_destination = destination
+        chunks[-1].append(index)
+    return chunks
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """How a batch of routing queries is executed.
+
+    Implementations must return one :class:`RoutingResult` per query, aligned
+    with the input order, and must propagate (not swallow) the first failure.
+    """
+
+    def run(
+        self,
+        engine: "RoutingEngine",
+        method: MethodSpec,
+        queries: Sequence[RoutingQuery],
+    ) -> list[RoutingResult]:
+        """Evaluate ``queries`` with ``method`` on ``engine``, in input order."""
+        ...  # pragma: no cover - protocol
+
+
+class SerialBackend:
+    """Destination-grouped evaluation in the calling thread (the default)."""
+
+    def run(
+        self,
+        engine: "RoutingEngine",
+        method: MethodSpec,
+        queries: Sequence[RoutingQuery],
+    ) -> list[RoutingResult]:
+        router = engine.router(method)
+        results: list[RoutingResult | None] = [None] * len(queries)
+        for index in destination_grouped_order(queries):
+            results[index] = router.route(queries[index])
+        return results  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        return "SerialBackend()"
+
+
+class ThreadBackend:
+    """Thread-pool fan-out sharing the engine's thread-safe heuristic cache.
+
+    Queries are submitted in destination-grouped order so concurrent misses
+    for one destination serialise on the cache's per-key build lock (the
+    heuristic is built exactly once).  Threads only pay off where the work
+    releases the GIL; for the pure-Python search loops prefer
+    :class:`ProcessBackend`.
+    """
+
+    def __init__(self, workers: int = 4):
+        if workers < 1:
+            raise ConfigurationError(f"ThreadBackend needs at least 1 worker, got {workers}")
+        self.workers = workers
+
+    def run(
+        self,
+        engine: "RoutingEngine",
+        method: MethodSpec,
+        queries: Sequence[RoutingQuery],
+    ) -> list[RoutingResult]:
+        router = engine.router(method)
+        results: list[RoutingResult | None] = [None] * len(queries)
+        order = destination_grouped_order(queries)
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            for index, result in zip(order, pool.map(lambda i: router.route(queries[i]), order)):
+                results[index] = result
+        return results  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        return f"ThreadBackend(workers={self.workers})"
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """A serialisable recipe that rebuilds a :class:`RoutingEngine` anywhere.
+
+    The spec names one of the bundled deterministic datasets and the offline
+    pipeline parameters; :meth:`build_engine` re-runs generation, T-path
+    mining and (optionally) the V-path closure, producing graphs whose
+    :meth:`~repro.core.pace_graph.PaceGraph.content_fingerprint` matches any
+    other engine built from the same spec — which is what lets multiprocess
+    workers share heuristic cache keys and persisted bundles with the parent
+    process.
+    """
+
+    dataset: str
+    regime: str = "peak"
+    tau: int = 20
+    resolution: float = 5.0
+    max_cardinality: int = 4
+    build_vpaths: bool = True
+
+    def build_engine(self, settings: "RouterSettings | None" = None) -> "RoutingEngine":
+        """Generate the dataset, mine the models and wrap them in an engine."""
+        from repro.datasets.synthetic import dataset_by_name
+        from repro.routing.engine import RoutingEngine
+        from repro.tpaths.extraction import TPathMinerConfig, build_pace_graph
+        from repro.vpaths.updated_graph import UpdatedPaceGraph
+
+        dataset = dataset_by_name(self.dataset)
+        trajectories = list(dataset.regime(self.regime))
+        pace = build_pace_graph(
+            dataset.network,
+            trajectories,
+            TPathMinerConfig(
+                tau=self.tau,
+                max_cardinality=self.max_cardinality,
+                resolution=self.resolution,
+            ),
+        )
+        updated = None
+        if self.build_vpaths:
+            updated, _ = UpdatedPaceGraph.build(pace)
+        return RoutingEngine(pace, updated, settings=settings, spec=self)
+
+
+@dataclass(frozen=True)
+class _WorkerConfig:
+    """Everything a worker process needs to become a routing engine."""
+
+    spec: EngineSpec
+    settings: "RouterSettings"
+    heuristics_path: str | None
+    pace_fingerprint: str | None
+    updated_fingerprint: str | None
+
+
+#: Per-process engine, populated once by :func:`_initialise_worker`.
+_worker_engine: "RoutingEngine | None" = None
+
+
+def _initialise_worker(config: _WorkerConfig) -> None:
+    """Build (and optionally prewarm) this worker process's engine, once."""
+    global _worker_engine
+    engine = config.spec.build_engine(settings=config.settings)
+    if (
+        config.pace_fingerprint is not None
+        and engine.pace_graph.content_fingerprint() != config.pace_fingerprint
+    ):
+        raise DataError(
+            f"worker rebuilt a different PACE graph from spec {config.spec!r}: "
+            "the dataset spec is not deterministic across processes"
+        )
+    if config.updated_fingerprint is not None and (
+        engine.updated_graph is None
+        or engine.updated_graph.content_fingerprint() != config.updated_fingerprint
+    ):
+        raise DataError(
+            f"worker rebuilt a different V-path closure from spec {config.spec!r}: "
+            "the dataset spec is not deterministic across processes"
+        )
+    if config.heuristics_path is not None:
+        engine.prewarm(config.heuristics_path)
+    _worker_engine = engine
+
+
+def _route_chunk(method_name: str, queries: list[RoutingQuery]) -> list[RoutingResult]:
+    """Answer one destination-grouped chunk on this worker's engine."""
+    if _worker_engine is None:  # pragma: no cover - initializer always ran first
+        raise RuntimeError("routing worker used before initialisation")
+    return [_worker_engine.route(query, method=method_name) for query in queries]
+
+
+class ProcessBackend:
+    """Worker-process fan-out for the GIL-bound pure-Python search loops.
+
+    Workers are spawned lazily on the first :meth:`run` and **kept alive**
+    across batches (the pool is the unit of serving, like the paper's
+    offline/online split): each worker initialises exactly once by rebuilding
+    the engine from the parent engine's :class:`EngineSpec` — verified against
+    the parent's graph content fingerprints — and optionally prewarming from a
+    heuristic bundle (``heuristics_path``), so steady-state batches pay only
+    for routing.  Use :meth:`close` (or a ``with`` block) to release the
+    workers.
+
+    A query failing in a worker propagates its exception to the caller (the
+    pool survives); a worker failing to initialise surfaces as a
+    ``BrokenProcessPool`` instead of hanging the batch.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        *,
+        heuristics_path: str | FilePath | None = None,
+        start_method: str | None = None,
+    ):
+        if workers < 1:
+            raise ConfigurationError(f"ProcessBackend needs at least 1 worker, got {workers}")
+        self.workers = workers
+        self.heuristics_path = None if heuristics_path is None else str(heuristics_path)
+        self.start_method = start_method
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_config: _WorkerConfig | None = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Pool lifecycle
+    # ------------------------------------------------------------------ #
+    def _worker_config(self, engine: "RoutingEngine") -> _WorkerConfig:
+        spec = engine.spec
+        if spec is None:
+            raise ConfigurationError(
+                "ProcessBackend workers rebuild the engine in their own process, which "
+                "needs a serialisable recipe: construct the engine via "
+                "EngineSpec(...).build_engine() or RoutingEngine(..., spec=EngineSpec(...))."
+            )
+        return _WorkerConfig(
+            spec=spec,
+            settings=engine.settings,
+            heuristics_path=self.heuristics_path,
+            pace_fingerprint=engine.pace_graph.content_fingerprint(),
+            updated_fingerprint=(
+                None
+                if engine.updated_graph is None
+                else engine.updated_graph.content_fingerprint()
+            ),
+        )
+
+    def _ensure_pool(self, engine: "RoutingEngine") -> ProcessPoolExecutor:
+        config = self._worker_config(engine)
+        with self._lock:
+            if self._pool is not None and self._pool_config != config:
+                # The backend was handed a different engine; old workers answer
+                # for the wrong graphs, so start over.
+                self._pool.shutdown(wait=True)
+                self._pool = None
+            if self._pool is None:
+                context = multiprocessing.get_context(self.start_method)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=context,
+                    initializer=_initialise_worker,
+                    initargs=(config,),
+                )
+                self._pool_config = config
+            return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+                self._pool_config = None
+
+    def __enter__(self) -> "ProcessBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        engine: "RoutingEngine",
+        method: MethodSpec,
+        queries: Sequence[RoutingQuery],
+    ) -> list[RoutingResult]:
+        pool = self._ensure_pool(engine)
+        order = destination_grouped_order(queries)
+        chunks = _destination_chunks(queries, order)
+        # Longest-chunk-first submission: with per-destination chunks, one hot
+        # destination scheduled last would otherwise dominate the makespan.
+        chunks.sort(key=len, reverse=True)
+        futures = [
+            pool.submit(_route_chunk, method.canonical_name, [queries[i] for i in chunk])
+            for chunk in chunks
+        ]
+        results: list[RoutingResult | None] = [None] * len(queries)
+        for chunk, future in zip(chunks, futures):
+            for index, result in zip(chunk, future.result()):
+                # Workers return pickled copies; rebind each result to the
+                # caller's query object so identity semantics match the
+                # serial backend.
+                results[index] = replace(result, query=queries[index])
+        return results  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessBackend(workers={self.workers}, heuristics_path={self.heuristics_path!r})"
+        )

@@ -1,21 +1,10 @@
 """Router factory and batch routing engine.
 
-The experiments compare a fixed palette of methods (Section 5.1):
-
-========  =======================================================================
-Name      Meaning
-========  =======================================================================
-T-None    Algorithm 1 — plain PACE routing, no heuristic, no V-paths
-T-B-EU    Binary heuristic from Euclidean distance / maximum speed
-T-B-E     Binary heuristic from an edges-only reverse shortest-path tree
-T-B-P     Binary heuristic from the Algorithm 2 tree over edges and T-paths
-T-BS-δ    Budget-specific heuristic table with granularity δ (e.g. ``T-BS-60``)
-V-None    Algorithm 5 graph (with V-paths) but no heuristic
-V-B-P     V-path routing guided by the T-B-P binary heuristic
-V-BS-δ    V-path routing guided by the budget-specific heuristic
-========  =======================================================================
-
-:func:`create_router` maps those names onto configured router instances so the
+The evaluation compares a fixed palette of methods (Section 5.1); the
+structured form of a method — which graph, which heuristic family, which δ —
+is :class:`~repro.routing.methods.MethodSpec`, and every entry point here
+accepts a spec or its paper-style name (``"V-BS-60"``) interchangeably.
+:func:`create_router` maps a method onto a configured router instance so the
 evaluation harness, the examples and user code all build methods the same way.
 
 :class:`RoutingEngine` is the serving facade on top of the factory: it owns
@@ -23,18 +12,26 @@ one PACE graph (plus its V-path closure), builds routers lazily, and shares a
 single destination-keyed :class:`HeuristicCache` across *all* of them, so the
 expensive destination-specific pre-computations (reverse shortest-path trees,
 Eq. 5 budget tables) are built once per destination rather than once per
-router instance.  Its :meth:`RoutingEngine.route_many` entry point evaluates a
-batch of queries — grouped by destination for cache locality, optionally
-fanned out over a thread pool — which is how the evaluation harness and the
-examples now drive query traffic.
+router instance.  Cache keys and persisted heuristic bundles are keyed by the
+graphs' *content fingerprints* rather than object identity, which makes them
+portable: any engine over structurally identical graphs — another engine
+instance, another process rebuilt from the same
+:class:`~repro.routing.backends.EngineSpec` — shares them without rebuilding.
+
+Batches enter through :meth:`RoutingEngine.route_many`, whose execution
+strategy is pluggable via :mod:`repro.routing.backends` (serial,
+thread fan-out, or a multiprocess worker pool); results are identical to
+routing each query alone, in input order.  :meth:`RoutingEngine.stats`
+reports serving introspection (cache hits/misses, heuristic build seconds,
+per-method query counts).
 """
 
 from __future__ import annotations
 
-import re
 import threading
+import time
+from collections import Counter
 from collections.abc import Callable, Sequence
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path as FilePath
 
@@ -55,6 +52,8 @@ from repro.persistence.heuristics import (
     load_heuristic_bundle,
     save_heuristic_bundle,
 )
+from repro.routing.backends import ExecutionBackend, SerialBackend, ThreadBackend
+from repro.routing.methods import METHOD_NAMES, MethodSpec
 from repro.routing.naive import NaivePaceRouter, NaiveRouterConfig
 from repro.routing.queries import RoutingQuery, RoutingResult
 from repro.routing.tpath_routing import HeuristicPaceRouter, HeuristicRouterConfig
@@ -64,40 +63,12 @@ from repro.vpaths.updated_graph import UpdatedPaceGraph
 __all__ = [
     "RouterSettings",
     "METHOD_NAMES",
+    "MethodSpec",
     "create_router",
     "HeuristicCache",
+    "EngineStats",
     "RoutingEngine",
 ]
-
-#: The method names used throughout the evaluation (δ = 60 written explicitly).
-METHOD_NAMES = (
-    "T-None",
-    "T-B-EU",
-    "T-B-E",
-    "T-B-P",
-    "T-BS-60",
-    "V-None",
-    "V-B-P",
-    "V-BS-60",
-)
-
-_BUDGET_PATTERN = re.compile(r"^(T|V)-BS-(\d+)$")
-
-#: Fixed (non-δ-parameterised) method names the factory accepts.
-_FIXED_METHODS = ("T-None", "T-B-EU", "T-B-E", "T-B-P", "V-None", "V-B-P")
-
-
-def _check_method_known(method: str) -> None:
-    """Reject unknown method names with a message that lists the palette."""
-    if method in _FIXED_METHODS or _BUDGET_PATTERN.match(method):
-        return
-    raise ConfigurationError(
-        f"unknown routing method {method!r}; known methods are "
-        f"{', '.join(METHOD_NAMES)} (T-BS-<delta> / V-BS-<delta> accept any integer delta). "
-        "Note that V-path routing only exists as V-None, V-B-P and V-BS-<delta>: "
-        "the Euclidean (B-EU) and edges-only (B-E) binary heuristics have no V-variant "
-        "because V-path search is only evaluated with the PACE-aware heuristics in the paper."
-    )
 
 
 @dataclass(frozen=True)
@@ -137,9 +108,11 @@ class HeuristicCache:
     sharing, every router instance pays for its own copies: ``T-B-P`` and
     ``V-B-P`` each build the same reverse shortest-path tree, and every
     ``BudgetSpecificHeuristic`` Bellman table is rebuilt per router.  The cache
-    is keyed by ``(heuristic kind, graph identity, destination)`` so different
-    heuristic families and graphs never collide, and it is thread-safe so a
-    :class:`RoutingEngine` worker pool can share it.
+    is keyed by ``(heuristic kind, graph content fingerprint, destination)``
+    so different heuristic families and graphs never collide — and because
+    the fingerprint depends only on graph *content*, keys are meaningful
+    across engines and across processes, not just for one object graph.  It
+    is thread-safe so a worker pool can share it.
     """
 
     def __init__(self) -> None:
@@ -148,6 +121,7 @@ class HeuristicCache:
         self._building: dict[tuple, threading.Lock] = {}
         self.hits = 0
         self.misses = 0
+        self.build_seconds = 0.0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -186,10 +160,13 @@ class HeuristicCache:
                 if cached is not None:
                     self.hits += 1
                     return cached
+            started = time.perf_counter()
             built = builder()
+            elapsed = time.perf_counter() - started
             with self._lock:
                 self._entries[key] = built
                 self.misses += 1
+                self.build_seconds += elapsed
                 self._building.pop(key, None)
         return built
 
@@ -207,7 +184,9 @@ def _binary_factory(kind: str, settings: RouterSettings, cache: HeuristicCache |
 
         if cache is None:
             return build()
-        return cache.get_or_build(("binary", kind, id(pace_graph), destination), build)
+        return cache.get_or_build(
+            ("binary", kind, pace_graph.content_fingerprint(), destination), build
+        )
 
     return factory
 
@@ -220,70 +199,73 @@ def _budget_factory(delta: float, settings: RouterSettings, cache: HeuristicCach
         if cache is None:
             return build()
         # Budget tables depend on the graph the router searches (plain vs V-path
-        # closure), so the graph identity is part of the key.
-        return cache.get_or_build(("budget", delta, id(graph), destination), build)
+        # closure), so the graph's content fingerprint is part of the key.
+        return cache.get_or_build(
+            ("budget", delta, graph.content_fingerprint(), destination), build
+        )
 
     return factory
 
 
 def create_router(
-    method: str,
+    method: str | MethodSpec,
     pace_graph: PaceGraph,
     updated_graph: UpdatedPaceGraph | None = None,
     *,
     settings: RouterSettings | None = None,
     heuristic_cache: HeuristicCache | None = None,
 ):
-    """Build the router implementing ``method``.
+    """Build the router implementing ``method`` (a name or a :class:`MethodSpec`).
 
     ``updated_graph`` (the V-path closure of ``pace_graph``) is required for
-    the ``V-*`` methods and ignored otherwise.  ``heuristic_cache`` optionally
-    shares destination-keyed heuristics across routers; use one cache per
-    ``(pace_graph, updated_graph)`` pair (a :class:`RoutingEngine` does this
-    automatically).
+    the V-graph methods and ignored otherwise.  ``heuristic_cache`` optionally
+    shares destination-keyed heuristics across routers; entries are keyed by
+    graph content fingerprint, so a cache may even be shared across engines
+    over equal graphs (a :class:`RoutingEngine` manages one automatically).
     """
-    _check_method_known(method)
+    spec = MethodSpec.coerce(method)
     settings = settings or RouterSettings()
-    if method == "T-None":
-        return NaivePaceRouter(pace_graph, settings.naive())
-
-    if method in ("T-B-EU", "T-B-E", "T-B-P"):
-        kind = method.rsplit("-", 1)[-1]
+    name = spec.canonical_name
+    if spec.graph == "pace":
+        if spec.heuristic == "none":
+            return NaivePaceRouter(pace_graph, settings.naive())
+        if spec.heuristic == "budget":
+            factory = _budget_factory(spec.delta, settings, heuristic_cache)
+        else:
+            factory = _binary_factory(spec.binary_kind, settings, heuristic_cache)
         return HeuristicPaceRouter(
-            pace_graph,
-            _binary_factory(kind, settings, heuristic_cache),
-            method_name=method,
-            config=settings.heuristic(),
-        )
-
-    budget_match = _BUDGET_PATTERN.match(method)
-    if budget_match and budget_match.group(1) == "T":
-        delta = float(budget_match.group(2))
-        return HeuristicPaceRouter(
-            pace_graph,
-            _budget_factory(delta, settings, heuristic_cache),
-            method_name=method,
-            config=settings.heuristic(),
+            pace_graph, factory, method_name=name, config=settings.heuristic()
         )
 
     if updated_graph is None:
-        raise ConfigurationError(f"method {method!r} needs the updated PACE graph (V-paths)")
-    if method == "V-None":
-        return VPathRouter(updated_graph, None, method_name=method, config=settings.vpath())
-    if method == "V-B-P":
-        return VPathRouter(
-            updated_graph,
-            _binary_factory("P", settings, heuristic_cache),
-            method_name=method,
-            config=settings.vpath(),
-        )
-    delta = float(budget_match.group(2))
-    return VPathRouter(
-        updated_graph,
-        _budget_factory(delta, settings, heuristic_cache),
-        method_name=method,
-        config=settings.vpath(),
-    )
+        raise ConfigurationError(f"method {name!r} needs the updated PACE graph (V-paths)")
+    if spec.heuristic == "none":
+        return VPathRouter(updated_graph, None, method_name=name, config=settings.vpath())
+    if spec.heuristic == "budget":
+        factory = _budget_factory(spec.delta, settings, heuristic_cache)
+    else:
+        factory = _binary_factory(spec.binary_kind, settings, heuristic_cache)
+    return VPathRouter(updated_graph, factory, method_name=name, config=settings.vpath())
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """A point-in-time snapshot of a :class:`RoutingEngine`'s serving counters.
+
+    ``cache_hits`` / ``cache_misses`` count heuristic-cache lookups (a miss
+    triggers a build whose wall-clock cost accumulates into
+    ``heuristic_build_seconds``; entries loaded from a bundle count as
+    neither).  ``queries_by_method`` counts queries accepted through
+    :meth:`RoutingEngine.route` / :meth:`RoutingEngine.route_many` per
+    canonical method name.
+    """
+
+    cache_entries: int
+    cache_hits: int
+    cache_misses: int
+    heuristic_build_seconds: float
+    queries_total: int
+    queries_by_method: dict[str, int]
 
 
 class RoutingEngine:
@@ -294,7 +276,8 @@ class RoutingEngine:
     Queries are answered one at a time with :meth:`route` or in batches with
     :meth:`route_many`; batches are evaluated grouped by destination (so each
     destination's heuristic is built exactly once and then reused while hot)
-    and can optionally fan out over a thread pool.
+    and can fan out over a thread pool or, via
+    :class:`~repro.routing.backends.ProcessBackend`, over worker processes.
 
     Batch evaluation is purely an execution strategy: per-query results —
     best path, arrival probability, cost distribution — are identical to
@@ -304,8 +287,14 @@ class RoutingEngine:
     The cache is also the unit of persistence: :meth:`save_heuristics` writes
     every cached heuristic (binary ``getMin`` maps and Eq. 5 budget tables)
     to one bundle file, and :meth:`prewarm` with a path loads such a bundle
-    back, so a serving process answers its hot destinations from disk instead
-    of re-running the offline pre-computation.
+    back.  Bundle entries are tagged with the content fingerprint of the
+    graph they were built over, so a bundle saved by one engine loads into
+    any process whose graphs have equal content — the multiprocess serving
+    path — with zero rebuilds.
+
+    ``spec`` optionally records the :class:`~repro.routing.backends.EngineSpec`
+    this engine was built from; a :class:`ProcessBackend` uses it to
+    initialise its workers.
     """
 
     def __init__(
@@ -314,6 +303,7 @@ class RoutingEngine:
         updated_graph: UpdatedPaceGraph | None = None,
         *,
         settings: RouterSettings | None = None,
+        spec=None,
     ):
         self._pace_graph = pace_graph
         self._updated_graph = updated_graph
@@ -321,6 +311,9 @@ class RoutingEngine:
         self._cache = HeuristicCache()
         self._routers: dict[str, object] = {}
         self._router_lock = threading.Lock()
+        self._query_counts: Counter[str] = Counter()
+        self._stats_lock = threading.Lock()
+        self.spec = spec
 
     # -------------------------------------------------------------- #
     # Introspection
@@ -342,39 +335,69 @@ class RoutingEngine:
         """The destination-keyed heuristic cache shared by every router."""
         return self._cache
 
+    def stats(self) -> EngineStats:
+        """A snapshot of the serving counters (cache behaviour, query mix)."""
+        with self._stats_lock:
+            counts = dict(self._query_counts)
+        return EngineStats(
+            cache_entries=len(self._cache),
+            cache_hits=self._cache.hits,
+            cache_misses=self._cache.misses,
+            heuristic_build_seconds=self._cache.build_seconds,
+            queries_total=sum(counts.values()),
+            queries_by_method=counts,
+        )
+
+    def _count_queries(self, method_name: str, count: int) -> None:
+        with self._stats_lock:
+            self._query_counts[method_name] += count
+
     # -------------------------------------------------------------- #
     # Routers
     # -------------------------------------------------------------- #
-    def router(self, method: str):
+    def router(self, method: str | MethodSpec):
         """The (lazily built, cached) router implementing ``method``."""
+        spec = MethodSpec.coerce(method)
+        name = spec.canonical_name
         with self._router_lock:
-            if method not in self._routers:
-                self._routers[method] = create_router(
-                    method,
+            if name not in self._routers:
+                self._routers[name] = create_router(
+                    spec,
                     self._pace_graph,
                     self._updated_graph,
                     settings=self._settings,
                     heuristic_cache=self._cache,
                 )
-            return self._routers[method]
+            return self._routers[name]
 
     def prewarm(
-        self, source: str | FilePath, destinations: Sequence[int] | None = None
+        self,
+        source: str | FilePath | MethodSpec,
+        destinations: Sequence[int] | None = None,
     ) -> int:
         """Warm the heuristic cache ahead of query traffic.
 
         Two forms are supported:
 
         * ``prewarm(method, destinations)`` — *build* the heuristics of
-          ``method`` for the given destinations (the offline investment).
+          ``method`` (a name or :class:`MethodSpec`) for the given
+          destinations (the offline investment),
         * ``prewarm(path)`` — *load* every heuristic persisted by
           :meth:`save_heuristics` (see :meth:`load_heuristics`), so a serving
           process starts answering from the pre-computed tables instead of
           rebuilding them.
 
-        Returns the number of heuristics made hot.
+        Methods without destination-specific heuristics (``T-None``,
+        ``V-None``) have nothing to prewarm and are rejected with a
+        :class:`~repro.core.errors.ConfigurationError` rather than silently
+        warming nothing.  Returns the number of heuristics made hot.
         """
         if destinations is None:
+            if isinstance(source, MethodSpec):
+                raise ConfigurationError(
+                    f"prewarm({source.canonical_name!r}) needs a destinations sequence; "
+                    "prewarm without destinations loads a heuristic bundle file"
+                )
             if not FilePath(source).exists():
                 raise DataError(
                     f"heuristic bundle file not found: {source} (prewarm without "
@@ -382,31 +405,44 @@ class RoutingEngine:
                     "heuristics for a method, pass a destinations sequence)"
                 )
             return self.load_heuristics(source)
-        router = self.router(source)
-        heuristic_for = getattr(router, "heuristic_for", None)
-        if heuristic_for is None:
-            return 0
+        spec = MethodSpec.coerce(source)
+        if not spec.supports_prewarm:
+            raise ConfigurationError(
+                f"method {spec.canonical_name!r} uses no destination-specific heuristic, "
+                "so there is nothing to prewarm; prewarming applies to the guided methods "
+                "T-B-EU, T-B-E, T-B-P, V-B-P, T-BS-<delta> and V-BS-<delta>"
+            )
+        router = self.router(spec)
         for destination in destinations:
-            heuristic_for(destination)
+            router.heuristic_for(destination)
         return len(destinations)
 
     # -------------------------------------------------------------- #
     # Heuristic persistence (prewarm a serving process from disk)
     # -------------------------------------------------------------- #
-    def _graph_flavour(self, graph_id: int) -> str | None:
-        if graph_id == id(self._pace_graph):
+    def _graph_flavour(self, fingerprint: str) -> str | None:
+        if fingerprint == self._pace_graph.content_fingerprint():
             return "pace"
-        if self._updated_graph is not None and graph_id == id(self._updated_graph):
+        if (
+            self._updated_graph is not None
+            and fingerprint == self._updated_graph.content_fingerprint()
+        ):
             return "updated"
         return None
+
+    def _graph_fingerprint(self, flavour: str) -> str:
+        if flavour == "updated":
+            assert self._updated_graph is not None
+            return self._updated_graph.content_fingerprint()
+        return self._pace_graph.content_fingerprint()
 
     def _graph_signature(self, flavour: str) -> list:
         """A cheap structural fingerprint of the graph heuristics were built over.
 
-        Heuristic tables are only meaningful for the exact graph they were
-        computed on; the fingerprint (vertex/edge/T-path/V-path counts)
-        rejects bundles from a different dataset, regime, τ or V-path closure
-        at load time instead of serving silently wrong bounds.
+        The content fingerprint is the authoritative identity; the signature
+        (vertex/edge/T-path/V-path counts) is kept alongside it because it
+        yields a *readable* mismatch message and keeps bundles written before
+        fingerprinting loadable.
         """
         network = self._pace_graph.network
         signature = [network.num_vertices, network.num_edges, self._pace_graph.num_tpaths]
@@ -420,28 +456,30 @@ class RoutingEngine:
         Binary heuristics store their ``getMin`` maps, budget-specific
         heuristics their Eq. 5 tables plus ``getMin`` maps; each entry is
         tagged with the cache metadata (variant, δ, which graph it was built
-        over, a structural graph fingerprint) needed to re-key and validate
-        it on load.  Returns the number of entries written.
+        over, the graph's content fingerprint and structural signature)
+        needed to re-key and validate it on load — in this process or any
+        other.  Returns the number of entries written.
         """
         entries: list[dict] = []
         for key, heuristic in sorted(self._cache.snapshot().items(), key=lambda kv: str(kv[0])):
             kind = key[0]
             if kind == "binary":
-                _, variant, graph_id, _destination = key
-                if graph_id != id(self._pace_graph):
+                _, variant, fingerprint, _destination = key
+                if self._graph_flavour(fingerprint) is None:
                     continue
                 entries.append(
                     {
                         "kind": "binary",
                         "variant": variant,
                         "destination": heuristic.destination,
+                        "graph_fingerprint": self._graph_fingerprint("pace"),
                         "graph_signature": self._graph_signature("pace"),
                         "heuristic": binary_heuristic_to_dict(heuristic),
                     }
                 )
             elif kind == "budget":
-                _, delta, graph_id, _destination = key
-                flavour = self._graph_flavour(graph_id)
+                _, delta, fingerprint, _destination = key
+                flavour = self._graph_flavour(fingerprint)
                 if flavour is None:
                     continue
                 entries.append(
@@ -450,6 +488,7 @@ class RoutingEngine:
                         "delta": delta,
                         "graph": flavour,
                         "destination": heuristic.destination,
+                        "graph_fingerprint": self._graph_fingerprint(flavour),
                         "graph_signature": self._graph_signature(flavour),
                         "heuristic": budget_heuristic_to_dict(heuristic),
                     }
@@ -461,14 +500,16 @@ class RoutingEngine:
         """Load a :meth:`save_heuristics` bundle into the heuristic cache.
 
         Entries are validated before they are served: a bundle written over a
-        structurally different graph (other dataset, regime, τ, or V-path
-        closure) is rejected with a :class:`~repro.core.errors.DataError`,
-        and budget tables that cannot provide admissible bounds here are
-        skipped — tables that do not cover this engine's
-        ``settings.max_budget`` (residual budgets would cap at their grid)
-        and tables built with ``grid_rounding="floor"`` (cells may
-        under-estimate).  Skipped heuristics are simply rebuilt on demand.
-        Returns the number of entries loaded.
+        graph with different *content* (other dataset, regime, τ, edge
+        weights, or V-path closure) is rejected with a
+        :class:`~repro.core.errors.DataError` — via the content fingerprint
+        when the bundle carries one, falling back to the structural signature
+        for bundles written before fingerprinting.  Budget tables that cannot
+        provide admissible bounds here are skipped — tables that do not cover
+        this engine's ``settings.max_budget`` (residual budgets would cap at
+        their grid) and tables built with ``grid_rounding="floor"`` (cells
+        may under-estimate).  Skipped heuristics are simply rebuilt on
+        demand.  Returns the number of entries loaded.
         """
         loaded = 0
         for entry in load_heuristic_bundle(path):
@@ -477,17 +518,18 @@ class RoutingEngine:
                 if kind == "binary":
                     flavour = "pace"
                     heuristic = binary_heuristic_from_dict(entry["heuristic"])
-                    key = ("binary", entry["variant"], id(self._pace_graph), heuristic.destination)
+                    key = (
+                        "binary",
+                        entry["variant"],
+                        self._graph_fingerprint("pace"),
+                        heuristic.destination,
+                    )
                 elif kind == "budget":
                     flavour = entry.get("graph", "pace")
-                    if flavour == "pace":
-                        graph = self._pace_graph
-                    else:
-                        graph = self._updated_graph
-                        if graph is None:
-                            # Tables built over the V-path closure are useless
-                            # without one; skip rather than mis-key them.
-                            continue
+                    if flavour == "updated" and self._updated_graph is None:
+                        # Tables built over the V-path closure are useless
+                        # without one; skip rather than mis-key them.
+                        continue
                     heuristic = budget_heuristic_from_dict(entry["heuristic"])
                     if float(entry["delta"]) != heuristic.table.delta:
                         raise DataError(
@@ -501,16 +543,33 @@ class RoutingEngine:
                         # Floor-built cells may under-estimate (inadmissible);
                         # routing needs upper bounds, so rebuild instead.
                         continue
-                    key = ("budget", float(entry["delta"]), id(graph), heuristic.destination)
+                    key = (
+                        "budget",
+                        float(entry["delta"]),
+                        self._graph_fingerprint(flavour),
+                        heuristic.destination,
+                    )
                 else:
                     raise DataError(f"unknown heuristic bundle entry kind {kind!r}")
-                signature = entry.get("graph_signature")
-                if signature is not None and list(signature) != self._graph_signature(flavour):
-                    raise DataError(
-                        f"heuristic bundle was built over a different graph "
-                        f"(signature {signature} != {self._graph_signature(flavour)}); "
-                        "rebuild or load the matching index"
-                    )
+                fingerprint = entry.get("graph_fingerprint")
+                if fingerprint is not None:
+                    if fingerprint != self._graph_fingerprint(flavour):
+                        raise DataError(
+                            "heuristic bundle was built over a different graph "
+                            f"(content fingerprint {fingerprint} != "
+                            f"{self._graph_fingerprint(flavour)}, structural signature "
+                            f"{entry.get('graph_signature')} vs "
+                            f"{self._graph_signature(flavour)}); "
+                            "rebuild or load the matching index"
+                        )
+                else:
+                    signature = entry.get("graph_signature")
+                    if signature is not None and list(signature) != self._graph_signature(flavour):
+                        raise DataError(
+                            f"heuristic bundle was built over a different graph "
+                            f"(signature {signature} != {self._graph_signature(flavour)}); "
+                            "rebuild or load the matching index"
+                        )
             except (KeyError, TypeError) as exc:
                 raise DataError(f"malformed heuristic bundle entry: {exc}") from exc
             self._cache.insert(key, heuristic)
@@ -520,38 +579,40 @@ class RoutingEngine:
     # -------------------------------------------------------------- #
     # Routing
     # -------------------------------------------------------------- #
-    def route(self, query: RoutingQuery, *, method: str) -> RoutingResult:
+    def route(self, query: RoutingQuery, *, method: str | MethodSpec) -> RoutingResult:
         """Evaluate one arriving-on-time query with ``method``."""
-        return self.router(method).route(query)
+        spec = MethodSpec.coerce(method)
+        self._count_queries(spec.canonical_name, 1)
+        return self.router(spec).route(query)
 
     def route_many(
         self,
         queries: Sequence[RoutingQuery],
         *,
-        method: str,
+        method: str | MethodSpec,
         workers: int | None = None,
+        backend: ExecutionBackend | None = None,
     ) -> list[RoutingResult]:
         """Evaluate a batch of queries, returning results in input order.
 
         Queries are processed grouped by destination so that each
         destination-specific heuristic is built once and stays hot for all its
-        queries.  With ``workers`` > 1 the batch fans out over a thread pool;
-        the shared heuristic cache is thread-safe, and results are identical
-        to (and ordered like) the serial evaluation.
+        queries.  The execution strategy is the ``backend``
+        (:mod:`repro.routing.backends`): serial by default, a thread pool
+        with ``workers`` > 1 (kept for backwards compatibility with the
+        pre-backend API), or e.g. ``ProcessBackend(workers=4)`` to scale the
+        GIL-bound search loops across processes.  Every backend returns
+        results identical to (and ordered like) the serial evaluation.
         """
+        spec = MethodSpec.coerce(method)
         queries = list(queries)
         if not queries:
             return []
-        router = self.router(method)
-        order = sorted(range(len(queries)), key=lambda i: (queries[i].destination, i))
-        results: list[RoutingResult | None] = [None] * len(queries)
-        if workers is not None and workers > 1:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                for index, result in zip(
-                    order, pool.map(lambda i: router.route(queries[i]), order)
-                ):
-                    results[index] = result
-        else:
-            for index in order:
-                results[index] = router.route(queries[index])
-        return results  # type: ignore[return-value]
+        if backend is not None and workers is not None:
+            raise ConfigurationError(
+                "pass either workers= (legacy thread fan-out) or backend=, not both"
+            )
+        if backend is None:
+            backend = ThreadBackend(workers) if workers is not None and workers > 1 else SerialBackend()
+        self._count_queries(spec.canonical_name, len(queries))
+        return backend.run(self, spec, queries)

@@ -1,0 +1,211 @@
+"""Structured routing-method specifications.
+
+The experiments compare a fixed palette of methods (Section 5.1), named with
+the paper's shorthand:
+
+========  =======================================================================
+Name      Meaning
+========  =======================================================================
+T-None    Algorithm 1 — plain PACE routing, no heuristic, no V-paths
+T-B-EU    Binary heuristic from Euclidean distance / maximum speed
+T-B-E     Binary heuristic from an edges-only reverse shortest-path tree
+T-B-P     Binary heuristic from the Algorithm 2 tree over edges and T-paths
+T-BS-δ    Budget-specific heuristic table with granularity δ (e.g. ``T-BS-60``)
+V-None    Algorithm 5 graph (with V-paths) but no heuristic
+V-B-P     V-path routing guided by the T-B-P binary heuristic
+V-BS-δ    V-path routing guided by the budget-specific heuristic
+========  =======================================================================
+
+Historically those names were the API: every entry point took the string and
+re-parsed it with a regex.  :class:`MethodSpec` is the structured form — which
+graph the search runs on, which heuristic family guides it, and the budget
+granularity δ for the table-based family — with a loss-free
+:meth:`MethodSpec.parse` / :attr:`MethodSpec.canonical_name` round-trip.  The
+factory, the :class:`~repro.routing.engine.RoutingEngine`, the experiment
+drivers and the CLI all accept either form via :meth:`MethodSpec.coerce`.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["MethodSpec", "METHOD_NAMES", "GRAPHS", "HEURISTICS"]
+
+#: The method names used throughout the evaluation (δ = 60 written explicitly).
+METHOD_NAMES = (
+    "T-None",
+    "T-B-EU",
+    "T-B-E",
+    "T-B-P",
+    "T-BS-60",
+    "V-None",
+    "V-B-P",
+    "V-BS-60",
+)
+
+#: Which graph the search explores: the plain PACE graph or its V-path closure.
+GRAPHS = ("pace", "vpath")
+
+#: Heuristic families guiding the search (Section 3).
+HEURISTICS = ("none", "binary_eu", "binary_e", "binary_p", "budget")
+
+#: Heuristic families that exist on the V-path closure (the paper only
+#: evaluates V-path search with the PACE-aware heuristics).
+_VPATH_HEURISTICS = ("none", "binary_p", "budget")
+
+_GRAPH_PREFIX = {"pace": "T", "vpath": "V"}
+_PREFIX_GRAPH = {"T": "pace", "V": "vpath"}
+_BINARY_SUFFIX = {"binary_eu": "B-EU", "binary_e": "B-E", "binary_p": "B-P"}
+_SUFFIX_BINARY = {suffix: kind for kind, suffix in _BINARY_SUFFIX.items()}
+
+_NAME_PATTERN = re.compile(r"^(T|V)-(None|B-EU|B-E|B-P)$")
+#: δ is whatever ``float`` parses (so every ``canonical_name`` round-trips,
+#: including ``repr``-formatted and scientific-notation deltas).
+_BUDGET_NAME_PATTERN = re.compile(r"^(T|V)-BS-(\S+)$")
+
+
+def _unknown_method_error(method: object) -> ConfigurationError:
+    """The palette-listing error shared by :meth:`MethodSpec.parse` and validation."""
+    return ConfigurationError(
+        f"unknown routing method {method!r}; known methods are "
+        f"{', '.join(METHOD_NAMES)} (T-BS-<delta> / V-BS-<delta> accept any positive delta). "
+        "Note that V-path routing only exists as V-None, V-B-P and V-BS-<delta>: "
+        "the Euclidean (B-EU) and edges-only (B-E) binary heuristics have no V-variant "
+        "because V-path search is only evaluated with the PACE-aware heuristics in the paper."
+    )
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """A routing method in structured form: graph × heuristic × δ.
+
+    ``graph`` selects what the search explores (``"pace"`` for the T-*
+    methods, ``"vpath"`` for the V-* methods over the closure ``G_p+``),
+    ``heuristic`` the guiding family, and ``delta`` the budget granularity —
+    required for (and only meaningful to) the ``"budget"`` family.
+
+    Instances are validated on construction, so a held ``MethodSpec`` is
+    always a routable method; in particular the V-graph only admits the
+    PACE-aware heuristics (``none`` / ``binary_p`` / ``budget``).
+    """
+
+    graph: str
+    heuristic: str = "none"
+    delta: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.graph not in GRAPHS:
+            raise ConfigurationError(
+                f"unknown method graph {self.graph!r}; choose from {GRAPHS}"
+            )
+        if self.heuristic not in HEURISTICS:
+            raise ConfigurationError(
+                f"unknown method heuristic {self.heuristic!r}; choose from {HEURISTICS}"
+            )
+        if self.graph == "vpath" and self.heuristic not in _VPATH_HEURISTICS:
+            raise _unknown_method_error(
+                f"V-{_BINARY_SUFFIX.get(self.heuristic, self.heuristic)}"
+            )
+        if self.heuristic == "budget":
+            if self.delta is None:
+                raise ConfigurationError(
+                    "the budget-specific heuristic needs a grid granularity delta"
+                )
+            object.__setattr__(self, "delta", float(self.delta))
+            if self.delta <= 0 or not math.isfinite(self.delta):
+                raise ConfigurationError(f"delta must be positive and finite, got {self.delta!r}")
+        elif self.delta is not None:
+            raise ConfigurationError(
+                f"delta only applies to the budget-specific heuristic, not {self.heuristic!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Name round-trip
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def parse(cls, name: str) -> "MethodSpec":
+        """Parse a paper-style method name (``"V-BS-60"``) into a spec.
+
+        Raises :class:`~repro.core.errors.ConfigurationError` listing the
+        method palette for anything outside the grammar, including the
+        non-existent V-variants (``V-B-EU`` / ``V-B-E``).
+        """
+        if isinstance(name, MethodSpec):
+            return name
+        if not isinstance(name, str):
+            raise _unknown_method_error(name)
+        budget_match = _BUDGET_NAME_PATTERN.match(name)
+        if budget_match is not None:
+            try:
+                delta = float(budget_match.group(2))
+            except ValueError:
+                raise _unknown_method_error(name) from None
+            if not math.isfinite(delta) or delta <= 0:
+                raise _unknown_method_error(name)
+            return cls(graph=_PREFIX_GRAPH[budget_match.group(1)], heuristic="budget", delta=delta)
+        match = _NAME_PATTERN.match(name)
+        if match is None:
+            raise _unknown_method_error(name)
+        graph = _PREFIX_GRAPH[match.group(1)]
+        tail = match.group(2)
+        if tail == "None":
+            return cls(graph=graph)
+        # Construction validates the combination (V-B-EU / V-B-E raise the
+        # same palette-listing error from __post_init__).
+        return cls(graph=graph, heuristic=_SUFFIX_BINARY[tail])
+
+    @classmethod
+    def coerce(cls, method: "MethodSpec | str") -> "MethodSpec":
+        """Accept either form of the public API: a spec, or a method name."""
+        if isinstance(method, MethodSpec):
+            return method
+        return cls.parse(method)
+
+    @property
+    def canonical_name(self) -> str:
+        """The paper-style name; ``MethodSpec.parse`` round-trips it exactly.
+
+        Integer deltas print the paper's way (``T-BS-60``); non-integers use
+        ``repr`` so the name is loss-free for *any* delta (the name keys the
+        engine's router cache and crosses process boundaries, so a lossy
+        format would silently alias different deltas).
+        """
+        prefix = _GRAPH_PREFIX[self.graph]
+        if self.heuristic == "none":
+            return f"{prefix}-None"
+        if self.heuristic == "budget":
+            delta = str(int(self.delta)) if self.delta.is_integer() else repr(self.delta)
+            return f"{prefix}-BS-{delta}"
+        return f"{prefix}-{_BINARY_SUFFIX[self.heuristic]}"
+
+    # ------------------------------------------------------------------ #
+    # Capability queries
+    # ------------------------------------------------------------------ #
+    @property
+    def requires_vpaths(self) -> bool:
+        """True when routing this method needs the V-path closure ``G_p+``."""
+        return self.graph == "vpath"
+
+    @property
+    def uses_heuristic(self) -> bool:
+        """True when an informative (destination-specific) heuristic guides the search."""
+        return self.heuristic != "none"
+
+    @property
+    def supports_prewarm(self) -> bool:
+        """True when the method has destination-specific state worth pre-computing."""
+        return self.uses_heuristic
+
+    @property
+    def binary_kind(self) -> str | None:
+        """The binary-heuristic variant tag (``"EU"`` / ``"E"`` / ``"P"``), if any."""
+        if self.heuristic.startswith("binary_"):
+            return self.heuristic.removeprefix("binary_").upper()
+        return None
+
+    def __str__(self) -> str:
+        return self.canonical_name

@@ -9,6 +9,7 @@ report (runtime, number of explored candidate paths).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.core.distributions import Distribution
@@ -31,8 +32,8 @@ class RoutingQuery:
     def __post_init__(self) -> None:
         if self.source == self.destination:
             raise ConfigurationError("source and destination must differ")
-        if self.budget <= 0:
-            raise ConfigurationError("the travel cost budget must be positive")
+        if self.budget <= 0 or not math.isfinite(self.budget):
+            raise ConfigurationError("the travel cost budget must be positive and finite")
 
 
 @dataclass(frozen=True)

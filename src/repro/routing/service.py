@@ -1,0 +1,515 @@
+"""The typed serving API: wire-format requests/responses and the service facade.
+
+A :class:`~repro.routing.engine.RoutingEngine` answers with rich in-process
+objects (:class:`~repro.routing.queries.RoutingResult` holding live
+:class:`~repro.core.paths.Path` / :class:`~repro.core.distributions.Distribution`
+instances) and signals problems with exceptions — the right shape *inside* a
+process, and the wrong one at a service boundary.  This module is that
+boundary:
+
+* :class:`RouteRequest` / :class:`RouteResponse` — frozen dataclasses with
+  strict-JSON ``to_dict`` / ``from_dict`` round-trips (same conventions as
+  :mod:`repro.persistence.codecs`: plain floats, no NaN, unknown keys
+  rejected), the batch format of the CLI's ``route-batch`` JSONL command,
+* a structured error taxonomy (:data:`ERROR_CODES`) replacing bare
+  exceptions and ``found`` flags: every failure mode a caller can act on has
+  a stable code, and
+* :class:`RoutingService` — the request/response facade over an engine; it
+  validates, routes (optionally batched over any execution backend), and maps
+  every outcome onto a response instead of leaking exceptions.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.distributions import Distribution
+from repro.core.errors import (
+    ConfigurationError,
+    DataError,
+    NoPathError,
+    UnknownVertexError,
+)
+from repro.persistence.codecs import distribution_from_dict, distribution_to_dict
+from repro.routing.backends import ExecutionBackend
+from repro.routing.dijkstra import shortest_path_cost
+from repro.routing.engine import RoutingEngine
+from repro.routing.methods import MethodSpec
+from repro.routing.queries import RoutingQuery, RoutingResult
+
+__all__ = [
+    "ERROR_CODES",
+    "RouteError",
+    "RouteRequest",
+    "RouteResponse",
+    "RoutingService",
+]
+
+#: The stable error taxonomy of the serving API.
+#:
+#: ``invalid_request``  — the payload is malformed or the query parameters are
+#:                        inconsistent (equal endpoints, non-positive budget),
+#: ``invalid_method``   — the routing method name/spec does not exist,
+#: ``unknown_vertex``   — source or destination is not in the served graph,
+#: ``not_found``        — the destination is unreachable from the source,
+#: ``budget_exceeded``  — the destination is reachable, but no path arrived
+#:                        within the requested budget,
+#: ``internal``         — an unexpected failure while routing.
+ERROR_CODES = (
+    "invalid_request",
+    "invalid_method",
+    "unknown_vertex",
+    "not_found",
+    "budget_exceeded",
+    "internal",
+)
+
+
+@dataclass(frozen=True)
+class RouteError:
+    """A structured serving failure: a taxonomy code plus a human-readable message."""
+
+    code: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.code not in ERROR_CODES:
+            raise ConfigurationError(
+                f"unknown error code {self.code!r}; choose from {ERROR_CODES}"
+            )
+
+    def to_dict(self) -> dict:
+        return {"code": self.code, "message": self.message}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RouteError":
+        try:
+            return cls(code=payload["code"], message=str(payload["message"]))
+        except (KeyError, TypeError) as exc:
+            raise DataError(f"malformed route error payload: {exc}") from exc
+
+
+def _strict_vertex(name: str, value) -> int:
+    """A JSON vertex id must be an actual integer — no floats, bools or strings.
+
+    ``int(4.9)`` would silently route from vertex 4; a strict boundary
+    rejects the request instead.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise DataError(f"route request {name!r} must be an integer vertex id, got {value!r}")
+    return value
+
+
+def _strict_number(name: str, value) -> float:
+    """A JSON number (int or float), finite; bools and numeric strings rejected."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise DataError(f"route request {name!r} must be a number, got {value!r}")
+    value = float(value)
+    if not math.isfinite(value):
+        raise DataError(f"route request {name!r} must be finite, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class RouteRequest:
+    """One arriving-on-time request as it crosses the service boundary.
+
+    The semantic fields mirror :class:`~repro.routing.queries.RoutingQuery`;
+    ``method`` optionally overrides the service's default method for this
+    request, and ``request_id`` is an opaque caller token echoed back on the
+    response (how JSONL batch callers correlate answers).
+    """
+
+    source: int
+    destination: int
+    budget: float
+    departure_time: float = 8 * 3600.0
+    method: str | None = None
+    request_id: str | None = None
+
+    _FIELDS = ("source", "destination", "budget", "departure_time", "method", "request_id")
+
+    def to_query(self) -> RoutingQuery:
+        """The in-process query; raises ``ConfigurationError`` on invalid parameters."""
+        return RoutingQuery(
+            source=self.source,
+            destination=self.destination,
+            budget=self.budget,
+            departure_time=self.departure_time,
+        )
+
+    def to_dict(self) -> dict:
+        payload = {
+            "source": self.source,
+            "destination": self.destination,
+            "budget": self.budget,
+            "departure_time": self.departure_time,
+        }
+        if self.method is not None:
+            payload["method"] = self.method
+        if self.request_id is not None:
+            payload["request_id"] = self.request_id
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RouteRequest":
+        """Strict decode: unknown keys, wrong types and non-finite numbers are rejected."""
+        if not isinstance(payload, dict):
+            raise DataError(
+                f"route request must be a JSON object, got {type(payload).__name__}"
+            )
+        unknown = set(payload) - set(cls._FIELDS)
+        if unknown:
+            raise DataError(f"unknown route request fields: {sorted(unknown)}")
+        try:
+            source = _strict_vertex("source", payload["source"])
+            destination = _strict_vertex("destination", payload["destination"])
+            budget = _strict_number("budget", payload["budget"])
+            departure_time = _strict_number(
+                "departure_time", payload.get("departure_time", 8 * 3600.0)
+            )
+        except KeyError as exc:
+            raise DataError(f"route request is missing field {exc}") from exc
+        method = payload.get("method")
+        if method is not None and not isinstance(method, str):
+            raise DataError("route request 'method' must be a string")
+        request_id = payload.get("request_id")
+        if request_id is not None and not isinstance(request_id, str):
+            raise DataError("route request 'request_id' must be a string")
+        return cls(
+            source=source,
+            destination=destination,
+            budget=budget,
+            departure_time=departure_time,
+            method=method,
+            request_id=request_id,
+        )
+
+
+@dataclass(frozen=True)
+class RouteResponse:
+    """The wire form of one routing outcome.
+
+    Exactly one of the two shapes holds: ``ok`` with the route payload
+    (vertices, edges, arrival probability, optional cost distribution), or
+    ``not ok`` with a structured :class:`RouteError`.  ``request_id`` echoes
+    the request's token; ``method`` is always the canonical method name that
+    was (or would have been) used.
+    """
+
+    ok: bool
+    method: str | None = None
+    request_id: str | None = None
+    error: RouteError | None = None
+    probability: float = 0.0
+    path_vertices: tuple[int, ...] | None = None
+    path_edges: tuple[int, ...] | None = None
+    distribution: Distribution | None = None
+    explored: int = 0
+    runtime_seconds: float = 0.0
+
+    @classmethod
+    def from_result(
+        cls,
+        result: RoutingResult,
+        *,
+        request_id: str | None = None,
+        error: RouteError | None = None,
+    ) -> "RouteResponse":
+        """Wrap an in-process :class:`RoutingResult` (found or not) for the wire."""
+        if result.path is None:
+            if error is None:
+                error = RouteError(
+                    code="not_found",
+                    message=(
+                        f"no path from {result.query.source} to {result.query.destination} "
+                        f"within budget {result.query.budget:g}"
+                    ),
+                )
+            return cls(
+                ok=False,
+                method=result.method,
+                request_id=request_id,
+                error=error,
+                explored=result.explored,
+                runtime_seconds=result.runtime_seconds,
+            )
+        return cls(
+            ok=True,
+            method=result.method,
+            request_id=request_id,
+            probability=result.probability,
+            path_vertices=result.path.vertices,
+            path_edges=result.path.edges,
+            distribution=result.distribution,
+            explored=result.explored,
+            runtime_seconds=result.runtime_seconds,
+        )
+
+    @classmethod
+    def failure(
+        cls, code: str, message: str, *, method: str | None = None, request_id: str | None = None
+    ) -> "RouteResponse":
+        """A response for a request that never produced a routing result."""
+        return cls(
+            ok=False, method=method, request_id=request_id, error=RouteError(code, message)
+        )
+
+    def to_dict(self) -> dict:
+        payload: dict = {"ok": self.ok, "method": self.method}
+        if self.request_id is not None:
+            payload["request_id"] = self.request_id
+        if self.ok:
+            payload.update(
+                {
+                    "probability": float(self.probability),
+                    "path_vertices": list(self.path_vertices or ()),
+                    "path_edges": list(self.path_edges or ()),
+                    "explored": self.explored,
+                    "runtime_seconds": float(self.runtime_seconds),
+                }
+            )
+            if self.distribution is not None:
+                payload["distribution"] = distribution_to_dict(self.distribution)
+        else:
+            assert self.error is not None
+            payload["error"] = self.error.to_dict()
+            payload["explored"] = self.explored
+            payload["runtime_seconds"] = float(self.runtime_seconds)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RouteResponse":
+        """Strict decode of :meth:`to_dict` output."""
+        if not isinstance(payload, dict):
+            raise DataError(
+                f"route response must be a JSON object, got {type(payload).__name__}"
+            )
+        try:
+            ok = bool(payload["ok"])
+            if ok:
+                return cls(
+                    ok=True,
+                    method=payload.get("method"),
+                    request_id=payload.get("request_id"),
+                    probability=float(payload["probability"]),
+                    path_vertices=tuple(int(v) for v in payload["path_vertices"]),
+                    path_edges=tuple(int(e) for e in payload["path_edges"]),
+                    distribution=(
+                        distribution_from_dict(payload["distribution"])
+                        if "distribution" in payload
+                        else None
+                    ),
+                    explored=int(payload.get("explored", 0)),
+                    runtime_seconds=float(payload.get("runtime_seconds", 0.0)),
+                )
+            return cls(
+                ok=False,
+                method=payload.get("method"),
+                request_id=payload.get("request_id"),
+                error=RouteError.from_dict(payload["error"]),
+                explored=int(payload.get("explored", 0)),
+                runtime_seconds=float(payload.get("runtime_seconds", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DataError(f"malformed route response: {exc}") from exc
+
+
+@dataclass
+class _Prepared:
+    """One request after validation: either a routable query or an early error."""
+
+    request: RouteRequest
+    method: MethodSpec | None = None
+    query: RoutingQuery | None = None
+    error: RouteError | None = None
+    method_name: str | None = None
+
+
+class RoutingService:
+    """Request/response serving facade over one :class:`RoutingEngine`.
+
+    The service is the layer a transport (CLI batch file, HTTP handler, queue
+    consumer) talks to: it accepts :class:`RouteRequest` objects or raw
+    payload dicts, validates them against the engine's graph, routes them —
+    in batches over any :mod:`execution backend <repro.routing.backends>` —
+    and always answers with a :class:`RouteResponse`, never an exception.
+    """
+
+    def __init__(self, engine: RoutingEngine, *, default_method: str | MethodSpec = "V-BS-60"):
+        self._engine = engine
+        self._default_method = MethodSpec.coerce(default_method)
+
+    @property
+    def engine(self) -> RoutingEngine:
+        return self._engine
+
+    @property
+    def default_method(self) -> MethodSpec:
+        return self._default_method
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def _prepare(self, raw: RouteRequest | dict) -> _Prepared:
+        if isinstance(raw, RouteRequest):
+            request = raw
+        else:
+            try:
+                request = RouteRequest.from_dict(raw)
+            except DataError as exc:
+                request_id = raw.get("request_id") if isinstance(raw, dict) else None
+                placeholder = RouteRequest(
+                    source=0,
+                    destination=0,
+                    budget=0.0,
+                    request_id=request_id if isinstance(request_id, str) else None,
+                )
+                return _Prepared(
+                    request=placeholder,
+                    error=RouteError("invalid_request", str(exc)),
+                )
+        prepared = _Prepared(request=request)
+        try:
+            prepared.method = (
+                MethodSpec.coerce(request.method)
+                if request.method is not None
+                else self._default_method
+            )
+        except ConfigurationError as exc:
+            prepared.error = RouteError("invalid_method", str(exc))
+            return prepared
+        prepared.method_name = prepared.method.canonical_name
+        network = self._engine.pace_graph.network
+        for role, vertex in (("source", request.source), ("destination", request.destination)):
+            if not network.has_vertex(vertex):
+                prepared.error = RouteError(
+                    "unknown_vertex", f"{role} vertex {vertex} is not in the served network"
+                )
+                return prepared
+        try:
+            prepared.query = request.to_query()
+        except ConfigurationError as exc:
+            prepared.error = RouteError("invalid_request", str(exc))
+            return prepared
+        # Budget-table methods can only answer budgets their Eq. 5 tables
+        # cover; beyond max_budget the residual-budget lookup would clamp to
+        # the table's last column and under-estimate (inadmissible bounds),
+        # silently degrading the answer.  Reject instead of serving wrong.
+        max_budget = self._engine.settings.max_budget
+        if prepared.method.heuristic == "budget" and request.budget > max_budget:
+            prepared.error = RouteError(
+                "invalid_request",
+                f"budget {request.budget:g} exceeds this engine's heuristic-table "
+                f"coverage (max_budget {max_budget:g}); serve with a larger "
+                "max_budget or use a binary-heuristic method",
+            )
+        return prepared
+
+    def _classify_miss(self, result: RoutingResult) -> RouteError:
+        """Why did the search return no path?  Distinguish unreachable from over-budget."""
+        query = result.query
+        network = self._engine.pace_graph.network
+        edge_graph = self._engine.pace_graph.edge_graph
+        try:
+            min_cost = shortest_path_cost(
+                network,
+                query.source,
+                query.destination,
+                lambda edge: edge_graph.min_cost(edge.edge_id),
+            )
+        except NoPathError:
+            return RouteError(
+                "not_found",
+                f"destination {query.destination} is unreachable from source {query.source}",
+            )
+        if min_cost > query.budget:
+            message = (
+                f"even the cheapest possible path costs at least {min_cost:g}, "
+                f"above the budget {query.budget:g}"
+            )
+        else:
+            message = (
+                f"no explored path arrived within budget {query.budget:g} "
+                f"({result.explored} candidates searched)"
+            )
+        return RouteError("budget_exceeded", message)
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def handle(self, request: RouteRequest | dict) -> RouteResponse:
+        """Answer one request; every failure mode becomes a structured response."""
+        return self.handle_batch([request])[0]
+
+    def handle_batch(
+        self,
+        requests: Sequence[RouteRequest | dict],
+        *,
+        backend: ExecutionBackend | None = None,
+    ) -> list[RouteResponse]:
+        """Answer a batch, in input order, optionally over an execution backend.
+
+        Valid requests are routed together (grouped per method so each
+        :meth:`RoutingEngine.route_many` batch stays destination-coherent);
+        invalid ones answer immediately with their taxonomy error and never
+        reach the engine.
+        """
+        prepared = [self._prepare(raw) for raw in requests]
+        responses: list[RouteResponse | None] = [None] * len(prepared)
+        routable: dict[str, list[int]] = {}
+        for index, item in enumerate(prepared):
+            if item.error is not None:
+                responses[index] = RouteResponse(
+                    ok=False,
+                    method=item.method_name,
+                    request_id=item.request.request_id,
+                    error=item.error,
+                )
+            else:
+                routable.setdefault(item.method_name, []).append(index)
+        for method_name, indices in routable.items():
+            queries = [prepared[i].query for i in indices]
+            try:
+                results = self._engine.route_many(queries, method=method_name, backend=backend)
+            except UnknownVertexError as exc:
+                # Vertices were validated up front, but a worker may race a
+                # graph swap; degrade to per-request errors rather than raise.
+                for i in indices:
+                    responses[i] = RouteResponse.failure(
+                        "unknown_vertex", str(exc),
+                        method=method_name, request_id=prepared[i].request.request_id,
+                    )
+                continue
+            except Exception:  # noqa: BLE001 - service boundary: never leak exceptions
+                # The batch failed as a unit — one poisoned query, or an
+                # infrastructure failure such as a BrokenProcessPool from a
+                # worker that died initialising.  Re-route each request
+                # individually in-process so only the culprit answers with an
+                # error; the contract is a response per request.
+                for i in indices:
+                    try:
+                        result = self._engine.route(prepared[i].query, method=method_name)
+                    except Exception as exc:  # noqa: BLE001
+                        responses[i] = RouteResponse.failure(
+                            "internal", f"routing failed: {exc}",
+                            method=method_name, request_id=prepared[i].request.request_id,
+                        )
+                    else:
+                        error = (
+                            None if result.path is not None else self._classify_miss(result)
+                        )
+                        responses[i] = RouteResponse.from_result(
+                            result,
+                            request_id=prepared[i].request.request_id,
+                            error=error,
+                        )
+                continue
+            for i, result in zip(indices, results):
+                error = None if result.path is not None else self._classify_miss(result)
+                responses[i] = RouteResponse.from_result(
+                    result, request_id=prepared[i].request.request_id, error=error
+                )
+        return responses  # type: ignore[return-value]

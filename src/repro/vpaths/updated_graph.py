@@ -10,11 +10,15 @@ only, and stochastic-dominance pruning is sound again.
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from collections.abc import Iterator, Mapping
+
+import numpy as np
 
 from repro.core.elements import WeightedElement
 from repro.core.errors import GraphError
-from repro.core.pace_graph import PaceGraph
+from repro.core.pace_graph import PaceGraph, _hash_distribution
 from repro.network.road_network import RoadNetwork
 from repro.vpaths.builder import VPathBuilderConfig, VPathBuildResult, build_vpaths
 
@@ -34,6 +38,7 @@ class UpdatedPaceGraph:
                 raise GraphError("UpdatedPaceGraph only accepts V-path elements")
             self._vpaths_by_source.setdefault(element.source, []).append(element)
             self._vpaths_by_target.setdefault(element.target, []).append(element)
+        self._fingerprint: tuple[str, str] | None = None
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -76,6 +81,30 @@ class UpdatedPaceGraph:
             return self._vpaths[tuple(edge_ids)]
         except KeyError as exc:
             raise GraphError(f"no V-path for edge sequence {edge_ids}") from exc
+
+    def content_fingerprint(self) -> str:
+        """A stable digest of the closure: the PACE graph plus every V-path.
+
+        Like :meth:`~repro.core.pace_graph.PaceGraph.content_fingerprint`,
+        identical content yields identical fingerprints across processes, so
+        heuristics built over one closure can be keyed, persisted and served
+        by any engine over an equal closure.  The V-path set is fixed at
+        construction; the digest delegates to the (cache-invalidating) PACE
+        fingerprint for the mutable part and is memoised against it.
+        """
+        pace_fingerprint = self._pace_graph.content_fingerprint()
+        if self._fingerprint is not None and self._fingerprint[0] == pace_fingerprint:
+            return self._fingerprint[1]
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(b"updated-pace-graph/v1")
+        digest.update(pace_fingerprint.encode("ascii"))
+        digest.update(struct.pack("<q", len(self._vpaths)))
+        for key in sorted(self._vpaths):
+            digest.update(struct.pack("<q", len(key)))
+            digest.update(np.asarray(key, dtype=np.int64).tobytes())
+            _hash_distribution(digest, self._vpaths[key].distribution)
+        self._fingerprint = (pace_fingerprint, digest.hexdigest())
+        return self._fingerprint[1]
 
     # ------------------------------------------------------------------ #
     # Traversal

@@ -1,0 +1,205 @@
+"""Tests for the execution backends and the multiprocess serving path.
+
+These cover the route_many edge cases the serving layer relies on: duplicate
+queries in one batch, input-order preservation under every backend, worker
+exceptions propagating instead of hanging the pool, and heuristic bundles
+crossing process boundaries via the graph content fingerprint.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError, GraphError, ReproError
+from repro.routing.backends import (
+    EngineSpec,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    destination_grouped_order,
+)
+from repro.routing.engine import RouterSettings, RoutingEngine
+from repro.routing.queries import RoutingQuery
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+TINY_SPEC = EngineSpec(dataset="tiny", regime="peak", tau=20)
+SETTINGS = RouterSettings(max_budget=900.0, max_explored=2000)
+
+
+@pytest.fixture(scope="module")
+def spec_engine():
+    return TINY_SPEC.build_engine(settings=SETTINGS)
+
+
+@pytest.fixture(scope="module")
+def tiny_queries(spec_engine):
+    vertices = sorted(spec_engine.pace_graph.network.vertex_ids())
+    a, b, c, d = vertices[0], vertices[-1], vertices[len(vertices) // 2], vertices[1]
+    queries = [
+        RoutingQuery(a, b, budget=400.0),
+        RoutingQuery(a, c, budget=300.0),
+        RoutingQuery(a, b, budget=400.0),  # exact duplicate of the first
+        RoutingQuery(d, b, budget=350.0),
+        RoutingQuery(a, c, budget=250.0),
+        RoutingQuery(a, b, budget=200.0),
+    ]
+    # Destinations deliberately interleaved so grouped execution must reorder.
+    assert [q.destination for q in queries] != sorted(q.destination for q in queries)
+    return queries
+
+
+def _assert_same_results(expected, actual, queries):
+    assert len(actual) == len(expected) == len(queries)
+    for query, a, b in zip(queries, expected, actual):
+        assert b.query is query  # input order and identity preserved
+        assert b.probability == pytest.approx(a.probability, abs=1e-12)
+        assert (a.path is None) == (b.path is None)
+        if a.path is not None:
+            assert b.path.edges == a.path.edges
+
+
+class TestOrderAndDuplicates:
+    def test_destination_grouped_order_is_stable(self, tiny_queries):
+        order = destination_grouped_order(tiny_queries)
+        assert sorted(order) == list(range(len(tiny_queries)))
+        destinations = [tiny_queries[i].destination for i in order]
+        assert destinations == sorted(destinations)
+        # Ties keep input order (indices 0, 2, 5 share a destination with equal keys).
+        same_destination = [i for i in order if tiny_queries[i].destination == tiny_queries[0].destination]
+        assert same_destination == sorted(same_destination)
+
+    @pytest.mark.parametrize(
+        "backend_factory",
+        [SerialBackend, lambda: ThreadBackend(workers=3), lambda: ProcessBackend(workers=2)],
+        ids=["serial", "thread", "process"],
+    )
+    def test_every_backend_preserves_input_order(
+        self, spec_engine, tiny_queries, backend_factory
+    ):
+        serial = spec_engine.route_many(tiny_queries, method="T-BS-60")
+        backend = backend_factory()
+        try:
+            results = spec_engine.route_many(tiny_queries, method="T-BS-60", backend=backend)
+        finally:
+            if isinstance(backend, ProcessBackend):
+                backend.close()
+        _assert_same_results(serial, results, tiny_queries)
+
+    def test_duplicate_queries_answer_identically(self, spec_engine, tiny_queries):
+        results = spec_engine.route_many(tiny_queries, method="T-B-P")
+        first, duplicate = results[0], results[2]
+        assert duplicate.probability == first.probability
+        assert (duplicate.path is None) == (first.path is None)
+        if first.path is not None:
+            assert duplicate.path.edges == first.path.edges
+        # Each result is bound to its own query object even when queries are equal.
+        assert results[0].query is tiny_queries[0]
+        assert results[2].query is tiny_queries[2]
+
+    def test_workers_and_backend_are_mutually_exclusive(self, spec_engine, tiny_queries):
+        with pytest.raises(ConfigurationError, match="not both"):
+            spec_engine.route_many(
+                tiny_queries, method="T-B-P", workers=2, backend=SerialBackend()
+            )
+
+
+class TestWorkerFailures:
+    @pytest.mark.parametrize(
+        "backend_factory",
+        [SerialBackend, lambda: ThreadBackend(workers=2), lambda: ProcessBackend(workers=2)],
+        ids=["serial", "thread", "process"],
+    )
+    def test_routing_failure_propagates_instead_of_hanging(
+        self, spec_engine, backend_factory
+    ):
+        vertices = sorted(spec_engine.pace_graph.network.vertex_ids())
+        bad = max(vertices) + 1000  # passes query validation, unknown to the graph
+        queries = [
+            RoutingQuery(vertices[0], vertices[-1], budget=400.0),
+            RoutingQuery(vertices[0], bad, budget=400.0),
+        ]
+        backend = backend_factory()
+        try:
+            with pytest.raises((GraphError, ReproError)):
+                spec_engine.route_many(queries, method="T-B-P", backend=backend)
+        finally:
+            if isinstance(backend, ProcessBackend):
+                backend.close()
+
+    def test_process_backend_requires_an_engine_spec(self, paper_example):
+        engine = RoutingEngine(paper_example.pace_graph, None, settings=SETTINGS)
+        assert engine.spec is None
+        queries = [RoutingQuery(0, 1, budget=30.0)]
+        with ProcessBackend(workers=2) as backend:
+            with pytest.raises(ConfigurationError, match="EngineSpec"):
+                engine.route_many(queries, method="T-B-P", backend=backend)
+
+
+class TestCrossProcessHeuristics:
+    def test_bundle_round_trips_between_independently_built_engines(
+        self, spec_engine, tiny_queries, tmp_path
+    ):
+        """The acceptance path: fingerprint-keyed bundles need zero rebuilds.
+
+        The second engine is built independently from the same spec — new
+        objects, new ids, exactly what a worker process sees — so this only
+        passes because cache keys and bundle entries use content
+        fingerprints instead of ``id(graph)``.
+        """
+        destinations = sorted({q.destination for q in tiny_queries})
+        spec_engine.prewarm("T-BS-60", destinations)
+        spec_engine.prewarm("V-BS-60", destinations)
+        bundle = tmp_path / "bundle.json"
+        saved = spec_engine.save_heuristics(bundle)
+        assert saved == len(spec_engine.heuristic_cache)
+
+        fresh = TINY_SPEC.build_engine(settings=SETTINGS)
+        assert fresh.pace_graph is not spec_engine.pace_graph
+        assert (
+            fresh.pace_graph.content_fingerprint()
+            == spec_engine.pace_graph.content_fingerprint()
+        )
+        assert (
+            fresh.updated_graph.content_fingerprint()
+            == spec_engine.updated_graph.content_fingerprint()
+        )
+        assert fresh.prewarm(bundle) == saved
+        for method in ("T-BS-60", "V-BS-60"):
+            expected = spec_engine.route_many(tiny_queries, method=method)
+            warmed = fresh.route_many(tiny_queries, method=method)
+            _assert_same_results(expected, warmed, tiny_queries)
+        assert fresh.heuristic_cache.misses == 0  # nothing was rebuilt
+        assert fresh.heuristic_cache.hits > 0
+
+    def test_process_workers_prewarm_from_bundle(self, spec_engine, tiny_queries, tmp_path):
+        destinations = sorted({q.destination for q in tiny_queries})
+        spec_engine.prewarm("T-BS-60", destinations)
+        bundle = tmp_path / "bundle.json"
+        spec_engine.save_heuristics(bundle)
+        serial = spec_engine.route_many(tiny_queries, method="T-BS-60")
+        with ProcessBackend(workers=2, heuristics_path=bundle) as backend:
+            results = spec_engine.route_many(tiny_queries, method="T-BS-60", backend=backend)
+        _assert_same_results(serial, results, tiny_queries)
+
+
+class TestEngineStats:
+    def test_stats_report_cache_and_query_counters(self):
+        engine = TINY_SPEC.build_engine(settings=SETTINGS)
+        vertices = sorted(engine.pace_graph.network.vertex_ids())
+        queries = [
+            RoutingQuery(vertices[0], vertices[-1], budget=400.0),
+            RoutingQuery(vertices[1], vertices[-1], budget=400.0),
+        ]
+        engine.route_many(queries, method="T-BS-60")
+        engine.route(queries[0], method="T-B-P")
+        # V-B-P shares the PACE binary heuristic with T-B-P through the
+        # engine-wide cache: a hit, not a rebuild.
+        engine.route(queries[0], method="V-B-P")
+        stats = engine.stats()
+        assert stats.queries_total == 4
+        assert stats.queries_by_method == {"T-BS-60": 2, "T-B-P": 1, "V-B-P": 1}
+        assert stats.cache_misses == 2  # one budget table + one binary getMin tree
+        assert stats.cache_entries == 2
+        assert stats.heuristic_build_seconds > 0.0
+        assert stats.cache_hits >= 1

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -29,6 +31,37 @@ class TestParser:
         )
         assert args.budget == 300.0
         assert parser.parse_args(["bench", "table7"]).experiment == "table7"
+
+    @pytest.mark.parametrize("method", ["T-BS-240", "V-BS-30", "T-B-EU"])
+    def test_parameterised_method_names_accepted(self, method):
+        # The old parser listed only the *-BS-60 palette as choices; any name
+        # MethodSpec parses must work from the shell.
+        args = build_parser().parse_args(
+            ["route", "--method", method, "--source", "0", "--destination", "5",
+             "--budget", "300"]
+        )
+        assert args.method == method
+        prewarm = build_parser().parse_args(
+            ["prewarm", "--method", method, "--destinations", "5", "--out", "x.json"]
+        )
+        assert prewarm.method == method
+
+    def test_unknown_method_rejected_with_palette(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["route", "--method", "V-B-EU", "--source", "0", "--destination", "5",
+                 "--budget", "300"]
+            )
+        assert "unknown routing method" in capsys.readouterr().err
+
+    def test_route_batch_parses(self):
+        args = build_parser().parse_args(
+            ["route-batch", "--input", "requests.jsonl", "--backend", "thread",
+             "--workers", "2"]
+        )
+        assert args.command == "route-batch"
+        assert args.backend == "thread"
+        assert args.workers == 2
 
 
 class TestCommands:
@@ -87,6 +120,81 @@ class TestCommands:
     def test_bench_table7(self, capsys):
         assert main(["bench", "table7", "--dataset", "tiny"]) == 0
         assert "Table 7" in capsys.readouterr().out
+
+    def test_route_batch_jsonl_end_to_end(self, capsys, tmp_path, small_dataset):
+        trajectory = next(t for t in small_dataset.peak if t.num_edges >= 4)
+        requests = tmp_path / "requests.jsonl"
+        responses_path = tmp_path / "responses.jsonl"
+        lines = [
+            json.dumps(
+                {
+                    "source": trajectory.path.source,
+                    "destination": trajectory.path.target,
+                    "budget": trajectory.total_cost * 2,
+                    "request_id": "good",
+                }
+            ),
+            "this is not json",
+            json.dumps(
+                {"source": 0, "destination": 999999, "budget": 100.0, "request_id": "missing"}
+            ),
+        ]
+        requests.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        exit_code = main(
+            [
+                "route-batch",
+                "--dataset",
+                "tiny",
+                "--method",
+                "T-B-P",
+                "--input",
+                str(requests),
+                "--output",
+                str(responses_path),
+                "--tau",
+                "20",
+            ]
+        )
+        assert exit_code == 1  # some requests failed; pipelines can gate on it
+        decoded = [
+            json.loads(line)
+            for line in responses_path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert len(decoded) == 3
+        assert decoded[0]["ok"] and decoded[0]["request_id"] == "good"
+        assert decoded[0]["method"] == "T-B-P"
+        assert decoded[0]["probability"] > 0
+        assert not decoded[1]["ok"]
+        assert decoded[1]["error"]["code"] == "invalid_request"
+        assert not decoded[2]["ok"]
+        assert decoded[2]["error"]["code"] == "unknown_vertex"
+        assert decoded[2]["request_id"] == "missing"
+
+    def test_route_batch_stdout(self, capsys, small_dataset):
+        trajectory = next(t for t in small_dataset.peak if t.num_edges >= 4)
+        import io
+        import sys as _sys
+
+        payload = json.dumps(
+            {
+                "source": trajectory.path.source,
+                "destination": trajectory.path.target,
+                "budget": trajectory.total_cost * 2,
+            }
+        )
+        stdin = _sys.stdin
+        _sys.stdin = io.StringIO(payload + "\n")
+        try:
+            exit_code = main(
+                ["route-batch", "--dataset", "tiny", "--method", "T-B-P",
+                 "--input", "-", "--tau", "20"]
+            )
+        finally:
+            _sys.stdin = stdin
+        assert exit_code == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 1
+        assert json.loads(out[0])["ok"]
 
     def test_prewarm_then_route_from_bundle(self, capsys, tmp_path, small_dataset):
         trajectory = next(t for t in small_dataset.peak if t.num_edges >= 4)

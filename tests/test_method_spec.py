@@ -1,0 +1,110 @@
+"""Tests for the structured routing-method specification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.routing.methods import METHOD_NAMES, MethodSpec
+
+
+class TestParseRoundTrip:
+    @pytest.mark.parametrize("name", METHOD_NAMES)
+    def test_palette_round_trips(self, name):
+        assert MethodSpec.parse(name).canonical_name == name
+
+    @pytest.mark.parametrize("name", ["T-BS-30", "T-BS-240", "V-BS-120", "T-BS-7.5"])
+    def test_parameterised_deltas_round_trip(self, name):
+        spec = MethodSpec.parse(name)
+        assert spec.heuristic == "budget"
+        assert spec.canonical_name == name
+
+    def test_parse_accepts_a_spec(self):
+        spec = MethodSpec.parse("T-B-P")
+        assert MethodSpec.parse(spec) is spec
+        assert MethodSpec.coerce(spec) is spec
+        assert MethodSpec.coerce("T-B-P") == spec
+
+    def test_structured_fields(self):
+        spec = MethodSpec.parse("V-BS-60")
+        assert spec.graph == "vpath"
+        assert spec.heuristic == "budget"
+        assert spec.delta == 60.0
+        assert MethodSpec.parse("T-B-EU").binary_kind == "EU"
+        assert MethodSpec.parse("T-B-E").binary_kind == "E"
+        assert MethodSpec.parse("V-B-P").binary_kind == "P"
+        assert MethodSpec.parse("T-None").binary_kind is None
+
+    def test_str_is_canonical_name(self):
+        assert str(MethodSpec.parse("V-BS-60")) == "V-BS-60"
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "name", ["V-B-EU", "V-B-E", "nonsense", "T-BS", "V-BS-", "T-BS--5", "", "t-b-p"]
+    )
+    def test_unknown_names_list_the_palette(self, name):
+        with pytest.raises(ConfigurationError) as excinfo:
+            MethodSpec.parse(name)
+        message = str(excinfo.value)
+        assert "unknown routing method" in message
+        for known in METHOD_NAMES:
+            assert known in message
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown routing method"):
+            MethodSpec.parse(42)
+
+    def test_invalid_graph_and_heuristic(self):
+        with pytest.raises(ConfigurationError, match="graph"):
+            MethodSpec(graph="hyper")
+        with pytest.raises(ConfigurationError, match="heuristic"):
+            MethodSpec(graph="pace", heuristic="psychic")
+
+    def test_vpath_graph_rejects_non_pace_binary_heuristics(self):
+        with pytest.raises(ConfigurationError, match="unknown routing method"):
+            MethodSpec(graph="vpath", heuristic="binary_eu")
+        with pytest.raises(ConfigurationError, match="unknown routing method"):
+            MethodSpec(graph="vpath", heuristic="binary_e")
+
+    def test_budget_delta_validation(self):
+        with pytest.raises(ConfigurationError, match="delta"):
+            MethodSpec(graph="pace", heuristic="budget")
+        with pytest.raises(ConfigurationError, match="positive"):
+            MethodSpec(graph="pace", heuristic="budget", delta=0.0)
+        with pytest.raises(ConfigurationError, match="delta"):
+            MethodSpec(graph="pace", heuristic="binary_p", delta=60.0)
+
+
+class TestCapabilities:
+    def test_requires_vpaths(self):
+        assert MethodSpec.parse("V-None").requires_vpaths
+        assert MethodSpec.parse("V-BS-60").requires_vpaths
+        assert not MethodSpec.parse("T-BS-60").requires_vpaths
+
+    def test_supports_prewarm_matches_heuristic_use(self):
+        for name in METHOD_NAMES:
+            spec = MethodSpec.parse(name)
+            assert spec.supports_prewarm == (spec.heuristic != "none")
+
+    def test_delta_coerced_to_float(self):
+        spec = MethodSpec(graph="pace", heuristic="budget", delta=60)
+        assert isinstance(spec.delta, float)
+        assert spec.canonical_name == "T-BS-60"
+
+    @pytest.mark.parametrize("delta", [7.5, 1000.125, 1000000.5, 1e20, 0.001])
+    def test_canonical_name_is_loss_free_for_any_delta(self, delta):
+        # The canonical name keys the router cache and crosses process
+        # boundaries, so it must round-trip every delta exactly.
+        spec = MethodSpec(graph="pace", heuristic="budget", delta=delta)
+        parsed = MethodSpec.parse(spec.canonical_name)
+        assert parsed == spec
+        assert parsed.delta == delta
+
+    def test_non_finite_delta_rejected(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            MethodSpec(graph="pace", heuristic="budget", delta=float("inf"))
+        with pytest.raises(ConfigurationError, match="unknown routing method"):
+            MethodSpec.parse("T-BS-inf")
+        with pytest.raises(ConfigurationError, match="unknown routing method"):
+            MethodSpec.parse("T-BS-nan")

@@ -168,6 +168,29 @@ class TestRoutingEngine:
         engine.route(RoutingQuery(VS, VD, budget=30.0), method="T-BS-60")
         assert engine.heuristic_cache.misses == 1
 
+    @pytest.mark.parametrize("method", ["T-None", "V-None"])
+    def test_prewarm_rejects_heuristic_free_methods(
+        self, paper_example, updated_example, method
+    ):
+        # These methods have nothing to prewarm; silently returning 0 used to
+        # make an offline investment step a no-op without telling anyone.
+        engine = _engine(paper_example, updated_example)
+        with pytest.raises(ConfigurationError) as excinfo:
+            engine.prewarm(method, [VD])
+        message = str(excinfo.value)
+        assert method in message
+        for supported in ("T-B-EU", "T-B-E", "T-B-P", "V-B-P", "T-BS-<delta>", "V-BS-<delta>"):
+            assert supported in message
+
+    def test_prewarm_accepts_method_specs(self, paper_example, updated_example):
+        from repro.routing.methods import MethodSpec
+
+        engine = _engine(paper_example, updated_example)
+        spec = MethodSpec(graph="pace", heuristic="budget", delta=60.0)
+        assert engine.prewarm(spec, [VD]) == 1
+        with pytest.raises(ConfigurationError, match="destinations"):
+            engine.prewarm(spec)
+
     def test_router_instances_are_cached(self, paper_example, updated_example):
         engine = _engine(paper_example, updated_example)
         assert engine.router("T-B-P") is engine.router("T-B-P")
@@ -180,7 +203,10 @@ class TestHeuristicPersistenceRoundTrip:
     identically to one that built them fresh, without a single cache miss.
     """
 
-    METHODS = ("T-B-P", "T-BS-60", "V-BS-60")
+    # V-B-P is included deliberately: its binary heuristic is requested through
+    # the V-path router but keyed (and persisted) under the *pace* graph's
+    # fingerprint, shared with T-B-P — the round-trip must preserve that.
+    METHODS = ("T-B-P", "V-B-P", "T-BS-60", "V-BS-60")
 
     def test_prewarm_from_disk_matches_fresh_build(
         self, paper_example, updated_example, tmp_path

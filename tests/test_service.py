@@ -1,0 +1,272 @@
+"""Tests for the typed service API: wire formats, error taxonomy, service facade."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import ConfigurationError, DataError
+from repro.core.edge_graph import EdgeGraph
+from repro.core.pace_graph import PaceGraph
+from repro.datasets.paper_example import VD, VS
+from repro.network.road_network import RoadNetwork
+from repro.routing.engine import RouterSettings, RoutingEngine
+from repro.routing.service import (
+    ERROR_CODES,
+    RouteError,
+    RouteRequest,
+    RouteResponse,
+    RoutingService,
+)
+from repro.vpaths.updated_graph import UpdatedPaceGraph
+
+
+@pytest.fixture(scope="module")
+def example_engine(paper_example):
+    updated, _ = UpdatedPaceGraph.build(paper_example.pace_graph)
+    return RoutingEngine(
+        paper_example.pace_graph, updated, settings=RouterSettings(max_budget=120.0)
+    )
+
+
+@pytest.fixture(scope="module")
+def example_service(example_engine):
+    return RoutingService(example_engine, default_method="T-BS-60")
+
+
+class TestRouteRequestCodec:
+    def test_round_trip(self):
+        request = RouteRequest(
+            source=1, destination=2, budget=30.0, departure_time=900.0,
+            method="V-BS-60", request_id="q-1",
+        )
+        assert RouteRequest.from_dict(request.to_dict()) == request
+
+    def test_optional_fields_omitted_from_wire(self):
+        payload = RouteRequest(source=1, destination=2, budget=30.0).to_dict()
+        assert "method" not in payload and "request_id" not in payload
+        assert RouteRequest.from_dict(payload) == RouteRequest(source=1, destination=2, budget=30.0)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(DataError, match="unknown route request fields"):
+            RouteRequest.from_dict({"source": 1, "destination": 2, "budget": 30.0, "bogus": 1})
+
+    def test_missing_and_malformed_fields_rejected(self):
+        with pytest.raises(DataError):
+            RouteRequest.from_dict({"source": 1, "destination": 2})
+        with pytest.raises(DataError):
+            RouteRequest.from_dict({"source": 1, "destination": 2, "budget": "soon"})
+        with pytest.raises(DataError, match="finite"):
+            RouteRequest.from_dict({"source": 1, "destination": 2, "budget": float("inf")})
+        with pytest.raises(DataError, match="JSON object"):
+            RouteRequest.from_dict([1, 2, 3])
+        with pytest.raises(DataError, match="request_id"):
+            RouteRequest.from_dict(
+                {"source": 1, "destination": 2, "budget": 30.0, "request_id": 7}
+            )
+
+    def test_no_silent_numeric_coercion(self):
+        # int(4.9) would route from vertex 4; strict decode refuses instead.
+        with pytest.raises(DataError, match="integer vertex id"):
+            RouteRequest.from_dict({"source": 4.9, "destination": 2, "budget": 30.0})
+        with pytest.raises(DataError, match="integer vertex id"):
+            RouteRequest.from_dict({"source": True, "destination": 2, "budget": 30.0})
+        with pytest.raises(DataError, match="integer vertex id"):
+            RouteRequest.from_dict({"source": "1", "destination": 2, "budget": 30.0})
+        with pytest.raises(DataError, match="must be a number"):
+            RouteRequest.from_dict({"source": 1, "destination": 2, "budget": "300"})
+        with pytest.raises(DataError, match="must be a number"):
+            RouteRequest.from_dict({"source": 1, "destination": 2, "budget": True})
+        # Plain ints are valid JSON numbers for budgets.
+        assert RouteRequest.from_dict(
+            {"source": 1, "destination": 2, "budget": 300}
+        ).budget == 300.0
+
+
+class TestRouteResponseCodec:
+    def test_error_codes_are_validated(self):
+        with pytest.raises(ConfigurationError, match="error code"):
+            RouteError("nonsense", "boom")
+        for code in ERROR_CODES:
+            assert RouteError(code, "m").to_dict()["code"] == code
+
+    def test_ok_response_round_trip(self, example_service):
+        response = example_service.handle(RouteRequest(source=VS, destination=VD, budget=30.0))
+        assert response.ok
+        payload = json.loads(json.dumps(response.to_dict(), allow_nan=False))
+        decoded = RouteResponse.from_dict(payload)
+        assert decoded.ok
+        assert decoded.method == response.method == "T-BS-60"
+        assert decoded.probability == pytest.approx(response.probability)
+        assert decoded.path_vertices == response.path_vertices
+        assert decoded.path_edges == response.path_edges
+        assert decoded.distribution is not None
+        assert decoded.distribution.is_close(response.distribution)
+
+    def test_error_response_round_trip(self):
+        response = RouteResponse.failure(
+            "budget_exceeded", "too tight", method="T-B-P", request_id="r9"
+        )
+        decoded = RouteResponse.from_dict(json.loads(json.dumps(response.to_dict())))
+        assert not decoded.ok
+        assert decoded.error == RouteError("budget_exceeded", "too tight")
+        assert decoded.request_id == "r9"
+
+    def test_malformed_response_rejected(self):
+        with pytest.raises(DataError):
+            RouteResponse.from_dict({"ok": True})
+        with pytest.raises(DataError):
+            RouteResponse.from_dict({"ok": False})
+
+
+class TestRoutingService:
+    def test_ok_answer_matches_engine(self, example_engine, example_service):
+        from repro.routing.queries import RoutingQuery
+
+        response = example_service.handle(
+            RouteRequest(source=VS, destination=VD, budget=30.0, request_id="a")
+        )
+        direct = example_engine.route(
+            RoutingQuery(source=VS, destination=VD, budget=30.0), method="T-BS-60"
+        )
+        assert response.ok
+        assert response.request_id == "a"
+        assert response.probability == pytest.approx(direct.probability)
+        assert response.path_edges == direct.path.edges
+
+    def test_per_request_method_override(self, example_service):
+        response = example_service.handle(
+            RouteRequest(source=VS, destination=VD, budget=30.0, method="V-BS-60")
+        )
+        assert response.ok and response.method == "V-BS-60"
+
+    def test_invalid_method(self, example_service):
+        response = example_service.handle(
+            RouteRequest(source=VS, destination=VD, budget=30.0, method="T-Wizard")
+        )
+        assert not response.ok
+        assert response.error.code == "invalid_method"
+        assert "unknown routing method" in response.error.message
+
+    def test_invalid_request_parameters(self, example_service):
+        same = example_service.handle(RouteRequest(source=VS, destination=VS, budget=30.0))
+        assert same.error.code == "invalid_request"
+        negative = example_service.handle(RouteRequest(source=VS, destination=VD, budget=-5.0))
+        assert negative.error.code == "invalid_request"
+
+    def test_malformed_payload_dict(self, example_service):
+        response = example_service.handle({"source": VS, "request_id": "bad-1"})
+        assert not response.ok
+        assert response.error.code == "invalid_request"
+        assert response.request_id == "bad-1"
+
+    def test_unknown_vertex(self, example_service):
+        response = example_service.handle(
+            RouteRequest(source=VS, destination=987654, budget=30.0)
+        )
+        assert response.error.code == "unknown_vertex"
+        assert "987654" in response.error.message
+
+    def test_budget_above_table_coverage_rejected_for_budget_methods(self, example_service):
+        # The engine's tables cover max_budget=120; beyond that a residual
+        # lookup would clamp and under-estimate, so the service refuses
+        # rather than serving silently degraded answers.
+        over = example_service.handle(RouteRequest(source=VS, destination=VD, budget=500.0))
+        assert not over.ok
+        assert over.error.code == "invalid_request"
+        assert "max_budget" in over.error.message
+        # Binary-heuristic methods have no table to outgrow; same budget is fine.
+        binary = example_service.handle(
+            RouteRequest(source=VS, destination=VD, budget=500.0, method="T-B-P")
+        )
+        assert binary.ok
+
+    def test_backend_failure_falls_back_to_per_request_routing(self, example_service):
+        # A batch-level failure (e.g. BrokenProcessPool) must not condemn the
+        # whole method group: each request is retried individually in-process.
+        class ExplodingBackend:
+            def run(self, engine, method, queries):
+                raise RuntimeError("worker pool died")
+
+        responses = example_service.handle_batch(
+            [RouteRequest(source=VS, destination=VD, budget=30.0, request_id="x")],
+            backend=ExplodingBackend(),
+        )
+        assert len(responses) == 1
+        assert responses[0].ok
+        assert responses[0].request_id == "x"
+
+    def test_unroutable_failure_becomes_internal_error(self, example_engine):
+        class BrokenEngine:
+            # Quacks like a RoutingEngine but every routing call fails, as if
+            # the serving infrastructure were down entirely.
+            def __init__(self, engine):
+                self.pace_graph = engine.pace_graph
+                self.settings = engine.settings
+
+            def route_many(self, queries, *, method, backend=None):
+                raise RuntimeError("worker pool died")
+
+            def route(self, query, *, method):
+                raise RuntimeError("worker pool died")
+
+        service = RoutingService(BrokenEngine(example_engine), default_method="T-BS-60")
+        responses = service.handle_batch(
+            [RouteRequest(source=VS, destination=VD, budget=30.0, request_id="x")]
+        )
+        assert len(responses) == 1
+        assert responses[0].error.code == "internal"
+        assert "worker pool died" in responses[0].error.message
+        assert responses[0].request_id == "x"
+
+    def test_budget_exceeded_when_min_cost_is_provably_above(self, example_service):
+        response = example_service.handle(
+            RouteRequest(source=VS, destination=VD, budget=0.001)
+        )
+        assert not response.ok
+        assert response.error.code == "budget_exceeded"
+        assert "cheapest possible path" in response.error.message
+
+    def test_not_found_when_unreachable(self):
+        network = RoadNetwork("one-way")
+        for vertex, x in ((0, 0.0), (1, 100.0), (2, 500.0)):
+            network.add_vertex(vertex, x, 0.0)
+        network.add_edge(0, 1)
+        network.add_edge(2, 1)  # 2 feeds into 1 but is unreachable from 0
+        engine = RoutingEngine(
+            PaceGraph(EdgeGraph(network), tau=1),
+            None,
+            settings=RouterSettings(max_budget=600.0),
+        )
+        service = RoutingService(engine, default_method="T-None")
+        response = service.handle(RouteRequest(source=0, destination=2, budget=100.0))
+        assert not response.ok
+        assert response.error.code == "not_found"
+        assert "unreachable" in response.error.message
+
+    def test_batch_preserves_order_and_mixes_outcomes(self, example_service):
+        batch = [
+            RouteRequest(source=VS, destination=VD, budget=30.0, request_id="ok-1"),
+            {"nonsense": True, "request_id": "bad-json"},
+            RouteRequest(source=VS, destination=VD, budget=30.0, method="V-B-P", request_id="ok-2"),
+            RouteRequest(source=VS, destination=424242, budget=30.0, request_id="missing"),
+        ]
+        responses = example_service.handle_batch(batch)
+        assert [r.request_id for r in responses] == ["ok-1", "bad-json", "ok-2", "missing"]
+        assert responses[0].ok and responses[0].method == "T-BS-60"
+        assert responses[1].error.code == "invalid_request"
+        assert responses[2].ok and responses[2].method == "V-B-P"
+        assert responses[3].error.code == "unknown_vertex"
+
+    def test_batch_answers_match_single_requests(self, example_service):
+        requests = [
+            RouteRequest(source=VS, destination=VD, budget=budget)
+            for budget in (24.0, 30.0, 40.0)
+        ]
+        batched = example_service.handle_batch(requests)
+        for request, from_batch in zip(requests, batched):
+            single = example_service.handle(request)
+            assert from_batch.ok == single.ok
+            assert from_batch.probability == pytest.approx(single.probability)
+            assert from_batch.path_edges == single.path_edges
