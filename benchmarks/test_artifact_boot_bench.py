@@ -1,0 +1,118 @@
+"""Benchmark: cold-starting an engine from artifacts vs re-mining the city.
+
+The artifact store exists so deployments pay the offline pipeline exactly
+once: T-path mining and the V-path closure run minutes at city scale, while
+booting from the persisted index is a JSON parse plus a fingerprint check.
+This benchmark pins that contract on the ``aalborg-like`` city build:
+
+1. obtain the shared city artifact store (``$REPRO_ARTIFACT_STORE`` when CI
+   provides the cached store; mined fresh — and timed — otherwise, with the
+   mining wall-clock recorded in the manifest provenance so later runs keep
+   an honest baseline),
+2. time :meth:`~repro.routing.RoutingEngine.from_artifacts` cold starts and
+   assert they are **>= 5x faster** than the recorded re-mine, and
+3. prove the booted engine is the *same* engine: a mixed-method city batch
+   answers identically to the store's origin engine with **zero**
+   heuristic-cache misses and the mining entry points poisoned (any attempt
+   to re-mine fails the test).
+
+A report with the measured timings is written to ``results/``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.evaluation.reporting import render_report, write_report
+from repro.routing import RoutingEngine
+
+#: Artifact boot must beat the re-mine by at least this factor (measured
+#: locally: ~400x; the floor leaves two orders of magnitude of slack for
+#: pathological CI filesystems).
+BOOT_SPEEDUP_FLOOR = 5.0
+#: One guided method per family — binary getMin and Eq. 5 budget tables.
+METHODS = ("T-B-P", "T-BS-60")
+QUERY_TARGET = 12
+MIN_PAIR_DISTANCE = 1100.0
+
+
+def _best_of(function, repeats: int = 2) -> tuple[float, object]:
+    best_seconds, result = float("inf"), None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = function()
+        best_seconds = min(best_seconds, time.perf_counter() - started)
+    return best_seconds, result
+
+
+def test_artifact_boot_beats_remine(city_store, city_batch_factory, monkeypatch):
+    store_root, mined, mine_seconds = city_store
+
+    # 1. Cold-start timing: best of a few boots of the store as CI shares it.
+    boot_seconds, reference = _best_of(
+        lambda: RoutingEngine.from_artifacts(store_root), repeats=3
+    )
+    speedup = mine_seconds / boot_seconds if boot_seconds else float("inf")
+
+    # 2. Serving equivalence: prewarm the batch's heuristics once, persist
+    #    them into the store, and boot a *serving* engine that must answer a
+    #    mixed-method batch identically — without mining and without a single
+    #    heuristic build.
+    origin = mined if mined is not None else reference
+    queries = city_batch_factory(
+        origin,
+        source_stride=7,
+        destination_stride=9,
+        target=QUERY_TARGET,
+        min_distance=MIN_PAIR_DISTANCE,
+    )
+    assert len(queries) >= QUERY_TARGET // 2, "workload generation came up short"
+    destinations = sorted({query.destination for query in queries})
+    for method in METHODS:
+        origin.prewarm(method, destinations)
+    # Re-state mine_seconds explicitly: when ``origin`` is the freshly mined
+    # engine its provenance has no prior manifest to carry it from, and the
+    # cache contract (conftest.city_artifact_store) requires it to survive.
+    origin.save_artifacts(store_root, provenance={"mine_seconds": round(mine_seconds, 3)})
+
+    import repro.tpaths.extraction as extraction
+
+    def _no_mining(*args, **kwargs):  # pragma: no cover - failure path
+        raise AssertionError("artifact boot must not re-run T-path mining")
+
+    monkeypatch.setattr(extraction, "build_pace_graph", _no_mining)
+    monkeypatch.setattr(extraction, "mine_tpaths", _no_mining)
+    serving = RoutingEngine.from_artifacts(store_root)
+    for method in METHODS:
+        expected = origin.route_many(queries, method=method)
+        actual = serving.route_many(queries, method=method)
+        for a, b in zip(expected, actual):
+            assert (a.path is None) == (b.path is None)
+            if a.path is not None:
+                assert b.path.edges == a.path.edges
+            assert b.probability == pytest.approx(a.probability, abs=1e-12)
+    stats = serving.stats()
+    assert stats.cache_misses == 0, "artifact boot rebuilt heuristics it should have loaded"
+    assert stats.provenance["source"] == "artifacts"
+
+    origin_kind = "re-mined this run" if mined is not None else "cached store"
+    report = render_report(
+        "Artifact cold start vs re-mine: aalborg-like",
+        ("metric", "value"),
+        [
+            ("re-mine (s)", round(mine_seconds, 2)),
+            ("artifact boot (s)", round(boot_seconds, 3)),
+            ("speedup", round(speedup, 1)),
+            ("origin engine", origin_kind),
+            (f"parity batch ({'+'.join(METHODS)})", len(queries)),
+            ("serving cache misses", stats.cache_misses),
+        ],
+    )
+    write_report(report, "artifact_boot_bench.txt")
+
+    assert speedup >= BOOT_SPEEDUP_FLOOR, (
+        f"artifact boot ({boot_seconds:.2f}s) is only {speedup:.1f}x faster than "
+        f"re-mining ({mine_seconds:.2f}s); the floor is {BOOT_SPEEDUP_FLOOR:.0f}x"
+    )

@@ -5,13 +5,15 @@ The ROADMAP's top serving item is process-based parallelism for
 GIL-bound and cannot scale them — worker *processes* can.  This benchmark
 drives the full serving path on a city-scale batch:
 
-1. a parent engine is built from an :class:`~repro.routing.EngineSpec`
-   (``aalborg-like``), its hot-destination heuristics are prewarmed and saved
-   to a bundle,
+1. a parent engine is booted from the shared city **artifact store**
+   (``aalborg-like``; mined on the spot only when no cached store exists —
+   see :func:`benchmarks.conftest.city_artifact_store`), its hot-destination
+   heuristics are prewarmed and saved to a bundle,
 2. a :class:`~repro.routing.ProcessBackend` pool initialises each worker from
-   the *spec* plus that *bundle* — the cross-process prewarm path, keyed and
-   verified by the graph content fingerprints, so workers run zero Bellman
-   builds — and
+   the engine's spec — an :class:`~repro.routing.ArtifactRef`, so workers
+   cold-boot from disk instead of re-mining — plus that *bundle*: the
+   cross-process prewarm path, keyed and verified by the graph content
+   fingerprints, so workers run zero Bellman builds — and
 3. the same destination-grouped batch is timed on the serial backend, the
    thread backend (for comparison; expected ≈ 1x) and the steady-state
    process pool (warm workers, as in a serving deployment).
@@ -34,13 +36,10 @@ import pytest
 
 from repro.evaluation.reporting import render_report, write_report
 from repro.routing import (
-    EngineSpec,
     ProcessBackend,
-    RouterSettings,
-    RoutingQuery,
+    RoutingEngine,
     ThreadBackend,
 )
-from repro.routing.dijkstra import shortest_path_cost
 
 WORKERS = 4
 SPEEDUP_FLOOR = 2.0
@@ -67,33 +66,16 @@ def _best_of(function, repeats: int = 2) -> tuple[float, object]:
     return best_seconds, result
 
 
-def _build_engine():
-    spec = EngineSpec(dataset="aalborg-like", regime="peak", tau=30)
-    return spec.build_engine(
-        settings=RouterSettings(max_budget=2500.0, max_explored=1500, heuristic_sweeps=1)
-    )
+def _build_engine(city_store):
+    """The parent engine, always booted from the shared artifact store.
 
-
-def _city_batch(engine) -> list[RoutingQuery]:
-    """A deterministic batch of long-haul queries across many destinations."""
-    network = engine.pace_graph.network
-    edge_graph = engine.pace_graph.edge_graph
-    vertices = sorted(network.vertex_ids())
-    queries: list[RoutingQuery] = []
-    for source in vertices[::5]:
-        for destination in vertices[::6]:
-            if source == destination:
-                continue
-            if network.euclidean_distance(source, destination) < MIN_PAIR_DISTANCE:
-                continue
-            expected = shortest_path_cost(
-                network, source, destination,
-                lambda edge: edge_graph.expected_cost(edge.edge_id),
-            )
-            queries.append(RoutingQuery(source, destination, budget=expected * 1.2))
-            if len(queries) >= QUERY_TARGET:
-                return queries
-    return queries
+    Even on a fresh mine the store was just saved, and booting from it (not
+    reusing the mined engine) gives the parent an :class:`ArtifactRef` spec —
+    so the pool workers cold-boot from disk instead of each re-mining the
+    city, and cache-hit and fresh runs measure the same configuration.
+    """
+    root, _, _ = city_store
+    return RoutingEngine.from_artifacts(root)
 
 
 def _assert_parity(serial, other, queries) -> None:
@@ -109,10 +91,16 @@ def _assert_parity(serial, other, queries) -> None:
     _usable_cpus() < 2,
     reason="process fan-out needs at least 2 usable cores to be meaningful",
 )
-def test_process_backend_scales_route_many(tmp_path):
+def test_process_backend_scales_route_many(tmp_path, city_store, city_batch_factory):
     cpus = _usable_cpus()
-    engine = _build_engine()
-    queries = _city_batch(engine)
+    engine = _build_engine(city_store)
+    queries = city_batch_factory(
+        engine,
+        source_stride=5,
+        destination_stride=6,
+        target=QUERY_TARGET,
+        min_distance=MIN_PAIR_DISTANCE,
+    )
     assert len(queries) >= QUERY_TARGET // 2, "workload generation came up short"
     destinations = sorted({query.destination for query in queries})
 

@@ -1,16 +1,19 @@
-"""Batch serving walkthrough: spec-built engine, process workers, typed responses.
+"""Batch serving walkthrough: mine once, boot from artifacts, serve multiprocess.
 
-This is the multiprocess prewarm-then-serve deployment story end to end:
+This is the deployment story end to end:
 
-1. build a routing engine from an :class:`~repro.routing.EngineSpec` — a
+1. mine a routing engine from a :class:`~repro.routing.DatasetRecipe` — a
    serialisable recipe naming a deterministic dataset and the offline
-   pipeline parameters,
-2. pre-compute the hot destinations' heuristics once and persist them to a
-   bundle (the offline investment),
-3. serve a batch through a :class:`~repro.routing.ProcessBackend`: each
-   worker process rebuilds the engine from the *spec* (verified against the
-   parent's graph content fingerprints) and prewarms from the *bundle*, so
-   workers run zero heuristic builds and the GIL-bound search loops scale
+   pipeline parameters — and pre-compute the hot destinations' heuristics
+   (the offline investment),
+2. persist everything into a content-addressed artifact store
+   (:meth:`~repro.routing.RoutingEngine.save_artifacts`): index, heuristic
+   tables, and a manifest with graph fingerprints and build provenance,
+3. cold-boot a *serving* engine from the store
+   (:meth:`~repro.routing.RoutingEngine.from_artifacts`) — zero re-mining,
+   zero heuristic rebuilds — and serve a batch through a
+   :class:`~repro.routing.ProcessBackend`, whose workers each boot from the
+   same store (fingerprint-verified) so the GIL-bound search loops scale
    across cores, and
 4. answer requests through the typed :class:`~repro.routing.RoutingService`
    boundary — strict-JSON requests and responses with a structured error
@@ -24,44 +27,58 @@ Run with::
 from __future__ import annotations
 
 import json
+import shutil
 import tempfile
 from pathlib import Path
 
 from repro.routing import (
-    EngineSpec,
+    DatasetRecipe,
     ProcessBackend,
     RouteRequest,
     RouterSettings,
+    RoutingEngine,
     RoutingQuery,
     RoutingService,
 )
 
 
 def main() -> None:
-    # 1. The spec is all a worker process needs to rebuild these exact graphs.
-    spec = EngineSpec(dataset="tiny", regime="peak", tau=20)
-    engine = spec.build_engine(settings=RouterSettings(max_budget=900.0))
-    print(f"engine built from {spec}")
-    print(f"PACE graph fingerprint: {engine.pace_graph.content_fingerprint()}")
+    work_dir = Path(tempfile.mkdtemp(prefix="batch_serving_"))
+    try:
+        _run(work_dir)
+    finally:
+        shutil.rmtree(work_dir, ignore_errors=True)
 
-    vertices = sorted(engine.pace_graph.network.vertex_ids())
+
+def _run(work_dir: Path) -> None:
+    # 1. Offline: mine the models once and build the hot destinations' heuristics.
+    recipe = DatasetRecipe(dataset="tiny", regime="peak", tau=20)
+    mined = recipe.build_engine(settings=RouterSettings(max_budget=900.0))
+    print(f"engine mined from {recipe}")
+    print(f"PACE graph fingerprint: {mined.pace_graph.content_fingerprint()}")
+
+    vertices = sorted(mined.pace_graph.network.vertex_ids())
     depot, customers = vertices[0], [vertices[-1], vertices[len(vertices) // 2]]
+    mined.prewarm("T-BS-60", customers)
 
-    # 2. Offline: build the hot destinations' heuristics once, persist them.
-    engine.prewarm("T-BS-60", customers)
-    bundle = Path(tempfile.gettempdir()) / "batch_serving_heuristics.json"
-    saved = engine.save_heuristics(bundle)
-    print(f"prewarmed {len(customers)} destinations, saved {saved} bundle entries")
+    # 2. Persist the whole offline investment into one artifact store.
+    store = work_dir / "store"
+    manifest = mined.save_artifacts(store)
+    print(f"saved artifacts {sorted(manifest.artifacts)} to {store}")
 
-    # 3. Online: the manifest fans out over worker processes.  Workers
-    #    initialise once (spec + bundle) and then answer destination-grouped
-    #    chunks; results are identical to serial, in input order.
+    # 3. Online: cold-boot the serving engine from the store (never re-mine)
+    #    and fan out over worker processes.  Each worker boots from the same
+    #    store — fingerprint-verified, zero rebuilds — and answers
+    #    destination-grouped chunks; results are identical to serial, in
+    #    input order.
+    engine = RoutingEngine.from_artifacts(store)
+    print(f"serving engine booted from {engine.stats().provenance['source']}")
     queries = [
         RoutingQuery(depot, customer, budget=budget)
         for customer in customers
         for budget in (300.0, 420.0)
     ]
-    with ProcessBackend(workers=2, heuristics_path=bundle) as backend:
+    with ProcessBackend(workers=2) as backend:
         results = engine.route_many(queries, method="T-BS-60", backend=backend)
     for result in results:
         print(" ", result.summary())
@@ -84,7 +101,6 @@ def main() -> None:
         f"engine stats: {stats.queries_total} queries, {stats.cache_misses} heuristic "
         f"builds ({stats.heuristic_build_seconds:.2f}s), {stats.cache_hits} cache hits"
     )
-    bundle.unlink(missing_ok=True)
 
 
 if __name__ == "__main__":

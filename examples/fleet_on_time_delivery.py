@@ -54,8 +54,9 @@ def main() -> None:
         )
         plans.append((expected_path, expected_time * 1.1))
     # SerialBackend is the default; swap in ThreadBackend(workers=...) or — for
-    # engines built from an EngineSpec — ProcessBackend to scale the manifest
-    # across cores (see examples/batch_serving.py).
+    # engines with a spec (a DatasetRecipe or an artifact-store ArtifactRef) —
+    # ProcessBackend to scale the manifest across cores (see
+    # examples/batch_serving.py).
     results = engine.route_many(
         [
             RoutingQuery(depot, customer, budget=budget)

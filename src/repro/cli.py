@@ -3,19 +3,34 @@
 The CLI wraps the most common workflows so the system can be exercised
 without writing Python:
 
-* ``stats``       — generate (or load) a dataset and print its Table-7 statistics,
-* ``build``       — run the offline pipeline (T-path mining, V-path closure) and
+* ``stats``           — generate (or load) a dataset and print its Table-7 statistics,
+* ``build``           — run the offline pipeline (T-path mining, V-path closure) and
   report index sizes,
-* ``prewarm``     — build the heuristics of a method for a set of destinations
-  and persist them to a bundle file a serving process can load,
-* ``route``       — answer a single arriving-on-time query with a chosen method,
+* ``build-artifacts`` — run the offline pipeline **and persist everything** (index,
+  optionally prewarmed heuristics, manifest with fingerprints and provenance)
+  into a content-addressed artifact store directory; heuristic tables are
+  built to convergence by default (they are served forever, so they should be
+  tight),
+* ``prewarm``         — build the heuristics of a method for a set of destinations
+  and persist them to a bundle file — or, with ``--artifacts``, into the
+  artifact store itself,
+* ``route``           — answer a single arriving-on-time query with a chosen method,
   optionally prewarming its heuristics from such a bundle instead of
   rebuilding them,
-* ``route-batch`` — answer a JSONL file of requests through the typed service
+* ``route-batch``     — answer a JSONL file of requests through the typed service
   API, over a chosen execution backend (serial, threads, or a multiprocess
   worker pool), writing one JSON response per line, and
-* ``bench``       — run one experiment driver (by figure/table name) and print
+* ``bench``           — run one experiment driver (by figure/table name) and print
   its rows.
+
+The serving commands (``prewarm``, ``route``, ``route-batch``) accept
+``--artifacts <dir>`` to boot the engine from a persisted store instead of
+re-mining — the deployment path: mine once with ``build-artifacts``, then
+cold-start engines (and, under ``--backend process``, every worker) from disk
+in seconds.  ``--artifacts`` takes precedence over ``--dataset``/``--tau``/
+``--regime``, which are ignored when it is given; ``--max-budget`` sizes a
+re-mine, so combining it with ``--artifacts`` is rejected (the store's
+manifest already records the settings its tables were built for).
 
 ``--method`` accepts any name :meth:`repro.routing.MethodSpec.parse`
 understands — the paper's fixed palette plus arbitrary-δ budget methods like
@@ -29,9 +44,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from collections.abc import Sequence
 
-from repro.core.errors import ConfigurationError
+from repro.core.errors import ConfigurationError, DataError
 from repro.datasets.synthetic import DATASET_NAMES, SyntheticDataset, dataset_by_name
 from repro.evaluation.experiments import (
     ExperimentContext,
@@ -50,7 +66,7 @@ from repro.evaluation.experiments import (
 from repro.evaluation.reporting import render_report
 from repro.routing import (
     METHOD_NAMES,
-    EngineSpec,
+    DatasetRecipe,
     MethodSpec,
     ProcessBackend,
     RouterSettings,
@@ -117,6 +133,53 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--tau", type=int, default=30, help="T-path trajectory threshold")
     build.add_argument("--regime", default="peak", choices=["peak", "off-peak"])
 
+    build_artifacts = subparsers.add_parser(
+        "build-artifacts",
+        help="run the offline pipeline and persist it to an artifact store directory",
+        description=(
+            "Mine the PACE index (T-paths + V-path closure), optionally pre-compute "
+            "heuristics for hot destinations, and write everything into a "
+            "content-addressed artifact store: index, heuristic bundle and a manifest "
+            "recording graph fingerprints, router settings and build provenance.  "
+            "Serving commands then boot from the store with --artifacts, skipping "
+            "re-mining entirely."
+        ),
+    )
+    build_artifacts.add_argument("--dataset", default="tiny", choices=list(DATASET_NAMES))
+    build_artifacts.add_argument("--out", required=True, help="artifact store directory")
+    build_artifacts.add_argument("--tau", type=int, default=20)
+    build_artifacts.add_argument("--regime", default="peak", choices=["peak", "off-peak"])
+    build_artifacts.add_argument(
+        "--method",
+        action="append",
+        type=_method_name,
+        default=None,
+        help=f"prewarm this method's heuristics (repeatable; {method_help})",
+    )
+    build_artifacts.add_argument(
+        "--destinations",
+        type=int,
+        nargs="+",
+        default=None,
+        help="destination vertex ids to prewarm (default: all vertices when --method given)",
+    )
+    build_artifacts.add_argument(
+        "--max-budget", type=float, default=600.0, help="largest budget the tables must answer"
+    )
+    build_artifacts.add_argument(
+        "--max-explored", type=int, default=100000, help="search expansion cap recorded in settings"
+    )
+    build_artifacts.add_argument(
+        "--sweeps",
+        type=int,
+        default=None,
+        help=(
+            "cap the Eq. 5 Bellman sweeps per budget table (default: run to the "
+            "fixpoint — artifact tables are built once and served forever, so they "
+            "should be converged)"
+        ),
+    )
+
     prewarm = subparsers.add_parser(
         "prewarm", help="pre-compute heuristics for destinations and save them to a bundle"
     )
@@ -125,11 +188,29 @@ def build_parser() -> argparse.ArgumentParser:
     prewarm.add_argument(
         "--destinations", type=int, nargs="+", required=True, help="destination vertex ids"
     )
-    prewarm.add_argument("--out", required=True, help="bundle file to write")
+    prewarm.add_argument(
+        "--out",
+        default=None,
+        help="bundle file to write (required unless --artifacts updates the store in place)",
+    )
     prewarm.add_argument("--tau", type=int, default=20)
     prewarm.add_argument("--regime", default="peak", choices=["peak", "off-peak"])
     prewarm.add_argument(
-        "--max-budget", type=float, default=600.0, help="largest budget the tables must answer"
+        "--max-budget",
+        type=float,
+        default=None,
+        help=(
+            "largest budget the tables must answer (default 600; with --artifacts "
+            "the store's recorded settings apply and this flag is rejected)"
+        ),
+    )
+    prewarm.add_argument(
+        "--artifacts",
+        default=None,
+        help=(
+            "artifact store to boot the engine from; newly built heuristics are "
+            "saved back into the store (and to --out when given)"
+        ),
     )
 
     route = subparsers.add_parser("route", help="answer one arriving-on-time query")
@@ -144,6 +225,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--heuristics",
         default=None,
         help="heuristic bundle (from 'prewarm') to load instead of rebuilding",
+    )
+    route.add_argument(
+        "--artifacts",
+        default=None,
+        help="artifact store (from 'build-artifacts') to boot the engine from",
     )
 
     batch = subparsers.add_parser(
@@ -182,7 +268,21 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     batch.add_argument(
-        "--max-budget", type=float, default=600.0, help="largest budget the tables must answer"
+        "--max-budget",
+        type=float,
+        default=None,
+        help=(
+            "largest budget the tables must answer (default 600; with --artifacts "
+            "the store's recorded settings apply and this flag is rejected)"
+        ),
+    )
+    batch.add_argument(
+        "--artifacts",
+        default=None,
+        help=(
+            "artifact store (from 'build-artifacts') to boot the engine from — and, "
+            "with --backend process, every worker (fingerprint-verified, zero rebuilds)"
+        ),
     )
 
     bench = subparsers.add_parser("bench", help="run one experiment driver and print its rows")
@@ -220,43 +320,127 @@ def _command_build(args: argparse.Namespace) -> int:
 
 
 def _build_engine(args: argparse.Namespace, max_budget: float) -> RoutingEngine:
-    # Engines are built from a spec so the multiprocess backend can hand the
-    # same recipe to its workers (content fingerprints verify the rebuild).
-    spec = EngineSpec(dataset=args.dataset, regime=args.regime, tau=args.tau)
-    return spec.build_engine(settings=RouterSettings(max_budget=max_budget))
+    # With --artifacts the engine cold-boots from the persisted store (its
+    # manifest carries the settings the artifacts were built for); otherwise
+    # it is built from a recipe, so the multiprocess backend can hand the same
+    # recipe to its workers (content fingerprints verify the rebuild).
+    if getattr(args, "artifacts", None):
+        try:
+            return RoutingEngine.from_artifacts(args.artifacts)
+        except DataError as exc:
+            # Exit 2 (operational error), distinct from route's exit 1
+            # ("query answered, no route found") so scripts can branch.
+            print(f"error: {exc}", file=sys.stderr)
+            raise SystemExit(2) from exc
+    recipe = DatasetRecipe(dataset=args.dataset, regime=args.regime, tau=args.tau)
+    return recipe.build_engine(settings=RouterSettings(max_budget=max_budget))
+
+
+def _command_build_artifacts(args: argparse.Namespace) -> int:
+    recipe = DatasetRecipe(dataset=args.dataset, regime=args.regime, tau=args.tau)
+    settings = RouterSettings(
+        max_budget=args.max_budget,
+        max_explored=args.max_explored,
+        heuristic_sweeps=args.sweeps,  # None = run Eq. 5 to its fixpoint
+    )
+    started = time.perf_counter()
+    engine = recipe.build_engine(settings=settings)
+    mine_seconds = time.perf_counter() - started
+    methods = args.method or []
+    destinations = args.destinations
+    if destinations is None and methods:
+        destinations = sorted(engine.pace_graph.network.vertex_ids())
+    built = 0
+    for method in methods:
+        try:
+            built += engine.prewarm(method, destinations)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    manifest = engine.save_artifacts(
+        args.out, provenance={"builder": "repro build-artifacts", "mine_seconds": round(mine_seconds, 3)}
+    )
+    rows = [
+        ("store", args.out),
+        ("pace fingerprint", manifest.fingerprints["pace"]),
+        ("updated fingerprint", manifest.fingerprints.get("updated") or "-"),
+        ("mine (s)", round(mine_seconds, 2)),
+        ("heuristics prewarmed", built),
+        ("heuristic sweeps", "converged" if args.sweeps is None else args.sweeps),
+        ("artifacts", " ".join(sorted(manifest.artifacts))),
+    ]
+    print(render_report(f"Artifact store: {args.dataset}", ("property", "value"), rows))
+    return 0
+
+
+def _reject_max_budget_with_artifacts(args: argparse.Namespace) -> bool:
+    """``--max-budget`` sizes a re-mine; a store's settings are already fixed."""
+    if args.artifacts and args.max_budget is not None:
+        print(
+            "error: --max-budget cannot be combined with --artifacts (the store's "
+            "manifest records the settings its tables were built for); rebuild the "
+            "store via 'repro build-artifacts --max-budget ...' to grow coverage",
+            file=sys.stderr,
+        )
+        return True
+    return False
 
 
 def _command_prewarm(args: argparse.Namespace) -> int:
-    engine = _build_engine(args, args.max_budget)
+    if not args.out and not args.artifacts:
+        print("error: prewarm needs --out and/or --artifacts to persist into", file=sys.stderr)
+        return 2
+    if _reject_max_budget_with_artifacts(args):
+        return 2
+    engine = _build_engine(args, args.max_budget if args.max_budget is not None else 600.0)
     try:
         built = engine.prewarm(args.method, args.destinations)
     except ConfigurationError as exc:
         # e.g. a heuristic-free method (T-None / V-None): nothing to prewarm.
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    saved = engine.save_heuristics(args.out)
     rows = [
         ("method", args.method),
         ("destinations", " ".join(str(d) for d in args.destinations)),
         ("heuristics built", built),
-        ("bundle entries", saved),
-        ("bundle file", args.out),
     ]
-    print(render_report(f"Prewarmed heuristics: {args.dataset}", ("property", "value"), rows))
+    if args.out:
+        saved = engine.save_heuristics(args.out)
+        rows += [("bundle entries", saved), ("bundle file", args.out)]
+    if args.artifacts:
+        manifest = engine.save_artifacts(args.artifacts)
+        rows += [
+            ("store entries", manifest.provenance.get("heuristic_entries")),
+            ("store", args.artifacts),
+        ]
+    source = args.artifacts if args.artifacts else args.dataset
+    print(render_report(f"Prewarmed heuristics: {source}", ("property", "value"), rows))
     return 0
 
 
 def _command_route(args: argparse.Namespace) -> int:
     max_budget = max(600.0, 2 * args.budget)
     engine = _build_engine(args, max_budget)
+    spec = MethodSpec.parse(args.method)
+    if spec.heuristic == "budget" and args.budget > engine.settings.max_budget:
+        # Only reachable with --artifacts (the re-mine path sizes max_budget to
+        # the query); tables below the budget would clamp and under-estimate.
+        print(
+            f"error: budget {args.budget:g} exceeds the artifact store's heuristic-table "
+            f"coverage (max_budget {engine.settings.max_budget:g}); rebuild the store "
+            "with a larger --max-budget or use a binary-heuristic method",
+            file=sys.stderr,
+        )
+        return 2
     if args.heuristics:
         loaded = engine.prewarm(args.heuristics)
         print(f"prewarmed {loaded} heuristics from {args.heuristics}")
         if loaded == 0:
             print(
                 "warning: the bundle held no servable heuristics (budget tables "
-                f"must cover max_budget={max_budget:g} — re-run prewarm with a "
-                "larger --max-budget — and must be ceil-built); rebuilding from scratch"
+                f"must cover max_budget={engine.settings.max_budget:g} — re-run "
+                "prewarm with a larger --max-budget — and must be ceil-built); "
+                "rebuilding from scratch"
             )
     result = engine.route(
         RoutingQuery(source=args.source, destination=args.destination, budget=args.budget),
@@ -294,7 +478,9 @@ def _read_jsonl_requests(handle) -> list[dict | RouteResponse]:
 
 
 def _command_route_batch(args: argparse.Namespace) -> int:
-    engine = _build_engine(args, args.max_budget)
+    if _reject_max_budget_with_artifacts(args):
+        return 2
+    engine = _build_engine(args, args.max_budget if args.max_budget is not None else 600.0)
     if args.heuristics:
         loaded = engine.prewarm(args.heuristics)
         print(f"prewarmed {loaded} heuristics from {args.heuristics}", file=sys.stderr)
@@ -350,6 +536,7 @@ def _command_bench(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "stats": _command_stats,
     "build": _command_build,
+    "build-artifacts": _command_build_artifacts,
     "prewarm": _command_prewarm,
     "route": _command_route,
     "route-batch": _command_route_batch,

@@ -228,6 +228,52 @@ class Distribution:
         self._probabilities: tuple[float, ...] = tuple(probs.tolist())
 
     @classmethod
+    def from_normalised(
+        cls, values: Sequence[float], probs: Sequence[float]
+    ) -> "Distribution":
+        """Reconstruct a distribution from already-normalised persisted state.
+
+        The regular constructor rescales probabilities by their sum to shed
+        numerical drift — the right behaviour while *computing*, but wrong
+        while *loading*: dividing by a sum one ULP away from 1.0 perturbs
+        every probability, so a persisted graph would re-load with a
+        different content fingerprint than it was saved under.  This path
+        restores the exact floats, provided they already look like serialised
+        distribution state: strictly increasing finite non-negative costs and
+        positive probabilities summing to 1 within the probability tolerance.
+        Raises :class:`DistributionError` otherwise.
+        """
+        try:
+            values_array = np.asarray(values, dtype=float)
+            probs_array = np.asarray(probs, dtype=float)
+        except (TypeError, ValueError) as exc:
+            raise DistributionError(f"persisted pairs must be numeric: {exc}") from exc
+        if values_array.size == 0:
+            raise DistributionError("a distribution needs at least one (cost, probability) pair")
+        if values_array.shape != probs_array.shape or values_array.ndim != 1:
+            raise DistributionError(
+                "persisted costs and probabilities must be equal-length 1-d sequences, "
+                f"got shapes {values_array.shape} and {probs_array.shape}"
+            )
+        if not (np.isfinite(values_array).all() and (values_array >= 0).all()):
+            raise DistributionError("persisted cost values must be finite and non-negative")
+        if values_array.size > 1 and not (np.diff(values_array) > 0).all():
+            raise DistributionError("persisted cost values must be strictly increasing")
+        if not (np.isfinite(probs_array).all() and (probs_array > 0).all()):
+            raise DistributionError("persisted probabilities must be positive and finite")
+        total = float(probs_array.sum())
+        if abs(total - 1.0) > PROBABILITY_TOLERANCE:
+            raise DistributionError(f"persisted probabilities must sum to 1, got {total!r}")
+        self = object.__new__(cls)
+        self._values = values_array
+        self._probs = probs_array
+        self._cdf = np.cumsum(probs_array)
+        self._cdf0 = None
+        self._support = tuple(values_array.tolist())
+        self._probabilities = tuple(probs_array.tolist())
+        return self
+
+    @classmethod
     def _from_arrays(
         cls,
         values: np.ndarray,

@@ -83,6 +83,55 @@ class JointDistribution:
     # Constructors
     # ------------------------------------------------------------------ #
     @classmethod
+    def from_normalised(
+        cls,
+        edge_ids: Sequence[int],
+        items: Iterable[tuple[tuple[float, ...], float]],
+    ) -> "JointDistribution":
+        """Reconstruct a joint from already-normalised persisted outcomes.
+
+        Like :meth:`repro.core.distributions.Distribution.from_normalised`,
+        this skips the constructor's rescale-by-total so loading a persisted
+        joint restores the exact probabilities it was saved with (rescaling
+        by a sum one ULP off 1.0 would change every float and with it the
+        graph's content fingerprint).  Outcomes must be distinct, finite and
+        positive, with probabilities summing to 1 within the tolerance.
+        """
+        edge_ids = tuple(int(e) for e in edge_ids)
+        if not edge_ids:
+            raise JointDistributionError("a joint distribution needs at least one edge")
+        if len(set(edge_ids)) != len(edge_ids):
+            raise JointDistributionError("edge ids in a joint distribution must be distinct")
+        pmf: dict[tuple[float, ...], float] = {}
+        for costs, prob in items:
+            costs = tuple(float(c) for c in costs)
+            if len(costs) != len(edge_ids):
+                raise JointDistributionError(
+                    f"cost vector {costs!r} does not match the {len(edge_ids)} edges of the joint"
+                )
+            if any(c < 0 or not math.isfinite(c) for c in costs):
+                raise JointDistributionError(f"costs must be finite and non-negative, got {costs!r}")
+            prob = float(prob)
+            if prob <= 0 or not math.isfinite(prob):
+                raise JointDistributionError(
+                    f"persisted probabilities must be positive and finite, got {prob!r}"
+                )
+            if costs in pmf:
+                raise JointDistributionError(f"duplicate persisted outcome {costs!r}")
+            pmf[costs] = prob
+        if not pmf:
+            raise JointDistributionError("a joint distribution needs at least one outcome")
+        total = sum(pmf.values())
+        if abs(total - 1.0) > PROBABILITY_TOLERANCE:
+            raise JointDistributionError(
+                f"persisted probabilities must sum to 1, got {total!r}"
+            )
+        self = object.__new__(cls)
+        self._edge_ids = edge_ids
+        self._pmf = pmf
+        return self
+
+    @classmethod
     def from_samples(
         cls,
         edge_ids: Sequence[int],

@@ -51,17 +51,39 @@ class DatasetConfig:
 
 @dataclass(frozen=True)
 class SyntheticDataset:
-    """A ready-to-use dataset: network, cleaned trajectories and regime splits."""
+    """A ready-to-use dataset: network, cleaned trajectories and regime splits.
+
+    ``config`` records the generator configuration the dataset was built from
+    (when built through :func:`build_dataset`), so downstream consumers — the
+    artifact-store manifest in particular — can persist *how* the data came to
+    be (grid shape, seeds, trip mix) alongside what was mined from it.
+    """
 
     name: str
     network: RoadNetwork
     trajectories: tuple[Trajectory, ...]
     peak: tuple[Trajectory, ...]
     off_peak: tuple[Trajectory, ...]
+    config: DatasetConfig | None = None
 
     def statistics(self) -> NetworkStatistics:
         """Table 7-style statistics of the dataset."""
         return compute_statistics(self.network, list(self.trajectories), name=self.name)
+
+    def provenance(self) -> dict:
+        """Generation provenance for manifests: name, sizes and seeds."""
+        record: dict = {
+            "name": self.name,
+            "num_vertices": self.network.num_vertices,
+            "num_edges": self.network.num_edges,
+            "num_trajectories": len(self.trajectories),
+        }
+        if self.config is not None:
+            record["seeds"] = {
+                "grid": self.config.grid.seed,
+                "trajectories": self.config.trajectories.seed,
+            }
+        return record
 
     def regime(self, name: str) -> tuple[Trajectory, ...]:
         """Trajectories of one regime, ``"peak"`` or ``"off-peak"``."""
@@ -132,6 +154,7 @@ def build_dataset(config: DatasetConfig) -> SyntheticDataset:
         trajectories=tuple(cleaned),
         peak=tuple(by_regime[PEAK.name]),
         off_peak=tuple(by_regime[OFF_PEAK.name]),
+        config=config,
     )
 
 

@@ -92,7 +92,11 @@ class ExperimentScale:
     deltas: tuple[float, ...] = (30.0, 60.0, 120.0, 240.0)
     pairs_per_bucket: int = 3
     budget_fractions: tuple[float, ...] = (0.5, 0.75, 1.0, 1.25, 1.5)
-    heuristic_sweeps: int = 1
+    # Eq. 5 Bellman sweeps per budget table; ``None`` runs to the fixpoint.
+    # Experiments default to one capped sweep (the figures measure build cost
+    # at fixed work); production artifact builds default to convergence — see
+    # ``repro build-artifacts``.
+    heuristic_sweeps: int | None = 1
     max_support: int = 48
     # Caps the exhaustive baselines (T-None / V-None); guided methods stop far earlier.
     # When a baseline hits the cap its measured runtime is a *lower* bound, which only

@@ -1,10 +1,12 @@
-"""Persistence of offline artefacts: the routable index and pre-computed heuristics."""
+"""Persistence of offline artefacts: the routable index, pre-computed heuristics,
+and the content-addressed artifact store that bundles them for deployments."""
 
 from repro.persistence.codecs import (
     distribution_from_dict,
     distribution_to_dict,
     joint_from_dict,
     joint_to_dict,
+    require_format_version,
 )
 from repro.persistence.heuristics import (
     binary_heuristic_from_dict,
@@ -18,9 +20,20 @@ from repro.persistence.heuristics import (
     save_heuristic_bundle,
     save_heuristic_table,
 )
+from repro.persistence.heuristics import (
+    heuristic_bundle_entries,
+    heuristic_bundle_payload,
+)
 from repro.persistence.index import index_from_dict, index_to_dict, load_index, save_index
+from repro.persistence.store import ArtifactEntry, ArtifactManifest, ArtifactStore
 
 __all__ = [
+    "require_format_version",
+    "ArtifactStore",
+    "ArtifactManifest",
+    "ArtifactEntry",
+    "heuristic_bundle_payload",
+    "heuristic_bundle_entries",
     "distribution_to_dict",
     "distribution_from_dict",
     "joint_to_dict",

@@ -13,15 +13,43 @@ diff-able and free of pickle's code-execution hazards.
 from __future__ import annotations
 
 from repro.core.distributions import Distribution
-from repro.core.errors import DataError
+from repro.core.errors import DataError, DistributionError, JointDistributionError
 from repro.core.joint import JointDistribution
 
 __all__ = [
+    "require_format_version",
     "distribution_to_dict",
     "distribution_from_dict",
     "joint_to_dict",
     "joint_from_dict",
 ]
+
+
+def require_format_version(payload: dict, *, expected: int, what: str) -> int:
+    """Validate a document's ``format_version`` field against ``expected``.
+
+    Every persisted document in this package carries a ``format_version`` so
+    readers can refuse documents written by a newer (or corrupted) writer
+    instead of mis-parsing them.  Raises :class:`~repro.core.errors.DataError`
+    naming the offending version, the supported version and the document kind;
+    a missing or non-integer field is rejected with its own message rather
+    than being silently treated as version 0.  Returns the validated version.
+    """
+    try:
+        version = payload["format_version"]
+    except (KeyError, TypeError) as exc:
+        raise DataError(f"{what} carries no format_version field") from exc
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise DataError(
+            f"{what} format_version must be an integer, got {version!r}"
+        )
+    if version != expected:
+        raise DataError(
+            f"unsupported {what} format version {version} "
+            f"(this reader supports version {expected}); "
+            "re-export the document with a matching writer"
+        )
+    return version
 
 
 def distribution_to_dict(distribution: Distribution) -> dict:
@@ -38,7 +66,14 @@ def distribution_to_dict(distribution: Distribution) -> dict:
 
 
 def distribution_from_dict(payload: dict) -> Distribution:
-    """Decode a distribution encoded by :func:`distribution_to_dict`."""
+    """Decode a distribution encoded by :func:`distribution_to_dict`.
+
+    Well-formed documents (sorted support, positive probabilities summing to
+    one) are restored *exactly* — no renormalisation — so that persisting and
+    re-loading a graph preserves its content fingerprint bit for bit.
+    Payloads that only approximately normalise fall back to the lenient
+    constructor, which rescales.
+    """
     try:
         costs = payload["costs"]
         probabilities = payload["probabilities"]
@@ -46,7 +81,12 @@ def distribution_from_dict(payload: dict) -> Distribution:
         raise DataError(f"malformed distribution payload: {payload!r}") from exc
     if len(costs) != len(probabilities):
         raise DataError("distribution payload has mismatched costs/probabilities lengths")
-    return Distribution(zip(costs, probabilities), normalise=True)
+    try:
+        return Distribution.from_normalised(costs, probabilities)
+    except (DistributionError, TypeError, ValueError):
+        # Not exactly-normalised writer output; the lenient constructor
+        # rescales (and raises the taxonomy's DistributionError on garbage).
+        return Distribution(zip(costs, probabilities), normalise=True)
 
 
 def joint_to_dict(joint: JointDistribution) -> dict:
@@ -60,11 +100,22 @@ def joint_to_dict(joint: JointDistribution) -> dict:
 
 
 def joint_from_dict(payload: dict) -> JointDistribution:
-    """Decode a joint distribution encoded by :func:`joint_to_dict`."""
+    """Decode a joint distribution encoded by :func:`joint_to_dict`.
+
+    Like :func:`distribution_from_dict`, exactly-normalised documents restore
+    the original floats (fingerprint-preserving); approximately-normalised
+    ones fall back to the rescaling constructor.
+    """
     try:
         edge_ids = payload["edge_ids"]
         outcomes = payload["outcomes"]
-        pmf = {tuple(entry["costs"]): entry["probability"] for entry in outcomes}
+        # A list, not a dict comprehension: a corrupted document with the same
+        # cost vector twice must reach from_normalised's duplicate check (and
+        # the lenient fallback's accumulation) instead of last-wins collapsing.
+        items = [(tuple(entry["costs"]), entry["probability"]) for entry in outcomes]
     except (KeyError, TypeError) as exc:
         raise DataError(f"malformed joint distribution payload: {payload!r}") from exc
-    return JointDistribution(edge_ids, pmf, normalise=True)
+    try:
+        return JointDistribution.from_normalised(edge_ids, items)
+    except (JointDistributionError, TypeError, ValueError):
+        return JointDistribution(edge_ids, items, normalise=True)

@@ -27,6 +27,7 @@ from collections.abc import Sequence
 from pathlib import Path as FilePath
 
 from repro.core.errors import DataError
+from repro.persistence.codecs import require_format_version
 from repro.heuristics.binary import BinaryHeuristic
 from repro.heuristics.budget import BudgetHeuristicConfig, BudgetSpecificHeuristic
 from repro.heuristics.tables import HeuristicRow, HeuristicTable
@@ -42,6 +43,8 @@ __all__ = [
     "load_heuristic_table",
     "save_heuristic_bundle",
     "load_heuristic_bundle",
+    "heuristic_bundle_payload",
+    "heuristic_bundle_entries",
 ]
 
 _FORMAT_VERSION = 1
@@ -78,6 +81,7 @@ def binary_heuristic_from_dict(payload: dict) -> BinaryHeuristic:
     Accepts the ``"inf"`` sentinel (and the legacy non-standard ``Infinity``
     token, which Python's json module used to emit) for unreachable vertices.
     """
+    require_format_version(payload, expected=_FORMAT_VERSION, what="binary heuristic")
     try:
         destination = payload["destination"]
         # float() parses numbers as well as the "inf" / "Infinity" sentinels.
@@ -106,9 +110,8 @@ def heuristic_table_to_dict(source: HeuristicTable | BudgetSpecificHeuristic) ->
 
 def heuristic_table_from_dict(payload: dict) -> HeuristicTable:
     """Rebuild a heuristic table from :func:`heuristic_table_to_dict` output."""
+    require_format_version(payload, expected=_FORMAT_VERSION, what="heuristic table")
     try:
-        if payload["format_version"] != _FORMAT_VERSION:
-            raise DataError(f"unsupported heuristic format version {payload['format_version']!r}")
         table = HeuristicTable(
             destination=payload["destination"], delta=payload["delta"], eta=payload["eta"]
         )
@@ -139,6 +142,7 @@ def budget_heuristic_to_dict(heuristic: BudgetSpecificHeuristic) -> dict:
 
 def budget_heuristic_from_dict(payload: dict) -> BudgetSpecificHeuristic:
     """Rebuild a servable budget-specific heuristic without re-running Eq. 5."""
+    require_format_version(payload, expected=_FORMAT_VERSION, what="budget heuristic")
     try:
         table = heuristic_table_from_dict(payload["table"])
         binary = binary_heuristic_from_dict(payload["binary"])
@@ -184,13 +188,33 @@ def save_heuristic_bundle(entries: Sequence[dict], path: str | FilePath) -> None
     """
     path = FilePath(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    payload = {
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(heuristic_bundle_payload(entries), handle, allow_nan=False)
+
+
+def heuristic_bundle_payload(entries: Sequence[dict]) -> dict:
+    """The bundle document for ``entries`` (what :func:`save_heuristic_bundle` writes)."""
+    return {
         "format_version": _BUNDLE_FORMAT_VERSION,
         "kind": "heuristic-bundle",
         "entries": list(entries),
     }
-    with path.open("w", encoding="utf-8") as handle:
-        json.dump(payload, handle, allow_nan=False)
+
+
+def heuristic_bundle_entries(payload: dict) -> list[dict]:
+    """Validate a bundle document's envelope and return its entries."""
+    try:
+        if payload["kind"] != "heuristic-bundle":
+            raise DataError(f"not a heuristic bundle document (kind {payload['kind']!r})")
+        require_format_version(
+            payload, expected=_BUNDLE_FORMAT_VERSION, what="heuristic bundle"
+        )
+        entries = payload["entries"]
+    except (KeyError, TypeError) as exc:
+        raise DataError(f"malformed heuristic bundle: {exc}") from exc
+    if not isinstance(entries, list):
+        raise DataError("malformed heuristic bundle: entries must be a list")
+    return entries
 
 
 def load_heuristic_bundle(path: str | FilePath) -> list[dict]:
@@ -201,15 +225,6 @@ def load_heuristic_bundle(path: str | FilePath) -> list[dict]:
     with path.open("r", encoding="utf-8") as handle:
         payload = json.load(handle)
     try:
-        if payload["kind"] != "heuristic-bundle":
-            raise DataError(f"not a heuristic bundle: {path}")
-        if payload["format_version"] != _BUNDLE_FORMAT_VERSION:
-            raise DataError(
-                f"unsupported heuristic bundle version {payload['format_version']!r}"
-            )
-        entries = payload["entries"]
-    except (KeyError, TypeError) as exc:
-        raise DataError(f"malformed heuristic bundle: {exc}") from exc
-    if not isinstance(entries, list):
-        raise DataError("malformed heuristic bundle: entries must be a list")
-    return entries
+        return heuristic_bundle_entries(payload)
+    except DataError as exc:
+        raise DataError(f"{exc} ({path})") from exc

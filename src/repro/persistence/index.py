@@ -28,6 +28,7 @@ from repro.persistence.codecs import (
     distribution_to_dict,
     joint_from_dict,
     joint_to_dict,
+    require_format_version,
 )
 from repro.vpaths.updated_graph import UpdatedPaceGraph
 
@@ -77,9 +78,8 @@ def index_from_dict(payload: dict) -> UpdatedPaceGraph:
     when the document contains no V-paths the updated graph simply has none,
     and its ``pace_graph`` attribute gives the plain PACE view.
     """
+    require_format_version(payload, expected=_FORMAT_VERSION, what="index document")
     try:
-        if payload["format_version"] != _FORMAT_VERSION:
-            raise DataError(f"unsupported index format version {payload['format_version']!r}")
         network = network_from_dict(payload["network"])
         weights = {
             int(edge_id): distribution_from_dict(encoded)

@@ -1,0 +1,426 @@
+"""Content-addressed store for the offline artifacts of a PACE deployment.
+
+The paper's pipeline is explicitly offline/online: T-path mining, the V-path
+closure and the Eq. 5 budget-table precompute happen *once*, and the routing
+service only consumes the results.  This module is the on-disk contract
+between the two halves.  One store directory holds everything a serving
+process needs to boot without re-mining:
+
+* ``manifest.json`` — the root document: graph content fingerprints, the
+  :class:`~repro.routing.backends.DatasetRecipe` (when known), the
+  :class:`~repro.routing.engine.RouterSettings` the artifacts were built for,
+  per-artifact filenames with format versions and checksums, and free-form
+  build provenance (who built it, when, how long the mining took),
+* ``index-<fingerprint>.json`` — the routable index (road network, edge
+  weights, T-paths with joints, V-paths), in the
+  :mod:`repro.persistence.index` document format, and
+* ``heuristics-<digest>.json`` — optionally, a heuristic bundle in the
+  :mod:`repro.persistence.heuristics` format (binary ``getMin`` maps and
+  Eq. 5 budget tables for the prewarmed destinations).
+
+Artifact files are *content-addressed*: the index file is keyed by the graph
+content fingerprint it serialises, the heuristic bundle by a digest of its own
+bytes, and the manifest records a checksum for each file.  Readers therefore
+never trust a path: :meth:`ArtifactStore.load_index` verifies the checksum
+before parsing and the recomputed graph fingerprints after, so a truncated
+file, a swapped dataset or a stale manifest all fail loudly with a
+:class:`~repro.core.errors.DataError` instead of silently serving a different
+city.  Writers replace the manifest last and garbage-collect unreferenced
+artifact files, so a re-save (e.g. ``repro prewarm --artifacts`` adding more
+destinations) keeps the directory consistent.
+
+:class:`~repro.routing.engine.RoutingEngine.save_artifacts` /
+:meth:`~repro.routing.engine.RoutingEngine.from_artifacts` are the high-level
+entry points; the CLI exposes them as ``repro build-artifacts`` and
+``--artifacts`` on the serving commands.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path as FilePath
+
+from repro.core.errors import DataError
+from repro.core.pace_graph import PaceGraph
+from repro.persistence.codecs import require_format_version
+from repro.persistence.heuristics import heuristic_bundle_entries, heuristic_bundle_payload
+from repro.persistence.index import index_from_dict
+from repro.vpaths.updated_graph import UpdatedPaceGraph
+
+__all__ = [
+    "MANIFEST_NAME",
+    "INDEX_ARTIFACT",
+    "HEURISTICS_ARTIFACT",
+    "ArtifactEntry",
+    "ArtifactManifest",
+    "ArtifactStore",
+]
+
+#: Filename of the store's root document.
+MANIFEST_NAME = "manifest.json"
+#: Manifest ``kind`` tag; rejects unrelated JSON files early.
+_STORE_KIND = "pace-artifact-store"
+_MANIFEST_FORMAT_VERSION = 1
+
+#: Logical artifact names (the keys of :attr:`ArtifactManifest.artifacts`).
+INDEX_ARTIFACT = "index"
+HEURISTICS_ARTIFACT = "heuristics"
+
+#: Serialised document format versions, recorded per artifact so a reader can
+#: refuse files written by a newer codec before attempting to parse them.
+_ARTIFACT_FORMAT_VERSIONS = {INDEX_ARTIFACT: 1, HEURISTICS_ARTIFACT: 1}
+
+
+def _checksum(data: bytes) -> str:
+    """The store's file checksum: a blake2b digest of the raw bytes."""
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+def _utc_now_iso() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+@dataclass(frozen=True)
+class ArtifactEntry:
+    """One artifact file as the manifest records it."""
+
+    filename: str
+    format_version: int
+    checksum: str
+    size_bytes: int
+
+    def to_dict(self) -> dict:
+        return {
+            "filename": self.filename,
+            "format_version": self.format_version,
+            "checksum": self.checksum,
+            "size_bytes": self.size_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ArtifactEntry":
+        try:
+            return cls(
+                filename=str(payload["filename"]),
+                format_version=int(payload["format_version"]),
+                checksum=str(payload["checksum"]),
+                size_bytes=int(payload["size_bytes"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DataError(f"malformed artifact manifest entry: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class ArtifactManifest:
+    """The store's root document: identity, contents and provenance.
+
+    ``fingerprints`` maps ``"pace"`` (always) and ``"updated"`` (``None``
+    when the store was built without the V-path closure) to graph content
+    fingerprints — the identity the loaded graphs are verified against.
+    ``settings`` is the :class:`~repro.routing.engine.RouterSettings` the
+    artifacts were built for (budget tables only admit budgets up to their
+    ``max_budget``, so the settings travel with the tables); ``recipe`` is
+    the :class:`~repro.routing.backends.DatasetRecipe` that mined the index,
+    when known.  ``provenance`` is free-form build metadata (timestamps,
+    builder, mining wall-clock) surfaced through
+    :class:`~repro.routing.engine.EngineStats` but never interpreted.
+    """
+
+    fingerprints: dict[str, str | None]
+    artifacts: dict[str, ArtifactEntry]
+    settings: dict
+    recipe: dict | None = None
+    provenance: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if "pace" not in self.fingerprints or not isinstance(self.fingerprints["pace"], str):
+            raise DataError("artifact manifest must record a 'pace' content fingerprint")
+        if INDEX_ARTIFACT not in self.artifacts:
+            raise DataError("artifact manifest must reference an index artifact")
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": _STORE_KIND,
+            "format_version": _MANIFEST_FORMAT_VERSION,
+            "fingerprints": dict(self.fingerprints),
+            "artifacts": {name: entry.to_dict() for name, entry in self.artifacts.items()},
+            "settings": dict(self.settings),
+            "recipe": None if self.recipe is None else dict(self.recipe),
+            "provenance": dict(self.provenance),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ArtifactManifest":
+        if not isinstance(payload, dict):
+            raise DataError(
+                f"artifact manifest must be a JSON object, got {type(payload).__name__}"
+            )
+        if payload.get("kind") != _STORE_KIND:
+            raise DataError(
+                f"not an artifact store manifest (kind {payload.get('kind')!r}, "
+                f"expected {_STORE_KIND!r})"
+            )
+        require_format_version(
+            payload, expected=_MANIFEST_FORMAT_VERSION, what="artifact manifest"
+        )
+        try:
+            fingerprints = dict(payload["fingerprints"])
+            artifacts = {
+                str(name): ArtifactEntry.from_dict(entry)
+                for name, entry in payload["artifacts"].items()
+            }
+            settings = dict(payload["settings"])
+            recipe = payload.get("recipe")
+            provenance = dict(payload.get("provenance", {}))
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            # AttributeError: "artifacts": null / a list has no .items().
+            raise DataError(f"malformed artifact manifest: {exc}") from exc
+        if recipe is not None and not isinstance(recipe, dict):
+            raise DataError("artifact manifest 'recipe' must be an object or null")
+        return cls(
+            fingerprints=fingerprints,
+            artifacts=artifacts,
+            settings=settings,
+            recipe=recipe,
+            provenance=provenance,
+        )
+
+
+class ArtifactStore:
+    """One deployment's offline artifacts in one directory.
+
+    Construct with the root directory; :meth:`open` additionally requires the
+    manifest to exist and parse (the read side), while :meth:`save` creates or
+    replaces the store contents (the write side).  All read paths verify file
+    checksums against the manifest, and :meth:`load_index` verifies the
+    recomputed graph content fingerprints, so every corruption mode surfaces
+    as a :class:`~repro.core.errors.DataError` at boot rather than as wrong
+    routes at serve time.
+    """
+
+    def __init__(self, root: str | FilePath):
+        self.root = FilePath(root)
+        self._manifest: ArtifactManifest | None = None
+
+    @classmethod
+    def open(cls, root: str | FilePath) -> "ArtifactStore":
+        """Open an existing store, validating its manifest eagerly."""
+        store = cls(root)
+        if not store.manifest_path.exists():
+            raise DataError(
+                f"no artifact store at {store.root}: {MANIFEST_NAME} not found "
+                "(build one with RoutingEngine.save_artifacts or 'repro build-artifacts')"
+            )
+        store.manifest  # noqa: B018 - force the parse so open() fails fast
+        return store
+
+    @property
+    def manifest_path(self) -> FilePath:
+        return self.root / MANIFEST_NAME
+
+    @property
+    def manifest(self) -> ArtifactManifest:
+        """The parsed manifest (cached after the first read)."""
+        if self._manifest is None:
+            try:
+                payload = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+            except FileNotFoundError as exc:
+                raise DataError(f"no artifact store at {self.root}: {exc}") from exc
+            except json.JSONDecodeError as exc:
+                raise DataError(
+                    f"corrupted artifact manifest {self.manifest_path}: {exc}"
+                ) from exc
+            self._manifest = ArtifactManifest.from_dict(payload)
+        return self._manifest
+
+    def has_artifact(self, name: str) -> bool:
+        return name in self.manifest.artifacts
+
+    def artifact_path(self, name: str) -> FilePath:
+        try:
+            entry = self.manifest.artifacts[name]
+        except KeyError as exc:
+            raise DataError(f"artifact store {self.root} holds no {name!r} artifact") from exc
+        return self.root / entry.filename
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def read_document(self, name: str) -> dict:
+        """Read one artifact document, verifying checksum and format version."""
+        entry = self.manifest.artifacts.get(name)
+        if entry is None:
+            raise DataError(f"artifact store {self.root} holds no {name!r} artifact")
+        path = self.root / entry.filename
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError as exc:
+            raise DataError(
+                f"artifact store {self.root} is missing {entry.filename} "
+                f"(referenced by the manifest as {name!r})"
+            ) from exc
+        checksum = _checksum(data)
+        if checksum != entry.checksum:
+            raise DataError(
+                f"artifact {entry.filename} in {self.root} is corrupted: checksum "
+                f"{checksum} does not match the manifest's {entry.checksum}"
+            )
+        try:
+            payload = json.loads(data)
+        except json.JSONDecodeError as exc:  # pragma: no cover - checksum catches first
+            raise DataError(f"artifact {entry.filename} is not valid JSON: {exc}") from exc
+        expected_version = _ARTIFACT_FORMAT_VERSIONS.get(name)
+        if expected_version is not None:
+            require_format_version(payload, expected=expected_version, what=f"{name} artifact")
+        return payload
+
+    def load_index(self) -> tuple[PaceGraph, UpdatedPaceGraph | None]:
+        """Load the routable index and verify it against the manifest identity.
+
+        Returns ``(pace_graph, updated_graph)``; ``updated_graph`` is ``None``
+        when the store was built without the V-path closure.  The recomputed
+        content fingerprints must equal the manifest's — a mismatch means the
+        index file belongs to different graph content than the manifest (and
+        its heuristics) claim, and is rejected.
+        """
+        manifest = self.manifest
+        updated = index_from_dict(self.read_document(INDEX_ARTIFACT))
+        pace = updated.pace_graph
+        pace_fingerprint = pace.content_fingerprint()
+        if pace_fingerprint != manifest.fingerprints["pace"]:
+            raise DataError(
+                f"index artifact in {self.root} holds a different PACE graph than the "
+                f"manifest records (content fingerprint {pace_fingerprint} != "
+                f"{manifest.fingerprints['pace']})"
+            )
+        updated_fingerprint = manifest.fingerprints.get("updated")
+        if updated_fingerprint is None:
+            return pace, None
+        if updated.content_fingerprint() != updated_fingerprint:
+            raise DataError(
+                f"index artifact in {self.root} holds a different V-path closure than "
+                f"the manifest records (content fingerprint "
+                f"{updated.content_fingerprint()} != {updated_fingerprint})"
+            )
+        return pace, updated
+
+    def load_heuristic_entries(self) -> list[dict]:
+        """The tagged heuristic-bundle entries, or ``[]`` when none were persisted."""
+        if not self.has_artifact(HEURISTICS_ARTIFACT):
+            return []
+        return heuristic_bundle_entries(self.read_document(HEURISTICS_ARTIFACT))
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def save(
+        self,
+        *,
+        index_document: dict,
+        fingerprints: dict[str, str | None],
+        settings: dict,
+        heuristic_entries: list[dict] | None = None,
+        recipe: dict | None = None,
+        provenance: dict | None = None,
+    ) -> ArtifactManifest:
+        """Write (or replace) the store contents and return the new manifest.
+
+        The index file is named by the primary graph fingerprint (the V-path
+        closure's when present, the PACE graph's otherwise) and the heuristic
+        bundle by a digest of its own bytes, so unchanged artifacts are
+        skipped on re-save; the manifest is replaced atomically last, and any
+        artifact files no longer referenced are removed.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        primary = fingerprints.get("updated") or fingerprints.get("pace")
+        if not primary:
+            raise DataError("artifact stores need at least the 'pace' content fingerprint")
+
+        artifacts: dict[str, ArtifactEntry] = {}
+        index_bytes = json.dumps(index_document, allow_nan=False).encode("utf-8")
+        artifacts[INDEX_ARTIFACT] = self._write_blob(
+            f"index-{primary[:16]}.json",
+            index_bytes,
+            format_version=_ARTIFACT_FORMAT_VERSIONS[INDEX_ARTIFACT],
+        )
+        if heuristic_entries:
+            bundle_bytes = json.dumps(
+                heuristic_bundle_payload(heuristic_entries), allow_nan=False
+            ).encode("utf-8")
+            artifacts[HEURISTICS_ARTIFACT] = self._write_blob(
+                f"heuristics-{_checksum(bundle_bytes)[:16]}.json",
+                bundle_bytes,
+                format_version=_ARTIFACT_FORMAT_VERSIONS[HEURISTICS_ARTIFACT],
+            )
+        else:
+            # A saver with no heuristics to contribute (e.g. an engine booted
+            # with overridden settings that skipped the persisted tables) must
+            # not destroy the store's existing prewarm investment: tables are
+            # keyed by graph content, so as long as the graphs are unchanged
+            # the previously persisted bundle stays valid — keep it.
+            existing = self._existing_heuristics_entry(fingerprints)
+            if existing is not None:
+                artifacts[HEURISTICS_ARTIFACT] = existing
+
+        full_provenance = {"created_at": _utc_now_iso()}
+        full_provenance.update(provenance or {})
+        manifest = ArtifactManifest(
+            fingerprints=dict(fingerprints),
+            artifacts=artifacts,
+            settings=dict(settings),
+            recipe=None if recipe is None else dict(recipe),
+            provenance=full_provenance,
+        )
+        temporary = self.manifest_path.with_suffix(".json.tmp")
+        temporary.write_text(
+            json.dumps(manifest.to_dict(), indent=2, allow_nan=False), encoding="utf-8"
+        )
+        temporary.replace(self.manifest_path)
+        self._manifest = manifest
+        self._collect_garbage(manifest)
+        return manifest
+
+    def _existing_heuristics_entry(
+        self, fingerprints: dict[str, str | None]
+    ) -> ArtifactEntry | None:
+        """The current manifest's heuristics entry, iff it still applies."""
+        if not self.manifest_path.exists():
+            return None
+        try:
+            previous = self.manifest
+        except DataError:
+            return None
+        entry = previous.artifacts.get(HEURISTICS_ARTIFACT)
+        if entry is None or dict(previous.fingerprints) != dict(fingerprints):
+            return None
+        if not (self.root / entry.filename).exists():
+            return None
+        return entry
+
+    def _write_blob(self, filename: str, data: bytes, *, format_version: int) -> ArtifactEntry:
+        checksum = _checksum(data)
+        path = self.root / filename
+        # Content-addressed names make equality checkable without reading the
+        # old file for the bundle; the index name is the graph fingerprint, so
+        # compare checksums before rewriting a multi-megabyte document.
+        if not path.exists() or _checksum(path.read_bytes()) != checksum:
+            path.write_bytes(data)
+        return ArtifactEntry(
+            filename=filename,
+            format_version=format_version,
+            checksum=checksum,
+            size_bytes=len(data),
+        )
+
+    def _collect_garbage(self, manifest: ArtifactManifest) -> None:
+        referenced = {entry.filename for entry in manifest.artifacts.values()}
+        for pattern in ("index-*.json", "heuristics-*.json"):
+            for stale in self.root.glob(pattern):
+                if stale.name not in referenced:
+                    stale.unlink(missing_ok=True)
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore(root={str(self.root)!r})"

@@ -8,6 +8,8 @@ wire-format requests, responses and error taxonomy.
 """
 
 from repro.routing.backends import (
+    ArtifactRef,
+    DatasetRecipe,
     EngineSpec,
     ExecutionBackend,
     ProcessBackend,
@@ -63,6 +65,8 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "DatasetRecipe",
+    "ArtifactRef",
     "EngineSpec",
     "ERROR_CODES",
     "RouteError",

@@ -13,10 +13,13 @@ returns results **in input order**:
 * :class:`ProcessBackend` — fan-out over worker *processes*.  The pure-Python
   best-first search loops are GIL-bound, so threads cannot scale them;
   processes can, but they cannot share live graph objects.  Each worker
-  therefore initialises once from the engine's :class:`EngineSpec` (a
-  serialisable recipe that deterministically rebuilds the same graphs —
-  verified via the content fingerprint) plus, optionally, a persisted
-  heuristic bundle, and then answers destination-grouped chunks.
+  therefore initialises once from the engine's :data:`EngineSpec` — either a
+  :class:`DatasetRecipe` (re-run generation and T-path mining; deterministic,
+  verified via the content fingerprint) or an :class:`ArtifactRef` (load the
+  persisted index and heuristics from an on-disk
+  :class:`~repro.persistence.store.ArtifactStore`, fingerprint-verified, zero
+  rebuilds) — plus, optionally, a persisted heuristic bundle, and then
+  answers destination-grouped chunks.
 
 Every backend preserves input order and result parity with the serial
 evaluation, because each router's search is deterministic given its
@@ -45,8 +48,11 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "DatasetRecipe",
+    "ArtifactRef",
     "EngineSpec",
     "destination_grouped_order",
+    "balanced_destination_chunks",
 ]
 
 
@@ -69,6 +75,37 @@ def _destination_chunks(queries: Sequence[RoutingQuery], order: Sequence[int]) -
             chunks.append([])
             current_destination = destination
         chunks[-1].append(index)
+    return chunks
+
+
+def balanced_destination_chunks(
+    queries: Sequence[RoutingQuery], order: Sequence[int], workers: int
+) -> list[list[int]]:
+    """Per-destination chunks, with dominant destinations split across workers.
+
+    Purely per-destination chunking leaves workers idle on skewed batches: one
+    hot destination (a stadium after the match, the airport at 6 am) forms a
+    single chunk that serialises on one worker while the others finish their
+    small chunks and wait.  Any chunk larger than an even per-worker share
+    (``ceil(len(order) / workers)``) is therefore split into shares, so a hot
+    destination spreads over idle workers.  Splitting never interleaves
+    destinations — every piece still holds queries of exactly one destination,
+    so each worker builds (or bundle-loads) at most one heuristic per piece;
+    with heuristics prewarmed from a bundle or an artifact store the extra
+    per-worker lookup is free.  Chunks are returned longest first (LPT) so the
+    largest pieces are scheduled before the pool fills up.
+    """
+    chunks = _destination_chunks(queries, order)
+    if workers > 1:
+        share = -(-len(order) // workers)  # ceil division
+        split: list[list[int]] = []
+        for chunk in chunks:
+            if len(chunk) <= share:
+                split.append(chunk)
+            else:
+                split.extend(chunk[start : start + share] for start in range(0, len(chunk), share))
+        chunks = split
+    chunks.sort(key=len, reverse=True)
     return chunks
 
 
@@ -143,16 +180,19 @@ class ThreadBackend:
 
 
 @dataclass(frozen=True)
-class EngineSpec:
-    """A serialisable recipe that rebuilds a :class:`RoutingEngine` anywhere.
+class DatasetRecipe:
+    """A serialisable recipe that *re-mines* a :class:`RoutingEngine` anywhere.
 
-    The spec names one of the bundled deterministic datasets and the offline
+    The recipe names one of the bundled deterministic datasets and the offline
     pipeline parameters; :meth:`build_engine` re-runs generation, T-path
     mining and (optionally) the V-path closure, producing graphs whose
     :meth:`~repro.core.pace_graph.PaceGraph.content_fingerprint` matches any
-    other engine built from the same spec — which is what lets multiprocess
+    other engine built from the same recipe — which is what lets multiprocess
     workers share heuristic cache keys and persisted bundles with the parent
-    process.
+    process.  Re-mining is the right tool for tests and experiments; a
+    deployment should mine once, persist the results with
+    :meth:`~repro.routing.engine.RoutingEngine.save_artifacts` and boot
+    workers from the resulting :class:`ArtifactRef` instead.
     """
 
     dataset: str
@@ -183,7 +223,66 @@ class EngineSpec:
         updated = None
         if self.build_vpaths:
             updated, _ = UpdatedPaceGraph.build(pace)
-        return RoutingEngine(pace, updated, settings=settings, spec=self)
+        return RoutingEngine(
+            pace,
+            updated,
+            settings=settings,
+            spec=self,
+            provenance={
+                "source": "recipe",
+                "dataset": dataset.provenance(),
+                "regime": self.regime,
+                "tau": self.tau,
+            },
+        )
+
+
+@dataclass(frozen=True)
+class ArtifactRef:
+    """A pointer to an on-disk :class:`~repro.persistence.store.ArtifactStore`.
+
+    The artifact counterpart of :class:`DatasetRecipe`: instead of re-running
+    the offline pipeline, :meth:`build_engine` loads the persisted index (and
+    any persisted heuristics) from the store at ``path`` — cold-starting in
+    seconds instead of re-mining minutes, which is what lets a deployment
+    mine once and fan out many workers.  The optional expected fingerprints
+    pin the ref to specific graph *content*: a parent engine hands workers a
+    ref carrying its own fingerprints, and a worker whose store was swapped
+    or corrupted fails loudly instead of serving a different city.
+    """
+
+    path: str
+    pace_fingerprint: str | None = None
+    updated_fingerprint: str | None = None
+
+    def build_engine(self, settings: "RouterSettings | None" = None) -> "RoutingEngine":
+        """Load the engine from the artifact store, verifying fingerprints."""
+        from repro.routing.engine import RoutingEngine
+
+        engine = RoutingEngine.from_artifacts(self.path, settings=settings)
+        if (
+            self.pace_fingerprint is not None
+            and engine.pace_graph.content_fingerprint() != self.pace_fingerprint
+        ):
+            raise DataError(
+                f"artifact store {self.path} holds a different PACE graph than this "
+                f"ref expects (content fingerprint "
+                f"{engine.pace_graph.content_fingerprint()} != {self.pace_fingerprint})"
+            )
+        if self.updated_fingerprint is not None and (
+            engine.updated_graph is None
+            or engine.updated_graph.content_fingerprint() != self.updated_fingerprint
+        ):
+            raise DataError(
+                f"artifact store {self.path} holds a different V-path closure than "
+                f"this ref expects (fingerprint {self.updated_fingerprint})"
+            )
+        return engine
+
+
+#: Everything a :class:`RoutingEngine` can be (re)built from: re-mine from a
+#: deterministic dataset recipe, or boot from a persisted artifact store.
+EngineSpec = DatasetRecipe | ArtifactRef
 
 
 @dataclass(frozen=True)
@@ -210,16 +309,16 @@ def _initialise_worker(config: _WorkerConfig) -> None:
         and engine.pace_graph.content_fingerprint() != config.pace_fingerprint
     ):
         raise DataError(
-            f"worker rebuilt a different PACE graph from spec {config.spec!r}: "
-            "the dataset spec is not deterministic across processes"
+            f"worker built a different PACE graph from spec {config.spec!r}: "
+            "the spec does not reproduce the parent engine's graphs"
         )
     if config.updated_fingerprint is not None and (
         engine.updated_graph is None
         or engine.updated_graph.content_fingerprint() != config.updated_fingerprint
     ):
         raise DataError(
-            f"worker rebuilt a different V-path closure from spec {config.spec!r}: "
-            "the dataset spec is not deterministic across processes"
+            f"worker built a different V-path closure from spec {config.spec!r}: "
+            "the spec does not reproduce the parent engine's graphs"
         )
     if config.heuristics_path is not None:
         engine.prewarm(config.heuristics_path)
@@ -238,12 +337,14 @@ class ProcessBackend:
 
     Workers are spawned lazily on the first :meth:`run` and **kept alive**
     across batches (the pool is the unit of serving, like the paper's
-    offline/online split): each worker initialises exactly once by rebuilding
-    the engine from the parent engine's :class:`EngineSpec` — verified against
-    the parent's graph content fingerprints — and optionally prewarming from a
-    heuristic bundle (``heuristics_path``), so steady-state batches pay only
-    for routing.  Use :meth:`close` (or a ``with`` block) to release the
-    workers.
+    offline/online split): each worker initialises exactly once from the
+    parent engine's :data:`EngineSpec` — re-mining from a
+    :class:`DatasetRecipe`, or cold-booting the persisted index and
+    heuristics from an :class:`ArtifactRef` with zero rebuilds; either way
+    verified against the parent's graph content fingerprints — and optionally
+    prewarming from a heuristic bundle (``heuristics_path``), so steady-state
+    batches pay only for routing.  Use :meth:`close` (or a ``with`` block) to
+    release the workers.
 
     A query failing in a worker propagates its exception to the caller (the
     pool survives); a worker failing to initialise surfaces as a
@@ -274,8 +375,9 @@ class ProcessBackend:
         if spec is None:
             raise ConfigurationError(
                 "ProcessBackend workers rebuild the engine in their own process, which "
-                "needs a serialisable recipe: construct the engine via "
-                "EngineSpec(...).build_engine() or RoutingEngine(..., spec=EngineSpec(...))."
+                "needs a serialisable spec: construct the engine via "
+                "DatasetRecipe(...).build_engine(), RoutingEngine.from_artifacts(store), "
+                "or RoutingEngine(..., spec=...)."
             )
         return _WorkerConfig(
             spec=spec,
@@ -333,10 +435,7 @@ class ProcessBackend:
     ) -> list[RoutingResult]:
         pool = self._ensure_pool(engine)
         order = destination_grouped_order(queries)
-        chunks = _destination_chunks(queries, order)
-        # Longest-chunk-first submission: with per-destination chunks, one hot
-        # destination scheduled last would otherwise dominate the makespan.
-        chunks.sort(key=len, reverse=True)
+        chunks = balanced_destination_chunks(queries, order, self.workers)
         futures = [
             pool.submit(_route_chunk, method.canonical_name, [queries[i] for i in chunk])
             for chunk in chunks

@@ -23,7 +23,13 @@ strategy is pluggable via :mod:`repro.routing.backends` (serial,
 thread fan-out, or a multiprocess worker pool); results are identical to
 routing each query alone, in input order.  :meth:`RoutingEngine.stats`
 reports serving introspection (cache hits/misses, heuristic build seconds,
-per-method query counts).
+per-method query counts, engine provenance).
+
+:meth:`RoutingEngine.save_artifacts` / :meth:`RoutingEngine.from_artifacts`
+are the deployment cycle: persist the graphs and every cached heuristic into
+a content-addressed :class:`~repro.persistence.store.ArtifactStore` once,
+then cold-boot serving engines — and multiprocess workers — from it with
+fingerprint verification and zero rebuilds.
 """
 
 from __future__ import annotations
@@ -32,7 +38,7 @@ import threading
 import time
 from collections import Counter
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path as FilePath
 
 from repro.core.errors import ConfigurationError, DataError
@@ -73,12 +79,18 @@ __all__ = [
 
 @dataclass(frozen=True)
 class RouterSettings:
-    """Cross-cutting knobs shared by every router built by :func:`create_router`."""
+    """Cross-cutting knobs shared by every router built by :func:`create_router`.
+
+    ``heuristic_sweeps`` caps the Eq. 5 Bellman passes per budget table;
+    ``None`` runs the sweep to its fixpoint (converged tables — the default
+    for artifact builds, where the cost is paid once offline and the tables
+    are served forever).
+    """
 
     max_support: int = 64
     max_explored: int = 100000
     max_budget: float = 5000.0
-    heuristic_sweeps: int = 2
+    heuristic_sweeps: int | None = 2
 
     def naive(self) -> NaiveRouterConfig:
         return NaiveRouterConfig(max_support=self.max_support, max_explored=self.max_explored)
@@ -266,6 +278,11 @@ class EngineStats:
     heuristic_build_seconds: float
     queries_total: int
     queries_by_method: dict[str, int]
+    #: Where this engine's graphs came from: ``{"source": "artifacts", "path":
+    #: ..., ...}`` for engines booted via :meth:`RoutingEngine.from_artifacts`,
+    #: ``{"source": "recipe", ...}`` for re-mined engines, ``{"source":
+    #: "memory"}`` for engines wrapped around in-process graphs.
+    provenance: dict = field(default_factory=lambda: {"source": "memory"})
 
 
 class RoutingEngine:
@@ -292,9 +309,18 @@ class RoutingEngine:
     any process whose graphs have equal content — the multiprocess serving
     path — with zero rebuilds.
 
-    ``spec`` optionally records the :class:`~repro.routing.backends.EngineSpec`
-    this engine was built from; a :class:`ProcessBackend` uses it to
-    initialise its workers.
+    The engine is also the unit of *artifact* persistence:
+    :meth:`save_artifacts` writes the index (graphs) plus every cached
+    heuristic into a content-addressed
+    :class:`~repro.persistence.store.ArtifactStore`, and
+    :meth:`from_artifacts` boots an engine from such a store — fingerprints
+    verified, zero T-path mining, zero heuristic rebuilds.
+
+    ``spec`` optionally records the :data:`~repro.routing.backends.EngineSpec`
+    this engine was built from (a :class:`~repro.routing.backends.DatasetRecipe`
+    or an :class:`~repro.routing.backends.ArtifactRef`); a
+    :class:`ProcessBackend` uses it to initialise its workers.  ``provenance``
+    is the free-form origin record surfaced by :meth:`stats`.
     """
 
     def __init__(
@@ -304,6 +330,7 @@ class RoutingEngine:
         *,
         settings: RouterSettings | None = None,
         spec=None,
+        provenance: dict | None = None,
     ):
         self._pace_graph = pace_graph
         self._updated_graph = updated_graph
@@ -314,6 +341,7 @@ class RoutingEngine:
         self._query_counts: Counter[str] = Counter()
         self._stats_lock = threading.Lock()
         self.spec = spec
+        self.provenance = dict(provenance) if provenance is not None else {"source": "memory"}
 
     # -------------------------------------------------------------- #
     # Introspection
@@ -346,6 +374,7 @@ class RoutingEngine:
             heuristic_build_seconds=self._cache.build_seconds,
             queries_total=sum(counts.values()),
             queries_by_method=counts,
+            provenance=dict(self.provenance),
         )
 
     def _count_queries(self, method_name: str, count: int) -> None:
@@ -460,6 +489,12 @@ class RoutingEngine:
         needed to re-key and validate it on load — in this process or any
         other.  Returns the number of entries written.
         """
+        entries = self._heuristic_entries()
+        save_heuristic_bundle(entries, path)
+        return len(entries)
+
+    def _heuristic_entries(self) -> list[dict]:
+        """The cache snapshot as tagged, portable heuristic-bundle entries."""
         entries: list[dict] = []
         for key, heuristic in sorted(self._cache.snapshot().items(), key=lambda kv: str(kv[0])):
             kind = key[0]
@@ -493,8 +528,7 @@ class RoutingEngine:
                         "heuristic": budget_heuristic_to_dict(heuristic),
                     }
                 )
-        save_heuristic_bundle(entries, path)
-        return len(entries)
+        return entries
 
     def load_heuristics(self, path: str | FilePath) -> int:
         """Load a :meth:`save_heuristics` bundle into the heuristic cache.
@@ -511,8 +545,12 @@ class RoutingEngine:
         may under-estimate).  Skipped heuristics are simply rebuilt on
         demand.  Returns the number of entries loaded.
         """
+        return self._load_heuristic_entries(load_heuristic_bundle(path))
+
+    def _load_heuristic_entries(self, entries: Sequence[dict]) -> int:
+        """Validate tagged bundle entries and seed the cache with them."""
         loaded = 0
-        for entry in load_heuristic_bundle(path):
+        for entry in entries:
             try:
                 kind = entry["kind"]
                 if kind == "binary":
@@ -575,6 +613,124 @@ class RoutingEngine:
             self._cache.insert(key, heuristic)
             loaded += 1
         return loaded
+
+    # -------------------------------------------------------------- #
+    # Artifact persistence (mine once, boot engines from disk forever)
+    # -------------------------------------------------------------- #
+    def save_artifacts(self, store, *, provenance: dict | None = None):
+        """Persist this engine's offline artifacts to an artifact store.
+
+        Writes the routable index (road network, edge weights, T-paths,
+        V-path closure) plus every cached heuristic into ``store`` (an
+        :class:`~repro.persistence.store.ArtifactStore` or a directory path),
+        together with a manifest recording the graph content fingerprints,
+        the :class:`RouterSettings`, the originating
+        :class:`~repro.routing.backends.DatasetRecipe` (when this engine was
+        built from one) and build provenance.  ``provenance`` adds caller
+        metadata (e.g. mining wall-clock) to the manifest.  Returns the
+        written :class:`~repro.persistence.store.ArtifactManifest`.
+        """
+        from repro.persistence.index import index_to_dict
+        from repro.persistence.store import ArtifactStore
+        from repro.routing.backends import DatasetRecipe
+
+        if not isinstance(store, ArtifactStore):
+            store = ArtifactStore(store)
+        graph = self._updated_graph if self._updated_graph is not None else self._pace_graph
+        fingerprints = {
+            "pace": self._pace_graph.content_fingerprint(),
+            "updated": (
+                None
+                if self._updated_graph is None
+                else self._updated_graph.content_fingerprint()
+            ),
+        }
+        entries = self._heuristic_entries()
+        build_provenance = {
+            "builder": "RoutingEngine.save_artifacts",
+            "heuristic_entries": len(entries),
+            "heuristic_build_seconds": round(self._cache.build_seconds, 6),
+            "heuristic_sweeps": self._settings.heuristic_sweeps,
+            # A shallow origin record; "build" (the previous manifest's
+            # provenance) is dropped so repeated re-saves don't nest forever.
+            "engine": {k: v for k, v in self.provenance.items() if k != "build"},
+        }
+        # An artifact-booted engine re-saving (``prewarm --artifacts``) keeps
+        # the previous manifest's build record — the index is unchanged, so
+        # its provenance (mine_seconds in particular, which the benchmark
+        # cache contract reads) must survive; freshly computed keys win.
+        for key, value in self.provenance.get("build", {}).items():
+            if key != "created_at":
+                build_provenance.setdefault(key, value)
+        build_provenance.update(provenance or {})
+        if isinstance(self.spec, DatasetRecipe):
+            recipe = asdict(self.spec)
+        else:
+            # An artifact-booted engine re-saving (e.g. ``prewarm --artifacts``)
+            # keeps the original mining recipe the store recorded.
+            recipe = self.provenance.get("recipe")
+        return store.save(
+            index_document=index_to_dict(graph),
+            fingerprints=fingerprints,
+            settings=asdict(self._settings),
+            heuristic_entries=entries or None,
+            recipe=recipe,
+            provenance=build_provenance,
+        )
+
+    @classmethod
+    def from_artifacts(cls, store, *, settings: RouterSettings | None = None) -> "RoutingEngine":
+        """Boot an engine from a persisted artifact store — never re-mine.
+
+        Loads the index (checksum- and fingerprint-verified) and seeds the
+        heuristic cache from the store's persisted bundle, so the first
+        queries are served from the pre-computed tables with zero cache
+        misses.  ``settings`` defaults to the :class:`RouterSettings` the
+        artifacts were built for (recorded in the manifest) — overriding
+        them is allowed, but heuristics that cannot serve the override
+        admissibly (e.g. budget tables below a larger ``max_budget``) are
+        skipped and rebuilt on demand.  The returned engine's ``spec`` is an
+        :class:`~repro.routing.backends.ArtifactRef` pinned to the loaded
+        fingerprints, so a :class:`~repro.routing.backends.ProcessBackend`
+        boots every worker from the same store, verified, with zero rebuilds.
+        """
+        from repro.persistence.store import ArtifactStore
+        from repro.routing.backends import ArtifactRef
+
+        if not isinstance(store, ArtifactStore):
+            store = ArtifactStore.open(store)
+        manifest = store.manifest
+        if settings is None:
+            try:
+                settings = RouterSettings(**manifest.settings)
+            except TypeError as exc:
+                raise DataError(
+                    f"artifact manifest settings {sorted(manifest.settings)} do not match "
+                    f"this version's RouterSettings: {exc}"
+                ) from exc
+        pace, updated = store.load_index()
+        spec = ArtifactRef(
+            path=str(store.root),
+            pace_fingerprint=manifest.fingerprints["pace"],
+            updated_fingerprint=manifest.fingerprints.get("updated"),
+        )
+        engine = cls(
+            pace,
+            updated,
+            settings=settings,
+            spec=spec,
+            provenance={
+                "source": "artifacts",
+                "path": str(store.root),
+                "fingerprints": dict(manifest.fingerprints),
+                "recipe": None if manifest.recipe is None else dict(manifest.recipe),
+                "build": dict(manifest.provenance),
+            },
+        )
+        entries = store.load_heuristic_entries()
+        if entries:
+            engine._load_heuristic_entries(entries)
+        return engine
 
     # -------------------------------------------------------------- #
     # Routing

@@ -350,6 +350,17 @@ class RoutingService:
     def default_method(self) -> MethodSpec:
         return self._default_method
 
+    def stats(self):
+        """The engine's serving counters and provenance.
+
+        The returned :class:`~repro.routing.engine.EngineStats` includes the
+        engine's origin record (``provenance``) — for an artifact-booted
+        engine, the store path, the graph content fingerprints and the build
+        metadata — so an operator can always answer *which* offline build a
+        service is serving from.
+        """
+        return self._engine.stats()
+
     # ------------------------------------------------------------------ #
     # Validation
     # ------------------------------------------------------------------ #

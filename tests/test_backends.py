@@ -12,10 +12,13 @@ import pytest
 
 from repro.core.errors import ConfigurationError, GraphError, ReproError
 from repro.routing.backends import (
+    ArtifactRef,
+    DatasetRecipe,
     EngineSpec,
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
+    balanced_destination_chunks,
     destination_grouped_order,
 )
 from repro.routing.engine import RouterSettings, RoutingEngine
@@ -23,7 +26,7 @@ from repro.routing.queries import RoutingQuery
 
 pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
-TINY_SPEC = EngineSpec(dataset="tiny", regime="peak", tau=20)
+TINY_SPEC = DatasetRecipe(dataset="tiny", regime="peak", tau=20)
 SETTINGS = RouterSettings(max_budget=900.0, max_explored=2000)
 
 
@@ -86,6 +89,48 @@ class TestOrderAndDuplicates:
                 backend.close()
         _assert_same_results(serial, results, tiny_queries)
 
+    def test_balanced_chunks_split_a_dominant_destination(self, tiny_queries):
+        hot = tiny_queries[0].destination
+        queries = [RoutingQuery(1, hot, budget=100.0 + i) for i in range(10)] + [
+            RoutingQuery(1, hot + 1, budget=100.0),
+            RoutingQuery(1, hot + 2, budget=100.0),
+        ]
+        order = destination_grouped_order(queries)
+        chunks = balanced_destination_chunks(queries, order, workers=4)
+        # ceil(12 / 4) = 3: the hot destination's 10 queries split into shares.
+        assert max(len(chunk) for chunk in chunks) == 3
+        # No piece ever interleaves destinations (one heuristic per piece).
+        for chunk in chunks:
+            assert len({queries[i].destination for i in chunk}) == 1
+        # Longest-first submission, and nothing lost or duplicated.
+        assert [len(c) for c in chunks] == sorted((len(c) for c in chunks), reverse=True)
+        assert sorted(i for chunk in chunks for i in chunk) == list(range(len(queries)))
+
+    def test_balanced_chunks_leave_single_worker_batches_alone(self, tiny_queries):
+        order = destination_grouped_order(tiny_queries)
+        chunks = balanced_destination_chunks(tiny_queries, order, workers=1)
+        destinations = [tiny_queries[chunk[0]].destination for chunk in chunks]
+        assert len(destinations) == len(set(destinations))  # one chunk per destination
+
+    def test_balanced_chunks_split_hot_destination_even_in_tiny_batches(self):
+        # 4 queries, one destination, 4 workers: the even share is 1, so the
+        # chunk must split into singletons — not serialise on one worker.
+        queries = [RoutingQuery(1, 9, budget=100.0 + i) for i in range(4)]
+        order = destination_grouped_order(queries)
+        chunks = balanced_destination_chunks(queries, order, workers=4)
+        assert [len(chunk) for chunk in chunks] == [1, 1, 1, 1]
+
+    def test_process_backend_parity_on_a_skewed_batch(self, spec_engine):
+        vertices = sorted(spec_engine.pace_graph.network.vertex_ids())
+        hot, cold = vertices[-1], vertices[len(vertices) // 2]
+        queries = [
+            RoutingQuery(vertices[i % 3], hot, budget=250.0 + 25.0 * i) for i in range(9)
+        ] + [RoutingQuery(vertices[0], cold, budget=300.0)]
+        serial = spec_engine.route_many(queries, method="T-BS-60")
+        with ProcessBackend(workers=2) as backend:
+            results = spec_engine.route_many(queries, method="T-BS-60", backend=backend)
+        _assert_same_results(serial, results, queries)
+
     def test_duplicate_queries_answer_identically(self, spec_engine, tiny_queries):
         results = spec_engine.route_many(tiny_queries, method="T-B-P")
         first, duplicate = results[0], results[2]
@@ -132,7 +177,7 @@ class TestWorkerFailures:
         assert engine.spec is None
         queries = [RoutingQuery(0, 1, budget=30.0)]
         with ProcessBackend(workers=2) as backend:
-            with pytest.raises(ConfigurationError, match="EngineSpec"):
+            with pytest.raises(ConfigurationError, match="DatasetRecipe"):
                 engine.route_many(queries, method="T-B-P", backend=backend)
 
 
@@ -181,6 +226,27 @@ class TestCrossProcessHeuristics:
         with ProcessBackend(workers=2, heuristics_path=bundle) as backend:
             results = spec_engine.route_many(tiny_queries, method="T-BS-60", backend=backend)
         _assert_same_results(serial, results, tiny_queries)
+
+    def test_process_workers_boot_from_artifacts(self, spec_engine, tiny_queries, tmp_path):
+        """The deployment fan-out: every worker cold-boots from the store.
+
+        The parent engine is itself booted via ``from_artifacts``, so its spec
+        is an :class:`ArtifactRef` carrying the expected fingerprints, and the
+        worker processes initialise from the same store — fingerprint-verified,
+        zero re-mining, zero heuristic rebuilds.
+        """
+        destinations = sorted({q.destination for q in tiny_queries})
+        spec_engine.prewarm("T-BS-60", destinations)
+        store = tmp_path / "store"
+        spec_engine.save_artifacts(store)
+        parent = RoutingEngine.from_artifacts(store)
+        assert isinstance(parent.spec, ArtifactRef)
+        assert isinstance(parent.spec, EngineSpec)  # the union covers both forms
+        serial = spec_engine.route_many(tiny_queries, method="T-BS-60")
+        with ProcessBackend(workers=2) as backend:
+            results = parent.route_many(tiny_queries, method="T-BS-60", backend=backend)
+        _assert_same_results(serial, results, tiny_queries)
+        assert parent.heuristic_cache.misses == 0
 
 
 class TestEngineStats:

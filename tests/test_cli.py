@@ -238,3 +238,203 @@ class TestCommands:
         assert exit_code == 0
         assert "prewarmed 1 heuristics" in output
         assert "P(arrive within" in output
+
+    def test_build_artifacts_then_serve_from_store(self, capsys, tmp_path, small_dataset):
+        """The deployment pipeline end to end: mine once, serve from disk."""
+        trajectory = next(t for t in small_dataset.peak if t.num_edges >= 4)
+        destination = trajectory.path.target
+        budget = trajectory.total_cost * 2
+        store = tmp_path / "store"
+        assert main(
+            [
+                "build-artifacts",
+                "--dataset",
+                "tiny",
+                "--out",
+                str(store),
+                "--method",
+                "T-BS-60",
+                "--destinations",
+                str(destination),
+                "--max-budget",
+                str(max(600.0, budget * 2)),
+                "--sweeps",
+                "2",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "pace fingerprint" in output
+        assert (store / "manifest.json").exists()
+
+        # route boots from the store instead of re-mining.
+        exit_code = main(
+            [
+                "route",
+                "--artifacts",
+                str(store),
+                "--method",
+                "T-BS-60",
+                "--source",
+                str(trajectory.path.source),
+                "--destination",
+                str(destination),
+                "--budget",
+                str(budget),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "P(arrive within" in output
+
+        # route-batch boots from the store too (serial backend here; the
+        # multiprocess path is covered in tests/test_backends.py).
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            json.dumps(
+                {
+                    "source": trajectory.path.source,
+                    "destination": destination,
+                    "budget": budget,
+                }
+            )
+            + "\n"
+        )
+        exit_code = main(
+            [
+                "route-batch",
+                "--artifacts",
+                str(store),
+                "--method",
+                "T-BS-60",
+                "--input",
+                str(requests),
+                "--output",
+                str(tmp_path / "responses.jsonl"),
+            ]
+        )
+        assert exit_code == 0
+        response = json.loads((tmp_path / "responses.jsonl").read_text().splitlines()[0])
+        assert response["ok"] is True
+
+    def test_prewarm_updates_artifact_store_in_place(self, capsys, tmp_path, small_dataset):
+        trajectory = next(t for t in small_dataset.peak if t.num_edges >= 4)
+        destination = trajectory.path.target
+        store = tmp_path / "store"
+        assert main(
+            ["build-artifacts", "--dataset", "tiny", "--out", str(store), "--sweeps", "1"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            [
+                "prewarm",
+                "--artifacts",
+                str(store),
+                "--method",
+                "T-B-P",
+                "--destinations",
+                str(destination),
+            ]
+        ) == 0
+        assert "store entries" in capsys.readouterr().out
+        from repro.persistence.store import ArtifactStore
+
+        manifest = ArtifactStore.open(store).manifest
+        assert "heuristics" in manifest.artifacts
+
+    def test_prewarm_without_out_or_artifacts_errors(self, capsys):
+        assert main(
+            ["prewarm", "--dataset", "tiny", "--method", "T-B-P", "--destinations", "3"]
+        ) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_route_from_missing_store_fails_cleanly(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "route",
+                    "--artifacts",
+                    str(tmp_path / "nowhere"),
+                    "--source",
+                    "0",
+                    "--destination",
+                    "1",
+                    "--budget",
+                    "100",
+                ]
+            )
+        # Exit 2 = operational error, never confusable with route's exit 1
+        # ("no route found").
+        assert excinfo.value.code == 2
+        assert "no artifact store" in capsys.readouterr().err
+
+    def test_route_budget_above_store_coverage_errors(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        assert main(
+            [
+                "build-artifacts",
+                "--dataset",
+                "tiny",
+                "--out",
+                str(store),
+                "--max-budget",
+                "300",
+                "--sweeps",
+                "1",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            [
+                "route",
+                "--artifacts",
+                str(store),
+                "--method",
+                "T-BS-60",
+                "--source",
+                "0",
+                "--destination",
+                "1",
+                "--budget",
+                "500",
+            ]
+        ) == 2
+        assert "heuristic-table coverage" in capsys.readouterr().err
+
+    def test_prewarm_rejects_max_budget_with_artifacts(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        assert main(
+            ["build-artifacts", "--dataset", "tiny", "--out", str(store), "--sweeps", "1"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            [
+                "prewarm",
+                "--artifacts",
+                str(store),
+                "--method",
+                "T-B-P",
+                "--destinations",
+                "3",
+                "--max-budget",
+                "5000",
+            ]
+        ) == 2
+        assert "cannot be combined with --artifacts" in capsys.readouterr().err
+
+    def test_prewarm_artifacts_preserves_mine_provenance(self, capsys, tmp_path):
+        """Re-saving the store in place must not drop the recorded mine time."""
+        store = tmp_path / "store"
+        assert main(
+            ["build-artifacts", "--dataset", "tiny", "--out", str(store), "--sweeps", "1"]
+        ) == 0
+        capsys.readouterr()
+        from repro.persistence.store import ArtifactStore
+
+        before = ArtifactStore.open(store).manifest.provenance
+        assert "mine_seconds" in before
+        assert main(
+            ["prewarm", "--artifacts", str(store), "--method", "T-B-P", "--destinations", "3"]
+        ) == 0
+        after = ArtifactStore.open(store).manifest.provenance
+        assert after["mine_seconds"] == before["mine_seconds"]
+        assert after["heuristic_entries"] >= 1

@@ -231,3 +231,90 @@ class TestHeuristicBundle:
         worse.write_text('{"kind": "heuristic-bundle", "format_version": 99, "entries": []}')
         with pytest.raises(DataError):
             load_heuristic_bundle(worse)
+
+
+class TestFormatVersionHandling:
+    """Every persisted document family refuses unknown format versions loudly.
+
+    A reader silently accepting a newer ``format_version`` would mis-parse
+    future documents; the error must name both the found and the supported
+    version so operators know which side to upgrade.  Legacy (version-1)
+    documents written by earlier releases keep loading verbatim.
+    """
+
+    def test_index_rejects_unknown_version_naming_it(self):
+        with pytest.raises(DataError, match=r"index document format version 99.*supports version 1"):
+            index_from_dict({"format_version": 99, "tau": 20})
+
+    def test_index_rejects_missing_and_non_integer_version(self):
+        with pytest.raises(DataError, match="no format_version"):
+            index_from_dict({"tau": 20})
+        with pytest.raises(DataError, match="must be an integer"):
+            index_from_dict({"format_version": "1", "tau": 20})
+
+    def test_binary_heuristic_rejects_unknown_version(self):
+        payload = {"format_version": 2, "destination": 0, "min_costs": {"1": 5.0}}
+        with pytest.raises(DataError, match=r"binary heuristic format version 2.*supports version 1"):
+            binary_heuristic_from_dict(payload)
+
+    def test_budget_heuristic_rejects_unknown_version(self, paper_example):
+        heuristic = BudgetSpecificHeuristic(
+            paper_example.pace_graph, VD, BudgetHeuristicConfig(delta=6, max_budget=36)
+        )
+        payload = budget_heuristic_to_dict(heuristic)
+        payload["format_version"] = 7
+        with pytest.raises(DataError, match=r"budget heuristic format version 7.*supports version 1"):
+            budget_heuristic_from_dict(payload)
+
+    def test_bundle_rejects_unknown_version_naming_it(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text('{"kind": "heuristic-bundle", "format_version": 3, "entries": []}')
+        with pytest.raises(DataError, match=r"heuristic bundle format version 3.*supports version 1"):
+            load_heuristic_bundle(path)
+
+    def test_legacy_version_1_documents_still_load(self, paper_example, tmp_path):
+        """Regression: verbatim version-1 documents from earlier releases."""
+        import json
+
+        legacy_binary = json.loads(
+            '{"format_version": 1, "destination": 3, "min_costs": {"0": 4.5, "1": "inf"}}'
+        )
+        restored = binary_heuristic_from_dict(legacy_binary)
+        assert restored.min_cost(0) == 4.5
+        assert restored.min_cost(1) == float("inf")
+
+        # A legacy index document round-trips through today's writer format
+        # (the writer still emits version 1, so saved files *are* legacy files).
+        path = tmp_path / "legacy-index.json"
+        save_index(paper_example.pace_graph, path)
+        document = json.loads(path.read_text())
+        assert document["format_version"] == 1
+        assert load_index(path).pace_graph.num_tpaths == paper_example.pace_graph.num_tpaths
+
+
+class TestCodecErrorTaxonomy:
+    def test_non_numeric_distribution_payload_raises_distribution_error(self):
+        from repro.core.errors import DistributionError
+
+        with pytest.raises(DistributionError):
+            distribution_from_dict({"costs": ["x"], "probabilities": [1.0]})
+
+    def test_from_normalised_rejects_mismatched_lengths(self):
+        from repro.core.errors import DistributionError
+
+        with pytest.raises(DistributionError, match="equal-length"):
+            Distribution.from_normalised([1.0, 2.0, 3.0], [0.5, 0.5])
+
+    def test_duplicate_joint_outcomes_accumulate_instead_of_collapsing(self):
+        payload = {
+            "edge_ids": [1],
+            "outcomes": [
+                {"costs": [2.0], "probability": 0.5},
+                {"costs": [2.0], "probability": 0.25},
+                {"costs": [3.0], "probability": 0.25},
+            ],
+        }
+        joint = joint_from_dict(payload)
+        # Last-wins collapsing would drop 0.5 and renormalise to 1/3 vs 2/3.
+        assert joint.pmf[(2.0,)] == pytest.approx(0.75)
+        assert joint.pmf[(3.0,)] == pytest.approx(0.25)
