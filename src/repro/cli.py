@@ -10,7 +10,11 @@ without writing Python:
   optionally prewarmed heuristics, manifest with fingerprints and provenance)
   into a content-addressed artifact store directory; heuristic tables are
   built to convergence by default (they are served forever, so they should be
-  tight),
+  tight), in the columnar v2 format unless ``--format v1`` asks for the
+  original JSON documents,
+* ``migrate-artifacts`` — rewrite an existing store in another format in place
+  (v1 JSON -> v2 columnar, or back), preserving fingerprints, recipe and
+  provenance without re-mining,
 * ``prewarm``         — build the heuristics of a method for a set of destinations
   and persist them to a bundle file — or, with ``--artifacts``, into the
   artifact store itself,
@@ -97,6 +101,9 @@ _EXPERIMENTS = {
 
 _BACKENDS = ("serial", "thread", "process")
 
+#: CLI names of the artifact store formats (see repro.persistence.store).
+_STORE_FORMATS = {"v1": 1, "v2": 2}
+
 
 def _load_dataset(name: str) -> SyntheticDataset:
     try:
@@ -178,6 +185,35 @@ def build_parser() -> argparse.ArgumentParser:
             "fixpoint — artifact tables are built once and served forever, so they "
             "should be converged)"
         ),
+    )
+    build_artifacts.add_argument(
+        "--format",
+        default="v2",
+        choices=list(_STORE_FORMATS),
+        help=(
+            "artifact format: v2 (default) writes the columnar binary index and one "
+            "addressable document per heuristic table; v1 writes the original "
+            "monolithic JSON documents"
+        ),
+    )
+
+    migrate = subparsers.add_parser(
+        "migrate-artifacts",
+        help="rewrite an artifact store in another format, in place",
+        description=(
+            "Boot an engine from an existing artifact store (any supported format), "
+            "then re-save index, heuristics and manifest in the requested format in "
+            "place.  The graph content fingerprints, recipe and build provenance "
+            "are preserved; v1 JSON stores become v2 columnar stores (smaller, "
+            "individually addressable heuristic tables) without re-mining anything."
+        ),
+    )
+    migrate.add_argument("store", help="artifact store directory")
+    migrate.add_argument(
+        "--format",
+        default="v2",
+        choices=list(_STORE_FORMATS),
+        help="target artifact format (default: v2 columnar)",
     )
 
     prewarm = subparsers.add_parser(
@@ -358,10 +394,13 @@ def _command_build_artifacts(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     manifest = engine.save_artifacts(
-        args.out, provenance={"builder": "repro build-artifacts", "mine_seconds": round(mine_seconds, 3)}
+        args.out,
+        provenance={"builder": "repro build-artifacts", "mine_seconds": round(mine_seconds, 3)},
+        format_version=_STORE_FORMATS[args.format],
     )
     rows = [
         ("store", args.out),
+        ("format", args.format),
         ("pace fingerprint", manifest.fingerprints["pace"]),
         ("updated fingerprint", manifest.fingerprints.get("updated") or "-"),
         ("mine (s)", round(mine_seconds, 2)),
@@ -370,6 +409,69 @@ def _command_build_artifacts(args: argparse.Namespace) -> int:
         ("artifacts", " ".join(sorted(manifest.artifacts))),
     ]
     print(render_report(f"Artifact store: {args.dataset}", ("property", "value"), rows))
+    return 0
+
+
+def _command_migrate_artifacts(args: argparse.Namespace) -> int:
+    from repro.persistence.store import HEURISTICS_ARTIFACT, INDEX_ARTIFACT, ArtifactStore
+
+    target = _STORE_FORMATS[args.format]
+    try:
+        store = ArtifactStore.open(args.store)
+        before = store.manifest
+        before_format = before.artifacts[INDEX_ARTIFACT].format_version
+        before_bytes = sum(entry.size_bytes for entry in before.artifacts.values())
+        # Count without decoding payloads: the per-entry layout counts from
+        # the manifest alone, the v1 bundle is one cheap JSON parse.  The
+        # engine boot below is the only pass that decodes every document.
+        if before.heuristic_entry_names():
+            before_entries = len(before.heuristic_entry_names())
+        elif HEURISTICS_ARTIFACT in before.artifacts:
+            before_entries = len(store.load_heuristic_entries())
+        else:
+            before_entries = 0
+        # Booting with the manifest's own settings loads every persisted
+        # heuristic, so the re-save carries all of them into the new format
+        # (and preserves recipe + build provenance through the engine).
+        engine = RoutingEngine.from_artifacts(store)
+        manifest = engine.save_artifacts(store, format_version=target)
+    except DataError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    after_bytes = sum(entry.size_bytes for entry in manifest.artifacts.values())
+    after_entries = manifest.provenance.get("heuristic_entries", 0)
+    rows = [
+        ("store", args.store),
+        ("format", f"v{before_format} -> v{target}"),
+        ("artifact bytes", f"{before_bytes} -> {after_bytes}"),
+        ("heuristic entries", f"{before_entries} -> {after_entries}"),
+        ("pace fingerprint", manifest.fingerprints["pace"]),
+    ]
+    if after_entries < before_entries:
+        # The engine could not serve some persisted entries (e.g. floor-built
+        # tables, which are inadmissible).  What happened to them depends on
+        # whether *any* entry loaded: an empty cache re-save carries the old
+        # heuristic documents over verbatim (still the old format), a partial
+        # one re-writes only the loaded entries and drops the rest.
+        missing = before_entries - after_entries
+        if after_entries == 0 and (
+            HEURISTICS_ARTIFACT in manifest.artifacts or manifest.heuristic_entry_names()
+        ):
+            print(
+                f"warning: none of the {before_entries} persisted heuristic entries "
+                "could be loaded for serving; they were kept on disk unchanged (in "
+                "their original format), so the heuristics were NOT migrated — "
+                "rebuild them with 'repro prewarm --artifacts' to convert them",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"warning: {missing} persisted heuristic entries could not be loaded "
+                "for serving (e.g. floor-built tables, which are inadmissible) and "
+                "were dropped; rebuild them with 'repro prewarm --artifacts'",
+                file=sys.stderr,
+            )
+    print(render_report("Migrated artifact store", ("property", "value"), rows))
     return 0
 
 
@@ -537,6 +639,7 @@ _COMMANDS = {
     "stats": _command_stats,
     "build": _command_build,
     "build-artifacts": _command_build_artifacts,
+    "migrate-artifacts": _command_migrate_artifacts,
     "prewarm": _command_prewarm,
     "route": _command_route,
     "route-batch": _command_route_batch,

@@ -7,6 +7,7 @@ from repro.datasets.synthetic import (
     SyntheticDataset,
     aalborg_like,
     build_dataset,
+    country_like,
     dataset_by_name,
     tiny_dataset,
     xian_like,
@@ -20,6 +21,7 @@ __all__ = [
     "build_dataset",
     "aalborg_like",
     "xian_like",
+    "country_like",
     "tiny_dataset",
     "dataset_by_name",
     "DATASET_NAMES",

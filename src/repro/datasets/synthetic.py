@@ -32,6 +32,7 @@ __all__ = [
     "DatasetConfig",
     "aalborg_like",
     "xian_like",
+    "country_like",
     "build_dataset",
     "tiny_dataset",
     "dataset_by_name",
@@ -142,6 +143,36 @@ XIAN_LIKE = DatasetConfig(
 )
 
 
+#: Configuration mirroring a *country-scale* deployment in miniature: an order
+#: of magnitude more vertices than the city stand-ins, longer trips spanning
+#: several "cities" (hub clusters), and budgets that force wide heuristic
+#: bands (large η).  This is the scenario the columnar v2 artifacts and the
+#: band-compressed Bellman build exist for.  Deliberately **not** exercised by
+#: the tier-1 suite — generation plus T-path mining takes minutes, so only the
+#: benchmarks (and explicit CLI invocations) build it.
+COUNTRY_LIKE = DatasetConfig(
+    name="country-like",
+    grid=GridCityConfig(
+        rows=32,
+        cols=32,
+        spacing=320.0,
+        jitter=35.0,
+        removal_probability=0.10,
+        arterial_every=4,
+        arterial_speed=90.0,
+        residential_speed=45.0,
+        seed=301,
+    ),
+    trajectories=TrajectoryGeneratorConfig(
+        num_trajectories=6000,
+        num_hubs=18,
+        hub_trip_fraction=0.8,
+        peak_fraction=0.5,
+        seed=302,
+    ),
+)
+
+
 def build_dataset(config: DatasetConfig) -> SyntheticDataset:
     """Generate network and trajectories for a configuration and clean them."""
     network = generate_grid_city(config.grid, name=config.name)
@@ -186,12 +217,32 @@ def xian_like(*, scale: float = 1.0) -> SyntheticDataset:
     return build_dataset(config)
 
 
+def country_like(*, scale: float = 1.0) -> SyntheticDataset:
+    """The country-scale stress dataset.  ``scale`` shrinks the trajectory count.
+
+    Benchmark-only by design: at full scale this is minutes of generation and
+    mining, which is exactly the offline cost the artifact store amortises —
+    nothing in the tier-1 suite should build it.
+    """
+    config = COUNTRY_LIKE
+    if scale != 1.0:
+        config = replace(
+            config,
+            trajectories=replace(
+                config.trajectories,
+                num_trajectories=max(50, int(config.trajectories.num_trajectories * scale)),
+            ),
+        )
+    return build_dataset(config)
+
+
 #: The named bundled datasets; generation is deterministic, so loading the same
 #: name in two different processes yields structurally identical datasets.
 _DATASET_BUILDERS = {
     "tiny": lambda: tiny_dataset(),
     "aalborg-like": lambda: aalborg_like(),
     "xian-like": lambda: xian_like(),
+    "country-like": lambda: country_like(),
 }
 
 DATASET_NAMES = tuple(sorted(_DATASET_BUILDERS))

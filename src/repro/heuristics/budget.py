@@ -33,9 +33,23 @@ every outgoing element the builder precomputes, once per build,
   (the binary bound evaluated at the exact residual ``j·δ − c_k``).
 
 One application of Eq. 5 to a vertex row is then, per element, a single fancy
-gather of the target's dense row followed by a pdf-weighted mat-vec, and the
+gather of the target's stored row followed by a pdf-weighted mat-vec, and the
 element maximum plus the 0/1 saturation trimming back to the compressed
-``l``/``s`` form are NumPy reductions.  Sweeping is organised as a
+``l``/``s`` form are NumPy reductions.
+
+**Band-compressed working memory.**  Gathers read the successor rows through
+a *mirror* abstraction.  The default :class:`_BandMirror` answers them
+straight from each row's compressed ``l``/``s`` band (0 below ``l``, the
+stored cells, an implicit 1 tail), lazily materialising one small padded
+array per row on first read — so a build's working memory scales with the
+*stored band cells*, not with ``V × η``.  The pre-refactor dense
+``V × (η+1)`` float64 matrix (~400 MB at 100k vertices × η≈500, which is
+what kept country-scale grids out of reach) survives as :class:`_DenseMirror`
+purely as the measurable baseline: both mirrors produce identical tables
+(``benchmarks/test_artifact_v2_bench.py`` asserts the memory gap,
+``tests/test_heuristic_reference.py`` the equality).
+
+Sweeping is organised as a
 Gauss–Seidel *dirty worklist* over vertices in increasing ``getMin`` order:
 after the first full pass only rows whose successors changed are re-swept,
 and the build stops as soon as a pass is a no-op — safe because Eq. 5 is
@@ -164,12 +178,87 @@ class _ElementKernel:
         return self.distribution.probabilities_array
 
 
+class _BandMirror:
+    """Band-compressed working view of U: memory scales with stored band cells.
+
+    Per row it keeps, lazily on first gather, a padded copy of the stored
+    cells framed by the implicit constants — ``[0.0, cells..., 1.0]``.  Rows'
+    ``first_index`` values never change within a build, so :meth:`prepare`
+    bakes the band shift and the lower clip into the memoized per-element
+    gather matrices once; a gather is then one upper clip (the padded length
+    tracks the band as it grows) plus one fancy-index.  Columns below the
+    band land on the leading 0 (budgets under ``l``), columns above on the
+    trailing 1 (budget ``s`` reached).  This replaces the dense ``V × (η+1)``
+    float64 matrix the builder used to allocate up front, which is what
+    bounded build memory at country scale (see the module docstring).
+    """
+
+    __slots__ = ("_first", "_cells", "_padded")
+
+    def __init__(self, n: int, eta: int, first_index: np.ndarray):
+        self._first = first_index
+        self._cells: list = [None] * n
+        self._padded: list = [None] * n
+
+    def prepare(self, position: int, columns: np.ndarray) -> np.ndarray:
+        """Translate a grid-column matrix into memoizable band offsets."""
+        return np.maximum(columns - (int(self._first[position]) - 1), 0)
+
+    def update(self, position: int, row: HeuristicRow) -> None:
+        self._cells[position] = row.values
+        self._padded[position] = None  # rebuilt lazily on the next gather
+
+    def gather(self, position: int, offsets: np.ndarray) -> np.ndarray:
+        padded = self._padded[position]
+        if padded is None:
+            cells = self._cells[position]
+            padded = np.empty(cells.size + 2)
+            padded[0] = 0.0
+            padded[1:-1] = cells
+            padded[-1] = 1.0
+            self._padded[position] = padded
+        return padded[np.minimum(offsets, padded.size - 1)]
+
+
+class _DenseMirror:
+    """The pre-refactor dense U working matrix, O(V × (η+1)) float64.
+
+    Kept solely as the measurable baseline for the band-compressed mirror
+    (identical results, strictly more memory); nothing in the serving path
+    uses it.
+    """
+
+    __slots__ = ("_dense", "_eta")
+
+    def __init__(self, n: int, eta: int, first_index: np.ndarray):
+        self._dense = np.zeros((n, eta + 1))
+        self._eta = eta
+
+    def prepare(self, position: int, columns: np.ndarray) -> np.ndarray:
+        return columns
+
+    def update(self, position: int, row: HeuristicRow) -> None:
+        dense_row = self._dense[position]
+        first_index = row.first_index
+        stored = min(row.values.size, max(0, self._eta + 1 - first_index))
+        dense_row[: min(first_index, self._eta + 1)] = 0.0
+        dense_row[first_index : first_index + stored] = row.values[:stored]
+        dense_row[first_index + stored :] = 1.0
+
+    def gather(self, position: int, columns: np.ndarray) -> np.ndarray:
+        return self._dense[position][columns]
+
+
+_MIRRORS = {"band": _BandMirror, "dense": _DenseMirror}
+
+
 def build_heuristic_table(
     graph,
     destination: int,
     config: BudgetHeuristicConfig | None = None,
     *,
     binary: BinaryHeuristic | None = None,
+    mirror: str = "band",
 ) -> HeuristicTable:
     """Build the heuristic table for one destination (Algorithms 3 and 4).
 
@@ -178,9 +267,15 @@ def build_heuristic_table(
     :class:`~repro.vpaths.updated_graph.UpdatedPaceGraph`).  Eq. 5 is
     evaluated with the batched Bellman kernel described in the module
     docstring; results match the scalar reference builder sweep for sweep.
+    ``mirror`` selects the working-memory structure for successor-row reads:
+    ``"band"`` (the default — memory proportional to the stored band cells)
+    or ``"dense"`` (the historical ``V × (η+1)`` matrix, retained as the
+    benchmark baseline; results are identical).
     """
     config = config or BudgetHeuristicConfig()
     config.validate()
+    if mirror not in _MIRRORS:
+        raise ConfigurationError(f"mirror must be one of {sorted(_MIRRORS)}, got {mirror!r}")
     binary = binary or PaceBinaryHeuristic(
         graph if not hasattr(graph, "pace_graph") else graph.pace_graph, destination
     )
@@ -269,20 +364,18 @@ def build_heuristic_table(
                 ).astype(np.int64, copy=False)
                 # The binary fallback is only read while the target row does
                 # not exist yet — rare, since successors (smaller getMin) are
-                # swept first — so it is filled lazily on first use.
-                kernel.blocks.append([cols, None])
+                # swept first — so it is filled lazily on first use.  The
+                # gather matrix is stored in the mirror's own representation
+                # (band offsets or raw columns), fixed per build because
+                # ``first_index`` is.
+                kernel.blocks.append([u_mirror.prepare(kernel.target, cols), None])
         return kernel.blocks[block_index]
 
-    # NOTE: the dense U mirror below is O(V × (η+1)) float64 working memory
-    # during a build — fine at laptop/city scale (a few hundred MB at 100k
-    # vertices × η≈500), but for full-country grids a lazily materialised or
-    # band-compressed mirror would be needed (tracked in ROADMAP.md).
-
-    # Dense working matrix: dense[i, j] = U(order[i], j·δ) as currently stored
-    # (column 0 is budget 0, always 0 for non-destination rows).  The
-    # compressed rows themselves live in ``row_objects`` (mirroring the
-    # table) for cheap scalar reads.
-    dense = np.zeros((n, eta + 1))
+    # Working view of U for the vectorized gathers: band-compressed by
+    # default (memory tracks the stored l/s bands), dense only as the
+    # benchmark baseline.  The compressed rows themselves live in
+    # ``row_objects`` (mirroring the table) for cheap scalar reads.
+    u_mirror = _MIRRORS[mirror](n, eta, first_index_of)
     has_row = np.zeros(n, dtype=bool)
     row_objects: list[HeuristicRow | None] = [None] * n
 
@@ -375,7 +468,7 @@ def build_heuristic_table(
                 if kernel.target is None:
                     acc = block
                 elif has_row[kernel.target]:
-                    acc = kernel.probs @ dense[kernel.target][block[0]]
+                    acc = kernel.probs @ u_mirror.gather(kernel.target, block[0])
                 else:
                     acc = block[1]
                     if acc is None:
@@ -420,12 +513,7 @@ def build_heuristic_table(
                 continue
             first_index = int(first_index_of[position])
             row = HeuristicRow(first_index=first_index, values=values)
-            # Refresh the dense mirror in place (no per-row allocation).
-            dense_row = dense[position]
-            stored = min(row.values.size, max(0, eta + 1 - first_index))
-            dense_row[: min(first_index, eta + 1)] = 0.0
-            dense_row[first_index : first_index + stored] = row.values[:stored]
-            dense_row[first_index + stored :] = 1.0
+            u_mirror.update(position, row)
             row_objects[position] = row
             has_row[position] = True
             table.set_row(order[position], row)

@@ -1,4 +1,4 @@
-"""JSON codecs for distributions and joint distributions.
+"""Codecs for distributions, joint distributions and binary column documents.
 
 The offline/online split of the paper only pays off if the offline artefacts
 (the PACE graph, the V-paths, the heuristic tables) can be stored and loaded
@@ -6,11 +6,26 @@ by the online routing service.  This module provides the low-level codecs for
 the probabilistic values; :mod:`repro.persistence.index` and
 :mod:`repro.persistence.heuristics` build the document formats on top.
 
-All formats are plain JSON-serialisable dictionaries: human-inspectable,
-diff-able and free of pickle's code-execution hazards.
+Two containers exist side by side:
+
+* the original **v1 JSON** dictionaries — human-inspectable, diff-able and
+  free of pickle's code-execution hazards, and
+* the **column container** backing the format-version-2 artifacts: a framed
+  binary document holding a strict-JSON metadata header plus named NumPy
+  columns as checksummed little-endian blobs.  Columns round-trip **bit for
+  bit** — no float renormalisation anywhere on the path — because graph
+  content fingerprints are computed over the raw float payloads and must
+  survive a save/load cycle exactly (v1 learned this the hard way; see
+  :func:`distribution_from_sequences`).
 """
 
 from __future__ import annotations
+
+import hashlib
+import json
+import struct
+
+import numpy as np
 
 from repro.core.distributions import Distribution
 from repro.core.errors import DataError, DistributionError, JointDistributionError
@@ -20,8 +35,15 @@ __all__ = [
     "require_format_version",
     "distribution_to_dict",
     "distribution_from_dict",
+    "distribution_from_sequences",
     "joint_to_dict",
     "joint_from_dict",
+    "joint_from_sequences",
+    "COLUMN_MAGIC",
+    "encode_column_document",
+    "decode_column_document",
+    "is_column_document",
+    "split_ragged_column",
 ]
 
 
@@ -52,6 +74,162 @@ def require_format_version(payload: dict, *, expected: int, what: str) -> int:
     return version
 
 
+# --------------------------------------------------------------------------- #
+# Binary column container (format-version-2 artifacts)
+# --------------------------------------------------------------------------- #
+
+#: Leading bytes of every column document; lets readers (and ``file``-style
+#: sniffing) distinguish the binary container from the v1 JSON documents.
+COLUMN_MAGIC = b"RCOL"
+_COLUMN_CONTAINER_VERSION = 1
+#: dtypes a column may carry, as explicit little-endian codes.  A whitelist,
+#: not a passthrough: object/str dtypes would turn the decoder into an
+#: arbitrary-unpickling hazard, and platform-native codes would make the
+#: on-disk bytes machine-dependent.
+_COLUMN_DTYPES = ("<f8", "<i8")
+_HEADER = struct.Struct("<4sHI")  # magic, container version, meta length
+_COLUMN_COUNT = struct.Struct("<I")
+_COLUMN_HEAD = struct.Struct("<H3sQ16s")  # name length, dtype, elements, digest
+_COLUMN_DIGEST_SIZE = 16
+
+
+def _column_digest(payload: bytes) -> bytes:
+    return hashlib.blake2b(payload, digest_size=_COLUMN_DIGEST_SIZE).digest()
+
+
+def encode_column_document(meta: dict, columns: dict[str, np.ndarray]) -> bytes:
+    """Frame ``meta`` (strict JSON) and named 1-d arrays into one binary blob.
+
+    Every column is written as explicit little-endian bytes with a per-column
+    blake2b digest, so truncation and bit-rot surface as
+    :class:`~repro.core.errors.DataError` on decode rather than as silently
+    wrong floats.  float64/int64 values are copied verbatim — the encode /
+    decode pair is bit-exact by construction.
+    """
+    parts = [b""]  # placeholder for the header, filled last
+    meta_bytes = json.dumps(meta, allow_nan=False).encode("utf-8")
+    parts.append(meta_bytes)
+    parts.append(_COLUMN_COUNT.pack(len(columns)))
+    for name, column in columns.items():
+        array = np.asarray(column)
+        if array.ndim != 1:
+            raise DataError(f"column {name!r} must be one-dimensional, got shape {array.shape}")
+        if array.dtype.kind == "f":
+            array = array.astype("<f8", copy=False)
+            dtype = b"<f8"
+        elif array.dtype.kind in ("i", "u"):
+            array = array.astype("<i8", copy=False)
+            dtype = b"<i8"
+        else:
+            raise DataError(f"column {name!r} has unsupported dtype {array.dtype}")
+        name_bytes = name.encode("utf-8")
+        payload = array.tobytes()
+        parts.append(_COLUMN_HEAD.pack(len(name_bytes), dtype, array.size, _column_digest(payload)))
+        parts.append(name_bytes)
+        parts.append(payload)
+    parts[0] = _HEADER.pack(COLUMN_MAGIC, _COLUMN_CONTAINER_VERSION, len(meta_bytes))
+    return b"".join(parts)
+
+
+def is_column_document(data: bytes) -> bool:
+    """Whether ``data`` starts like a column container (vs a v1 JSON document)."""
+    return data[: len(COLUMN_MAGIC)] == COLUMN_MAGIC
+
+
+def decode_column_document(data: bytes, *, what: str = "column document") -> tuple[dict, dict[str, np.ndarray]]:
+    """Decode :func:`encode_column_document` output back into (meta, columns).
+
+    Rejects — always as :class:`~repro.core.errors.DataError` naming ``what``
+    — wrong magic, unknown container versions, truncated frames, non-JSON
+    metadata, out-of-whitelist dtypes and per-column checksum mismatches.
+    Returned arrays are fresh, writable copies (decoding never aliases the
+    input buffer).
+    """
+
+    def fail(reason: str) -> DataError:
+        return DataError(f"malformed {what}: {reason}")
+
+    view = memoryview(data)
+    if len(view) < _HEADER.size:
+        raise fail("shorter than the container header")
+    magic, version, meta_length = _HEADER.unpack_from(view, 0)
+    if magic != COLUMN_MAGIC:
+        raise fail(f"bad magic {magic!r} (not a column container)")
+    if version != _COLUMN_CONTAINER_VERSION:
+        raise fail(
+            f"unsupported column container version {version} "
+            f"(this reader supports version {_COLUMN_CONTAINER_VERSION})"
+        )
+    offset = _HEADER.size
+    if len(view) < offset + meta_length + _COLUMN_COUNT.size:
+        raise fail("truncated metadata block")
+    try:
+        meta = json.loads(bytes(view[offset : offset + meta_length]).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise fail(f"metadata is not valid JSON: {exc}") from exc
+    if not isinstance(meta, dict):
+        raise fail("metadata must be a JSON object")
+    offset += meta_length
+    (count,) = _COLUMN_COUNT.unpack_from(view, offset)
+    offset += _COLUMN_COUNT.size
+    columns: dict[str, np.ndarray] = {}
+    for _ in range(count):
+        if len(view) < offset + _COLUMN_HEAD.size:
+            raise fail("truncated column header")
+        name_length, dtype_bytes, elements, digest = _COLUMN_HEAD.unpack_from(view, offset)
+        offset += _COLUMN_HEAD.size
+        dtype = dtype_bytes.decode("ascii", errors="replace")
+        if dtype not in _COLUMN_DTYPES:
+            raise fail(f"column dtype {dtype!r} is not in the supported set {_COLUMN_DTYPES}")
+        nbytes = elements * 8
+        if len(view) < offset + name_length + nbytes:
+            raise fail("truncated column payload")
+        try:
+            name = bytes(view[offset : offset + name_length]).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise fail(f"column name is not valid UTF-8: {exc}") from exc
+        offset += name_length
+        payload = bytes(view[offset : offset + nbytes])
+        offset += nbytes
+        if _column_digest(payload) != digest:
+            raise fail(f"column {name!r} failed its checksum")
+        if name in columns:
+            raise fail(f"duplicate column {name!r}")
+        columns[name] = np.frombuffer(payload, dtype=dtype).copy()
+    if offset != len(view):
+        raise fail(f"{len(view) - offset} trailing bytes after the last column")
+    return meta, columns
+
+
+def split_ragged_column(values: np.ndarray, counts: np.ndarray, *, what: str) -> list:
+    """Split a concatenated value column back into per-entry python lists.
+
+    The column container's encoding for ragged structures is one flat value
+    column plus an aligned per-entry count column; every v2 reader (index
+    weights/T-paths/V-paths, heuristic table rows) decodes through this one
+    helper so the length-consistency check lives in a single place.
+    """
+    if counts.size == 0:
+        if values.size:
+            raise DataError(
+                f"malformed column document: {what} holds {values.size} values "
+                "but its count column is empty"
+            )
+        return []
+    boundaries = np.cumsum(counts)
+    if values.size != boundaries[-1]:
+        raise DataError(
+            f"malformed column document: {what} holds {values.size} values "
+            f"but the counts sum to {int(boundaries[-1])}"
+        )
+    return [chunk.tolist() for chunk in np.split(values, boundaries[:-1])]
+
+
+# --------------------------------------------------------------------------- #
+# Distributions
+# --------------------------------------------------------------------------- #
+
+
 def distribution_to_dict(distribution: Distribution) -> dict:
     """Encode a cost distribution as ``{"costs": [...], "probabilities": [...]}``.
 
@@ -65,20 +243,16 @@ def distribution_to_dict(distribution: Distribution) -> dict:
     }
 
 
-def distribution_from_dict(payload: dict) -> Distribution:
-    """Decode a distribution encoded by :func:`distribution_to_dict`.
+def distribution_from_sequences(costs, probabilities) -> Distribution:
+    """Restore a distribution from parallel cost/probability sequences.
 
-    Well-formed documents (sorted support, positive probabilities summing to
-    one) are restored *exactly* — no renormalisation — so that persisting and
-    re-loading a graph preserves its content fingerprint bit for bit.
-    Payloads that only approximately normalise fall back to the lenient
-    constructor, which rescales.
+    Well-formed writer output (sorted support, positive probabilities summing
+    to one) is restored *exactly* — no renormalisation — so that persisting
+    and re-loading a graph preserves its content fingerprint bit for bit.
+    Sequences that only approximately normalise fall back to the lenient
+    constructor, which rescales.  Shared by the v1 JSON and the v2 columnar
+    index readers.
     """
-    try:
-        costs = payload["costs"]
-        probabilities = payload["probabilities"]
-    except (KeyError, TypeError) as exc:
-        raise DataError(f"malformed distribution payload: {payload!r}") from exc
     if len(costs) != len(probabilities):
         raise DataError("distribution payload has mismatched costs/probabilities lengths")
     try:
@@ -87,6 +261,16 @@ def distribution_from_dict(payload: dict) -> Distribution:
         # Not exactly-normalised writer output; the lenient constructor
         # rescales (and raises the taxonomy's DistributionError on garbage).
         return Distribution(zip(costs, probabilities), normalise=True)
+
+
+def distribution_from_dict(payload: dict) -> Distribution:
+    """Decode a distribution encoded by :func:`distribution_to_dict`."""
+    try:
+        costs = payload["costs"]
+        probabilities = payload["probabilities"]
+    except (KeyError, TypeError) as exc:
+        raise DataError(f"malformed distribution payload: {payload!r}") from exc
+    return distribution_from_sequences(costs, probabilities)
 
 
 def joint_to_dict(joint: JointDistribution) -> dict:
@@ -99,23 +283,28 @@ def joint_to_dict(joint: JointDistribution) -> dict:
     }
 
 
-def joint_from_dict(payload: dict) -> JointDistribution:
-    """Decode a joint distribution encoded by :func:`joint_to_dict`.
+def joint_from_sequences(edge_ids, items) -> JointDistribution:
+    """Restore a joint distribution from its edge ids and (costs, p) items.
 
-    Like :func:`distribution_from_dict`, exactly-normalised documents restore
-    the original floats (fingerprint-preserving); approximately-normalised
-    ones fall back to the rescaling constructor.
+    Like :func:`distribution_from_sequences`, exactly-normalised writer output
+    restores the original floats (fingerprint-preserving);
+    approximately-normalised input falls back to the rescaling constructor.
+    ``items`` must be a list — a corrupted document with the same cost vector
+    twice must reach ``from_normalised``'s duplicate check (and the lenient
+    fallback's accumulation) instead of last-wins collapsing.
     """
-    try:
-        edge_ids = payload["edge_ids"]
-        outcomes = payload["outcomes"]
-        # A list, not a dict comprehension: a corrupted document with the same
-        # cost vector twice must reach from_normalised's duplicate check (and
-        # the lenient fallback's accumulation) instead of last-wins collapsing.
-        items = [(tuple(entry["costs"]), entry["probability"]) for entry in outcomes]
-    except (KeyError, TypeError) as exc:
-        raise DataError(f"malformed joint distribution payload: {payload!r}") from exc
     try:
         return JointDistribution.from_normalised(edge_ids, items)
     except (JointDistributionError, TypeError, ValueError):
         return JointDistribution(edge_ids, items, normalise=True)
+
+
+def joint_from_dict(payload: dict) -> JointDistribution:
+    """Decode a joint distribution encoded by :func:`joint_to_dict`."""
+    try:
+        edge_ids = payload["edge_ids"]
+        outcomes = payload["outcomes"]
+        items = [(tuple(entry["costs"]), entry["probability"]) for entry in outcomes]
+    except (KeyError, TypeError) as exc:
+        raise DataError(f"malformed joint distribution payload: {payload!r}") from exc
+    return joint_from_sequences(edge_ids, items)

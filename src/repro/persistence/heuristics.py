@@ -13,10 +13,21 @@ tables for its hot destinations instead of rebuilding them:
   destinations, which is what :meth:`repro.routing.engine.RoutingEngine.save_heuristics`
   writes and :meth:`~repro.routing.engine.RoutingEngine.prewarm` reads.
 
-All files are strict JSON: unreachable vertices carry ``getMin = inf``, which
-standard JSON cannot represent, so infinities are stored as the string
+The v1 files are strict JSON: unreachable vertices carry ``getMin = inf``,
+which standard JSON cannot represent, so infinities are stored as the string
 sentinel ``"inf"`` and every writer passes ``allow_nan=False`` (the legacy
 non-standard ``Infinity`` token is still accepted on load).
+
+**Format-version 2** serialises each tagged bundle entry as its *own*
+columnar binary document (:func:`encode_heuristic_entry` /
+:func:`decode_heuristic_entry`): a budget table's value band becomes one
+concatenated float64 column plus per-row ``first_index``/count columns, the
+``getMin`` maps become vertex/value columns (binary floats represent ``inf``
+natively — no sentinel needed).  Entries carry a stable
+:func:`heuristic_entry_key`, which is what lets the v2
+:class:`~repro.persistence.store.ArtifactStore` address, append and replace
+tables *individually* instead of rewriting one monolithic bundle on every
+``prewarm --artifacts``.
 """
 
 from __future__ import annotations
@@ -26,8 +37,15 @@ import math
 from collections.abc import Sequence
 from pathlib import Path as FilePath
 
+import numpy as np
+
 from repro.core.errors import DataError
-from repro.persistence.codecs import require_format_version
+from repro.persistence.codecs import (
+    decode_column_document,
+    encode_column_document,
+    require_format_version,
+    split_ragged_column,
+)
 from repro.heuristics.binary import BinaryHeuristic
 from repro.heuristics.budget import BudgetHeuristicConfig, BudgetSpecificHeuristic
 from repro.heuristics.tables import HeuristicRow, HeuristicTable
@@ -45,10 +63,17 @@ __all__ = [
     "load_heuristic_bundle",
     "heuristic_bundle_payload",
     "heuristic_bundle_entries",
+    "HEURISTIC_ENTRY_FORMAT_V2",
+    "heuristic_entry_key",
+    "encode_heuristic_entry",
+    "decode_heuristic_entry",
 ]
 
 _FORMAT_VERSION = 1
 _BUNDLE_FORMAT_VERSION = 1
+#: Format version of the per-entry columnar heuristic documents.
+HEURISTIC_ENTRY_FORMAT_V2 = 2
+_ENTRY_KIND = "heuristic-entry"
 
 #: JSON-safe stand-in for ``float("inf")`` getMin values (unreachable vertices).
 _INFINITY_SENTINEL = "inf"
@@ -228,3 +253,155 @@ def load_heuristic_bundle(path: str | FilePath) -> list[dict]:
         return heuristic_bundle_entries(payload)
     except DataError as exc:
         raise DataError(f"{exc} ({path})") from exc
+
+
+# --------------------------------------------------------------------------- #
+# Format-version 2: per-entry columnar documents
+# --------------------------------------------------------------------------- #
+
+
+def heuristic_entry_key(entry: dict) -> str:
+    """A stable, filename-safe identity for one tagged bundle entry.
+
+    Two entries with the same key describe the *same* heuristic slot (same
+    kind, variant/δ, graph flavour and destination) — possibly with different
+    values after a rebuild.  The v2 store keys its per-entry artifacts by
+    this, so re-saving a store replaces exactly the slots whose tables
+    changed and appends the new ones.
+    """
+    try:
+        kind = entry["kind"]
+        destination = int(entry["destination"])
+        if kind == "binary":
+            return f"binary-{entry['variant']}-{destination}"
+        if kind == "budget":
+            delta = float(entry["delta"])
+            flavour = entry.get("graph", "pace")
+            # repr() keeps fractional deltas loss-free ('0.1', '1e-05'), and
+            # produces filename-safe ASCII for any float.
+            return f"budget-{delta!r}-{flavour}-{destination}"
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataError(f"malformed heuristic bundle entry: {exc}") from exc
+    raise DataError(f"unknown heuristic bundle entry kind {kind!r}")
+
+
+def _min_cost_columns(payload: dict, prefix: str) -> dict[str, np.ndarray]:
+    """Vertex/getMin columns of a binary-heuristic payload (inf stays inf)."""
+    items = sorted((int(vertex), float(value)) for vertex, value in payload["min_costs"].items())
+    return {
+        f"{prefix}_vertex": np.array([vertex for vertex, _ in items], dtype=np.int64),
+        f"{prefix}_min_cost": np.array([value for _, value in items], dtype=float),
+    }
+
+
+def encode_heuristic_entry(entry: dict) -> bytes:
+    """Serialise one tagged bundle entry as a self-contained column document.
+
+    The tag fields (kind, variant/δ, graph flavour, destination, graph
+    fingerprint and signature) travel in the JSON metadata header; the value
+    payloads become columns — ``getMin`` maps as vertex/value pairs, a budget
+    table's stored band as one concatenated cell column with per-row
+    ``first_index`` and cell counts.  Cells are copied verbatim (float64 in,
+    float64 out): decoding yields exactly the floats the builder produced.
+    """
+    tags = {name: value for name, value in entry.items() if name != "heuristic"}
+    meta = {
+        "format_version": HEURISTIC_ENTRY_FORMAT_V2,
+        "kind": _ENTRY_KIND,
+        "tags": tags,
+    }
+    try:
+        payload = entry["heuristic"]
+        if entry["kind"] == "binary":
+            meta["destination"] = payload["destination"]
+            columns = _min_cost_columns(payload, "binary")
+        elif entry["kind"] == "budget":
+            table = payload["table"]
+            meta["grid_rounding"] = payload.get("grid_rounding", "ceil")
+            meta["table"] = {
+                "destination": table["destination"],
+                "delta": table["delta"],
+                "eta": table["eta"],
+            }
+            rows = sorted(
+                (int(vertex), row["first_index"], row["values"])
+                for vertex, row in table["rows"].items()
+            )
+            columns = {
+                "row_vertex": np.array([vertex for vertex, _, _ in rows], dtype=np.int64),
+                "row_first_index": np.array([first for _, first, _ in rows], dtype=np.int64),
+                "row_cell_count": np.array([len(cells) for _, _, cells in rows], dtype=np.int64),
+                "row_cell": np.concatenate(
+                    [np.asarray(cells, dtype=float) for _, _, cells in rows]
+                )
+                if rows
+                else np.array([], dtype=float),
+                **_min_cost_columns(payload["binary"], "binary"),
+            }
+            meta["binary_destination"] = payload["binary"]["destination"]
+        else:
+            raise DataError(f"unknown heuristic bundle entry kind {entry['kind']!r}")
+    except (KeyError, TypeError) as exc:
+        raise DataError(f"malformed heuristic bundle entry: {exc}") from exc
+    return encode_column_document(meta, columns)
+
+
+def _min_costs_from_columns(columns: dict, prefix: str) -> dict[str, float]:
+    vertices = columns[f"{prefix}_vertex"].tolist()
+    values = columns[f"{prefix}_min_cost"].tolist()
+    return {str(vertex): value for vertex, value in zip(vertices, values)}
+
+
+def decode_heuristic_entry(data: bytes) -> dict:
+    """Decode :func:`encode_heuristic_entry` output back into a tagged entry.
+
+    The result has exactly the v1 bundle-entry shape (tags plus a
+    ``"heuristic"`` payload dictionary), so
+    :meth:`repro.routing.engine.RoutingEngine` validates and loads v1 and v2
+    entries through one code path.
+    """
+    meta, columns = decode_column_document(data, what="heuristic entry document")
+    if meta.get("kind") != _ENTRY_KIND:
+        raise DataError(f"not a heuristic entry document (kind {meta.get('kind')!r})")
+    require_format_version(meta, expected=HEURISTIC_ENTRY_FORMAT_V2, what="heuristic entry")
+    try:
+        entry = dict(meta["tags"])
+        if entry["kind"] == "binary":
+            entry["heuristic"] = {
+                "format_version": _FORMAT_VERSION,
+                "destination": meta["destination"],
+                "min_costs": _min_costs_from_columns(columns, "binary"),
+            }
+        elif entry["kind"] == "budget":
+            cell_lists = split_ragged_column(
+                columns["row_cell"], columns["row_cell_count"], what="row_cell"
+            )
+            rows = {
+                str(vertex): {"first_index": first, "values": cells}
+                for vertex, first, cells in zip(
+                    columns["row_vertex"].tolist(),
+                    columns["row_first_index"].tolist(),
+                    cell_lists,
+                )
+            }
+            entry["heuristic"] = {
+                "format_version": _FORMAT_VERSION,
+                "grid_rounding": meta["grid_rounding"],
+                "table": {
+                    "format_version": _FORMAT_VERSION,
+                    "destination": meta["table"]["destination"],
+                    "delta": meta["table"]["delta"],
+                    "eta": meta["table"]["eta"],
+                    "rows": rows,
+                },
+                "binary": {
+                    "format_version": _FORMAT_VERSION,
+                    "destination": meta["binary_destination"],
+                    "min_costs": _min_costs_from_columns(columns, "binary"),
+                },
+            }
+        else:
+            raise DataError(f"unknown heuristic entry kind {entry['kind']!r}")
+    except (KeyError, TypeError) as exc:
+        raise DataError(f"malformed heuristic entry document: {exc}") from exc
+    return entry

@@ -11,23 +11,33 @@ process needs to boot without re-mining:
   :class:`~repro.routing.engine.RouterSettings` the artifacts were built for,
   per-artifact filenames with format versions and checksums, and free-form
   build provenance (who built it, when, how long the mining took),
-* ``index-<fingerprint>.json`` — the routable index (road network, edge
-  weights, T-paths with joints, V-paths), in the
-  :mod:`repro.persistence.index` document format, and
-* ``heuristics-<digest>.json`` — optionally, a heuristic bundle in the
-  :mod:`repro.persistence.heuristics` format (binary ``getMin`` maps and
-  Eq. 5 budget tables for the prewarmed destinations).
+* the routable index (road network, edge weights, T-paths with joints,
+  V-paths) — ``index-<fingerprint>.json`` in the v1 JSON document format, or
+  ``index-<fingerprint>.bin`` in the v2 columnar format of
+  :mod:`repro.persistence.index`, and
+* the pre-computed heuristics — either one v1 bundle
+  (``heuristics-<digest>.json``) or, at format-version 2, one columnar
+  document *per heuristic* (``heuristic-<key>-<digest>.bin``), each recorded
+  in the manifest under its stable ``heuristic:<key>`` name.
+
+The per-entry v2 layout is what makes ``prewarm --artifacts`` *incremental*:
+entries are content-addressed, so re-saving a store with three new
+destinations writes three new files and leaves every untouched table's file
+byte-identical on disk — the v1 layout rewrote the whole bundle every time.
+Format versions are recorded per artifact in the manifest, so v1 and v2
+stores coexist and readers refuse unknown versions cleanly.
 
 Artifact files are *content-addressed*: the index file is keyed by the graph
-content fingerprint it serialises, the heuristic bundle by a digest of its own
-bytes, and the manifest records a checksum for each file.  Readers therefore
-never trust a path: :meth:`ArtifactStore.load_index` verifies the checksum
-before parsing and the recomputed graph fingerprints after, so a truncated
-file, a swapped dataset or a stale manifest all fail loudly with a
+content fingerprint it serialises, heuristic documents by a digest of their
+own bytes, and the manifest records a checksum for each file.  Readers
+therefore never trust a path: :meth:`ArtifactStore.load_index` verifies the
+checksum before parsing and the recomputed graph fingerprints after, so a
+truncated file, a swapped dataset or a stale manifest all fail loudly with a
 :class:`~repro.core.errors.DataError` instead of silently serving a different
 city.  Writers replace the manifest last and garbage-collect unreferenced
 artifact files, so a re-save (e.g. ``repro prewarm --artifacts`` adding more
-destinations) keeps the directory consistent.
+destinations) keeps the directory consistent.  ``repro migrate-artifacts``
+rewrites an existing store in the current format in place.
 
 :class:`~repro.routing.engine.RoutingEngine.save_artifacts` /
 :meth:`~repro.routing.engine.RoutingEngine.from_artifacts` are the high-level
@@ -45,15 +55,30 @@ from pathlib import Path as FilePath
 
 from repro.core.errors import DataError
 from repro.core.pace_graph import PaceGraph
-from repro.persistence.codecs import require_format_version
-from repro.persistence.heuristics import heuristic_bundle_entries, heuristic_bundle_payload
-from repro.persistence.index import index_from_dict
+from repro.persistence.codecs import is_column_document, require_format_version
+from repro.persistence.heuristics import (
+    decode_heuristic_entry,
+    encode_heuristic_entry,
+    heuristic_bundle_entries,
+    heuristic_bundle_payload,
+    heuristic_entry_key,
+)
+from repro.persistence.index import (
+    INDEX_FORMAT_V1,
+    INDEX_FORMAT_V2,
+    index_from_column_bytes,
+    index_from_dict,
+    index_to_column_bytes,
+    index_to_dict,
+)
 from repro.vpaths.updated_graph import UpdatedPaceGraph
 
 __all__ = [
     "MANIFEST_NAME",
     "INDEX_ARTIFACT",
     "HEURISTICS_ARTIFACT",
+    "HEURISTIC_ENTRY_PREFIX",
+    "DEFAULT_STORE_FORMAT",
     "ArtifactEntry",
     "ArtifactManifest",
     "ArtifactStore",
@@ -67,11 +92,25 @@ _MANIFEST_FORMAT_VERSION = 1
 
 #: Logical artifact names (the keys of :attr:`ArtifactManifest.artifacts`).
 INDEX_ARTIFACT = "index"
+#: The v1 monolithic heuristic bundle.
 HEURISTICS_ARTIFACT = "heuristics"
+#: Prefix of v2 per-entry heuristic artifact names: ``heuristic:<entry key>``.
+HEURISTIC_ENTRY_PREFIX = "heuristic:"
 
-#: Serialised document format versions, recorded per artifact so a reader can
-#: refuse files written by a newer codec before attempting to parse them.
-_ARTIFACT_FORMAT_VERSIONS = {INDEX_ARTIFACT: 1, HEURISTICS_ARTIFACT: 1}
+#: The format new stores are written in unless the caller asks otherwise.
+DEFAULT_STORE_FORMAT = INDEX_FORMAT_V2
+
+#: Serialised document format versions a reader accepts, per artifact name.
+_SUPPORTED_ARTIFACT_VERSIONS = {
+    INDEX_ARTIFACT: (INDEX_FORMAT_V1, INDEX_FORMAT_V2),
+    HEURISTICS_ARTIFACT: (1,),
+}
+
+
+def _supported_versions(name: str) -> tuple[int, ...] | None:
+    if name.startswith(HEURISTIC_ENTRY_PREFIX):
+        return (2,)
+    return _SUPPORTED_ARTIFACT_VERSIONS.get(name)
 
 
 def _checksum(data: bytes) -> str:
@@ -140,6 +179,20 @@ class ArtifactManifest:
             raise DataError("artifact manifest must record a 'pace' content fingerprint")
         if INDEX_ARTIFACT not in self.artifacts:
             raise DataError("artifact manifest must reference an index artifact")
+        if HEURISTICS_ARTIFACT in self.artifacts and self.heuristic_entry_names():
+            # One store, one heuristic layout: a v1 monolithic bundle and v2
+            # per-entry documents in the same manifest would make "which
+            # tables does this store hold" ambiguous (and a partial migration
+            # look healthy).  Mixed-version manifests are rejected outright.
+            raise DataError(
+                "artifact manifest mixes a format-version-1 heuristic bundle with "
+                "format-version-2 per-entry heuristics; re-run 'repro "
+                "migrate-artifacts' (or rebuild the store) to settle on one format"
+            )
+
+    def heuristic_entry_names(self) -> list[str]:
+        """The v2 per-entry heuristic artifact names, sorted for determinism."""
+        return sorted(name for name in self.artifacts if name.startswith(HEURISTIC_ENTRY_PREFIX))
 
     def to_dict(self) -> dict:
         return {
@@ -249,11 +302,24 @@ class ArtifactStore:
     # ------------------------------------------------------------------ #
     # Reading
     # ------------------------------------------------------------------ #
-    def read_document(self, name: str) -> dict:
-        """Read one artifact document, verifying checksum and format version."""
+    def _artifact_bytes(self, name: str) -> tuple[ArtifactEntry, bytes]:
+        """One artifact's manifest entry and checksum-verified raw bytes.
+
+        Also validates the entry's recorded ``format_version`` against the
+        versions this reader supports for ``name`` — a store written by a
+        newer codec is refused before a single payload byte is parsed.
+        """
         entry = self.manifest.artifacts.get(name)
         if entry is None:
             raise DataError(f"artifact store {self.root} holds no {name!r} artifact")
+        supported = _supported_versions(name)
+        if supported is not None and entry.format_version not in supported:
+            raise DataError(
+                f"unsupported {name} artifact format version {entry.format_version} "
+                f"(this reader supports {', '.join(map(str, supported))}); "
+                "re-export the store with a matching writer or run "
+                "'repro migrate-artifacts'"
+            )
         path = self.root / entry.filename
         try:
             data = path.read_bytes()
@@ -268,14 +334,36 @@ class ArtifactStore:
                 f"artifact {entry.filename} in {self.root} is corrupted: checksum "
                 f"{checksum} does not match the manifest's {entry.checksum}"
             )
+        return entry, data
+
+    def read_document(self, name: str) -> dict:
+        """Read one *JSON* artifact document, verifying checksum and format version."""
+        entry, data = self._artifact_bytes(name)
+        if is_column_document(data):
+            raise DataError(
+                f"artifact {entry.filename} is a binary column document; read it "
+                "through load_index() / load_heuristic_entries(), not read_document()"
+            )
         try:
             payload = json.loads(data)
         except json.JSONDecodeError as exc:  # pragma: no cover - checksum catches first
             raise DataError(f"artifact {entry.filename} is not valid JSON: {exc}") from exc
-        expected_version = _ARTIFACT_FORMAT_VERSIONS.get(name)
-        if expected_version is not None:
-            require_format_version(payload, expected=expected_version, what=f"{name} artifact")
+        require_format_version(
+            payload, expected=entry.format_version, what=f"{name} artifact"
+        )
         return payload
+
+    def _read_index_graph(self) -> UpdatedPaceGraph:
+        """Parse the index artifact, dispatching on its recorded format version."""
+        entry, data = self._artifact_bytes(INDEX_ARTIFACT)
+        if entry.format_version == INDEX_FORMAT_V2:
+            return index_from_column_bytes(data)
+        try:
+            payload = json.loads(data)
+        except json.JSONDecodeError as exc:  # pragma: no cover - checksum catches first
+            raise DataError(f"artifact {entry.filename} is not valid JSON: {exc}") from exc
+        require_format_version(payload, expected=INDEX_FORMAT_V1, what="index artifact")
+        return index_from_dict(payload)
 
     def load_index(self) -> tuple[PaceGraph, UpdatedPaceGraph | None]:
         """Load the routable index and verify it against the manifest identity.
@@ -287,7 +375,7 @@ class ArtifactStore:
         its heuristics) claim, and is rejected.
         """
         manifest = self.manifest
-        updated = index_from_dict(self.read_document(INDEX_ARTIFACT))
+        updated = self._read_index_graph()
         pace = updated.pace_graph
         pace_fingerprint = pace.content_fingerprint()
         if pace_fingerprint != manifest.fingerprints["pace"]:
@@ -308,10 +396,27 @@ class ArtifactStore:
         return pace, updated
 
     def load_heuristic_entries(self) -> list[dict]:
-        """The tagged heuristic-bundle entries, or ``[]`` when none were persisted."""
-        if not self.has_artifact(HEURISTICS_ARTIFACT):
-            return []
-        return heuristic_bundle_entries(self.read_document(HEURISTICS_ARTIFACT))
+        """The tagged heuristic entries, or ``[]`` when none were persisted.
+
+        Reads whichever layout the store holds: the v1 monolithic bundle, or
+        the v2 per-entry column documents (each verified against its manifest
+        checksum *and* against its own ``heuristic:<key>`` name, so a file
+        swapped for a different destination's table fails loudly).
+        """
+        if self.has_artifact(HEURISTICS_ARTIFACT):
+            return heuristic_bundle_entries(self.read_document(HEURISTICS_ARTIFACT))
+        entries: list[dict] = []
+        for name in self.manifest.heuristic_entry_names():
+            _, data = self._artifact_bytes(name)
+            entry = decode_heuristic_entry(data)
+            expected = HEURISTIC_ENTRY_PREFIX + heuristic_entry_key(entry)
+            if name != expected:
+                raise DataError(
+                    f"heuristic artifact {name!r} in {self.root} decodes to a different "
+                    f"heuristic ({expected!r}); the store is inconsistent"
+                )
+            entries.append(entry)
+        return entries
 
     # ------------------------------------------------------------------ #
     # Writing
@@ -319,51 +424,72 @@ class ArtifactStore:
     def save(
         self,
         *,
-        index_document: dict,
         fingerprints: dict[str, str | None],
         settings: dict,
+        graph: PaceGraph | UpdatedPaceGraph | None = None,
+        index_document: dict | None = None,
         heuristic_entries: list[dict] | None = None,
         recipe: dict | None = None,
         provenance: dict | None = None,
+        format_version: int | None = None,
     ) -> ArtifactManifest:
         """Write (or replace) the store contents and return the new manifest.
 
+        The index is passed as ``graph`` (serialised here in the chosen
+        ``format_version``) or, for v1 compatibility, as a ready-made
+        ``index_document`` dictionary.  ``format_version=None`` keeps the
+        format an existing store already uses and defaults fresh stores to
+        :data:`DEFAULT_STORE_FORMAT` (v2 columnar).
+
         The index file is named by the primary graph fingerprint (the V-path
-        closure's when present, the PACE graph's otherwise) and the heuristic
-        bundle by a digest of its own bytes, so unchanged artifacts are
-        skipped on re-save; the manifest is replaced atomically last, and any
-        artifact files no longer referenced are removed.
+        closure's when present, the PACE graph's otherwise); heuristics are
+        content-addressed by a digest of their own bytes — at v2 one document
+        *per entry*, so a re-save writes only the tables that changed and
+        leaves the rest byte-identical on disk.  The manifest is replaced
+        atomically last, and any artifact files no longer referenced are
+        removed.
         """
         self.root.mkdir(parents=True, exist_ok=True)
+        if format_version is None:
+            format_version = self._current_format() or DEFAULT_STORE_FORMAT
+        if format_version not in (INDEX_FORMAT_V1, INDEX_FORMAT_V2):
+            raise DataError(
+                f"unsupported artifact store format version {format_version} "
+                f"(this writer supports {INDEX_FORMAT_V1} and {INDEX_FORMAT_V2})"
+            )
         primary = fingerprints.get("updated") or fingerprints.get("pace")
         if not primary:
             raise DataError("artifact stores need at least the 'pace' content fingerprint")
 
         artifacts: dict[str, ArtifactEntry] = {}
-        index_bytes = json.dumps(index_document, allow_nan=False).encode("utf-8")
+        if (graph is None) == (index_document is None):
+            raise DataError("save() needs exactly one of graph= or index_document=")
+        if format_version == INDEX_FORMAT_V2:
+            if graph is None:
+                raise DataError(
+                    "writing a format-version-2 index needs the graph itself "
+                    "(pass graph=, not index_document=)"
+                )
+            index_bytes = index_to_column_bytes(graph)
+            index_name = f"index-{primary[:16]}.bin"
+        else:
+            document = index_document if index_document is not None else index_to_dict(graph)
+            index_bytes = json.dumps(document, allow_nan=False).encode("utf-8")
+            index_name = f"index-{primary[:16]}.json"
         artifacts[INDEX_ARTIFACT] = self._write_blob(
-            f"index-{primary[:16]}.json",
-            index_bytes,
-            format_version=_ARTIFACT_FORMAT_VERSIONS[INDEX_ARTIFACT],
+            index_name, index_bytes, format_version=format_version
         )
         if heuristic_entries:
-            bundle_bytes = json.dumps(
-                heuristic_bundle_payload(heuristic_entries), allow_nan=False
-            ).encode("utf-8")
-            artifacts[HEURISTICS_ARTIFACT] = self._write_blob(
-                f"heuristics-{_checksum(bundle_bytes)[:16]}.json",
-                bundle_bytes,
-                format_version=_ARTIFACT_FORMAT_VERSIONS[HEURISTICS_ARTIFACT],
+            artifacts.update(
+                self._write_heuristics(heuristic_entries, format_version=format_version)
             )
         else:
             # A saver with no heuristics to contribute (e.g. an engine booted
             # with overridden settings that skipped the persisted tables) must
             # not destroy the store's existing prewarm investment: tables are
             # keyed by graph content, so as long as the graphs are unchanged
-            # the previously persisted bundle stays valid — keep it.
-            existing = self._existing_heuristics_entry(fingerprints)
-            if existing is not None:
-                artifacts[HEURISTICS_ARTIFACT] = existing
+            # the previously persisted documents stay valid — keep them.
+            artifacts.update(self._carry_over_heuristics(fingerprints))
 
         full_provenance = {"created_at": _utc_now_iso()}
         full_provenance.update(provenance or {})
@@ -383,22 +509,70 @@ class ArtifactStore:
         self._collect_garbage(manifest)
         return manifest
 
-    def _existing_heuristics_entry(
-        self, fingerprints: dict[str, str | None]
-    ) -> ArtifactEntry | None:
-        """The current manifest's heuristics entry, iff it still applies."""
+    def _current_format(self) -> int | None:
+        """The index format an existing store uses, or ``None`` for fresh stores."""
         if not self.manifest_path.exists():
             return None
         try:
-            previous = self.manifest
+            entry = self.manifest.artifacts.get(INDEX_ARTIFACT)
         except DataError:
             return None
-        entry = previous.artifacts.get(HEURISTICS_ARTIFACT)
-        if entry is None or dict(previous.fingerprints) != dict(fingerprints):
-            return None
-        if not (self.root / entry.filename).exists():
-            return None
-        return entry
+        return None if entry is None else entry.format_version
+
+    def _write_heuristics(
+        self, entries: list[dict], *, format_version: int
+    ) -> dict[str, ArtifactEntry]:
+        """Write the heuristic payloads in the chosen layout.
+
+        v1: one monolithic JSON bundle.  v2: one column document per entry,
+        named ``heuristic:<key>`` and content-addressed by its own digest —
+        the :meth:`_write_blob` checksum short-circuit then leaves unchanged
+        tables' files untouched on a re-save (incremental prewarm).
+        """
+        if format_version == INDEX_FORMAT_V1:
+            bundle_bytes = json.dumps(
+                heuristic_bundle_payload(entries), allow_nan=False
+            ).encode("utf-8")
+            return {
+                HEURISTICS_ARTIFACT: self._write_blob(
+                    f"heuristics-{_checksum(bundle_bytes)[:16]}.json",
+                    bundle_bytes,
+                    format_version=1,
+                )
+            }
+        artifacts: dict[str, ArtifactEntry] = {}
+        for entry in entries:
+            key = heuristic_entry_key(entry)
+            name = HEURISTIC_ENTRY_PREFIX + key
+            if name in artifacts:
+                raise DataError(
+                    f"duplicate heuristic entry {key!r}: the engine handed the store "
+                    "two tables for the same (kind, variant, graph, destination) slot"
+                )
+            blob = encode_heuristic_entry(entry)
+            artifacts[name] = self._write_blob(
+                f"heuristic-{key}-{_checksum(blob)[:12]}.bin", blob, format_version=2
+            )
+        return artifacts
+
+    def _carry_over_heuristics(
+        self, fingerprints: dict[str, str | None]
+    ) -> dict[str, ArtifactEntry]:
+        """The current manifest's heuristic entries (any layout), iff still valid."""
+        if not self.manifest_path.exists():
+            return {}
+        try:
+            previous = self.manifest
+        except DataError:
+            return {}
+        if dict(previous.fingerprints) != dict(fingerprints):
+            return {}
+        return {
+            name: entry
+            for name, entry in previous.artifacts.items()
+            if (name == HEURISTICS_ARTIFACT or name.startswith(HEURISTIC_ENTRY_PREFIX))
+            and (self.root / entry.filename).exists()
+        }
 
     def _write_blob(self, filename: str, data: bytes, *, format_version: int) -> ArtifactEntry:
         checksum = _checksum(data)
@@ -417,7 +591,7 @@ class ArtifactStore:
 
     def _collect_garbage(self, manifest: ArtifactManifest) -> None:
         referenced = {entry.filename for entry in manifest.artifacts.values()}
-        for pattern in ("index-*.json", "heuristics-*.json"):
+        for pattern in ("index-*.json", "index-*.bin", "heuristics-*.json", "heuristic-*.bin"):
             for stale in self.root.glob(pattern):
                 if stale.name not in referenced:
                     stale.unlink(missing_ok=True)

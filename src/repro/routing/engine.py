@@ -617,7 +617,9 @@ class RoutingEngine:
     # -------------------------------------------------------------- #
     # Artifact persistence (mine once, boot engines from disk forever)
     # -------------------------------------------------------------- #
-    def save_artifacts(self, store, *, provenance: dict | None = None):
+    def save_artifacts(
+        self, store, *, provenance: dict | None = None, format_version: int | None = None
+    ):
         """Persist this engine's offline artifacts to an artifact store.
 
         Writes the routable index (road network, edge weights, T-paths,
@@ -627,10 +629,13 @@ class RoutingEngine:
         the :class:`RouterSettings`, the originating
         :class:`~repro.routing.backends.DatasetRecipe` (when this engine was
         built from one) and build provenance.  ``provenance`` adds caller
-        metadata (e.g. mining wall-clock) to the manifest.  Returns the
+        metadata (e.g. mining wall-clock) to the manifest.
+        ``format_version`` selects the artifact format (1 = JSON documents,
+        2 = columnar binary with individually addressable heuristic tables);
+        ``None`` keeps an existing store's format and writes fresh stores at
+        :data:`~repro.persistence.store.DEFAULT_STORE_FORMAT`.  Returns the
         written :class:`~repro.persistence.store.ArtifactManifest`.
         """
-        from repro.persistence.index import index_to_dict
         from repro.persistence.store import ArtifactStore
         from repro.routing.backends import DatasetRecipe
 
@@ -670,12 +675,13 @@ class RoutingEngine:
             # keeps the original mining recipe the store recorded.
             recipe = self.provenance.get("recipe")
         return store.save(
-            index_document=index_to_dict(graph),
+            graph=graph,
             fingerprints=fingerprints,
             settings=asdict(self._settings),
             heuristic_entries=entries or None,
             recipe=recipe,
             provenance=build_provenance,
+            format_version=format_version,
         )
 
     @classmethod

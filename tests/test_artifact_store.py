@@ -73,8 +73,13 @@ class TestManifest:
         assert manifest.provenance["mine_seconds"] == 0.5
         assert "created_at" in manifest.provenance
         assert manifest.provenance["heuristic_entries"] == 6
-        assert set(manifest.artifacts) == {"index", "heuristics"}
+        # v2 layout: the index plus one individually addressable document per
+        # heuristic entry (2 destinations x (T-BS budget, V-BS budget, binary)).
+        assert "index" in manifest.artifacts
+        assert len(manifest.heuristic_entry_names()) == 6
+        assert set(manifest.artifacts) == {"index"} | set(manifest.heuristic_entry_names())
         for entry in manifest.artifacts.values():
+            assert entry.format_version == 2
             assert (store_root / entry.filename).stat().st_size == entry.size_bytes
 
     def test_index_file_is_content_addressed(self, mined, store_root):
@@ -258,18 +263,17 @@ class TestResaveSafety:
         A store holding only budget tables, booted with an overridden (larger)
         ``max_budget``, skips every persisted table — the engine's cache is
         empty.  Re-saving the store from such an engine must keep the existing
-        heuristics artifact: the graphs are unchanged, so the bundle is still
+        heuristic documents: the graphs are unchanged, so they are still
         valid (for any consumer whose settings the tables do cover).
         """
-        from repro.persistence.store import HEURISTICS_ARTIFACT
-
         engine = RECIPE.build_engine(settings=SETTINGS)
         vertices = sorted(engine.pace_graph.network.vertex_ids())
         engine.prewarm("T-BS-60", [vertices[-1]])  # budget tables only
         root = tmp_path / "budget-store"
         engine.save_artifacts(root)
         before = ArtifactStore.open(root).manifest
-        assert HEURISTICS_ARTIFACT in before.artifacts
+        names = before.heuristic_entry_names()
+        assert names, "the prewarmed table must have been persisted"
 
         overridden = RoutingEngine.from_artifacts(
             root, settings=RouterSettings(max_budget=50000.0, max_explored=2000)
@@ -277,5 +281,7 @@ class TestResaveSafety:
         assert len(overridden.heuristic_cache) == 0  # every table was skipped
         overridden.save_artifacts(root)
         after = ArtifactStore.open(root).manifest
-        assert after.artifacts[HEURISTICS_ARTIFACT] == before.artifacts[HEURISTICS_ARTIFACT]
-        assert (root / after.artifacts[HEURISTICS_ARTIFACT].filename).exists()
+        assert after.heuristic_entry_names() == names
+        for name in names:
+            assert after.artifacts[name] == before.artifacts[name]
+            assert (root / after.artifacts[name].filename).exists()

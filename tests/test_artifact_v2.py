@@ -1,0 +1,310 @@
+"""v1/v2 artifact-store coexistence, incremental prewarm, and migration.
+
+PR 4's manifest records a format version per artifact precisely so a second
+format could coexist with the first.  These tests pin the contract both ways:
+
+* v1 (JSON) stores written explicitly still load, byte for byte,
+* v2 (columnar) stores round-trip bit-exact graph content fingerprints and
+  serve with zero cache misses,
+* mixed-version manifests (a v1 bundle *and* v2 per-entry heuristics) and
+  unknown format versions are rejected loudly,
+* an incremental ``prewarm --artifacts`` re-save writes only the new/changed
+  heuristic documents — untouched tables stay byte- and mtime-identical on
+  disk, and
+* ``repro migrate-artifacts`` converts a store in place without re-mining,
+  preserving fingerprints, recipe and build provenance.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.errors import DataError
+from repro.persistence.store import (
+    HEURISTIC_ENTRY_PREFIX,
+    HEURISTICS_ARTIFACT,
+    INDEX_ARTIFACT,
+    MANIFEST_NAME,
+    ArtifactStore,
+)
+from repro.routing import DatasetRecipe, RouterSettings, RoutingEngine, RoutingQuery
+
+RECIPE = DatasetRecipe(dataset="tiny", regime="peak", tau=20)
+SETTINGS = RouterSettings(max_budget=900.0, max_explored=2000)
+
+
+@pytest.fixture(scope="module")
+def mined():
+    engine = RECIPE.build_engine(settings=SETTINGS)
+    vertices = sorted(engine.pace_graph.network.vertex_ids())
+    destinations = [vertices[-1], vertices[len(vertices) // 2]]
+    for method in ("T-BS-60", "T-B-P"):
+        engine.prewarm(method, destinations)
+    queries = [
+        RoutingQuery(vertices[0], destinations[0], budget=500.0),
+        RoutingQuery(vertices[1], destinations[1], budget=350.0),
+    ]
+    return engine, destinations, queries
+
+
+def _file_states(root, pattern):
+    return {
+        path.name: (path.stat().st_mtime_ns, path.read_bytes())
+        for path in root.glob(pattern)
+    }
+
+
+class TestCoexistence:
+    def test_v1_store_still_loads_with_full_parity(self, mined, tmp_path):
+        engine, _, queries = mined
+        root = tmp_path / "v1-store"
+        manifest = engine.save_artifacts(root, format_version=1)
+        assert set(manifest.artifacts) == {INDEX_ARTIFACT, HEURISTICS_ARTIFACT}
+        assert all(entry.format_version == 1 for entry in manifest.artifacts.values())
+        assert manifest.artifacts[INDEX_ARTIFACT].filename.endswith(".json")
+        booted = RoutingEngine.from_artifacts(root)
+        assert booted.pace_graph.content_fingerprint() == engine.pace_graph.content_fingerprint()
+        for method in ("T-BS-60", "T-B-P"):
+            for expected, actual in zip(
+                engine.route_many(queries, method=method),
+                booted.route_many(queries, method=method),
+            ):
+                assert actual.probability == expected.probability
+        assert booted.stats().cache_misses == 0
+
+    def test_v2_store_round_trips_bit_exact_fingerprints(self, mined, tmp_path):
+        engine, _, _ = mined
+        root = tmp_path / "v2-store"
+        manifest = engine.save_artifacts(root, format_version=2)
+        assert manifest.artifacts[INDEX_ARTIFACT].format_version == 2
+        assert manifest.artifacts[INDEX_ARTIFACT].filename.endswith(".bin")
+        assert manifest.heuristic_entry_names()
+        booted = RoutingEngine.from_artifacts(root)
+        # load_index verifies the recomputed fingerprints against the
+        # manifest, so a successful boot *is* the bit-exactness assertion —
+        # restate it explicitly anyway.
+        assert booted.pace_graph.content_fingerprint() == engine.pace_graph.content_fingerprint()
+        assert (
+            booted.updated_graph.content_fingerprint()
+            == engine.updated_graph.content_fingerprint()
+        )
+        assert booted.stats().cache_misses == 0
+
+    def test_resave_preserves_the_existing_format(self, mined, tmp_path):
+        engine, _, _ = mined
+        root = tmp_path / "sticky-format"
+        engine.save_artifacts(root, format_version=1)
+        # A re-save without an explicit format keeps the store at v1 ...
+        manifest = engine.save_artifacts(root)
+        assert manifest.artifacts[INDEX_ARTIFACT].format_version == 1
+        # ... and fresh stores default to v2.
+        fresh = engine.save_artifacts(tmp_path / "fresh")
+        assert fresh.artifacts[INDEX_ARTIFACT].format_version == 2
+
+    def test_v2_is_smaller_than_v1(self, mined, tmp_path):
+        engine, _, _ = mined
+        v1 = engine.save_artifacts(tmp_path / "a", format_version=1)
+        v2 = engine.save_artifacts(tmp_path / "b", format_version=2)
+        assert sum(e.size_bytes for e in v2.artifacts.values()) < sum(
+            e.size_bytes for e in v1.artifacts.values()
+        )
+
+
+class TestRejection:
+    def _manifest(self, root):
+        return json.loads((root / MANIFEST_NAME).read_text())
+
+    def _write_manifest(self, root, payload):
+        (root / MANIFEST_NAME).write_text(json.dumps(payload))
+
+    def test_mixed_version_manifest_errors_cleanly(self, mined, tmp_path):
+        engine, _, _ = mined
+        root = tmp_path / "mixed"
+        engine.save_artifacts(root, format_version=2)
+        payload = self._manifest(root)
+        entry_name = next(
+            name for name in payload["artifacts"] if name.startswith(HEURISTIC_ENTRY_PREFIX)
+        )
+        payload["artifacts"][HEURISTICS_ARTIFACT] = payload["artifacts"][entry_name]
+        self._write_manifest(root, payload)
+        with pytest.raises(DataError, match="mixes a format-version-1 heuristic bundle"):
+            ArtifactStore.open(root)
+
+    def test_unknown_index_format_version_errors_cleanly(self, mined, tmp_path):
+        engine, _, _ = mined
+        root = tmp_path / "future"
+        engine.save_artifacts(root, format_version=2)
+        payload = self._manifest(root)
+        payload["artifacts"][INDEX_ARTIFACT]["format_version"] = 3
+        self._write_manifest(root, payload)
+        with pytest.raises(DataError, match=r"format version 3.*supports 1, 2"):
+            RoutingEngine.from_artifacts(root)
+
+    def test_unknown_save_format_is_rejected(self, mined, tmp_path):
+        engine, _, _ = mined
+        with pytest.raises(DataError, match="format version 7"):
+            engine.save_artifacts(tmp_path / "nope", format_version=7)
+
+    def test_corrupted_heuristic_document_fails_its_checksum(self, mined, tmp_path):
+        engine, _, _ = mined
+        root = tmp_path / "bitrot"
+        engine.save_artifacts(root, format_version=2)
+        victim = next(root.glob("heuristic-*.bin"))
+        victim.write_bytes(victim.read_bytes()[:-3] + b"zzz")
+        with pytest.raises(DataError, match="corrupted: checksum"):
+            RoutingEngine.from_artifacts(root)
+
+    def test_swapped_heuristic_documents_are_detected(self, mined, tmp_path):
+        """A file that passes its checksum but holds another slot's table."""
+        engine, _, _ = mined
+        root = tmp_path / "swapped"
+        engine.save_artifacts(root, format_version=2)
+        payload = self._manifest(root)
+        names = [n for n in payload["artifacts"] if n.startswith(HEURISTIC_ENTRY_PREFIX)]
+        first, second = names[0], names[1]
+        payload["artifacts"][first], payload["artifacts"][second] = (
+            payload["artifacts"][second],
+            payload["artifacts"][first],
+        )
+        self._write_manifest(root, payload)
+        with pytest.raises(DataError, match="decodes to a different heuristic"):
+            RoutingEngine.from_artifacts(root)
+
+
+class TestIncrementalPrewarm:
+    def test_resave_only_touches_changed_heuristic_documents(self, tmp_path):
+        engine = RECIPE.build_engine(settings=SETTINGS)
+        vertices = sorted(engine.pace_graph.network.vertex_ids())
+        engine.prewarm("T-BS-60", [vertices[-1], vertices[-2]])
+        root = tmp_path / "incremental"
+        engine.save_artifacts(root, format_version=2)
+        before = _file_states(root, "heuristic-*.bin")
+        index_before = _file_states(root, "index-*.bin")
+
+        booted = RoutingEngine.from_artifacts(root)
+        booted.prewarm("T-BS-60", [vertices[0]])  # one new destination
+        booted.save_artifacts(root)
+
+        after = _file_states(root, "heuristic-*.bin")
+        new_files = set(after) - set(before)
+        assert len(new_files) == 1, "exactly the new destination's table is written"
+        for name in before:
+            # untouched tables: same file, same bytes, same mtime (not rewritten)
+            assert after[name] == before[name]
+        assert _file_states(root, "index-*.bin") == index_before
+        manifest = ArtifactStore.open(root).manifest
+        assert len(manifest.heuristic_entry_names()) == 3
+
+    def test_replaced_table_swaps_its_document_and_collects_the_old_one(self, tmp_path):
+        """Same slot, different content: the document is replaced, not duplicated."""
+        settings_small = RouterSettings(max_budget=600.0, max_explored=2000)
+        engine = RECIPE.build_engine(settings=settings_small)
+        vertices = sorted(engine.pace_graph.network.vertex_ids())
+        destination = vertices[-1]
+        engine.prewarm("T-BS-60", [destination])
+        root = tmp_path / "replaced"
+        engine.save_artifacts(root, format_version=2)
+        old_files = set(_file_states(root, "heuristic-*.bin"))
+
+        # Rebuild the same slot's table over a larger budget grid: same key,
+        # different cells -> different content digest.
+        bigger = RECIPE.build_engine(settings=RouterSettings(max_budget=900.0, max_explored=2000))
+        bigger.prewarm("T-BS-60", [destination])
+        bigger.save_artifacts(root)
+
+        new_files = set(_file_states(root, "heuristic-*.bin"))
+        assert new_files != old_files
+        assert len(new_files) == 1, "the superseded document was garbage-collected"
+        manifest = ArtifactStore.open(root).manifest
+        assert len(manifest.heuristic_entry_names()) == 1
+
+
+class TestMigration:
+    def test_cli_migrates_v1_store_in_place(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(
+            [
+                "build-artifacts", "--dataset", "tiny", "--out", str(store),
+                "--format", "v1", "--sweeps", "1",
+                "--method", "T-BS-60", "--destinations", "35",
+            ]
+        ) == 0
+        before = ArtifactStore.open(store).manifest
+        assert before.artifacts[INDEX_ARTIFACT].format_version == 1
+        capsys.readouterr()
+
+        assert main(["migrate-artifacts", str(store)]) == 0
+        output = capsys.readouterr().out
+        assert "v1 -> v2" in output
+
+        after = ArtifactStore.open(store).manifest
+        assert after.artifacts[INDEX_ARTIFACT].format_version == 2
+        assert after.fingerprints == before.fingerprints
+        assert after.recipe == before.recipe
+        assert after.provenance["mine_seconds"] == before.provenance["mine_seconds"]
+        assert len(after.heuristic_entry_names()) == 1
+        assert not list(store.glob("*.json.tmp"))
+        # no stale v1 blobs left behind
+        assert not list(store.glob("heuristics-*.json"))
+        assert not list(store.glob("index-*.json"))
+
+        booted = RoutingEngine.from_artifacts(store)
+        assert booted.stats().cache_misses == 0
+        assert booted.pace_graph.content_fingerprint() == before.fingerprints["pace"]
+
+    def test_migrate_is_idempotent_at_v2(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(
+            ["build-artifacts", "--dataset", "tiny", "--out", str(store), "--sweeps", "1"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["migrate-artifacts", str(store)]) == 0
+        first = _file_states(store, "index-*.bin")
+        assert main(["migrate-artifacts", str(store)]) == 0
+        assert _file_states(store, "index-*.bin") == first
+
+    def test_migrate_missing_store_exits_2(self, tmp_path, capsys):
+        assert main(["migrate-artifacts", str(tmp_path / "nowhere")]) == 2
+        assert "no artifact store" in capsys.readouterr().err
+
+    def test_migrate_with_unloadable_heuristics_keeps_them_and_says_so(
+        self, tmp_path, capsys
+    ):
+        """Entries the engine cannot serve are kept verbatim, not silently lost.
+
+        Floor-built tables are skipped on every load (inadmissible), so a
+        store holding only those migrates its index but carries the heuristic
+        documents over unchanged — and the CLI must report exactly that
+        instead of claiming they were dropped.
+        """
+        from repro.heuristics.budget import BudgetHeuristicConfig, BudgetSpecificHeuristic
+
+        engine = RECIPE.build_engine(settings=SETTINGS)
+        destination = sorted(engine.pace_graph.network.vertex_ids())[-1]
+        floor_built = BudgetSpecificHeuristic(
+            engine.pace_graph,
+            destination,
+            BudgetHeuristicConfig(
+                delta=60.0, max_budget=SETTINGS.max_budget, grid_rounding="floor"
+            ),
+        )
+        engine.heuristic_cache.insert(
+            ("budget", 60.0, engine.pace_graph.content_fingerprint(), destination),
+            floor_built,
+        )
+        store = tmp_path / "floor-store"
+        engine.save_artifacts(store, format_version=1)
+        before = ArtifactStore.open(store).manifest
+        assert HEURISTICS_ARTIFACT in before.artifacts
+
+        assert main(["migrate-artifacts", str(store)]) == 0
+        captured = capsys.readouterr()
+        assert "NOT migrated" in captured.err
+
+        after = ArtifactStore.open(store).manifest
+        assert after.artifacts[INDEX_ARTIFACT].format_version == 2
+        # the unloadable bundle survives byte-for-byte in its original format
+        assert after.artifacts[HEURISTICS_ARTIFACT] == before.artifacts[HEURISTICS_ARTIFACT]

@@ -339,7 +339,8 @@ class TestCommands:
         from repro.persistence.store import ArtifactStore
 
         manifest = ArtifactStore.open(store).manifest
-        assert "heuristics" in manifest.artifacts
+        # v2 default layout: one addressable document per prewarmed heuristic.
+        assert manifest.heuristic_entry_names()
 
     def test_prewarm_without_out_or_artifacts_errors(self, capsys):
         assert main(

@@ -11,7 +11,15 @@ from repro.datasets.paper_example import (
     VS,
     build_paper_example,
 )
-from repro.datasets.synthetic import AALBORG_LIKE, XIAN_LIKE, aalborg_like, build_dataset, tiny_dataset
+from repro.datasets.synthetic import (
+    AALBORG_LIKE,
+    COUNTRY_LIKE,
+    DATASET_NAMES,
+    XIAN_LIKE,
+    aalborg_like,
+    build_dataset,
+    tiny_dataset,
+)
 from repro.trajectories.model import OFF_PEAK, PEAK
 
 
@@ -90,3 +98,20 @@ class TestSyntheticDatasets:
         dataset = build_dataset(AALBORG_LIKE)
         assert len(dataset.trajectories) <= AALBORG_LIKE.trajectories.num_trajectories
         assert len(dataset.trajectories) > AALBORG_LIKE.trajectories.num_trajectories * 0.5
+
+    def test_country_like_is_registered_but_never_built_here(self):
+        """The country-scale config: an order of magnitude more vertices.
+
+        Deliberately *configuration-only*: building it takes minutes (that is
+        its point — it stresses the offline pipeline), so tier-1 asserts the
+        registry entry and the scale relations without generating anything.
+        """
+        assert "country-like" in DATASET_NAMES
+        assert COUNTRY_LIKE.name == "country-like"
+        assert COUNTRY_LIKE.grid.rows * COUNTRY_LIKE.grid.cols > 4 * (
+            XIAN_LIKE.grid.rows * XIAN_LIKE.grid.cols
+        )
+        assert (
+            COUNTRY_LIKE.trajectories.num_trajectories
+            > 2 * AALBORG_LIKE.trajectories.num_trajectories
+        )

@@ -29,7 +29,24 @@ from repro.persistence.heuristics import (
     save_heuristic_bundle,
     save_heuristic_table,
 )
-from repro.persistence.index import index_from_dict, index_to_dict, load_index, save_index
+from repro.persistence.codecs import (
+    decode_column_document,
+    encode_column_document,
+    is_column_document,
+)
+from repro.persistence.heuristics import (
+    decode_heuristic_entry,
+    encode_heuristic_entry,
+    heuristic_entry_key,
+)
+from repro.persistence.index import (
+    index_from_column_bytes,
+    index_from_dict,
+    index_to_column_bytes,
+    index_to_dict,
+    load_index,
+    save_index,
+)
 from repro.routing import RouterSettings, RoutingQuery, create_router
 from repro.vpaths.updated_graph import UpdatedPaceGraph
 
@@ -65,6 +82,176 @@ class TestCodecs:
         restored = distribution_from_dict(json.loads(payload))
         assert restored == convolved
         assert all(isinstance(c, float) for c in json.loads(payload)["costs"])
+
+
+class TestColumnCodec:
+    """The framed binary column container behind the v2 artifacts."""
+
+    def _sample(self):
+        import numpy as np
+
+        meta = {"format_version": 2, "kind": "sample", "tau": 20}
+        columns = {
+            "floats": np.array([0.125, float("inf"), -3.5]),
+            "ints": np.arange(4, dtype=np.int64),
+            "empty": np.array([], dtype=float),
+        }
+        return meta, columns
+
+    def test_round_trip_is_bit_exact(self):
+        import numpy as np
+
+        meta, columns = self._sample()
+        blob = encode_column_document(meta, columns)
+        assert is_column_document(blob)
+        restored_meta, restored = decode_column_document(blob)
+        assert restored_meta == meta
+        for name, column in columns.items():
+            assert restored[name].tobytes() == np.ascontiguousarray(column).tobytes()
+        # decoded arrays are fresh and writable, never views of the input
+        restored["floats"][0] = 99.0
+
+    def test_encoding_is_deterministic(self):
+        meta, columns = self._sample()
+        assert encode_column_document(meta, columns) == encode_column_document(meta, columns)
+
+    def test_rejects_wrong_magic_truncation_corruption_and_trailing_bytes(self):
+        meta, columns = self._sample()
+        blob = encode_column_document(meta, columns)
+        with pytest.raises(DataError, match="bad magic"):
+            decode_column_document(b"JSON" + blob[4:])
+        for cut in (2, len(blob) // 3, len(blob) - 1):
+            with pytest.raises(DataError):
+                decode_column_document(blob[:cut])
+        flipped = bytearray(blob)
+        flipped[len(blob) // 2] ^= 0xFF
+        with pytest.raises(DataError):
+            decode_column_document(bytes(flipped))
+        with pytest.raises(DataError, match="trailing bytes"):
+            decode_column_document(blob + b"\x00")
+
+    def test_rejects_non_columnar_shapes_and_dtypes(self):
+        import numpy as np
+
+        with pytest.raises(DataError, match="one-dimensional"):
+            encode_column_document({}, {"m": np.zeros((2, 2))})
+        with pytest.raises(DataError, match="unsupported dtype"):
+            encode_column_document({}, {"s": np.array(["a", "b"])})
+
+
+class TestColumnarIndex:
+    """The v2 columnar index document (format dispatch, bit-exact identity)."""
+
+    def test_column_round_trip_preserves_content_fingerprints(self, paper_example):
+        updated, _ = UpdatedPaceGraph.build(paper_example.pace_graph)
+        restored = index_from_column_bytes(index_to_column_bytes(updated))
+        assert (
+            restored.pace_graph.content_fingerprint()
+            == paper_example.pace_graph.content_fingerprint()
+        )
+        assert restored.content_fingerprint() == updated.content_fingerprint()
+
+    def test_column_round_trip_without_vpaths(self, paper_example):
+        restored = index_from_column_bytes(index_to_column_bytes(paper_example.pace_graph))
+        assert restored.num_vpaths == 0
+        assert (
+            restored.pace_graph.content_fingerprint()
+            == paper_example.pace_graph.content_fingerprint()
+        )
+
+    def test_save_load_dispatches_on_leading_bytes(self, paper_example, tmp_path):
+        updated, _ = UpdatedPaceGraph.build(paper_example.pace_graph)
+        save_index(updated, tmp_path / "index.bin", format_version=2)
+        save_index(updated, tmp_path / "index.json", format_version=1)
+        for name in ("index.bin", "index.json"):
+            restored = load_index(tmp_path / name)
+            assert restored.content_fingerprint() == updated.content_fingerprint()
+        assert is_column_document((tmp_path / "index.bin").read_bytes())
+        assert (tmp_path / "index.json").read_bytes()[:1] == b"{"
+
+    def test_save_rejects_unknown_format(self, paper_example, tmp_path):
+        with pytest.raises(DataError, match="format version 3"):
+            save_index(paper_example.pace_graph, tmp_path / "x", format_version=3)
+
+    def test_routing_on_columnar_index_matches(self, paper_example):
+        updated, _ = UpdatedPaceGraph.build(paper_example.pace_graph)
+        restored = index_from_column_bytes(index_to_column_bytes(updated))
+        settings = RouterSettings(max_budget=64)
+        query = RoutingQuery(VS, VD, budget=30)
+        original = create_router(
+            "T-B-P", paper_example.pace_graph, updated, settings=settings
+        ).route(query)
+        reloaded = create_router(
+            "T-B-P", restored.pace_graph, restored, settings=settings
+        ).route(query)
+        assert reloaded.path.edges == original.path.edges
+        assert reloaded.probability == original.probability
+
+
+class TestHeuristicEntryCodec:
+    """The per-entry v2 heuristic documents and their addressable keys."""
+
+    def _budget_entry(self, paper_example):
+        heuristic = BudgetSpecificHeuristic(
+            paper_example.pace_graph, VD, BudgetHeuristicConfig(delta=8.0, max_budget=64.0)
+        )
+        return {
+            "kind": "budget",
+            "delta": 8.0,
+            "graph": "pace",
+            "destination": VD,
+            "graph_fingerprint": paper_example.pace_graph.content_fingerprint(),
+            "graph_signature": [1, 2, 3],
+            "heuristic": budget_heuristic_to_dict(heuristic),
+        }
+
+    def test_budget_entry_round_trip_is_cell_exact(self, paper_example):
+        entry = self._budget_entry(paper_example)
+        restored = decode_heuristic_entry(encode_heuristic_entry(entry))
+        assert restored["graph_fingerprint"] == entry["graph_fingerprint"]
+        assert restored["graph_signature"] == entry["graph_signature"]
+        original = budget_heuristic_from_dict(entry["heuristic"])
+        decoded = budget_heuristic_from_dict(restored["heuristic"])
+        assert decoded.table.rows.keys() == original.table.rows.keys()
+        for vertex, row in original.table.rows.items():
+            other = decoded.table.rows[vertex]
+            assert other.first_index == row.first_index
+            assert other.values.tobytes() == row.values.tobytes()
+        assert decoded.binary.min_cost_map() == original.binary.min_cost_map()
+
+    def test_binary_entry_round_trips_infinite_get_min_natively(self):
+        entry = {
+            "kind": "binary",
+            "variant": "P",
+            "destination": 7,
+            "graph_fingerprint": "f" * 32,
+            "graph_signature": [4, 5, 6],
+            "heuristic": binary_heuristic_to_dict(
+                BinaryHeuristic(7, {7: 0.0, 1: 12.5, 2: float("inf")})
+            ),
+        }
+        restored = decode_heuristic_entry(encode_heuristic_entry(entry))
+        decoded = binary_heuristic_from_dict(restored["heuristic"])
+        assert decoded.min_cost(2) == float("inf")
+        assert decoded.min_cost(1) == 12.5
+
+    def test_entry_keys_are_stable_and_distinct(self, paper_example):
+        budget = self._budget_entry(paper_example)
+        assert heuristic_entry_key(budget) == f"budget-8.0-pace-{VD}"
+        assert heuristic_entry_key({**budget, "graph": "updated"}) == f"budget-8.0-updated-{VD}"
+        assert (
+            heuristic_entry_key({"kind": "binary", "variant": "EU", "destination": 3})
+            == "binary-EU-3"
+        )
+        with pytest.raises(DataError, match="unknown heuristic bundle entry kind"):
+            heuristic_entry_key({"kind": "mystery", "destination": 1})
+
+    def test_decode_rejects_non_entry_documents(self):
+        import numpy as np
+
+        blob = encode_column_document({"kind": "something"}, {"c": np.zeros(1)})
+        with pytest.raises(DataError, match="not a heuristic entry document"):
+            decode_heuristic_entry(blob)
 
 
 class TestIndexPersistence:
