@@ -7,9 +7,15 @@ only so that editable installs work in fully offline environments where the
 both fall back to it.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
 setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    # PEP 561: the package ships inline type annotations; the marker makes
+    # mypy in downstream projects consume them.
+    package_data={"repro": ["py.typed"]},
     # The distribution kernel (repro.core.distributions) is array-backed.
     install_requires=["numpy>=1.22"],
 )

@@ -1,0 +1,37 @@
+"""Project-invariant static analysis: AST lint rules for this repo's contracts.
+
+The subsystem behind ``repro analyze``.  It is intentionally standalone —
+stdlib :mod:`ast` only, no runtime dependency on the rest of the package —
+so it can check the tree it ships in.  See :mod:`repro.analysis.framework`
+for the machinery, :mod:`repro.analysis.rules` for the rule set (each rule
+documents the PR/bug that motivated it), and the README's "Static analysis
+& typing" section for how to run it and the suppression syntax.
+"""
+
+from repro.analysis.framework import (
+    AnalysisReport,
+    Rule,
+    SourceFile,
+    Violation,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    module_path_for,
+    register,
+)
+from repro.analysis.reporter import render_json, render_text
+from repro.analysis import rules as rules  # noqa: F401 - registers the rule set
+
+__all__ = [
+    "AnalysisReport",
+    "Rule",
+    "SourceFile",
+    "Violation",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "module_path_for",
+    "register",
+    "render_json",
+    "render_text",
+]

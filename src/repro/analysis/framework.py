@@ -1,0 +1,286 @@
+"""Core machinery of the project's static-analysis pass.
+
+The repo's correctness story rests on a handful of invariants that ordinary
+linters cannot see: persisted JSON must be strict (no NaN/Infinity), decode
+paths must fail as :class:`~repro.core.errors.DataError`, every versioned
+document read must validate its ``format_version``, caches must be keyed by
+content fingerprints rather than object identity, and state shared with the
+serving threads must stay behind its lock.  Each of those is a
+:class:`Rule` here: a small AST visitor scoped to the modules where the
+invariant applies.  ``repro analyze`` runs the registry over a source tree
+and fails on any violation, so the bug classes PRs 3–5 fixed cannot quietly
+return.
+
+Suppressions are per-line and per-rule: a trailing ``# repro:
+ignore[rule-id]`` comment (comma-separated ids) on any line a violation's
+node spans silences exactly that rule there.  Suppression comments are
+expected to carry a justification, like ``noqa`` in this codebase.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path as FilePath
+
+__all__ = [
+    "Violation",
+    "SourceFile",
+    "Rule",
+    "AnalysisReport",
+    "register",
+    "all_rules",
+    "analyze_source",
+    "analyze_paths",
+    "module_path_for",
+]
+
+#: ``# repro: ignore[rule-id]`` / ``# repro: ignore[a, b]`` suppressions.
+_SUPPRESSION = re.compile(r"#\s*repro:\s*ignore\[([A-Za-z0-9_\-,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation, anchored to a file position.
+
+    ``line``/``end_line`` span the offending AST node (suppression comments
+    anywhere in that span silence it); ``column`` is 1-based like editors.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    column: int
+    message: str
+    end_line: int = 0
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """One parsed module plus everything the rules need to scope and suppress.
+
+    ``module_path`` is the path relative to the ``repro`` package root
+    (``"persistence/codecs.py"``), which is what rules scope on — it is
+    stable no matter where the tree is checked out or which absolute path
+    the analyzer was pointed at.
+    """
+
+    path: str
+    module_path: str
+    text: str
+    tree: ast.Module
+    suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_text(cls, text: str, *, path: str, module_path: str) -> "SourceFile":
+        tree = ast.parse(text, filename=path)
+        return cls(
+            path=path,
+            module_path=module_path,
+            text=text,
+            tree=tree,
+            suppressions=_parse_suppressions(text),
+        )
+
+    def suppressed(self, rule_id: str, line: int, end_line: int) -> bool:
+        """Whether ``rule_id`` is suppressed on any line of ``line..end_line``."""
+        for number in range(line, max(line, end_line) + 1):
+            if rule_id in self.suppressions.get(number, frozenset()):
+                return True
+        return False
+
+
+def _parse_suppressions(text: str) -> dict[int, frozenset[str]]:
+    suppressions: dict[int, frozenset[str]] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        ids: set[str] = set()
+        for match in _SUPPRESSION.finditer(line):
+            ids.update(part.strip() for part in match.group(1).split(",") if part.strip())
+        if ids:
+            suppressions[number] = frozenset(ids)
+    return suppressions
+
+
+class Rule:
+    """Base class of the analysis rules; subclasses register themselves.
+
+    A rule declares its identity (``rule_id``, ``description``), the modules
+    it applies to (:meth:`applies_to`, on the repo-relative module path), and
+    yields :class:`Violation` objects from :meth:`check`.  Suppression
+    filtering is the framework's job, not the rule's.
+    """
+
+    rule_id: str = ""
+    description: str = ""
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return True
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        raise NotImplementedError
+        yield  # pragma: no cover - makes every override a generator
+
+    def violation(self, source: SourceFile, node: ast.AST, message: str) -> Violation:
+        """A violation anchored to ``node`` (1-based editor-style column)."""
+        line = getattr(node, "lineno", 1)
+        end_line = getattr(node, "end_lineno", None) or line
+        column = getattr(node, "col_offset", 0) + 1
+        return Violation(
+            rule_id=self.rule_id,
+            path=source.path,
+            line=line,
+            column=column,
+            message=message,
+            end_line=end_line,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule (by its ``rule_id``) to the registry."""
+    rule = rule_class()
+    if not rule.rule_id:
+        raise ValueError(f"{rule_class.__name__} declares no rule_id")
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+    _REGISTRY[rule.rule_id] = rule
+    return rule_class
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by rule id for stable output."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """The outcome of one analysis run: what was checked and what was found."""
+
+    violations: tuple[Violation, ...]
+    checked_files: int
+    rule_ids: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "ok": self.ok,
+            "checked_files": self.checked_files,
+            "rules": list(self.rule_ids),
+            "violations": [violation.to_dict() for violation in self.violations],
+        }
+
+
+def module_path_for(path: FilePath) -> str:
+    """The path of ``path`` relative to the ``repro`` package root, as posix.
+
+    Files outside any ``repro`` directory fall back to their filename, so the
+    analyzer still runs on loose files (rules scoped to package subtrees then
+    simply do not apply).
+    """
+    parts = path.parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index + 1 :])
+    return path.name
+
+
+def check_source(source: SourceFile, rules: Sequence[Rule]) -> list[Violation]:
+    """Run ``rules`` over one parsed module, applying suppression comments."""
+    violations: list[Violation] = []
+    for rule in rules:
+        if not rule.applies_to(source):
+            continue
+        for violation in rule.check(source):
+            if not source.suppressed(violation.rule_id, violation.line, violation.end_line):
+                violations.append(violation)
+    violations.sort(key=lambda v: (v.path, v.line, v.column, v.rule_id))
+    return violations
+
+
+def analyze_source(
+    text: str,
+    *,
+    virtual_path: str = "module.py",
+    rules: Sequence[Rule] | None = None,
+) -> list[Violation]:
+    """Analyze a source string as if it lived at ``virtual_path``.
+
+    ``virtual_path`` is interpreted relative to the ``repro`` package root
+    (``"persistence/fake.py"`` is scoped like a persistence module), which is
+    how the test suite feeds the rules seeded fixture snippets.
+    """
+    source = SourceFile.from_text(text, path=virtual_path, module_path=virtual_path)
+    return check_source(source, list(rules) if rules is not None else all_rules())
+
+
+def iter_python_files(paths: Iterable[FilePath]) -> Iterator[FilePath]:
+    """Every ``.py`` file under ``paths`` (directories recursed, sorted)."""
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def analyze_paths(
+    paths: Sequence[FilePath | str],
+    *,
+    rules: Sequence[Rule] | None = None,
+) -> AnalysisReport:
+    """Analyze every python file under ``paths`` with ``rules`` (default: all).
+
+    Unreadable or syntactically invalid files are reported as ``parse-error``
+    violations rather than aborting the run — an analyzer that crashes on the
+    code it is meant to check protects nothing.
+    """
+    chosen = list(rules) if rules is not None else all_rules()
+    violations: list[Violation] = []
+    checked = 0
+    for file_path in iter_python_files(FilePath(p) for p in paths):
+        display = str(file_path)
+        try:
+            with tokenize.open(file_path) as handle:
+                text = handle.read()
+            source = SourceFile.from_text(
+                text, path=display, module_path=module_path_for(file_path)
+            )
+        except (OSError, SyntaxError, UnicodeDecodeError) as exc:
+            violations.append(
+                Violation(
+                    rule_id="parse-error",
+                    path=display,
+                    line=getattr(exc, "lineno", None) or 1,
+                    column=1,
+                    message=f"could not parse file: {exc}",
+                    end_line=getattr(exc, "lineno", None) or 1,
+                )
+            )
+            continue
+        checked += 1
+        violations.extend(check_source(source, chosen))
+    violations.sort(key=lambda v: (v.path, v.line, v.column, v.rule_id))
+    return AnalysisReport(
+        violations=tuple(violations),
+        checked_files=checked,
+        rule_ids=tuple(rule.rule_id for rule in chosen),
+    )

@@ -1,0 +1,34 @@
+"""Rendering of analysis results: human-readable text and machine JSON.
+
+The text form mirrors compiler diagnostics (``path:line:col: rule-id
+message``) so editors and CI log scrapers pick the locations up; the JSON
+form is what the CI ``analysis`` job uploads as its report artifact.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.framework import AnalysisReport
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(report: AnalysisReport) -> str:
+    """One diagnostic line per violation plus a one-line summary."""
+    lines = [
+        f"{violation.location()}: {violation.rule_id}: {violation.message}"
+        for violation in report.violations
+    ]
+    count = len(report.violations)
+    noun = "violation" if count == 1 else "violations"
+    lines.append(
+        f"repro analyze: {count} {noun} in {report.checked_files} files "
+        f"({len(report.rule_ids)} rules)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    """The report as a strict JSON document (stable key order, no NaN)."""
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True, allow_nan=False)

@@ -25,7 +25,10 @@ without writing Python:
   API, over a chosen execution backend (serial, threads, or a multiprocess
   worker pool), writing one JSON response per line, and
 * ``bench``           — run one experiment driver (by figure/table name) and print
-  its rows.
+  its rows, and
+* ``analyze``         — run the project's own AST lint (:mod:`repro.analysis`) over
+  source trees, exiting non-zero on violations; this is the ``repro analyze``
+  gate the CI ``analysis`` job runs against ``src/repro``.
 
 The serving commands (``prewarm``, ``route``, ``route-batch``) accept
 ``--artifacts <dir>`` to boot the engine from a persisted store instead of
@@ -50,7 +53,9 @@ import json
 import sys
 import time
 from collections.abc import Sequence
+from pathlib import Path as FilePath
 
+from repro.analysis import all_rules, analyze_paths, render_json, render_text
 from repro.core.errors import ConfigurationError, DataError
 from repro.datasets.synthetic import DATASET_NAMES, SyntheticDataset, dataset_by_name
 from repro.evaluation.experiments import (
@@ -324,6 +329,32 @@ def build_parser() -> argparse.ArgumentParser:
     bench = subparsers.add_parser("bench", help="run one experiment driver and print its rows")
     bench.add_argument("experiment", choices=sorted(_EXPERIMENTS))
     bench.add_argument("--dataset", default="tiny", choices=list(DATASET_NAMES))
+
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="run the project's AST lint rules; non-zero exit on violations",
+    )
+    analyze.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to check (default: the installed repro package)",
+    )
+    analyze.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="report_format",
+        help="report format (default: text)",
+    )
+    analyze.add_argument(
+        "--output", default="-",
+        help="write the report to this file instead of stdout",
+    )
+    analyze.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: all registered rules)",
+    )
+    analyze.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rules and exit",
+    )
     return parser
 
 
@@ -635,6 +666,37 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_analyze(args: argparse.Namespace) -> int:
+    """Run the repo's own static-analysis rules; exit 1 on violations, 2 on misuse."""
+    registered = all_rules()
+    if args.list_rules:
+        for rule in registered:
+            print(f"{rule.rule_id}: {rule.description}")
+        return 0
+    rules = registered
+    if args.rules is not None:
+        by_id = {rule.rule_id: rule for rule in registered}
+        selected = [token.strip() for token in args.rules.split(",") if token.strip()]
+        unknown = sorted(set(selected) - set(by_id))
+        if unknown or not selected:
+            known = ", ".join(sorted(by_id))
+            what = ", ".join(unknown) if unknown else "(empty selection)"
+            print(f"error: unknown rule id(s) {what}; known rules: {known}", file=sys.stderr)
+            return 2
+        rules = [by_id[token] for token in dict.fromkeys(selected)]
+    # Default target: the package this CLI shipped in, so `repro analyze`
+    # with no arguments is the self-check CI runs.
+    paths = args.paths or [str(FilePath(__file__).parent)]
+    report = analyze_paths(paths, rules=rules)
+    rendered = render_json(report) if args.report_format == "json" else render_text(report)
+    if args.output == "-":
+        print(rendered)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "stats": _command_stats,
     "build": _command_build,
@@ -644,6 +706,7 @@ _COMMANDS = {
     "route": _command_route,
     "route-batch": _command_route_batch,
     "bench": _command_bench,
+    "analyze": _command_analyze,
 }
 
 

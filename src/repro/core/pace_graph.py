@@ -397,7 +397,7 @@ def _prune_states(
         bucket = pruned.get(costs)
         if bucket:
             # merge onto the nearest surviving total of the same outcome
-            nearest = min(bucket, key=lambda t: abs(t - total))
+            nearest = min(bucket, key=lambda t, total=total: abs(t - total))
             bucket[nearest] += prob
         else:
             # outcome lost entirely: fold into the globally most likely state

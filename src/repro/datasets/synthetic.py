@@ -192,7 +192,8 @@ def build_dataset(config: DatasetConfig) -> SyntheticDataset:
 def aalborg_like(*, scale: float = 1.0) -> SyntheticDataset:
     """The Aalborg-like dataset (D1).  ``scale`` shrinks the trajectory count for tests."""
     config = AALBORG_LIKE
-    if scale != 1.0:
+    # Sentinel check against the literal default, not arithmetic output.
+    if scale != 1.0:  # repro: ignore[float-equality]
         config = replace(
             config,
             trajectories=replace(
@@ -206,7 +207,8 @@ def aalborg_like(*, scale: float = 1.0) -> SyntheticDataset:
 def xian_like(*, scale: float = 1.0) -> SyntheticDataset:
     """The Xi'an-like dataset (D2).  ``scale`` shrinks the trajectory count for tests."""
     config = XIAN_LIKE
-    if scale != 1.0:
+    # Sentinel check against the literal default, not arithmetic output.
+    if scale != 1.0:  # repro: ignore[float-equality]
         config = replace(
             config,
             trajectories=replace(
@@ -225,7 +227,8 @@ def country_like(*, scale: float = 1.0) -> SyntheticDataset:
     nothing in the tier-1 suite should build it.
     """
     config = COUNTRY_LIKE
-    if scale != 1.0:
+    # Sentinel check against the literal default, not arithmetic output.
+    if scale != 1.0:  # repro: ignore[float-equality]
         config = replace(
             config,
             trajectories=replace(

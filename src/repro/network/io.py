@@ -42,10 +42,13 @@ def network_to_dict(network: RoadNetwork) -> dict:
 
 def network_from_dict(payload: dict) -> RoadNetwork:
     """Rebuild a road network from :func:`network_to_dict` output."""
+    # Imported here: repro.persistence's package __init__ pulls in the
+    # heuristics codecs, which import the core graphs, which import this
+    # network package — a module-level import would close that cycle.
+    from repro.persistence.codecs import require_format_version
+
+    require_format_version(payload, expected=_FORMAT_VERSION, what="network document")
     try:
-        version = payload["format_version"]
-        if version != _FORMAT_VERSION:
-            raise DataError(f"unsupported network format version {version!r}")
         network = RoadNetwork(name=payload.get("name", "road-network"))
         for vertex in payload["vertices"]:
             network.add_vertex(vertex["id"], vertex.get("x", 0.0), vertex.get("y", 0.0))

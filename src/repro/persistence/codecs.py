@@ -24,6 +24,8 @@ from __future__ import annotations
 import hashlib
 import json
 import struct
+from collections.abc import Sequence
+from typing import IO, Any
 
 import numpy as np
 
@@ -32,6 +34,9 @@ from repro.core.errors import DataError, DistributionError, JointDistributionErr
 from repro.core.joint import JointDistribution
 
 __all__ = [
+    "strict_json_dumps",
+    "strict_json_dump",
+    "strict_json_loads",
     "require_format_version",
     "distribution_to_dict",
     "distribution_from_dict",
@@ -45,6 +50,57 @@ __all__ = [
     "is_column_document",
     "split_ragged_column",
 ]
+
+
+def strict_json_dumps(payload: Any, *, indent: int | None = None, sort_keys: bool = False) -> str:
+    """Serialise ``payload`` as *strict* JSON: no ``NaN``/``Infinity`` tokens.
+
+    Python's :func:`json.dumps` happily emits the non-standard ``NaN`` /
+    ``Infinity`` constants, producing documents only Python can read back.
+    Every persistence writer goes through this helper instead (enforced by
+    the ``strict-json`` analysis rule); values that cannot be represented
+    (``float("nan")`` leaking into a payload) fail loudly as
+    :class:`~repro.core.errors.DataError` at write time rather than
+    poisoning the artifact.
+    """
+    try:
+        # The one sanctioned dumps call of the persistence package.
+        return json.dumps(  # repro: ignore[strict-json]
+            payload, allow_nan=False, indent=indent, sort_keys=sort_keys
+        )
+    except ValueError as exc:
+        raise DataError(f"payload is not strict-JSON serialisable: {exc}") from exc
+
+
+def strict_json_dump(payload: Any, handle: IO[str], *, indent: int | None = None) -> None:
+    """File-handle companion of :func:`strict_json_dumps` (same strictness)."""
+    handle.write(strict_json_dumps(payload, indent=indent))
+
+
+def strict_json_loads(
+    data: str | bytes, *, what: str, allow_legacy_infinity: bool = False
+) -> Any:
+    """Decode strict JSON, mapping every failure to a :class:`DataError`.
+
+    Rejects the non-standard ``NaN``/``Infinity``/``-Infinity`` tokens that
+    :func:`json.loads` accepts by default — a document carrying them was
+    written by a non-strict writer and would silently round-trip values
+    standard JSON cannot represent.  ``allow_legacy_infinity=True`` restores
+    acceptance of ``Infinity``/``-Infinity`` (never ``NaN``) for the
+    heuristic v1 documents written before the ``"inf"`` string sentinel
+    existed.  ``what`` names the document in error messages.
+    """
+
+    def parse_constant(token: str) -> float:
+        if allow_legacy_infinity and token in ("Infinity", "-Infinity"):
+            return float(token)
+        raise DataError(f"{what} contains the non-standard JSON token {token!r}")
+
+    try:
+        # The one sanctioned loads call of the persistence package.
+        return json.loads(data, parse_constant=parse_constant)  # repro: ignore[strict-json]
+    except json.JSONDecodeError as exc:
+        raise DataError(f"{what} is not valid JSON: {exc}") from exc
 
 
 def require_format_version(payload: dict, *, expected: int, what: str) -> int:
@@ -107,7 +163,7 @@ def encode_column_document(meta: dict, columns: dict[str, np.ndarray]) -> bytes:
     decode pair is bit-exact by construction.
     """
     parts = [b""]  # placeholder for the header, filled last
-    meta_bytes = json.dumps(meta, allow_nan=False).encode("utf-8")
+    meta_bytes = strict_json_dumps(meta).encode("utf-8")
     parts.append(meta_bytes)
     parts.append(_COLUMN_COUNT.pack(len(columns)))
     for name, column in columns.items():
@@ -164,9 +220,10 @@ def decode_column_document(data: bytes, *, what: str = "column document") -> tup
     if len(view) < offset + meta_length + _COLUMN_COUNT.size:
         raise fail("truncated metadata block")
     try:
-        meta = json.loads(bytes(view[offset : offset + meta_length]).decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise fail(f"metadata is not valid JSON: {exc}") from exc
+        meta_text = bytes(view[offset : offset + meta_length]).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise fail(f"metadata is not valid UTF-8: {exc}") from exc
+    meta = strict_json_loads(meta_text, what=f"malformed {what}: metadata")
     if not isinstance(meta, dict):
         raise fail("metadata must be a JSON object")
     offset += meta_length
@@ -243,7 +300,9 @@ def distribution_to_dict(distribution: Distribution) -> dict:
     }
 
 
-def distribution_from_sequences(costs, probabilities) -> Distribution:
+def distribution_from_sequences(
+    costs: Sequence[float], probabilities: Sequence[float]
+) -> Distribution:
     """Restore a distribution from parallel cost/probability sequences.
 
     Well-formed writer output (sorted support, positive probabilities summing
@@ -283,7 +342,9 @@ def joint_to_dict(joint: JointDistribution) -> dict:
     }
 
 
-def joint_from_sequences(edge_ids, items) -> JointDistribution:
+def joint_from_sequences(
+    edge_ids: Sequence[int], items: Sequence[tuple[tuple[float, ...], float]]
+) -> JointDistribution:
     """Restore a joint distribution from its edge ids and (costs, p) items.
 
     Like :func:`distribution_from_sequences`, exactly-normalised writer output

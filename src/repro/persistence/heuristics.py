@@ -32,7 +32,6 @@ tables *individually* instead of rewriting one monolithic bundle on every
 
 from __future__ import annotations
 
-import json
 import math
 from collections.abc import Sequence
 from pathlib import Path as FilePath
@@ -45,6 +44,8 @@ from repro.persistence.codecs import (
     encode_column_document,
     require_format_version,
     split_ragged_column,
+    strict_json_dump,
+    strict_json_loads,
 )
 from repro.heuristics.binary import BinaryHeuristic
 from repro.heuristics.budget import BudgetHeuristicConfig, BudgetSpecificHeuristic
@@ -145,7 +146,9 @@ def heuristic_table_from_dict(payload: dict) -> HeuristicTable:
                 int(vertex),
                 HeuristicRow(first_index=row["first_index"], values=tuple(row["values"])),
             )
-    except (KeyError, TypeError) as exc:
+    except (KeyError, TypeError, ValueError) as exc:
+        # ValueError: int() on a non-numeric vertex key is a malformed
+        # document, not a programming error (data-error-taxonomy).
         raise DataError(f"malformed heuristic table payload: {exc}") from exc
     return table
 
@@ -187,7 +190,7 @@ def save_heuristic_table(
     path = FilePath(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w", encoding="utf-8") as handle:
-        json.dump(heuristic_table_to_dict(source), handle, allow_nan=False)
+        strict_json_dump(heuristic_table_to_dict(source), handle)
 
 
 def load_heuristic_table(path: str | FilePath) -> HeuristicTable:
@@ -195,8 +198,12 @@ def load_heuristic_table(path: str | FilePath) -> HeuristicTable:
     path = FilePath(path)
     if not path.exists():
         raise DataError(f"heuristic table file not found: {path}")
-    with path.open("r", encoding="utf-8") as handle:
-        return heuristic_table_from_dict(json.load(handle))
+    payload = strict_json_loads(
+        path.read_text(encoding="utf-8"),
+        what=f"heuristic table file {path}",
+        allow_legacy_infinity=True,
+    )
+    return heuristic_table_from_dict(payload)
 
 
 def save_heuristic_bundle(entries: Sequence[dict], path: str | FilePath) -> None:
@@ -214,7 +221,7 @@ def save_heuristic_bundle(entries: Sequence[dict], path: str | FilePath) -> None
     path = FilePath(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w", encoding="utf-8") as handle:
-        json.dump(heuristic_bundle_payload(entries), handle, allow_nan=False)
+        strict_json_dump(heuristic_bundle_payload(entries), handle)
 
 
 def heuristic_bundle_payload(entries: Sequence[dict]) -> dict:
@@ -247,8 +254,11 @@ def load_heuristic_bundle(path: str | FilePath) -> list[dict]:
     path = FilePath(path)
     if not path.exists():
         raise DataError(f"heuristic bundle file not found: {path}")
-    with path.open("r", encoding="utf-8") as handle:
-        payload = json.load(handle)
+    payload = strict_json_loads(
+        path.read_text(encoding="utf-8"),
+        what=f"heuristic bundle file {path}",
+        allow_legacy_infinity=True,
+    )
     try:
         return heuristic_bundle_entries(payload)
     except DataError as exc:
@@ -341,7 +351,9 @@ def encode_heuristic_entry(entry: dict) -> bytes:
             meta["binary_destination"] = payload["binary"]["destination"]
         else:
             raise DataError(f"unknown heuristic bundle entry kind {entry['kind']!r}")
-    except (KeyError, TypeError) as exc:
+    except (KeyError, TypeError, ValueError) as exc:
+        # ValueError: int() on a non-numeric row vertex is a malformed
+        # entry, not a programming error (data-error-taxonomy).
         raise DataError(f"malformed heuristic bundle entry: {exc}") from exc
     return encode_column_document(meta, columns)
 

@@ -30,7 +30,6 @@ leading bytes.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path as FilePath
 
 import numpy as np
@@ -52,6 +51,8 @@ from repro.persistence.codecs import (
     joint_from_sequences,
     joint_to_dict,
     require_format_version,
+    strict_json_dump,
+    strict_json_loads,
 )
 from repro.vpaths.updated_graph import UpdatedPaceGraph
 
@@ -126,7 +127,7 @@ def index_from_dict(payload: dict) -> UpdatedPaceGraph:
         for entry in payload["tpaths"]:
             path = network.path_from_edge_ids(entry["edge_ids"])
             pace.add_tpath(path, joint_from_dict(entry["joint"]), support=entry.get("support", 0))
-        vpaths = {}
+        vpaths: dict[tuple[int, ...], WeightedElement] = {}
         for entry in payload["vpaths"]:
             path = network.path_from_edge_ids(entry["edge_ids"])
             vpaths[path.edges] = WeightedElement(
@@ -134,8 +135,10 @@ def index_from_dict(payload: dict) -> UpdatedPaceGraph:
                 path=path,
                 distribution=distribution_from_dict(entry["distribution"]),
             )
-    except (KeyError, TypeError) as exc:
-        raise DataError(f"malformed index payload, missing key {exc}") from exc
+    except (KeyError, TypeError, ValueError) as exc:
+        # ValueError: int() on a non-numeric edge id key must surface as a
+        # malformed document, not escape as a bare builtin (data-error-taxonomy).
+        raise DataError(f"malformed index payload, missing or invalid key {exc}") from exc
     return UpdatedPaceGraph(pace, vpaths)
 
 
@@ -195,7 +198,10 @@ def index_to_column_bytes(graph: PaceGraph | UpdatedPaceGraph) -> bytes:
     joint_edge_ids: list[int] = []
     outcome_costs: list[float] = []
     outcome_probs: list[float] = []
-    tpath_edge_count, joint_edge_count, outcome_count, supports = [], [], [], []
+    tpath_edge_count: list[int] = []
+    joint_edge_count: list[int] = []
+    outcome_count: list[int] = []
+    supports: list[int] = []
     for tpath in tpaths:
         path_edges = list(tpath.path.edges)
         tpath_edge_ids.extend(path_edges)
@@ -220,8 +226,9 @@ def index_to_column_bytes(graph: PaceGraph | UpdatedPaceGraph) -> bytes:
         tpath_outcome_prob=np.array(outcome_probs, dtype=float),
     )
 
-    vpath_edge_ids = []
-    vpath_edge_count, vpath_cost_count = [], []
+    vpath_edge_ids: list[int] = []
+    vpath_edge_count: list[int] = []
+    vpath_cost_count: list[int] = []
     vpath_costs: list[float] = []
     vpath_probs: list[float] = []
     for vpath in vpaths:
@@ -324,7 +331,7 @@ def index_from_column_bytes(data: bytes) -> UpdatedPaceGraph:
         vpath_probs = split_ragged_column(
             columns["vpath_prob"], columns["vpath_cost_count"], what="vpath_prob"
         )
-        vpaths = {}
+        vpaths: dict[tuple[int, ...], WeightedElement] = {}
         for edges, costs, probs in zip(vpath_edges, vpath_costs, vpath_probs):
             path = network.path_from_edge_ids(edges)
             vpaths[path.edges] = WeightedElement(
@@ -332,7 +339,7 @@ def index_from_column_bytes(data: bytes) -> UpdatedPaceGraph:
                 path=path,
                 distribution=distribution_from_sequences(costs, probs),
             )
-    except (KeyError, TypeError) as exc:
+    except (KeyError, TypeError, ValueError) as exc:
         raise DataError(
             f"malformed index column document, missing or invalid column/metadata field: {exc}"
         ) from exc
@@ -357,7 +364,7 @@ def save_index(
             f"(this writer supports {INDEX_FORMAT_V1} and {INDEX_FORMAT_V2})"
         )
     with path.open("w", encoding="utf-8") as handle:
-        json.dump(index_to_dict(graph), handle)
+        strict_json_dump(index_to_dict(graph), handle)
 
 
 def load_index(path: str | FilePath) -> UpdatedPaceGraph:
@@ -368,8 +375,5 @@ def load_index(path: str | FilePath) -> UpdatedPaceGraph:
     data = path.read_bytes()
     if is_column_document(data):
         return index_from_column_bytes(data)
-    try:
-        payload = json.loads(data)
-    except json.JSONDecodeError as exc:
-        raise DataError(f"index file {path} is neither a column document nor JSON: {exc}") from exc
+    payload = strict_json_loads(data, what=f"index file {path} (not a column document)")
     return index_from_dict(payload)

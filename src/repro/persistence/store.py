@@ -48,14 +48,18 @@ entry points; the CLI exposes them as ``repro build-artifacts`` and
 from __future__ import annotations
 
 import hashlib
-import json
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path as FilePath
 
 from repro.core.errors import DataError
 from repro.core.pace_graph import PaceGraph
-from repro.persistence.codecs import is_column_document, require_format_version
+from repro.persistence.codecs import (
+    is_column_document,
+    require_format_version,
+    strict_json_dumps,
+    strict_json_loads,
+)
 from repro.persistence.heuristics import (
     decode_heuristic_entry,
     encode_heuristic_entry,
@@ -144,7 +148,10 @@ class ArtifactEntry:
         try:
             return cls(
                 filename=str(payload["filename"]),
-                format_version=int(payload["format_version"]),
+                # The manifest records a *per-artifact* version here — which
+                # version each entry was written at, not a single expected
+                # constant; validation happens in _artifact_bytes().
+                format_version=int(payload["format_version"]),  # repro: ignore[format-version]
                 checksum=str(payload["checksum"]),
                 size_bytes=int(payload["size_bytes"]),
             )
@@ -254,7 +261,7 @@ class ArtifactStore:
     routes at serve time.
     """
 
-    def __init__(self, root: str | FilePath):
+    def __init__(self, root: str | FilePath) -> None:
         self.root = FilePath(root)
         self._manifest: ArtifactManifest | None = None
 
@@ -279,13 +286,12 @@ class ArtifactStore:
         """The parsed manifest (cached after the first read)."""
         if self._manifest is None:
             try:
-                payload = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+                text = self.manifest_path.read_text(encoding="utf-8")
             except FileNotFoundError as exc:
                 raise DataError(f"no artifact store at {self.root}: {exc}") from exc
-            except json.JSONDecodeError as exc:
-                raise DataError(
-                    f"corrupted artifact manifest {self.manifest_path}: {exc}"
-                ) from exc
+            payload = strict_json_loads(
+                text, what=f"corrupted artifact manifest {self.manifest_path}"
+            )
             self._manifest = ArtifactManifest.from_dict(payload)
         return self._manifest
 
@@ -344,10 +350,7 @@ class ArtifactStore:
                 f"artifact {entry.filename} is a binary column document; read it "
                 "through load_index() / load_heuristic_entries(), not read_document()"
             )
-        try:
-            payload = json.loads(data)
-        except json.JSONDecodeError as exc:  # pragma: no cover - checksum catches first
-            raise DataError(f"artifact {entry.filename} is not valid JSON: {exc}") from exc
+        payload = strict_json_loads(data, what=f"artifact {entry.filename}")
         require_format_version(
             payload, expected=entry.format_version, what=f"{name} artifact"
         )
@@ -358,10 +361,7 @@ class ArtifactStore:
         entry, data = self._artifact_bytes(INDEX_ARTIFACT)
         if entry.format_version == INDEX_FORMAT_V2:
             return index_from_column_bytes(data)
-        try:
-            payload = json.loads(data)
-        except json.JSONDecodeError as exc:  # pragma: no cover - checksum catches first
-            raise DataError(f"artifact {entry.filename} is not valid JSON: {exc}") from exc
+        payload = strict_json_loads(data, what=f"artifact {entry.filename}")
         require_format_version(payload, expected=INDEX_FORMAT_V1, what="index artifact")
         return index_from_dict(payload)
 
@@ -473,8 +473,10 @@ class ArtifactStore:
             index_bytes = index_to_column_bytes(graph)
             index_name = f"index-{primary[:16]}.bin"
         else:
-            document = index_document if index_document is not None else index_to_dict(graph)
-            index_bytes = json.dumps(document, allow_nan=False).encode("utf-8")
+            document = index_document if graph is None else index_to_dict(graph)
+            if document is None:  # unreachable: the exactly-one check above
+                raise DataError("save() needs exactly one of graph= or index_document=")
+            index_bytes = strict_json_dumps(document).encode("utf-8")
             index_name = f"index-{primary[:16]}.json"
         artifacts[INDEX_ARTIFACT] = self._write_blob(
             index_name, index_bytes, format_version=format_version
@@ -502,7 +504,7 @@ class ArtifactStore:
         )
         temporary = self.manifest_path.with_suffix(".json.tmp")
         temporary.write_text(
-            json.dumps(manifest.to_dict(), indent=2, allow_nan=False), encoding="utf-8"
+            strict_json_dumps(manifest.to_dict(), indent=2), encoding="utf-8"
         )
         temporary.replace(self.manifest_path)
         self._manifest = manifest
@@ -530,9 +532,9 @@ class ArtifactStore:
         tables' files untouched on a re-save (incremental prewarm).
         """
         if format_version == INDEX_FORMAT_V1:
-            bundle_bytes = json.dumps(
-                heuristic_bundle_payload(entries), allow_nan=False
-            ).encode("utf-8")
+            bundle_bytes = strict_json_dumps(heuristic_bundle_payload(entries)).encode(
+                "utf-8"
+            )
             return {
                 HEURISTICS_ARTIFACT: self._write_blob(
                     f"heuristics-{_checksum(bundle_bytes)[:16]}.json",
@@ -597,4 +599,5 @@ class ArtifactStore:
                     stale.unlink(missing_ok=True)
 
     def __repr__(self) -> str:
-        return f"ArtifactStore(root={str(self.root)!r})"
+        root = str(self.root)
+        return f"ArtifactStore(root={root!r})"

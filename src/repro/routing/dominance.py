@@ -55,7 +55,7 @@ class DominancePruner:
             for other_id, other in self._frontier.get(vertex, [])
             if other_id not in self._pruned
         ]
-        for other_id, other in live:
+        for _other_id, other in live:
             self._checks += 1
             if other.stochastically_dominates(distribution):
                 self._prunes += 1

@@ -136,7 +136,18 @@ class HeuristicCache:
         self.build_seconds = 0.0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
+
+    def counters(self) -> tuple[int, int, int, float]:
+        """One consistent ``(entries, hits, misses, build_seconds)`` snapshot.
+
+        Readers that want more than one counter must take them together:
+        reading ``hits`` and ``misses`` in two unlocked steps can observe a
+        miss that has been counted while its entry is still being inserted.
+        """
+        with self._lock:
+            return len(self._entries), self.hits, self.misses, self.build_seconds
 
     def insert(self, key: tuple, heuristic: Heuristic) -> None:
         """Seed the cache with an already built heuristic (e.g. loaded from disk).
@@ -367,11 +378,12 @@ class RoutingEngine:
         """A snapshot of the serving counters (cache behaviour, query mix)."""
         with self._stats_lock:
             counts = dict(self._query_counts)
+        entries, hits, misses, build_seconds = self._cache.counters()
         return EngineStats(
-            cache_entries=len(self._cache),
-            cache_hits=self._cache.hits,
-            cache_misses=self._cache.misses,
-            heuristic_build_seconds=self._cache.build_seconds,
+            cache_entries=entries,
+            cache_hits=hits,
+            cache_misses=misses,
+            heuristic_build_seconds=build_seconds,
             queries_total=sum(counts.values()),
             queries_by_method=counts,
             provenance=dict(self.provenance),
@@ -569,7 +581,10 @@ class RoutingEngine:
                         # without one; skip rather than mis-key them.
                         continue
                     heuristic = budget_heuristic_from_dict(entry["heuristic"])
-                    if float(entry["delta"]) != heuristic.table.delta:
+                    # Exact comparison intended: both sides round-tripped
+                    # through the same JSON document, so any difference means
+                    # the entry's tag and its table genuinely disagree.
+                    if float(entry["delta"]) != heuristic.table.delta:  # repro: ignore[float-equality]
                         raise DataError(
                             f"bundle entry delta {entry['delta']!r} does not match "
                             f"its table delta {heuristic.table.delta!r}"

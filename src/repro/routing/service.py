@@ -35,7 +35,7 @@ from repro.core.errors import (
 from repro.persistence.codecs import distribution_from_dict, distribution_to_dict
 from repro.routing.backends import ExecutionBackend
 from repro.routing.dijkstra import shortest_path_cost
-from repro.routing.engine import RoutingEngine
+from repro.routing.engine import EngineStats, RoutingEngine
 from repro.routing.methods import MethodSpec
 from repro.routing.queries import RoutingQuery, RoutingResult
 
@@ -91,7 +91,7 @@ class RouteError:
             raise DataError(f"malformed route error payload: {exc}") from exc
 
 
-def _strict_vertex(name: str, value) -> int:
+def _strict_vertex(name: str, value: object) -> int:
     """A JSON vertex id must be an actual integer — no floats, bools or strings.
 
     ``int(4.9)`` would silently route from vertex 4; a strict boundary
@@ -102,7 +102,7 @@ def _strict_vertex(name: str, value) -> int:
     return value
 
 
-def _strict_number(name: str, value) -> float:
+def _strict_number(name: str, value: object) -> float:
     """A JSON number (int or float), finite; bools and numeric strings rejected."""
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         raise DataError(f"route request {name!r} must be a number, got {value!r}")
@@ -141,7 +141,7 @@ class RouteRequest:
         )
 
     def to_dict(self) -> dict:
-        payload = {
+        payload: dict[str, object] = {
             "source": self.source,
             "destination": self.destination,
             "budget": self.budget,
@@ -338,7 +338,9 @@ class RoutingService:
     and always answers with a :class:`RouteResponse`, never an exception.
     """
 
-    def __init__(self, engine: RoutingEngine, *, default_method: str | MethodSpec = "V-BS-60"):
+    def __init__(
+        self, engine: RoutingEngine, *, default_method: str | MethodSpec = "V-BS-60"
+    ) -> None:
         self._engine = engine
         self._default_method = MethodSpec.coerce(default_method)
 
@@ -350,7 +352,7 @@ class RoutingService:
     def default_method(self) -> MethodSpec:
         return self._default_method
 
-    def stats(self):
+    def stats(self) -> EngineStats:
         """The engine's serving counters and provenance.
 
         The returned :class:`~repro.routing.engine.EngineStats` includes the
@@ -470,19 +472,22 @@ class RoutingService:
         """
         prepared = [self._prepare(raw) for raw in requests]
         responses: list[RouteResponse | None] = [None] * len(prepared)
-        routable: dict[str, list[int]] = {}
+        # Grouped as (input position, query) pairs so the batch below carries
+        # its own non-optional queries instead of re-indexing into `prepared`.
+        routable: dict[str, list[tuple[int, RoutingQuery]]] = {}
         for index, item in enumerate(prepared):
-            if item.error is not None:
+            if item.error is None and item.method_name is not None and item.query is not None:
+                routable.setdefault(item.method_name, []).append((index, item.query))
+            else:
                 responses[index] = RouteResponse(
                     ok=False,
                     method=item.method_name,
                     request_id=item.request.request_id,
                     error=item.error,
                 )
-            else:
-                routable.setdefault(item.method_name, []).append(index)
-        for method_name, indices in routable.items():
-            queries = [prepared[i].query for i in indices]
+        for method_name, batch in routable.items():
+            indices = [index for index, _ in batch]
+            queries = [query for _, query in batch]
             try:
                 results = self._engine.route_many(queries, method=method_name, backend=backend)
             except UnknownVertexError as exc:
@@ -500,9 +505,9 @@ class RoutingService:
                 # worker that died initialising.  Re-route each request
                 # individually in-process so only the culprit answers with an
                 # error; the contract is a response per request.
-                for i in indices:
+                for i, query in batch:
                     try:
-                        result = self._engine.route(prepared[i].query, method=method_name)
+                        result = self._engine.route(query, method=method_name)
                     except Exception as exc:  # noqa: BLE001
                         responses[i] = RouteResponse.failure(
                             "internal", f"routing failed: {exc}",

@@ -1,0 +1,600 @@
+"""Tests for the project's static-analysis framework (``repro analyze``).
+
+Each rule gets a seeded fixture snippet that must trip it (asserting the
+rule id and the anchored line), a clean counterpart that must not, and the
+suppression-comment contract is exercised per rule.  The suite ends with the
+self-check CI relies on: the shipped ``src/repro`` tree analyses clean.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import (
+    AnalysisReport,
+    Violation,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    module_path_for,
+    render_json,
+    render_text,
+)
+from repro.cli import main
+
+EXPECTED_RULE_IDS = [
+    "data-error-taxonomy",
+    "fingerprint-hygiene",
+    "float-equality",
+    "format-version",
+    "lock-discipline",
+    "strict-json",
+]
+
+
+def analyze(snippet: str, *, virtual_path: str = "module.py") -> list[Violation]:
+    return analyze_source(textwrap.dedent(snippet), virtual_path=virtual_path)
+
+
+def rule_ids(violations: list[Violation]) -> set[str]:
+    return {violation.rule_id for violation in violations}
+
+
+class TestRegistry:
+    def test_all_six_rules_registered_in_sorted_order(self) -> None:
+        assert [rule.rule_id for rule in all_rules()] == EXPECTED_RULE_IDS
+
+    def test_every_rule_has_a_description(self) -> None:
+        for rule in all_rules():
+            assert rule.description, rule.rule_id
+
+    def test_module_path_is_relative_to_the_repro_package_root(self) -> None:
+        path = Path("/checkout/src/repro/persistence/codecs.py")
+        assert module_path_for(path) == "persistence/codecs.py"
+
+    def test_module_path_for_loose_files_is_the_filename(self) -> None:
+        assert module_path_for(Path("/tmp/scratch/snippet.py")) == "snippet.py"
+
+
+class TestStrictJsonRule:
+    FIXTURE = """\
+    import json
+
+    def save(payload, path):
+        path.write_text(json.dumps(payload))
+    """
+
+    def test_bare_dumps_in_persistence_is_flagged(self) -> None:
+        violations = analyze(self.FIXTURE, virtual_path="persistence/fixture.py")
+        assert [v.rule_id for v in violations] == ["strict-json"]
+        assert violations[0].line == 4
+        assert "strict_json_dumps" in violations[0].message
+
+    def test_from_import_alias_is_still_flagged(self) -> None:
+        snippet = """\
+        from json import loads as parse
+
+        def read(text):
+            return parse(text)
+        """
+        violations = analyze(snippet, virtual_path="routing/service.py")
+        assert [v.rule_id for v in violations] == ["strict-json"]
+        assert violations[0].line == 4
+
+    def test_rule_is_scoped_to_the_persistence_path(self) -> None:
+        assert analyze(self.FIXTURE, virtual_path="evaluation/fixture.py") == []
+
+    def test_strict_helper_calls_are_clean(self) -> None:
+        snippet = """\
+        from repro.persistence.codecs import strict_json_dumps
+
+        def save(payload, path):
+            path.write_text(strict_json_dumps(payload))
+        """
+        assert analyze(snippet, virtual_path="persistence/fixture.py") == []
+
+
+class TestDataErrorTaxonomyRule:
+    def test_raising_builtin_valueerror_is_flagged(self) -> None:
+        snippet = """\
+        def decode(payload):
+            if "edges" not in payload:
+                raise ValueError("missing edges")
+        """
+        violations = analyze(snippet, virtual_path="persistence/fixture.py")
+        assert [v.rule_id for v in violations] == ["data-error-taxonomy"]
+        assert violations[0].line == 3
+        assert "DataError" in violations[0].message
+
+    def test_assert_statement_is_flagged(self) -> None:
+        snippet = """\
+        def decode(payload):
+            assert "edges" in payload
+            return payload["edges"]
+        """
+        violations = analyze(snippet, virtual_path="persistence/fixture.py")
+        assert [v.rule_id for v in violations] == ["data-error-taxonomy"]
+        assert violations[0].line == 2
+
+    def test_conversion_whose_valueerror_escapes_is_flagged(self) -> None:
+        # The exact bug shape this PR fixed in the index reader: int() on a
+        # garbage key raises ValueError past a (KeyError, TypeError) handler.
+        snippet = """\
+        from repro.core.errors import DataError
+
+        def decode(payload):
+            try:
+                return int(payload["edge_id"])
+            except (KeyError, TypeError) as exc:
+                raise DataError(f"malformed: {exc}") from exc
+        """
+        violations = analyze(snippet, virtual_path="persistence/fixture.py")
+        assert [v.rule_id for v in violations] == ["data-error-taxonomy"]
+        assert violations[0].line == 5
+        assert "ValueError" in violations[0].message
+
+    def test_conversion_with_valueerror_in_the_tuple_is_clean(self) -> None:
+        snippet = """\
+        from repro.core.errors import DataError
+
+        def decode(payload):
+            try:
+                return int(payload["edge_id"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise DataError(f"malformed: {exc}") from exc
+        """
+        assert analyze(snippet, virtual_path="persistence/fixture.py") == []
+
+    def test_raising_dataerror_is_clean(self) -> None:
+        snippet = """\
+        from repro.core.errors import DataError
+
+        def decode(payload):
+            raise DataError("malformed index payload")
+        """
+        assert analyze(snippet, virtual_path="persistence/fixture.py") == []
+
+    def test_rule_does_not_apply_outside_persistence(self) -> None:
+        snippet = """\
+        def check(x):
+            assert x > 0
+        """
+        assert analyze(snippet, virtual_path="routing/engine.py") == []
+
+
+class TestFormatVersionRule:
+    def test_unvalidated_read_is_flagged(self) -> None:
+        snippet = """\
+        def network_from_dict(payload):
+            version = payload["format_version"]
+            return payload["edges"]
+        """
+        violations = analyze(snippet, virtual_path="network/fixture.py")
+        assert [v.rule_id for v in violations] == ["format-version"]
+        assert violations[0].line == 2
+        assert "require_format_version" in violations[0].message
+
+    def test_defaulted_get_read_is_flagged(self) -> None:
+        snippet = """\
+        def load(payload):
+            if payload.get("format_version", 1) > 1:
+                return None
+            return payload
+        """
+        violations = analyze(snippet, virtual_path="network/fixture.py")
+        assert [v.rule_id for v in violations] == ["format-version"]
+
+    def test_read_next_to_a_validator_call_is_clean(self) -> None:
+        snippet = """\
+        from repro.persistence.codecs import require_format_version
+
+        def network_from_dict(payload):
+            require_format_version(payload, expected=2, what="network document")
+            version = payload["format_version"]
+            return payload["edges"]
+        """
+        assert analyze(snippet, virtual_path="network/fixture.py") == []
+
+    def test_the_validator_definition_itself_is_exempt(self) -> None:
+        snippet = """\
+        def require_format_version(payload, *, expected, what):
+            if payload["format_version"] != expected:
+                raise RuntimeError(what)
+        """
+        assert analyze(snippet, virtual_path="network/fixture.py") == []
+
+
+class TestFingerprintHygieneRule:
+    def test_id_based_cache_key_is_flagged_everywhere(self) -> None:
+        snippet = """\
+        def cache_key(graph):
+            return id(graph)
+        """
+        violations = analyze(snippet, virtual_path="routing/fixture.py")
+        assert [v.rule_id for v in violations] == ["fingerprint-hygiene"]
+        assert violations[0].line == 2
+        assert "fingerprint" in violations[0].message
+
+    def test_renormalising_constructor_in_codec_is_flagged(self) -> None:
+        snippet = """\
+        from repro.core.distributions import Distribution
+
+        def distribution_from_dict(payload):
+            return Distribution(payload["costs"], payload["probabilities"])
+        """
+        violations = analyze(snippet, virtual_path="persistence/fixture.py")
+        assert [v.rule_id for v in violations] == ["fingerprint-hygiene"]
+        assert "from_normalised" in violations[0].message
+
+    def test_from_normalised_fast_path_is_clean(self) -> None:
+        snippet = """\
+        from repro.core.distributions import Distribution
+
+        def distribution_from_dict(payload):
+            return Distribution.from_normalised(
+                payload["costs"], payload["probabilities"]
+            )
+        """
+        assert analyze(snippet, virtual_path="persistence/fixture.py") == []
+
+    def test_constructor_fallback_inside_except_handler_is_sanctioned(self) -> None:
+        snippet = """\
+        from repro.core.distributions import Distribution
+        from repro.core.errors import DataError
+
+        def distribution_from_dict(payload):
+            try:
+                return Distribution.from_normalised(
+                    payload["costs"], payload["probabilities"]
+                )
+            except DataError:
+                return Distribution(payload["costs"], payload["probabilities"])
+        """
+        assert analyze(snippet, virtual_path="persistence/fixture.py") == []
+
+    def test_constructor_outside_persistence_is_not_a_codec_concern(self) -> None:
+        snippet = """\
+        from repro.core.distributions import Distribution
+
+        def make(costs, probabilities):
+            return Distribution(costs, probabilities)
+        """
+        assert analyze(snippet, virtual_path="evaluation/fixture.py") == []
+
+
+class TestLockDisciplineRule:
+    FIXTURE = """\
+    import threading
+
+    class Cache:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.hits = 0
+
+        def record(self):
+            with self._lock:
+                self.hits += 1
+
+        def snapshot(self):
+            return self.hits
+    """
+
+    def test_unlocked_read_of_guarded_state_is_flagged(self) -> None:
+        violations = analyze(self.FIXTURE, virtual_path="routing/engine.py")
+        assert [v.rule_id for v in violations] == ["lock-discipline"]
+        assert violations[0].line == 13
+        assert "self.hits" in violations[0].message
+
+    def test_rule_is_scoped_to_the_serving_modules(self) -> None:
+        assert analyze(self.FIXTURE, virtual_path="persistence/store.py") == []
+
+    def test_locked_snapshot_is_clean(self) -> None:
+        snippet = """\
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.hits = 0
+
+            def record(self):
+                with self._lock:
+                    self.hits += 1
+
+            def snapshot(self):
+                with self._lock:
+                    return self.hits
+        """
+        assert analyze(snippet, virtual_path="routing/engine.py") == []
+
+    def test_init_writes_do_not_make_state_guarded(self) -> None:
+        snippet = """\
+        import threading
+
+        class Config:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.limit = 8
+
+            def limit_reached(self, count):
+                return count >= self.limit
+        """
+        assert analyze(snippet, virtual_path="routing/engine.py") == []
+
+
+class TestFloatEqualityRule:
+    def test_comparison_against_float_literal_is_flagged(self) -> None:
+        snippet = """\
+        def is_unit(scale):
+            return scale == 1.0
+        """
+        violations = analyze(snippet, virtual_path="heuristics/fixture.py")
+        assert [v.rule_id for v in violations] == ["float-equality"]
+        assert violations[0].line == 2
+        assert "isclose" in violations[0].message
+
+    def test_float_call_inequality_is_flagged(self) -> None:
+        snippet = """\
+        def changed(entry, delta):
+            return float(entry["delta"]) != delta
+        """
+        violations = analyze(snippet, virtual_path="routing/fixture.py")
+        assert [v.rule_id for v in violations] == ["float-equality"]
+
+    def test_integer_comparisons_are_not_flagged(self) -> None:
+        snippet = """\
+        def is_first(index):
+            return index == 0
+        """
+        assert analyze(snippet, virtual_path="heuristics/fixture.py") == []
+
+    def test_ordering_comparisons_are_not_flagged(self) -> None:
+        snippet = """\
+        def positive(scale):
+            return scale > 0.0
+        """
+        assert analyze(snippet, virtual_path="heuristics/fixture.py") == []
+
+
+class TestSuppressions:
+    def test_suppression_comment_silences_exactly_that_rule(self) -> None:
+        snippet = """\
+        import json
+
+        def save(payload, path):
+            path.write_text(json.dumps(payload))  # repro: ignore[strict-json]
+        """
+        assert analyze(snippet, virtual_path="persistence/fixture.py") == []
+
+    def test_suppression_for_a_different_rule_does_not_apply(self) -> None:
+        snippet = """\
+        import json
+
+        def save(payload, path):
+            path.write_text(json.dumps(payload))  # repro: ignore[float-equality]
+        """
+        violations = analyze(snippet, virtual_path="persistence/fixture.py")
+        assert rule_ids(violations) == {"strict-json"}
+
+    def test_comma_separated_ids_suppress_multiple_rules(self) -> None:
+        snippet = """\
+        def decode(payload):
+            if float(payload["scale"]) == 1.0:
+                raise ValueError("unit scale")  # repro: ignore[data-error-taxonomy]
+        """
+        # The comparison on line 2 still fires; the raise on line 3 is silenced.
+        violations = analyze(snippet, virtual_path="persistence/fixture.py")
+        assert rule_ids(violations) == {"float-equality"}
+        both = """\
+        def decode(payload):
+            if float(payload["scale"]) == 1.0:  # repro: ignore[float-equality, data-error-taxonomy]
+                raise ValueError("unit scale")  # repro: ignore[data-error-taxonomy]
+        """
+        assert analyze(both, virtual_path="persistence/fixture.py") == []
+
+    def test_suppression_anywhere_in_a_multiline_node_span_applies(self) -> None:
+        snippet = """\
+        import json
+
+        def save(payload, path):
+            path.write_text(
+                json.dumps(  # repro: ignore[strict-json]
+                    payload,
+                )
+            )
+        """
+        assert analyze(snippet, virtual_path="persistence/fixture.py") == []
+
+    def test_every_rule_id_round_trips_through_its_own_suppression(self) -> None:
+        fixtures = {
+            "strict-json": ("persistence/f.py", "import json\njson.dumps({})\n"),
+            "data-error-taxonomy": ("persistence/f.py", "assert True\n"),
+            "format-version": (
+                "network/f.py",
+                "def load(p):\n    return p['format_version']\n",
+            ),
+            "fingerprint-hygiene": ("routing/f.py", "key = id(object())\n"),
+            "lock-discipline": (
+                "routing/engine.py",
+                "class C:\n"
+                "    def a(self):\n"
+                "        with self._lock:\n"
+                "            self.n = 1\n"
+                "    def b(self):\n"
+                "        return self.n\n",
+            ),
+            "float-equality": ("heuristics/f.py", "ok = 0.1 + 0.2 == 0.3\n"),
+        }
+        assert set(fixtures) == set(EXPECTED_RULE_IDS)
+        for rule_id, (virtual_path, body) in fixtures.items():
+            fired = analyze_source(body, virtual_path=virtual_path)
+            assert rule_ids(fired) == {rule_id}, rule_id
+            suppressed = "\n".join(
+                f"{line}  # repro: ignore[{rule_id}]" if line.strip() else line
+                for line in body.splitlines()
+            )
+            assert analyze_source(suppressed, virtual_path=virtual_path) == [], rule_id
+
+
+class TestReportsAndFiles:
+    def test_analyze_paths_reports_violations_with_real_paths(self, tmp_path) -> None:
+        package = tmp_path / "repro" / "persistence"
+        package.mkdir(parents=True)
+        bad = package / "bad.py"
+        bad.write_text("import json\njson.dumps({})\n", encoding="utf-8")
+        (package / "good.py").write_text("x = 1\n", encoding="utf-8")
+        report = analyze_paths([tmp_path])
+        assert not report.ok
+        assert report.checked_files == 2
+        assert [v.rule_id for v in report.violations] == ["strict-json"]
+        assert report.violations[0].path == str(bad)
+        assert report.violations[0].line == 2
+
+    def test_unparseable_file_is_a_parse_error_not_a_crash(self, tmp_path) -> None:
+        broken = tmp_path / "broken.py"
+        broken.write_text("def oops(:\n", encoding="utf-8")
+        report = analyze_paths([tmp_path])
+        assert not report.ok
+        assert report.checked_files == 0
+        assert [v.rule_id for v in report.violations] == ["parse-error"]
+
+    def test_text_report_lines_are_editor_clickable(self) -> None:
+        violation = Violation(
+            rule_id="strict-json",
+            path="src/repro/persistence/bad.py",
+            line=7,
+            column=5,
+            message="bare json.dumps()",
+        )
+        report = AnalysisReport(
+            violations=(violation,), checked_files=3, rule_ids=("strict-json",)
+        )
+        text = render_text(report)
+        assert "src/repro/persistence/bad.py:7:5: strict-json: bare json.dumps()" in text
+        assert "1 violation" in text
+
+    def test_json_report_round_trips_and_is_strict(self) -> None:
+        report = AnalysisReport(violations=(), checked_files=5, rule_ids=("strict-json",))
+        payload = json.loads(render_json(report))
+        assert payload["ok"] is True
+        assert payload["checked_files"] == 5
+        assert payload["violations"] == []
+
+
+class TestShippedTreeIsClean:
+    def test_repro_analyze_self_check_passes(self) -> None:
+        package_root = Path(repro.__file__).parent
+        report = analyze_paths([package_root])
+        assert report.checked_files > 50
+        assert report.ok, render_text(report)
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys) -> None:
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n", encoding="utf-8")
+        assert main(["analyze", str(clean)]) == 0
+        out = capsys.readouterr().out
+        assert "0 violations" in out
+
+    def test_violations_exit_one_with_rule_id_and_location(self, tmp_path, capsys) -> None:
+        package = tmp_path / "repro" / "persistence"
+        package.mkdir(parents=True)
+        bad = package / "bad.py"
+        bad.write_text("import json\njson.dumps({})\n", encoding="utf-8")
+        assert main(["analyze", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert f"{bad}:2:1: strict-json:" in out
+
+    def test_json_format_and_output_file(self, tmp_path, capsys) -> None:
+        package = tmp_path / "repro" / "persistence"
+        package.mkdir(parents=True)
+        (package / "bad.py").write_text("import json\njson.dumps({})\n", encoding="utf-8")
+        out_file = tmp_path / "report.json"
+        code = main(
+            ["analyze", str(tmp_path), "--format", "json", "--output", str(out_file)]
+        )
+        assert code == 1
+        payload = json.loads(out_file.read_text(encoding="utf-8"))
+        assert payload["ok"] is False
+        assert payload["violations"][0]["rule"] == "strict-json"
+        assert payload["violations"][0]["line"] == 2
+
+    def test_rule_selection_runs_only_those_rules(self, tmp_path, capsys) -> None:
+        package = tmp_path / "repro" / "persistence"
+        package.mkdir(parents=True)
+        (package / "bad.py").write_text("import json\njson.dumps({})\n", encoding="utf-8")
+        assert main(["analyze", str(tmp_path), "--rules", "float-equality"]) == 0
+        assert main(["analyze", str(tmp_path), "--rules", "strict-json"]) == 1
+        capsys.readouterr()
+
+    def test_unknown_rule_id_exits_two(self, tmp_path, capsys) -> None:
+        assert main(["analyze", str(tmp_path), "--rules", "no-such-rule"]) == 2
+        err = capsys.readouterr().err
+        assert "no-such-rule" in err
+
+    def test_list_rules_prints_the_registry(self, capsys) -> None:
+        assert main(["analyze", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        listed = [line.split(":")[0] for line in out.strip().splitlines()]
+        assert listed == EXPECTED_RULE_IDS
+
+    def test_default_target_is_the_shipped_package(self, capsys) -> None:
+        assert main(["analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "0 violations" in out
+
+
+def test_seeded_fixture_tree_exercises_every_rule(tmp_path) -> None:
+    """End to end: one seeded tree trips all six rules in a single run."""
+    package = tmp_path / "repro"
+    (package / "persistence").mkdir(parents=True)
+    (package / "routing").mkdir()
+    (package / "network").mkdir()
+    (package / "persistence" / "codec.py").write_text(
+        textwrap.dedent(
+            """\
+            import json
+            from repro.core.distributions import Distribution
+
+            def decode(payload):
+                assert "costs" in payload
+                return Distribution(payload["costs"], payload["probs"])
+
+            def save(payload, path):
+                path.write_text(json.dumps(payload))
+            """
+        ),
+        encoding="utf-8",
+    )
+    (package / "routing" / "engine.py").write_text(
+        textwrap.dedent(
+            """\
+            class Stats:
+                def bump(self):
+                    with self._lock:
+                        self.count += 1
+
+                def read(self):
+                    return self.count
+
+            def same(a):
+                return float(a) == 1.0
+
+            def key(graph):
+                return id(graph)
+            """
+        ),
+        encoding="utf-8",
+    )
+    (package / "network" / "io.py").write_text(
+        "def load(payload):\n    return payload['format_version']\n",
+        encoding="utf-8",
+    )
+    report = analyze_paths([tmp_path])
+    assert rule_ids(list(report.violations)) == set(EXPECTED_RULE_IDS)

@@ -91,7 +91,8 @@ class TestOrderAndDuplicates:
 
     def test_balanced_chunks_split_a_dominant_destination(self, tiny_queries):
         hot = tiny_queries[0].destination
-        queries = [RoutingQuery(1, hot, budget=100.0 + i) for i in range(10)] + [
+        queries = [
+            *(RoutingQuery(1, hot, budget=100.0 + i) for i in range(10)),
             RoutingQuery(1, hot + 1, budget=100.0),
             RoutingQuery(1, hot + 2, budget=100.0),
         ]
@@ -124,8 +125,9 @@ class TestOrderAndDuplicates:
         vertices = sorted(spec_engine.pace_graph.network.vertex_ids())
         hot, cold = vertices[-1], vertices[len(vertices) // 2]
         queries = [
-            RoutingQuery(vertices[i % 3], hot, budget=250.0 + 25.0 * i) for i in range(9)
-        ] + [RoutingQuery(vertices[0], cold, budget=300.0)]
+            *(RoutingQuery(vertices[i % 3], hot, budget=250.0 + 25.0 * i) for i in range(9)),
+            RoutingQuery(vertices[0], cold, budget=300.0),
+        ]
         serial = spec_engine.route_many(queries, method="T-BS-60")
         with ProcessBackend(workers=2) as backend:
             results = spec_engine.route_many(queries, method="T-BS-60", backend=backend)

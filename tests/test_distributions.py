@@ -81,7 +81,7 @@ class TestConstruction:
         pairs = [(float(i), 1.0 / (n + 1)) for i in range(n)]
         for bad in (math.nan, math.inf, -1.0):
             with pytest.raises(DistributionError):
-                Distribution.from_pairs(pairs + [(bad, 1.0 / (n + 1))], normalise=True)
+                Distribution.from_pairs([*pairs, (bad, 1.0 / (n + 1))], normalise=True)
 
     def test_from_samples_bins_on_resolution(self):
         d = Distribution.from_samples([10.2, 9.8, 20.1, 19.9], resolution=1.0)

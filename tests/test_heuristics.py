@@ -405,7 +405,7 @@ class TestBudgetSpecific:
             paper_example.pace_graph, VD, BudgetHeuristicConfig(delta=3, max_budget=36)
         )
         budgets = np.array([-3.0, 0.0, 1.0, 3.0, 14.5, 18.0, 36.0, 50.0])
-        for vertex in list(range(8)) + [VD]:
+        for vertex in [*range(8), VD]:
             batch = heuristic.probability_batch(vertex, budgets)
             expected = [heuristic.probability(vertex, float(b)) for b in budgets]
             assert batch.tolist() == expected

@@ -33,6 +33,8 @@ from repro.persistence.codecs import (
     decode_column_document,
     encode_column_document,
     is_column_document,
+    strict_json_dumps,
+    strict_json_loads,
 )
 from repro.persistence.heuristics import (
     decode_heuristic_entry,
@@ -297,6 +299,21 @@ class TestIndexPersistence:
         with pytest.raises(DataError):
             index_from_dict({"format_version": 99})
 
+    def test_non_numeric_edge_id_is_data_error(self, paper_example):
+        """Regression: int('not-an-id') used to escape as a bare ValueError."""
+        payload = index_to_dict(paper_example.pace_graph)
+        weights = dict(payload["edge_weights"])
+        weights["not-an-id"] = next(iter(weights.values()))
+        payload["edge_weights"] = weights
+        with pytest.raises(DataError, match="malformed index payload"):
+            index_from_dict(payload)
+
+    def test_garbage_index_file_is_data_error(self, tmp_path):
+        path = tmp_path / "index.json"
+        path.write_bytes(b"{ not json")
+        with pytest.raises(DataError, match="not valid JSON"):
+            load_index(path)
+
 
 class TestHeuristicPersistence:
     def test_binary_round_trip(self, paper_example):
@@ -337,6 +354,36 @@ class TestHeuristicPersistence:
             heuristic_table_from_dict({"format_version": 99})
         with pytest.raises(DataError):
             load_heuristic_table(tmp_path / "missing.json")
+
+    def test_non_numeric_vertex_is_data_error(self, paper_example):
+        """Regression: int('spindle') used to escape as a bare ValueError."""
+        heuristic = BudgetSpecificHeuristic(
+            paper_example.pace_graph, VD, BudgetHeuristicConfig(delta=6, max_budget=36)
+        )
+        payload = heuristic_table_to_dict(heuristic.table)
+        rows = dict(payload["rows"])
+        rows["spindle"] = next(iter(rows.values()))
+        payload["rows"] = rows
+        with pytest.raises(DataError, match="malformed heuristic table payload"):
+            heuristic_table_from_dict(payload)
+
+    def test_entry_with_non_numeric_row_vertex_is_data_error(self, paper_example):
+        """Regression: encode_heuristic_entry let int() ValueErrors escape."""
+        heuristic = BudgetSpecificHeuristic(
+            paper_example.pace_graph, VD, BudgetHeuristicConfig(delta=6, max_budget=36)
+        )
+        entry = {
+            "kind": "budget",
+            "variant": "T",
+            "graph": "pace",
+            "delta": 6.0,
+            "heuristic": budget_heuristic_to_dict(heuristic),
+        }
+        rows = dict(entry["heuristic"]["table"]["rows"])
+        rows["spindle"] = next(iter(rows.values()))
+        entry["heuristic"]["table"]["rows"] = rows
+        with pytest.raises(DataError, match="malformed heuristic bundle entry"):
+            encode_heuristic_entry(entry)
 
     def test_binary_round_trips_unreachable_vertices_as_strict_json(self):
         """``getMin = inf`` must survive strict JSON (no non-standard Infinity)."""
@@ -505,3 +552,45 @@ class TestCodecErrorTaxonomy:
         # Last-wins collapsing would drop 0.5 and renormalise to 1/3 vs 2/3.
         assert joint.pmf[(2.0,)] == pytest.approx(0.75)
         assert joint.pmf[(3.0,)] == pytest.approx(0.25)
+
+
+class TestStrictJsonHelpers:
+    """The sanctioned codec entry points enforced by the strict-json lint rule."""
+
+    def test_dumps_rejects_non_finite_floats(self):
+        with pytest.raises(DataError, match="not strict-JSON serialisable"):
+            strict_json_dumps({"cost": float("inf")})
+        with pytest.raises(DataError, match="not strict-JSON serialisable"):
+            strict_json_dumps({"cost": float("nan")})
+
+    def test_dumps_round_trips_plain_payloads(self):
+        payload = {"a": [1, 2.5], "b": None, "c": "τ"}
+        assert strict_json_loads(strict_json_dumps(payload), what="test") == payload
+
+    def test_loads_rejects_invalid_json(self):
+        with pytest.raises(DataError, match="manifest is not valid JSON"):
+            strict_json_loads("{ nope", what="manifest")
+
+    def test_loads_rejects_non_standard_tokens(self):
+        with pytest.raises(DataError, match="non-standard JSON token 'NaN'"):
+            strict_json_loads('{"x": NaN}', what="doc")
+        with pytest.raises(DataError, match="non-standard JSON token 'Infinity'"):
+            strict_json_loads('{"x": Infinity}', what="doc")
+
+    def test_legacy_infinity_opt_in_only_admits_infinities(self):
+        # Heuristic v1 file loaders accept the documented legacy token...
+        payload = strict_json_loads(
+            '{"x": Infinity, "y": -Infinity}', what="doc", allow_legacy_infinity=True
+        )
+        assert payload == {"x": float("inf"), "y": float("-inf")}
+        # ...but NaN stays rejected even there.
+        with pytest.raises(DataError, match="non-standard JSON token 'NaN'"):
+            strict_json_loads('{"x": NaN}', what="doc", allow_legacy_infinity=True)
+
+    def test_save_index_writes_strict_json(self, paper_example, tmp_path):
+        """Regression: save_index used to emit Infinity tokens unguarded."""
+        path = tmp_path / "index.json"
+        save_index(paper_example.pace_graph, path)
+        text = path.read_text(encoding="utf-8")
+        assert "Infinity" not in text and "NaN" not in text
+        strict_json_loads(text, what="saved index")

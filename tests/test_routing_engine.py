@@ -161,6 +161,22 @@ class TestRoutingEngine:
         engine.route_many(queries, method="T-BS-60")
         assert engine.heuristic_cache.misses == 1
 
+    def test_cache_counters_snapshot_matches_stats(self, paper_example, updated_example):
+        """Regression: stats() read cache counters field-by-field without the
+        cache lock; counters() takes them in one locked snapshot."""
+        engine = _engine(paper_example, updated_example)
+        # T-B-P and V-B-P share the PACE binary heuristic: one miss, then hits.
+        engine.route(RoutingQuery(VS, VD, budget=30.0), method="T-B-P")
+        engine.route(RoutingQuery(VS, VD, budget=30.0), method="V-B-P")
+        cache = engine.heuristic_cache
+        entries, hits, misses, build_seconds = cache.counters()
+        assert entries == len(cache) == 1
+        assert (hits, misses) == (cache.hits, cache.misses)
+        assert (hits, misses) == (1, 1)
+        assert build_seconds == cache.build_seconds >= 0.0
+        stats = engine.stats()
+        assert (stats.cache_entries, stats.cache_hits, stats.cache_misses) == (1, 1, 1)
+
     def test_prewarm_builds_heuristics(self, paper_example, updated_example):
         engine = _engine(paper_example, updated_example)
         assert engine.prewarm("T-BS-60", [VD]) == 1

@@ -199,7 +199,7 @@ class TestCleaning:
         path = network.path_from_edge_ids([edge.edge_id])
         usual = [Trajectory(i, path, (30.0 + i % 3,)) for i in range(10)]
         outlier = Trajectory(99, path, (400.0,))
-        kept = filter_statistical_outliers(usual + [outlier])
+        kept = filter_statistical_outliers([*usual, outlier])
         assert 99 not in {t.trajectory_id for t in kept}
         assert len(kept) == 10
 
