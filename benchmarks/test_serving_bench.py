@@ -1,0 +1,162 @@
+"""Benchmark: HTTP serving-tier throughput and latency on the city store.
+
+The serving tier (:mod:`repro.serving`, ``repro serve``) wraps the routing
+service in admission control, deadlines and reload machinery — this benchmark
+measures what that wrapper costs on the wire.  A :class:`RouteServer` boots
+from the shared city artifact store (cached in CI, mined on the spot
+otherwise), a warm-up pass builds the workload's per-destination heuristics,
+and then concurrent HTTP clients storm ``POST /route`` with single-query
+requests while per-request latencies are recorded.
+
+Reported to ``results/serving_bench.txt``: requests/second and the p50/p99
+latency of the storm.  Gated (loosely — hosted runners are noisy): every
+answer must be HTTP 200 and structured, nothing may be shed by admission at
+this concurrency, and the answers must match a directly-computed
+:class:`~repro.routing.RoutingService` pass query for query.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+
+from repro.evaluation.reporting import render_report, write_report
+from repro.routing import RoutingEngine, RoutingService
+from repro.serving import RouteServer, ServerConfig
+
+#: Binary-heuristic guided search: cheap per-destination builds, so the
+#: warm-up pass is short and the storm measures steady-state serving.
+METHOD = "T-B-P"
+QUERY_TARGET = 24
+MIN_PAIR_DISTANCE = 1100.0
+CLIENTS = 4
+PASSES = 3  # timed storm re-sends the workload this many times
+
+
+def _post_route(url: str, payload: dict) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        url + "/route",
+        data=json.dumps(payload).encode("utf-8"),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=300) as response:
+        return response.status, json.loads(response.read())
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    assert sorted_values
+    index = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def _storm(url: str, payloads: list[dict], clients: int) -> tuple[float, list[float], list]:
+    """Fire all payloads from ``clients`` threads; per-request latencies in seconds."""
+    latencies: list[float] = []
+    problems: list = []
+    lock = threading.Lock()
+    chunks = [payloads[i::clients] for i in range(clients)]
+
+    def client(chunk: list[dict]) -> None:
+        for payload in chunk:
+            started = time.perf_counter()
+            status, body = _post_route(url, payload)
+            elapsed = time.perf_counter() - started
+            with lock:
+                latencies.append(elapsed)
+                if status != 200 or not body.get("ok"):
+                    problems.append((status, body))
+
+    threads = [threading.Thread(target=client, args=(chunk,)) for chunk in chunks]
+    wall_started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - wall_started, latencies, problems
+
+
+def test_serving_tier_throughput(city_store, city_batch_factory):
+    root, _, _ = city_store
+    engine = RoutingEngine.from_artifacts(root)
+    queries = city_batch_factory(
+        engine,
+        source_stride=5,
+        destination_stride=6,
+        target=QUERY_TARGET,
+        min_distance=MIN_PAIR_DISTANCE,
+    )
+    assert len(queries) >= QUERY_TARGET // 2, "workload generation came up short"
+    payloads = [
+        {
+            "source": query.source,
+            "destination": query.destination,
+            "budget": query.budget,
+            "method": METHOD,
+            "request_id": f"bench-{index}",
+        }
+        for index, query in enumerate(queries)
+    ]
+
+    server = RouteServer(
+        root,
+        ServerConfig(
+            default_method=METHOD,
+            max_concurrency=CLIENTS,
+            queue_limit=2 * CLIENTS,
+            default_deadline_ms=300_000.0,  # measuring latency, not enforcing it
+            reload_poll_seconds=3600.0,
+        ),
+    )
+    server.start()
+    try:
+        url = server.url
+        # Warm-up pass: builds each destination's heuristic once (the offline
+        # investment), so the timed storm measures steady-state serving.
+        warmup_seconds, _, warmup_problems = _storm(url, payloads, CLIENTS)
+        assert warmup_problems == [], f"warm-up answers not structured: {warmup_problems[:3]}"
+
+        wall_seconds, latencies, problems = _storm(url, payloads * PASSES, CLIENTS)
+        assert problems == [], f"storm answers not structured: {problems[:3]}"
+        assert len(latencies) == len(payloads) * PASSES
+
+        # Nothing was shed: this concurrency fits the admission window.
+        stats = server.stats()
+        assert stats["admission"]["rejected"] == 0
+        assert stats["deadlines"]["deadline_exceeded"] == 0
+        assert stats["resilience"]["healthy"] is True
+
+        # Parity: the HTTP answers match a direct in-process service pass.
+        service = RoutingService(engine, default_method=METHOD)
+        for payload, expected in zip(payloads[:5], service.handle_batch(payloads[:5])):
+            status, body = _post_route(url, payload)
+            assert status == 200
+            assert body["ok"] == expected.ok
+            if expected.ok:
+                assert body["path_vertices"] == list(expected.path_vertices or ())
+    finally:
+        server.stop()
+
+    ordered = sorted(latencies)
+    throughput = len(latencies) / wall_seconds if wall_seconds else float("inf")
+    rows = [
+        ("requests", len(latencies)),
+        ("client threads", CLIENTS),
+        ("distinct queries", len(payloads)),
+        ("storm wall (s)", round(wall_seconds, 2)),
+        ("throughput (req/s)", round(throughput, 1)),
+        ("latency p50 (ms)", round(1000.0 * _percentile(ordered, 0.50), 1)),
+        ("latency p99 (ms)", round(1000.0 * _percentile(ordered, 0.99), 1)),
+        ("warm-up pass (s)", round(warmup_seconds, 2)),
+    ]
+    report = render_report(
+        f"Serving tier: {len(latencies)} {METHOD} requests over HTTP, "
+        f"{CLIENTS} concurrent clients, aalborg-like",
+        ("metric", "value"),
+        rows,
+    )
+    write_report(report, "serving_bench.txt")
+
+    assert throughput > 0.0

@@ -1,0 +1,223 @@
+"""Serving-tier walkthrough: boot from a store, storm it, crash it, reload it.
+
+The online half of the mine-once/serve-forever deployment story, end to end:
+
+1. **boot** a :class:`~repro.serving.RouteServer` from a persisted artifact
+   store (pass a store directory as ``argv[1]`` — CI passes its cached
+   city-scale store — or let the script build a tiny one),
+2. **storm** it with concurrent strict-JSON HTTP requests and verify every
+   answer is structured (an ``ok`` route or a taxonomy error — never a bare
+   5xx) and matches a directly-computed
+   :class:`~repro.routing.RoutingService` answer,
+3. **crash** a process-pool worker mid-traffic with the deterministic fault
+   switchboard (``POST /faults``) and watch the serial fallback answer every
+   request while the pool respawns and ``/healthz`` returns to 200, and
+4. **hot-reload**: republish the store's manifest and watch the server swap
+   in a fresh engine generation without dropping a request.
+
+Run with::
+
+    PYTHONPATH=src python examples/serve_city.py [store-dir]
+
+Exits non-zero if any step's contract is violated (CI runs it as a gate).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.routing import DatasetRecipe, RouterSettings, RoutingEngine, RoutingService
+from repro.serving import RouteServer, ServerConfig
+
+METHOD = "V-BS-60"
+
+
+def http_json(url: str, payload: object | None = None) -> tuple[int, dict | list]:
+    """POST ``payload`` (or GET when ``None``), decoding the JSON answer."""
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url,
+        data=data,
+        method="GET" if data is None else "POST",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def wait_until(predicate, timeout: float = 120.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.1)
+    return predicate()
+
+
+def build_tiny_store(root: Path) -> Path:
+    print("no store given: mining the tiny city into", root)
+    engine = DatasetRecipe(dataset="tiny", regime="peak", tau=20).build_engine(
+        settings=RouterSettings(max_budget=900.0, max_explored=2000)
+    )
+    engine.save_artifacts(root, provenance={"builder": "examples/serve_city.py"})
+    return root
+
+
+def pick_queries(store: Path, count: int) -> list[dict]:
+    """Deterministic request payloads over the store's own vertex set."""
+    engine = RoutingEngine.from_artifacts(store)
+    vertices = sorted(engine.pace_graph.network.vertex_ids())
+    budget = 0.8 * engine.settings.max_budget
+    destinations = [vertices[-1], vertices[len(vertices) // 2], vertices[len(vertices) // 3]]
+    return [
+        {
+            "source": vertices[i % (len(vertices) // 2)],
+            "destination": destinations[i % len(destinations)],
+            "budget": budget,
+            "request_id": f"storm-{i}",
+        }
+        for i in range(count)
+    ]
+
+
+def storm(url: str, requests: list[dict], threads: int) -> tuple[int, list]:
+    """Fire the requests from ``threads`` clients; returns (answered, problems)."""
+    problems: list = []
+    answered = [0]
+    lock = threading.Lock()
+    chunks = [requests[i::threads] for i in range(threads)]
+
+    def client(chunk: list[dict]) -> None:
+        for payload in chunk:
+            status, body = http_json(url + "/route", payload)
+            with lock:
+                answered[0] += 1
+                ok_or_taxonomy = isinstance(body, dict) and (
+                    body.get("ok") or "error" in body
+                )
+                if status != 200 or not ok_or_taxonomy:
+                    problems.append((status, body))
+
+    workers = [threading.Thread(target=client, args=(chunk,)) for chunk in chunks]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    return answered[0], problems
+
+
+def main(argv: list[str]) -> int:
+    failures: list[str] = []
+
+    def check(condition: bool, label: str) -> None:
+        print(("  [ok]  " if condition else "  [FAIL]") + " " + label)
+        if not condition:
+            failures.append(label)
+
+    with tempfile.TemporaryDirectory(prefix="serve-city-") as scratch:
+        store = Path(argv[1]) if len(argv) > 1 else build_tiny_store(Path(scratch) / "store")
+
+        config = ServerConfig(
+            default_method=METHOD,
+            backend="process",
+            workers=2,
+            max_concurrency=4,
+            queue_limit=16,
+            reload_poll_seconds=1.0,
+            enable_fault_injection=True,
+            backoff_base_seconds=0.05,
+            backoff_cap_seconds=1.0,
+        )
+        requests = pick_queries(store, count=60)
+
+        print(f"booting repro serve from {store} (backend=process, workers=2)")
+        started = time.perf_counter()
+        server = RouteServer(store, config).start()
+        url = server.url
+        try:
+            print(f"listening on {url} ({time.perf_counter() - started:.1f}s to boot)\n")
+
+            print("step 1: parity — HTTP answer == direct RoutingService answer")
+            direct = RoutingService(
+                RoutingEngine.from_artifacts(store), default_method=METHOD
+            ).handle(requests[0])
+            status, body = http_json(url + "/route", requests[0])
+            check(status == 200, "parity request answered 200")
+            check(
+                isinstance(body, dict) and body.get("ok") == direct.ok,
+                "HTTP ok-flag matches direct service",
+            )
+            if direct.ok and isinstance(body, dict):
+                check(
+                    body.get("path_vertices") == list(direct.path_vertices or ()),
+                    "HTTP path matches direct service",
+                )
+
+            print("\nstep 2: request storm (60 requests, 6 clients)")
+            answered, problems = storm(url, requests, threads=6)
+            check(answered == len(requests), f"all {len(requests)} requests answered")
+            check(not problems, f"every answer structured ({len(problems)} problems)")
+
+            print("\nstep 3: worker crash drill")
+            status, _ = http_json(url + "/faults", {"fault": "crash-next-worker"})
+            check(status == 200, "crash-next-worker armed")
+            answered, problems = storm(url, requests[:12], threads=3)
+            check(
+                answered == 12 and not problems,
+                "all requests answered through the crash (serial fallback)",
+            )
+            _, stats = http_json(url + "/stats")
+            check(
+                stats["resilience"]["backend_failures"] >= 1,
+                "pool failure recorded in /stats (not silent)",
+            )
+            recovered = wait_until(lambda: http_json(url + "/healthz")[0] == 200)
+            check(recovered, "pool respawned; /healthz back to 200")
+
+            print("\nstep 4: hot reload (republish the manifest)")
+            generation = http_json(url + "/stats")[1]["reload"]["generation"]
+            manifest_path = store / "manifest.json"
+            manifest = json.loads(manifest_path.read_text())
+            manifest.setdefault("provenance", {})["republish"] = time.time()
+            manifest_path.write_text(json.dumps(manifest, allow_nan=False))
+            reloaded = wait_until(
+                lambda: http_json(url + "/stats")[1]["reload"]["generation"] > generation
+            )
+            check(reloaded, f"engine swapped to generation {generation + 1}")
+            answered, problems = storm(url, requests[:12], threads=3)
+            check(
+                answered == 12 and not problems, "reloaded engine serves the storm"
+            )
+            status, _ = http_json(url + "/healthz")
+            check(status == 200, "healthy after reload")
+
+            _, stats = http_json(url + "/stats")
+            print(
+                f"\nserved {stats['server']['http_requests']} HTTP requests, "
+                f"{stats['engine']['queries_total']} engine queries, "
+                f"{stats['admission']['rejected']} rejected, "
+                f"{stats['resilience']['fallback_queries']} served via fallback, "
+                f"{stats['reload']['reloads']} hot reloads"
+            )
+        finally:
+            server.stop()
+
+    if failures:
+        print(f"\nFAILED: {len(failures)} contract violations: {failures}")
+        return 1
+    print("\nall serving-tier contracts held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

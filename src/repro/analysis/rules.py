@@ -57,8 +57,9 @@ class StrictJsonRule(Rule):
     ``json.dumps(float("nan"))`` happily emits ``NaN`` — a token strict JSON
     parsers reject — and a bare ``json.loads`` accepts it back, so one bare
     call anywhere on the persistence path can write artifacts that only this
-    process can read.  All (de)serialisation in ``persistence/`` and
-    ``routing/service.py`` must go through
+    process can read.  All (de)serialisation in ``persistence/``,
+    ``routing/service.py`` and the HTTP serving tier (``serving/``) must go
+    through
     :func:`repro.persistence.codecs.strict_json_dumps` /
     :func:`~repro.persistence.codecs.strict_json_loads` (which pass
     ``allow_nan=False`` and reject non-standard constants on decode).  The
@@ -67,8 +68,8 @@ class StrictJsonRule(Rule):
 
     rule_id = "strict-json"
     description = (
-        "json.dumps/json.loads in persistence/ and routing/service.py must go "
-        "through the strict codec helpers (allow_nan=False, strict decode)"
+        "json.dumps/json.loads in persistence/, routing/service.py and serving/ "
+        "must go through the strict codec helpers (allow_nan=False, strict decode)"
     )
 
     _BARE: ClassVar[dict[str, str]] = {
@@ -79,7 +80,11 @@ class StrictJsonRule(Rule):
     }
 
     def applies_to(self, source: SourceFile) -> bool:
-        return _is_persistence(source) or source.module_path == "routing/service.py"
+        return (
+            _is_persistence(source)
+            or source.module_path == "routing/service.py"
+            or source.module_path.startswith("serving/")
+        )
 
     def check(self, source: SourceFile) -> Iterator[Violation]:
         aliases: dict[str, str] = {}
@@ -341,8 +346,9 @@ class LockDisciplineRule(Rule):
     block is considered guarded, and every other touch of it — read or write
     — outside a lock context (and outside ``__init__``, which runs before
     the object is shared) is a violation.  This is what caught the engine's
-    unlocked stats reads.  The serve-tier listener is expected to extend
-    ``LOCKED_MODULES`` to its own shared state.
+    unlocked stats reads.  The serving tier (``repro.serving``) registers all
+    of its modules here: every piece of state its request handlers, reload
+    watcher and respawn loop share is lock-checked.
     """
 
     rule_id = "lock-discipline"
@@ -352,7 +358,16 @@ class LockDisciplineRule(Rule):
     )
 
     #: Modules whose classes are subject to the lock analysis.
-    LOCKED_MODULES = ("routing/engine.py", "routing/backends.py")
+    LOCKED_MODULES = (
+        "routing/engine.py",
+        "routing/backends.py",
+        "routing/service.py",
+        "serving/admission.py",
+        "serving/faults.py",
+        "serving/reload.py",
+        "serving/resilience.py",
+        "serving/server.py",
+    )
 
     def applies_to(self, source: SourceFile) -> bool:
         return source.module_path in self.LOCKED_MODULES

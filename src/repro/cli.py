@@ -24,6 +24,11 @@ without writing Python:
 * ``route-batch``     — answer a JSONL file of requests through the typed service
   API, over a chosen execution backend (serial, threads, or a multiprocess
   worker pool), writing one JSON response per line, and
+* ``serve``           — run the long-lived fault-tolerant HTTP serving tier
+  (:mod:`repro.serving`) over an artifact store: ``POST /route`` with admission
+  control and per-request deadlines, ``GET /stats`` / ``GET /healthz``, hot
+  reload when the store is republished, and an opt-in fault-injection
+  switchboard for chaos drills,
 * ``bench``           — run one experiment driver (by figure/table name) and print
   its rows, and
 * ``analyze``         — run the project's own AST lint (:mod:`repro.analysis`) over
@@ -324,6 +329,63 @@ def build_parser() -> argparse.ArgumentParser:
             "artifact store (from 'build-artifacts') to boot the engine from — and, "
             "with --backend process, every worker (fingerprint-verified, zero rebuilds)"
         ),
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve routing over HTTP from an artifact store, fault-tolerantly",
+        description=(
+            "Boot a routing engine from a persisted artifact store and serve it over "
+            "a long-lived strict-JSON HTTP API: POST /route (single request object "
+            "or an array), GET /stats, GET /healthz.  The server admits at most "
+            "--max-concurrency + --queue-limit requests at a time (the rest are "
+            "rejected immediately with a structured 'overloaded' error and a "
+            "retry_after_ms hint), enforces a per-request deadline budget "
+            "(--deadline-ms, tightened per request via 'deadline_ms'), survives "
+            "worker-pool crashes by falling back to in-process routing while "
+            "respawning the pool with exponential backoff, and hot-reloads the "
+            "engine — without dropping in-flight requests — when the artifact "
+            "store's manifest changes on disk."
+        ),
+    )
+    serve.add_argument("--artifacts", required=True, help="artifact store directory to serve")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080, help="listening port (0 = ephemeral)")
+    serve.add_argument("--method", default="V-BS-60", type=_method_name, help=method_help)
+    serve.add_argument(
+        "--backend",
+        default="serial",
+        choices=("serial", "process"),
+        help="execution backend for routing batches (process = resilient worker pool)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="worker count for --backend process"
+    )
+    serve.add_argument(
+        "--max-concurrency", type=int, default=4, help="requests routed concurrently"
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        help="admitted requests allowed to wait beyond --max-concurrency",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=10_000.0,
+        help="default per-request deadline budget in milliseconds",
+    )
+    serve.add_argument(
+        "--reload-poll-seconds",
+        type=float,
+        default=2.0,
+        help="how often to check the store manifest for a republished build",
+    )
+    serve.add_argument(
+        "--enable-fault-injection",
+        action="store_true",
+        help="expose POST /faults for deterministic chaos drills (off by default)",
     )
 
     bench = subparsers.add_parser("bench", help="run one experiment driver and print its rows")
@@ -654,6 +716,43 @@ def _command_route_batch(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serving import RouteServer, ServerConfig
+
+    try:
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            default_method=args.method,
+            backend=args.backend,
+            workers=args.workers,
+            max_concurrency=args.max_concurrency,
+            queue_limit=args.queue_limit,
+            default_deadline_ms=args.deadline_ms,
+            reload_poll_seconds=args.reload_poll_seconds,
+            enable_fault_injection=args.enable_fault_injection,
+        )
+        server = RouteServer(args.artifacts, config)
+    except (ConfigurationError, DataError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server.start()
+    host, port = server.address
+    endpoints = "POST /route, GET /stats, GET /healthz"
+    if args.enable_fault_injection:
+        endpoints += ", POST /faults"
+    print(f"repro serve: listening on http://{host}:{port} (store: {args.artifacts})")
+    print(f"endpoints: {endpoints}")
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    finally:
+        server.stop()
+    return 0
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args.dataset)
     scale = ExperimentScale(
@@ -705,6 +804,7 @@ _COMMANDS = {
     "prewarm": _command_prewarm,
     "route": _command_route,
     "route-batch": _command_route_batch,
+    "serve": _command_serve,
     "bench": _command_bench,
     "analyze": _command_analyze,
 }

@@ -295,6 +295,30 @@ class ArtifactStore:
             self._manifest = ArtifactManifest.from_dict(payload)
         return self._manifest
 
+    def manifest_fingerprint(self) -> str | None:
+        """A checksum of the manifest file's bytes *right now*, or ``None``.
+
+        The cheap change-detection primitive for long-lived serving processes:
+        every write path replaces the manifest last, so a changed checksum
+        means "the store was republished — reload", and an unchanged one means
+        nothing to do, without parsing (or trusting) the document.  Returns
+        ``None`` while no manifest exists (store mid-creation or removed).
+        """
+        try:
+            return _checksum(self.manifest_path.read_bytes())
+        except OSError:
+            return None
+
+    def refresh(self) -> "ArtifactStore":
+        """Drop the cached manifest so the next read reparses it from disk.
+
+        :attr:`manifest` caches its parse — correct for the boot-once reader,
+        wrong for a watcher that polls one store object across republishes.
+        Returns ``self`` for chaining (``store.refresh().manifest``).
+        """
+        self._manifest = None
+        return self
+
     def has_artifact(self, name: str) -> bool:
         return name in self.manifest.artifacts
 

@@ -29,9 +29,11 @@ evaluation, because each router's search is deterministic given its
 from __future__ import annotations
 
 import multiprocessing
+import os
 import threading
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from pathlib import Path as FilePath
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
@@ -332,6 +334,21 @@ def _route_chunk(method_name: str, queries: list[RoutingQuery]) -> list[RoutingR
     return [_worker_engine.route(query, method=method_name) for query in queries]
 
 
+def _worker_ping() -> int:
+    """A trivial round-trip proving a worker is alive and initialised."""
+    return os.getpid()
+
+
+def _crash_worker() -> None:  # pragma: no cover - runs (and dies) in a worker
+    """Kill the worker process that picks this task up — fault injection only.
+
+    ``os._exit`` skips every ``finally``/``atexit`` hook, exactly like a
+    segfault or an OOM kill would, so the parent observes a genuine
+    ``BrokenProcessPool``, not a polite exception.
+    """
+    os._exit(3)
+
+
 class ProcessBackend:
     """Worker-process fan-out for the GIL-bound pure-Python search loops.
 
@@ -365,6 +382,7 @@ class ProcessBackend:
         self.start_method = start_method
         self._pool: ProcessPoolExecutor | None = None
         self._pool_config: _WorkerConfig | None = None
+        self._generation = 0
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
@@ -417,6 +435,66 @@ class ProcessBackend:
                 self._pool.shutdown(wait=True)
                 self._pool = None
                 self._pool_config = None
+
+    # ------------------------------------------------------------------ #
+    # Respawn hooks (the serving tier's recovery path; see repro.serving)
+    # ------------------------------------------------------------------ #
+    @property
+    def generation(self) -> int:
+        """How many times the pool has been discarded for a fresh spawn."""
+        with self._lock:
+            return self._generation
+
+    def respawn(self) -> int:
+        """Discard the current pool so the next :meth:`run` spawns a fresh one.
+
+        The supervisor's recovery hook after a ``BrokenProcessPool``: a broken
+        executor can never accept work again, so the only way back to process
+        fan-out is a new pool.  The old executor is shut down without waiting
+        (its futures are already failed); returns the new generation number.
+        """
+        with self._lock:
+            pool = self._pool
+            self._pool = None
+            self._pool_config = None
+            self._generation += 1
+            generation = self._generation
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return generation
+
+    def ensure_ready(self, engine: "RoutingEngine", *, timeout: float | None = 60.0) -> int:
+        """Spawn the pool for ``engine`` (if needed) and prove a worker answers.
+
+        Initialisation failures (a worker that cannot rebuild the engine, a
+        store that vanished) surface here — as ``BrokenProcessPool`` — instead
+        of on the first real batch, which is what lets a respawn loop probe
+        health without risking caller traffic.  Returns the answering worker's
+        pid.
+        """
+        pool = self._ensure_pool(engine)
+        return pool.submit(_worker_ping).result(timeout=timeout)
+
+    def kill_one_worker(self, *, wait: bool = True, timeout: float = 30.0) -> bool:
+        """Hard-kill one live worker process (fault injection only).
+
+        Submits a task that ``os._exit``\\ s whichever worker picks it up, so
+        the pool genuinely breaks the way it would under a segfault or OOM
+        kill.  Returns ``False`` when no pool is live (nothing to kill).  With
+        ``wait`` the call blocks until the executor has noticed the death, so
+        callers can deterministically exercise the broken-pool path.
+        """
+        with self._lock:
+            pool = self._pool
+        if pool is None:
+            return False
+        future = pool.submit(_crash_worker)
+        if wait:
+            try:
+                future.result(timeout=timeout)
+            except (BrokenProcessPool, TimeoutError):
+                pass  # BrokenProcessPool is the expected outcome of the kill
+        return True
 
     def __enter__(self) -> "ProcessBackend":
         return self

@@ -294,6 +294,12 @@ class EngineStats:
     #: ``{"source": "recipe", ...}`` for re-mined engines, ``{"source":
     #: "memory"}`` for engines wrapped around in-process graphs.
     provenance: dict = field(default_factory=lambda: {"source": "memory"})
+    #: Degradation counters, populated by :meth:`RoutingService.stats`: batches
+    #: whose execution backend failed as a unit (``backend_failures``) and the
+    #: requests re-routed through the in-process serial fallback
+    #: (``fallback_queries``).  Zero for engines queried directly.
+    backend_failures: int = 0
+    fallback_queries: int = 0
 
 
 class RoutingEngine:

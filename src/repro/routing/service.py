@@ -22,8 +22,9 @@ boundary:
 from __future__ import annotations
 
 import math
+import threading
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.distributions import Distribution
 from repro.core.errors import (
@@ -56,6 +57,11 @@ __all__ = [
 #: ``not_found``        — the destination is unreachable from the source,
 #: ``budget_exceeded``  — the destination is reachable, but no path arrived
 #:                        within the requested budget,
+#: ``overloaded``       — the server's admission queue is full; the request was
+#:                        rejected *before* routing and should be retried after
+#:                        the ``retry_after_ms`` hint,
+#: ``deadline_exceeded``— the request's deadline budget expired before a result
+#:                        was produced; any late result is discarded,
 #: ``internal``         — an unexpected failure while routing.
 ERROR_CODES = (
     "invalid_request",
@@ -63,30 +69,60 @@ ERROR_CODES = (
     "unknown_vertex",
     "not_found",
     "budget_exceeded",
+    "overloaded",
+    "deadline_exceeded",
     "internal",
 )
 
 
 @dataclass(frozen=True)
 class RouteError:
-    """A structured serving failure: a taxonomy code plus a human-readable message."""
+    """A structured serving failure: a taxonomy code plus a human-readable message.
+
+    ``retry_after_ms`` is the backpressure hint attached to ``overloaded``
+    rejections: how long a well-behaved caller should wait before retrying.
+    It is ``None`` (and omitted from the wire form) for every other code.
+    """
 
     code: str
     message: str
+    retry_after_ms: int | None = None
 
     def __post_init__(self) -> None:
         if self.code not in ERROR_CODES:
             raise ConfigurationError(
                 f"unknown error code {self.code!r}; choose from {ERROR_CODES}"
             )
+        if self.retry_after_ms is not None and (
+            isinstance(self.retry_after_ms, bool)
+            or not isinstance(self.retry_after_ms, int)
+            or self.retry_after_ms < 0
+        ):
+            raise ConfigurationError(
+                f"retry_after_ms must be a non-negative integer, got {self.retry_after_ms!r}"
+            )
 
     def to_dict(self) -> dict:
-        return {"code": self.code, "message": self.message}
+        payload: dict[str, object] = {"code": self.code, "message": self.message}
+        if self.retry_after_ms is not None:
+            payload["retry_after_ms"] = self.retry_after_ms
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "RouteError":
         try:
-            return cls(code=payload["code"], message=str(payload["message"]))
+            retry_after = payload.get("retry_after_ms")
+            if retry_after is not None and (
+                isinstance(retry_after, bool) or not isinstance(retry_after, int)
+            ):
+                raise DataError(
+                    f"route error 'retry_after_ms' must be an integer, got {retry_after!r}"
+                )
+            return cls(
+                code=payload["code"],
+                message=str(payload["message"]),
+                retry_after_ms=retry_after,
+            )
         except (KeyError, TypeError) as exc:
             raise DataError(f"malformed route error payload: {exc}") from exc
 
@@ -119,7 +155,10 @@ class RouteRequest:
     The semantic fields mirror :class:`~repro.routing.queries.RoutingQuery`;
     ``method`` optionally overrides the service's default method for this
     request, and ``request_id`` is an opaque caller token echoed back on the
-    response (how JSONL batch callers correlate answers).
+    response (how JSONL batch callers correlate answers).  ``deadline_ms``
+    optionally caps how long the *server* may spend on this request (the
+    serving tier enforces it; see :mod:`repro.serving`) — expired requests
+    answer ``deadline_exceeded`` instead of arriving late.
     """
 
     source: int
@@ -128,8 +167,17 @@ class RouteRequest:
     departure_time: float = 8 * 3600.0
     method: str | None = None
     request_id: str | None = None
+    deadline_ms: float | None = None
 
-    _FIELDS = ("source", "destination", "budget", "departure_time", "method", "request_id")
+    _FIELDS = (
+        "source",
+        "destination",
+        "budget",
+        "departure_time",
+        "method",
+        "request_id",
+        "deadline_ms",
+    )
 
     def to_query(self) -> RoutingQuery:
         """The in-process query; raises ``ConfigurationError`` on invalid parameters."""
@@ -151,6 +199,8 @@ class RouteRequest:
             payload["method"] = self.method
         if self.request_id is not None:
             payload["request_id"] = self.request_id
+        if self.deadline_ms is not None:
+            payload["deadline_ms"] = self.deadline_ms
         return payload
 
     @classmethod
@@ -178,6 +228,13 @@ class RouteRequest:
         request_id = payload.get("request_id")
         if request_id is not None and not isinstance(request_id, str):
             raise DataError("route request 'request_id' must be a string")
+        deadline_ms: float | None = None
+        if payload.get("deadline_ms") is not None:
+            deadline_ms = _strict_number("deadline_ms", payload["deadline_ms"])
+            if deadline_ms <= 0:
+                raise DataError(
+                    f"route request 'deadline_ms' must be positive, got {deadline_ms!r}"
+                )
         return cls(
             source=source,
             destination=destination,
@@ -185,6 +242,7 @@ class RouteRequest:
             departure_time=departure_time,
             method=method,
             request_id=request_id,
+            deadline_ms=deadline_ms,
         )
 
 
@@ -343,6 +401,14 @@ class RoutingService:
     ) -> None:
         self._engine = engine
         self._default_method = MethodSpec.coerce(default_method)
+        # Degradation counters: how often a batch backend failed as a unit and
+        # how many requests were re-routed through the in-process fallback.
+        # Without these a dying worker pool is invisible to operators — the
+        # fallback keeps answering, just slower (the PR 3 silent-degradation
+        # gap).  Guarded by the stats lock; see stats().
+        self._stats_lock = threading.Lock()
+        self._backend_failures = 0
+        self._fallback_queries = 0
 
     @property
     def engine(self) -> RoutingEngine:
@@ -359,9 +425,26 @@ class RoutingService:
         engine's origin record (``provenance``) — for an artifact-booted
         engine, the store path, the graph content fingerprints and the build
         metadata — so an operator can always answer *which* offline build a
-        service is serving from.
+        service is serving from.  ``backend_failures`` / ``fallback_queries``
+        are this service's degradation counters: batches whose execution
+        backend failed as a unit (e.g. a ``BrokenProcessPool``) and the
+        requests that were re-routed through the in-process fallback — the
+        signal that a worker pool is dying even though every request still
+        gets an answer.
         """
-        return self._engine.stats()
+        with self._stats_lock:
+            backend_failures = self._backend_failures
+            fallback_queries = self._fallback_queries
+        return replace(
+            self._engine.stats(),
+            backend_failures=backend_failures,
+            fallback_queries=fallback_queries,
+        )
+
+    def _count_fallback(self, queries: int) -> None:
+        with self._stats_lock:
+            self._backend_failures += 1
+            self._fallback_queries += queries
 
     # ------------------------------------------------------------------ #
     # Validation
@@ -504,7 +587,10 @@ class RoutingService:
                 # infrastructure failure such as a BrokenProcessPool from a
                 # worker that died initialising.  Re-route each request
                 # individually in-process so only the culprit answers with an
-                # error; the contract is a response per request.
+                # error; the contract is a response per request.  Count the
+                # failure and the fallback volume so the degradation shows up
+                # in stats() instead of passing silently.
+                self._count_fallback(len(batch))
                 for i, query in batch:
                     try:
                         result = self._engine.route(query, method=method_name)

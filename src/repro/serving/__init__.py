@@ -1,0 +1,31 @@
+"""The fault-tolerant serving tier behind ``repro serve``.
+
+The online half of the paper's offline/online split, grown into an actual
+long-lived service: :class:`~repro.serving.server.RouteServer` exposes a
+:class:`~repro.routing.service.RoutingService` over strict-JSON HTTP with
+admission control (:class:`~repro.serving.admission.AdmissionController`),
+per-request deadlines (:class:`~repro.serving.deadlines.Deadline`),
+process-pool supervision and serial fallback
+(:class:`~repro.serving.resilience.ResilientBackend`), graceful hot reload of
+a republished artifact store (:class:`~repro.serving.reload.EngineReloader`)
+and a deterministic chaos harness
+(:class:`~repro.serving.faults.FaultInjector`).
+"""
+
+from repro.serving.admission import AdmissionController
+from repro.serving.deadlines import Deadline
+from repro.serving.faults import FAULT_NAMES, FaultInjector
+from repro.serving.reload import EngineReloader
+from repro.serving.resilience import ResilientBackend
+from repro.serving.server import RouteServer, ServerConfig
+
+__all__ = [
+    "AdmissionController",
+    "Deadline",
+    "FAULT_NAMES",
+    "FaultInjector",
+    "EngineReloader",
+    "ResilientBackend",
+    "RouteServer",
+    "ServerConfig",
+]

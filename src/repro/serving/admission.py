@@ -1,0 +1,161 @@
+"""Admission control for the serving tier: bounded queue, honest rejections.
+
+A long-lived server that accepts every request eventually answers none of
+them — queues grow without bound, latency follows, and clients time out
+anyway after having held a connection open.  The serving tier instead admits
+at most ``max_concurrency + queue_limit`` requests at a time and rejects the
+rest *immediately* with a structured ``overloaded`` error carrying a
+``retry_after_ms`` hint, so well-behaved clients back off instead of piling
+on.
+
+:class:`AdmissionController` wraps a :class:`~concurrent.futures.ThreadPoolExecutor`
+whose worker count is the concurrency limit; the "queue" is simply the
+admitted-but-not-yet-running overflow, tracked by an in-flight counter rather
+than by inspecting executor internals.  The retry hint is derived from an
+exponential moving average of observed service times — an overloaded server
+tells clients roughly how long the backlog in front of them will take to
+drain, not a made-up constant.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, TypeVar
+
+from repro.core.errors import ConfigurationError
+from repro.serving.deadlines import Clock
+from repro.serving.faults import FaultInjector
+
+__all__ = ["AdmissionController"]
+
+T = TypeVar("T")
+
+#: Smoothing factor for the service-time moving average.
+_EMA_ALPHA = 0.2
+#: Assumed per-request service time before any request has completed.
+_DEFAULT_SERVICE_SECONDS = 0.05
+#: Bounds for the retry hint so it stays useful (ms).
+_MIN_RETRY_AFTER_MS = 50
+_MAX_RETRY_AFTER_MS = 5_000
+
+
+class AdmissionController:
+    """Bounded admission over a thread pool, with load-derived retry hints."""
+
+    def __init__(
+        self,
+        max_concurrency: int,
+        queue_limit: int,
+        *,
+        faults: FaultInjector | None = None,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ConfigurationError(f"max_concurrency must be >= 1, got {max_concurrency}")
+        if queue_limit < 0:
+            raise ConfigurationError(f"queue_limit must be >= 0, got {queue_limit}")
+        self.max_concurrency = max_concurrency
+        self.queue_limit = queue_limit
+        self._capacity = max_concurrency + queue_limit
+        self._faults = faults or FaultInjector()
+        self._clock = clock
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_concurrency, thread_name_prefix="repro-serve"
+        )
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._admitted = 0
+        self._rejected = 0
+        self._completed = 0
+        self._service_ema_seconds = 0.0
+
+    def admit(self, fn: Callable[[], T]) -> Future[T] | None:
+        """Run ``fn`` on the pool, or return ``None`` when over capacity.
+
+        ``None`` means the caller must answer ``overloaded`` (with
+        :meth:`retry_after_hint_ms`); the rejection has already been counted.
+        """
+        # The fill-queue fault makes this one admission behave as if the
+        # backlog were already at capacity — consult it outside our lock
+        # since the injector locks internally.
+        forced_full = self._faults.take("fill-queue")
+        with self._lock:
+            if forced_full or self._in_flight >= self._capacity:
+                self._rejected += 1
+                return None
+            self._in_flight += 1
+            self._admitted += 1
+        started = self._clock()
+        try:
+            return self._executor.submit(self._run_admitted, fn, started)
+        except RuntimeError:
+            # Executor already shut down: the slot we reserved will never run.
+            with self._lock:
+                self._in_flight -= 1
+                self._admitted -= 1
+                self._rejected += 1
+            return None
+
+    def _run_admitted(self, fn: Callable[[], T], admitted_at: float) -> T:
+        try:
+            return fn()
+        finally:
+            elapsed = self._clock() - admitted_at
+            with self._lock:
+                self._in_flight -= 1
+                self._completed += 1
+                if self._service_ema_seconds <= 0.0:
+                    self._service_ema_seconds = elapsed
+                else:
+                    self._service_ema_seconds += _EMA_ALPHA * (
+                        elapsed - self._service_ema_seconds
+                    )
+
+    def retry_after_hint_ms(self) -> int:
+        """How long a rejected client should wait before retrying.
+
+        Estimated as the time for the current backlog to drain through
+        ``max_concurrency`` workers at the observed average service time,
+        clamped to a sane range.
+        """
+        with self._lock:
+            in_flight = self._in_flight
+            ema = self._service_ema_seconds
+        if ema <= 0.0:
+            ema = _DEFAULT_SERVICE_SECONDS
+        queued = max(0, in_flight - self.max_concurrency)
+        drain_seconds = (queued + 1) * ema / self.max_concurrency
+        hint = int(drain_seconds * 1000.0)
+        return max(_MIN_RETRY_AFTER_MS, min(_MAX_RETRY_AFTER_MS, hint))
+
+    def queue_depth(self) -> int:
+        """Admitted requests currently waiting for a worker thread."""
+        with self._lock:
+            return max(0, self._in_flight - self.max_concurrency)
+
+    def snapshot(self) -> dict:
+        """Counters for ``/stats``."""
+        with self._lock:
+            in_flight = self._in_flight
+            admitted = self._admitted
+            rejected = self._rejected
+            completed = self._completed
+            ema = self._service_ema_seconds
+        return {
+            "max_concurrency": self.max_concurrency,
+            "queue_limit": self.queue_limit,
+            "in_flight": in_flight,
+            "queue_depth": max(0, in_flight - self.max_concurrency),
+            "admitted": admitted,
+            "rejected": rejected,
+            "completed": completed,
+            "service_ema_ms": ema * 1000.0,
+            "retry_after_hint_ms": self.retry_after_hint_ms(),
+        }
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) wait for in-flight jobs."""
+        self._executor.shutdown(wait=wait, cancel_futures=not wait)

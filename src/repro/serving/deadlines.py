@@ -1,0 +1,61 @@
+"""Per-request deadline budgets for the serving tier.
+
+Every request admitted by the server carries a :class:`Deadline` — a point on
+the monotonic clock after which its answer is worthless.  The contract the
+serving tier enforces with it (see :mod:`repro.serving.server`):
+
+* the handler thread waits for the routing result **at most** until the
+  deadline, then answers ``deadline_exceeded`` — the caller never blocks past
+  its budget,
+* a worker that picks an already-expired request out of the queue skips the
+  routing work entirely (the answer could only be late), and
+* a result that is computed anyway (the job was already running when the
+  deadline fired) is *discarded*, never delivered late — it is only counted.
+
+The clock is injectable so tests can expire deadlines without sleeping.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["Deadline"]
+
+#: A monotonic clock: seconds from an arbitrary origin, never going backwards.
+Clock = Callable[[], float]
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """One request's time budget, pinned to the monotonic clock.
+
+    ``expires_at`` is a :func:`time.monotonic` timestamp; ``budget_ms`` keeps
+    the originally requested budget for reporting.  Construct via
+    :meth:`after_ms`.
+    """
+
+    expires_at: float
+    budget_ms: float
+    clock: Clock = field(default=time.monotonic, repr=False, compare=False)
+
+    @classmethod
+    def after_ms(cls, budget_ms: float, *, clock: Clock = time.monotonic) -> "Deadline":
+        """A deadline ``budget_ms`` milliseconds from now."""
+        if not math.isfinite(budget_ms) or budget_ms <= 0:
+            raise ConfigurationError(
+                f"a deadline budget must be a positive finite number of ms, got {budget_ms!r}"
+            )
+        return cls(expires_at=clock() + budget_ms / 1000.0, budget_ms=budget_ms, clock=clock)
+
+    def remaining_seconds(self) -> float:
+        """Seconds left before expiry; negative once the deadline has passed."""
+        return self.expires_at - self.clock()
+
+    def expired(self) -> bool:
+        """True once the budget is spent."""
+        return self.remaining_seconds() <= 0.0

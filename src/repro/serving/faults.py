@@ -1,0 +1,112 @@
+"""Deterministic fault injection for the serving tier.
+
+Robustness claims are only as good as the failures they were tested against,
+so the serving tier carries its chaos harness with it: a
+:class:`FaultInjector` is threaded through the server's seams (admission,
+execution backend, reload watcher, request job) and each seam asks it, at the
+moment the fault would naturally occur, whether to misbehave.  Faults are
+*armed* with an explicit count and consumed one firing at a time — no random
+sampling, no timing races — so the chaos test suite
+(``tests/test_serving_faults.py``) can assert exact outcomes, and ``repro
+serve --enable-fault-injection`` exposes the same switchboard over ``POST
+/faults`` for manual drills.
+
+The injectable faults (:data:`FAULT_NAMES`):
+
+* ``crash-next-worker`` — hard-kill one process-pool worker before the next
+  batch runs (exercises ``BrokenProcessPool`` recovery),
+* ``delay-response``    — stall the next request job for ``delay_seconds``
+  (exercises deadline expiry and late-result discarding),
+* ``corrupt-reload``    — fail the next hot-reload boot with a
+  :class:`~repro.core.errors.DataError` (exercises keep-serving-the-old-engine),
+* ``fill-queue``        — make admission treat the queue as full for the next
+  request (exercises structured ``overloaded`` rejection).
+
+A disabled injector (the production default) refuses to arm anything and
+never fires, so the seams cost one predicate call each.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["FAULT_NAMES", "FaultInjector"]
+
+#: Every fault the serving tier knows how to inject.
+FAULT_NAMES = ("crash-next-worker", "delay-response", "corrupt-reload", "fill-queue")
+
+
+class FaultInjector:
+    """The armed-fault switchboard shared by the serving tier's seams.
+
+    Thread-safe: request handler threads, the reload watcher and the respawn
+    loop all consult it concurrently.  ``arm`` raises
+    :class:`~repro.core.errors.ConfigurationError` unless the injector was
+    constructed with ``enabled=True`` — fault injection is opt-in per server
+    process, never reachable by accident.
+    """
+
+    def __init__(self, *, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._armed: dict[str, int] = {}
+        self._fired: dict[str, int] = {}
+        self._delay_seconds = 0.0
+
+    def arm(self, fault: str, *, count: int = 1, delay_seconds: float | None = None) -> None:
+        """Arm ``fault`` to fire ``count`` times (additive with prior arming)."""
+        if not self.enabled:
+            raise ConfigurationError(
+                "fault injection is disabled on this server; start it with "
+                "--enable-fault-injection (or FaultInjector(enabled=True)) to arm faults"
+            )
+        if fault not in FAULT_NAMES:
+            raise ConfigurationError(
+                f"unknown fault {fault!r}; choose from {', '.join(FAULT_NAMES)}"
+            )
+        if count < 1:
+            raise ConfigurationError(f"fault count must be >= 1, got {count}")
+        if delay_seconds is not None and delay_seconds < 0:
+            raise ConfigurationError(f"delay_seconds must be >= 0, got {delay_seconds}")
+        with self._lock:
+            self._armed[fault] = self._armed.get(fault, 0) + count
+            if delay_seconds is not None:
+                self._delay_seconds = float(delay_seconds)
+
+    def take(self, fault: str) -> bool:
+        """Consume one armed firing of ``fault``; ``False`` when not armed.
+
+        This is the seam-side call: it both decides *and* records, so a fault
+        armed once fires exactly once no matter how many threads race it.
+        """
+        if not self.enabled:
+            return False
+        with self._lock:
+            remaining = self._armed.get(fault, 0)
+            if remaining <= 0:
+                return False
+            self._armed[fault] = remaining - 1
+            self._fired[fault] = self._fired.get(fault, 0) + 1
+            return True
+
+    def delay_seconds(self) -> float:
+        """The stall length a taken ``delay-response`` fault should apply."""
+        with self._lock:
+            return self._delay_seconds
+
+    def disarm_all(self) -> None:
+        """Drop every armed (not-yet-fired) fault."""
+        with self._lock:
+            self._armed.clear()
+
+    def snapshot(self) -> dict:
+        """Armed and fired counts, for ``/stats`` and the drill endpoint."""
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "armed": {name: count for name, count in sorted(self._armed.items()) if count},
+                "fired": dict(sorted(self._fired.items())),
+                "delay_seconds": self._delay_seconds,
+            }

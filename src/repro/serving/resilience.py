@@ -1,0 +1,209 @@
+"""Graceful degradation around the process pool: fall back, respawn, recover.
+
+A :class:`~repro.routing.backends.ProcessBackend` is the serving tier's fast
+path and its sharpest failure mode: one worker dying (OOM kill, segfault,
+injected crash) breaks the whole ``ProcessPoolExecutor``, and a broken
+executor never accepts work again.  :class:`ResilientBackend` wraps the pool
+so the server survives that:
+
+* a ``BrokenProcessPool`` on a batch marks the backend *degraded* and starts
+  **one** background respawn loop (bounded attempts, exponential backoff);
+  the batch that hit the failure — and every batch while degraded — is
+  re-routed through an in-process :class:`~repro.routing.backends.SerialBackend`,
+  so callers see slower answers, never errors;
+* the respawn loop discards the broken pool
+  (:meth:`~repro.routing.backends.ProcessBackend.respawn`), spawns a fresh
+  one and *probes* it (:meth:`~repro.routing.backends.ProcessBackend.ensure_ready`)
+  off the request path; the first healthy probe restores process fan-out;
+* after ``max_respawn_attempts`` consecutive failed probes the loop gives up
+  and the backend stays on the serial fallback permanently (visible on
+  ``/healthz`` as degraded) — a persistently broken environment should page a
+  human, not spin-restart forever.
+
+The sleep function is injectable so the chaos tests exercise real respawns
+without real backoff waits.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures.process import BrokenProcessPool
+from typing import TYPE_CHECKING
+
+from repro.core.errors import ConfigurationError
+from repro.routing.backends import ProcessBackend, SerialBackend
+from repro.routing.methods import MethodSpec
+from repro.routing.queries import RoutingQuery, RoutingResult
+from repro.serving.faults import FaultInjector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.routing.engine import RoutingEngine
+
+__all__ = ["ResilientBackend"]
+
+
+class ResilientBackend:
+    """An :class:`~repro.routing.backends.ExecutionBackend` that survives pool death.
+
+    With ``inner=None`` (a serial-only server) every batch runs in-process and
+    the resilience machinery is inert; otherwise batches prefer the process
+    pool and degrade as described in the module docstring.
+    """
+
+    def __init__(
+        self,
+        inner: ProcessBackend | None,
+        *,
+        max_respawn_attempts: int = 5,
+        backoff_base_seconds: float = 0.1,
+        backoff_cap_seconds: float = 5.0,
+        faults: FaultInjector | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_respawn_attempts < 1:
+            raise ConfigurationError(
+                f"max_respawn_attempts must be >= 1, got {max_respawn_attempts}"
+            )
+        if backoff_base_seconds < 0 or backoff_cap_seconds < backoff_base_seconds:
+            raise ConfigurationError(
+                "backoff must satisfy 0 <= base <= cap, got "
+                f"base={backoff_base_seconds} cap={backoff_cap_seconds}"
+            )
+        self.inner = inner
+        self.max_respawn_attempts = max_respawn_attempts
+        self.backoff_base_seconds = backoff_base_seconds
+        self.backoff_cap_seconds = backoff_cap_seconds
+        self._faults = faults or FaultInjector()
+        self._sleep = sleep
+        self._serial = SerialBackend()
+        self._lock = threading.Lock()
+        self._degraded = False
+        self._abandoned = False
+        self._respawn_thread: threading.Thread | None = None
+        self._backend_failures = 0
+        self._fallback_batches = 0
+        self._fallback_queries = 0
+        self._respawn_attempts = 0
+        self._respawns_succeeded = 0
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        engine: "RoutingEngine",
+        method: MethodSpec,
+        queries: Sequence[RoutingQuery],
+    ) -> list[RoutingResult]:
+        """Evaluate the batch, falling back to serial when the pool is broken."""
+        inner = self.inner
+        if inner is None:
+            return self._serial.run(engine, method, queries)
+        if self._faults.take("crash-next-worker"):
+            # Deterministic chaos: kill one worker *before* this batch so the
+            # batch itself observes the genuine BrokenProcessPool.
+            inner.kill_one_worker(wait=True)
+        with self._lock:
+            degraded = self._degraded
+        if degraded:
+            return self._fallback(engine, method, queries)
+        try:
+            return inner.run(engine, method, queries)
+        except BrokenProcessPool:
+            self._note_pool_broken(engine)
+            return self._fallback(engine, method, queries)
+
+    def _fallback(
+        self,
+        engine: "RoutingEngine",
+        method: MethodSpec,
+        queries: Sequence[RoutingQuery],
+    ) -> list[RoutingResult]:
+        with self._lock:
+            self._fallback_batches += 1
+            self._fallback_queries += len(queries)
+        return self._serial.run(engine, method, queries)
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+    def _note_pool_broken(self, engine: "RoutingEngine") -> None:
+        """Record a pool failure and start the (single) respawn loop."""
+        with self._lock:
+            self._backend_failures += 1
+            self._degraded = True
+            if self._abandoned or self._respawn_thread is not None:
+                return
+            thread = threading.Thread(
+                target=self._respawn_loop,
+                args=(engine,),
+                name="repro-serve-respawn",
+                daemon=True,
+            )
+            self._respawn_thread = thread
+        thread.start()
+
+    def _respawn_loop(self, engine: "RoutingEngine") -> None:
+        """Bounded exponential-backoff respawn, off the request path."""
+        inner = self.inner
+        assert inner is not None  # only started from the process-pool path
+        for attempt in range(self.max_respawn_attempts):
+            self._sleep(
+                min(self.backoff_cap_seconds, self.backoff_base_seconds * (2.0**attempt))
+            )
+            with self._lock:
+                self._respawn_attempts += 1
+            try:
+                inner.respawn()
+                inner.ensure_ready(engine)
+            except Exception:  # noqa: BLE001 - any probe failure means retry
+                continue
+            with self._lock:
+                self._degraded = False
+                self._respawns_succeeded += 1
+                self._respawn_thread = None
+            return
+        with self._lock:
+            self._abandoned = True
+            self._respawn_thread = None
+
+    def await_recovery(self, timeout: float | None = None) -> bool:
+        """Block until the current respawn loop finishes (test/drain helper).
+
+        Returns ``True`` when the backend is healthy afterwards.
+        """
+        with self._lock:
+            thread = self._respawn_thread
+        if thread is not None:
+            thread.join(timeout)
+        return self.healthy()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def healthy(self) -> bool:
+        """True while batches run on their preferred (non-fallback) backend."""
+        with self._lock:
+            return not self._degraded
+
+    def snapshot(self) -> dict:
+        """Counters for ``/stats`` and ``/healthz``."""
+        with self._lock:
+            return {
+                "backend": "serial" if self.inner is None else "process",
+                "healthy": not self._degraded,
+                "respawn_abandoned": self._abandoned,
+                "backend_failures": self._backend_failures,
+                "fallback_batches": self._fallback_batches,
+                "fallback_queries": self._fallback_queries,
+                "respawn_attempts": self._respawn_attempts,
+                "respawns_succeeded": self._respawns_succeeded,
+                "pool_generation": 0 if self.inner is None else self.inner.generation,
+            }
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent; serial-only servers no-op)."""
+        if self.inner is not None:
+            self.inner.close()

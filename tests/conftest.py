@@ -11,6 +11,7 @@ import pytest
 
 from repro.datasets.paper_example import build_paper_example
 from repro.datasets.synthetic import tiny_dataset
+from repro.routing import DatasetRecipe, RouterSettings
 from repro.tpaths.extraction import TPathMinerConfig, build_edge_graph, build_pace_graph
 from repro.vpaths.updated_graph import UpdatedPaceGraph
 
@@ -50,3 +51,19 @@ def small_updated_graph(small_pace_graph):
     """The V-path closure of the small PACE graph."""
     updated, _ = UpdatedPaceGraph.build(small_pace_graph)
     return updated
+
+
+@pytest.fixture(scope="session")
+def tiny_artifact_store(tmp_path_factory):
+    """A persisted tiny-city artifact store, built once per session.
+
+    Used by the serving-tier tests: servers (and their process-pool workers)
+    boot from this store in milliseconds.  Treat it as READ-ONLY — tests that
+    mutate the store (hot-reload scenarios) must copy it first.
+    """
+    root = tmp_path_factory.mktemp("serving-store") / "store"
+    engine = DatasetRecipe(dataset="tiny", regime="peak", tau=20).build_engine(
+        settings=RouterSettings(max_budget=900.0, max_explored=2000)
+    )
+    engine.save_artifacts(root, provenance={"builder": "tests"})
+    return root
