@@ -16,6 +16,9 @@ Each rule encodes an invariant a previous PR paid for the hard way:
   state written under a lock must never be touched outside one.
 * ``float-equality`` — the heuristic grid arithmetic is float-based;
   ``==``/``!=`` on floats is almost always a latent off-by-ULP bug.
+* ``sqlite-discipline`` — the fleet catalog (PR 8) runs SQLite in WAL mode
+  with foreign keys on and explicit ``BEGIN IMMEDIATE`` transactions; a
+  connection opened anywhere else silently loses all three guarantees.
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ __all__ = [
     "FingerprintHygieneRule",
     "LockDisciplineRule",
     "FloatEqualityRule",
+    "SqliteDisciplineRule",
 ]
 
 
@@ -48,6 +52,10 @@ def _dotted_name(node: ast.expr) -> str | None:
 
 def _is_persistence(source: SourceFile) -> bool:
     return source.module_path.startswith("persistence/")
+
+
+def _is_catalog(source: SourceFile) -> bool:
+    return source.module_path.startswith("catalog/")
 
 
 @register
@@ -68,8 +76,9 @@ class StrictJsonRule(Rule):
 
     rule_id = "strict-json"
     description = (
-        "json.dumps/json.loads in persistence/, routing/service.py and serving/ "
-        "must go through the strict codec helpers (allow_nan=False, strict decode)"
+        "json.dumps/json.loads in persistence/, catalog/, routing/service.py and "
+        "serving/ must go through the strict codec helpers (allow_nan=False, "
+        "strict decode)"
     )
 
     _BARE: ClassVar[dict[str, str]] = {
@@ -82,6 +91,7 @@ class StrictJsonRule(Rule):
     def applies_to(self, source: SourceFile) -> bool:
         return (
             _is_persistence(source)
+            or _is_catalog(source)
             or source.module_path == "routing/service.py"
             or source.module_path.startswith("serving/")
         )
@@ -126,8 +136,9 @@ class DataErrorTaxonomyRule(Rule):
 
     rule_id = "data-error-taxonomy"
     description = (
-        "read/decode paths under persistence/ may only raise DataError "
-        "(or taxonomy subclasses), never bare KeyError/ValueError/AssertionError"
+        "read/decode paths under persistence/ and catalog/ may only raise "
+        "DataError (or taxonomy subclasses), never bare "
+        "KeyError/ValueError/AssertionError"
     )
 
     _BUILTIN_RAISES: ClassVar[set[str]] = {
@@ -144,7 +155,9 @@ class DataErrorTaxonomyRule(Rule):
     _VALUE_ERROR_CATCHERS: ClassVar[set[str]] = {"ValueError", "Exception", "BaseException"}
 
     def applies_to(self, source: SourceFile) -> bool:
-        return _is_persistence(source)
+        # The catalog is a persistence layer too: its readers (SQLite rows,
+        # store manifests) answer to the same taxonomy.
+        return _is_persistence(source) or _is_catalog(source)
 
     def check(self, source: SourceFile) -> Iterator[Violation]:
         for node in ast.walk(source.tree):
@@ -367,6 +380,11 @@ class LockDisciplineRule(Rule):
         "serving/reload.py",
         "serving/resilience.py",
         "serving/server.py",
+        # The catalog is read by serving boxes while fleet jobs write it;
+        # any locked state its helpers grow is held to the same discipline.
+        "catalog/db.py",
+        "catalog/registry.py",
+        "catalog/fleet.py",
     )
 
     def applies_to(self, source: SourceFile) -> bool:
@@ -510,3 +528,131 @@ class FloatEqualityRule(Rule):
         if isinstance(node, ast.Call):
             return isinstance(node.func, ast.Name) and node.func.id == "float"
         return False
+
+
+@register
+class SqliteDisciplineRule(Rule):
+    """R7: all SQLite access goes through the catalog's connection discipline.
+
+    The fleet catalog requires WAL journaling (readers unblocked during
+    writes), ``foreign_keys=ON`` (off by default!) and explicit ``BEGIN
+    IMMEDIATE`` transactions.  ``sqlite3.connect`` delivers none of those, so
+    a connection opened outside ``catalog/db.py`` silently loses all three —
+    the catalog would still *work* on the happy path, which is exactly why
+    this needs a rule.  Flagged:
+
+    * any ``sqlite3.connect(...)`` call outside ``catalog/db.py`` (import
+      aliases included) — open a :class:`~repro.catalog.db.CatalogDB` instead;
+    * inside ``catalog/db.py``, a function that calls ``sqlite3.connect``
+      without also calling the pragma helper (``*apply_pragmas``) — a raw
+      connection must never escape the module either;
+    * manual transaction control in ``catalog/`` modules outside ``db.py``:
+      ``.commit()`` / ``.rollback()`` calls, or ``execute`` of a
+      ``BEGIN``/``COMMIT``/``ROLLBACK`` statement — use
+      ``CatalogDB.transaction()``.
+    """
+
+    rule_id = "sqlite-discipline"
+    description = (
+        "sqlite3 connections are opened only in catalog/db.py (with the pragma "
+        "helper applied); transaction control goes through CatalogDB.transaction()"
+    )
+
+    _DB_MODULE: ClassVar[str] = "catalog/db.py"
+    _TXN_METHODS: ClassVar[set[str]] = {"commit", "rollback"}
+    _TXN_KEYWORDS: ClassVar[tuple[str, ...]] = ("BEGIN", "COMMIT", "ROLLBACK", "SAVEPOINT")
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        aliases = self._connect_aliases(source.tree)
+        if source.module_path == self._DB_MODULE:
+            yield from self._check_db_module(source, aliases)
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if self._is_connect(node, aliases):
+                yield self.violation(
+                    source,
+                    node,
+                    "sqlite3.connect() outside catalog/db.py skips the WAL + "
+                    "foreign-keys pragmas and the transaction discipline; open a "
+                    "repro.catalog.db.CatalogDB instead",
+                )
+            elif _is_catalog(source):
+                yield from self._check_manual_txn(source, node)
+
+    # -- helpers ----------------------------------------------------------- #
+    @staticmethod
+    def _connect_aliases(tree: ast.AST) -> set[str]:
+        """Every local name that resolves to ``sqlite3.connect``."""
+        names = {"sqlite3.connect"}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "sqlite3" and alias.asname:
+                        names.add(f"{alias.asname}.connect")
+            elif isinstance(node, ast.ImportFrom) and node.module == "sqlite3":
+                for alias in node.names:
+                    if alias.name == "connect":
+                        names.add(alias.asname or "connect")
+        return names
+
+    @staticmethod
+    def _is_connect(node: ast.Call, aliases: set[str]) -> bool:
+        name = _dotted_name(node.func)
+        return name is not None and name in aliases
+
+    def _check_manual_txn(self, source: SourceFile, node: ast.Call) -> Iterator[Violation]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr in self._TXN_METHODS and not node.args and not node.keywords:
+            yield self.violation(
+                source,
+                node,
+                f".{func.attr}() is manual transaction control; write inside "
+                "'with db.transaction():' so the batch commits or rolls back "
+                "as one unit",
+            )
+            return
+        if func.attr in {"execute", "executescript"} and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                statement = first.value.lstrip().upper()
+                if statement.startswith(self._TXN_KEYWORDS):
+                    yield self.violation(
+                        source,
+                        node,
+                        "hand-rolled BEGIN/COMMIT/ROLLBACK; transaction control "
+                        "belongs to CatalogDB.transaction()",
+                    )
+
+    def _check_db_module(
+        self, source: SourceFile, aliases: set[str]
+    ) -> Iterator[Violation]:
+        """Within db.py: every connect-calling function also applies the pragmas."""
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            connects = [
+                call
+                for call in ast.walk(node)
+                if isinstance(call, ast.Call) and self._is_connect(call, aliases)
+            ]
+            if not connects:
+                continue
+            applies = any(
+                isinstance(call, ast.Call)
+                and (name := _dotted_name(call.func)) is not None
+                and name.rsplit(".", 1)[-1].endswith("apply_pragmas")
+                for call in ast.walk(node)
+            )
+            if not applies:
+                for call in connects:
+                    yield self.violation(
+                        source,
+                        call,
+                        f"{node.name}() opens a sqlite connection without applying "
+                        "the catalog pragmas; call _apply_pragmas(connection, ...) "
+                        "before the connection is used",
+                    )

@@ -1,0 +1,75 @@
+"""Fleet catalog: a SQLite index over many artifact stores.
+
+``repro catalog`` registers :class:`~repro.persistence.store.ArtifactStore`
+directories into one ``catalog.sqlite`` and answers fleet questions over it
+— which stores serve a graph fingerprint, which still carry format-version-1
+artifacts, which drifted since their last sync — plus resumable batch
+operations (``migrate --all --resume``) whose per-store progress survives a
+kill.  The blobs stay content-addressed files in the stores; the catalog is
+a rebuildable index, never the source of truth.
+"""
+
+from repro.catalog.db import CatalogDB, utc_now_iso
+from repro.catalog.fleet import (
+    FleetOperation,
+    OperationStep,
+    StepWorker,
+    create_operation,
+    find_resumable,
+    get_operation,
+    list_operations,
+    migrate_worker,
+    mine_worker,
+    prewarm_worker,
+    run_operation,
+)
+from repro.catalog.registry import (
+    StoreRecord,
+    StoreVerification,
+    find_stores,
+    get_store,
+    get_store_by_id,
+    list_stores,
+    register_store,
+    stale_stores,
+    store_staleness,
+    sync_all,
+    sync_store,
+    unregister_store,
+    verify_fleet,
+    verify_store,
+)
+from repro.catalog.schema import OPERATION_KINDS, SCHEMA_VERSION, STEP_STATUSES
+
+__all__ = [
+    "CatalogDB",
+    "utc_now_iso",
+    "SCHEMA_VERSION",
+    "OPERATION_KINDS",
+    "STEP_STATUSES",
+    "StoreRecord",
+    "StoreVerification",
+    "register_store",
+    "sync_store",
+    "sync_all",
+    "unregister_store",
+    "list_stores",
+    "get_store",
+    "get_store_by_id",
+    "find_stores",
+    "store_staleness",
+    "stale_stores",
+    "verify_store",
+    "verify_fleet",
+    "FleetOperation",
+    "OperationStep",
+    "StepWorker",
+    "create_operation",
+    "get_operation",
+    "list_operations",
+    "find_resumable",
+    "run_operation",
+    "migrate_worker",
+    "prewarm_worker",
+    "mine_worker",
+]

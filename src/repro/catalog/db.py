@@ -1,0 +1,196 @@
+"""Connection, pragma and transaction discipline for the fleet catalog.
+
+All SQLite access in the project goes through :class:`CatalogDB` — the
+analyzer's ``sqlite-discipline`` rule enforces it.  The discipline exists
+because SQLite's defaults are wrong for a catalog shared by long-lived
+serving processes and batch fleet jobs:
+
+* **WAL journal mode** — readers (``repro catalog query`` from a serving
+  box, ``/stats`` handlers) never block behind a writer (a fleet sync or a
+  migration updating step state), and a crashed writer never leaves the
+  database locked.
+* **``foreign_keys=ON``** — off by default in SQLite; without it deleting a
+  store would strand its ``artifacts`` and ``operation_steps`` rows.
+* **Explicit transactions** — connections run in autocommit
+  (``isolation_level=None``) and every write happens inside
+  :meth:`CatalogDB.transaction`, which issues ``BEGIN IMMEDIATE`` so write
+  intent is declared up front (no deadlock-prone deferred upgrade) and a
+  batch of statements commits or rolls back as one unit.  :meth:`execute`
+  refuses writes outside a transaction, so partial multi-statement updates
+  cannot be committed by accident.
+
+Every ``sqlite3`` error is translated to
+:class:`~repro.core.errors.DataError`, keeping the catalog inside the same
+error taxonomy as the persistence readers: a corrupt, locked or
+foreign-schema database surfaces as an operational error (CLI exit 2), never
+a traceback.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections.abc import Iterator, Sequence
+from contextlib import contextmanager
+from datetime import datetime, timezone
+from pathlib import Path as FilePath
+from types import TracebackType
+
+from repro.catalog.schema import SCHEMA_STATEMENTS, SCHEMA_VERSION
+from repro.core.errors import DataError
+
+__all__ = ["CatalogDB", "utc_now_iso"]
+
+
+def utc_now_iso() -> str:
+    """Timestamps the catalog records (UTC, second precision, ISO-8601)."""
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def _apply_pragmas(connection: sqlite3.Connection, *, busy_timeout_ms: int) -> None:
+    """The non-negotiable per-connection setup (see the module docstring)."""
+    connection.row_factory = sqlite3.Row
+    connection.execute("PRAGMA journal_mode=WAL")
+    connection.execute("PRAGMA foreign_keys=ON")
+    # WAL + NORMAL is durable against application crashes (the usual failure
+    # mode here) and several times faster than FULL for sync-heavy writes.
+    connection.execute("PRAGMA synchronous=NORMAL")
+    connection.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
+
+
+class CatalogDB:
+    """One connection to a ``catalog.sqlite``, with the catalog's discipline.
+
+    Connections are **not** shared across threads (SQLite's own rule); every
+    thread — like every process — opens its own ``CatalogDB`` on the same
+    path, and WAL keeps concurrent readers unblocked while one of them
+    writes.  Reads go through :meth:`query` / :meth:`query_one` any time;
+    writes must go through :meth:`execute` inside a :meth:`transaction`
+    block.
+    """
+
+    def __init__(
+        self,
+        path: str | FilePath,
+        *,
+        create: bool = True,
+        timeout_seconds: float = 5.0,
+    ) -> None:
+        self.path = FilePath(path)
+        self._timeout_seconds = float(timeout_seconds)
+        self._in_transaction = False
+        if not create and not self.path.exists():
+            raise DataError(
+                f"no catalog database at {self.path} "
+                "(create one with 'repro catalog register --db ... <store>')"
+            )
+        self._connection = self._connect()
+        self._ensure_schema()
+
+    def _connect(self) -> sqlite3.Connection:
+        try:
+            connection = sqlite3.connect(
+                str(self.path),
+                timeout=self._timeout_seconds,
+                isolation_level=None,  # autocommit; transaction() issues BEGIN itself
+            )
+            _apply_pragmas(
+                connection, busy_timeout_ms=int(self._timeout_seconds * 1000)
+            )
+        except sqlite3.Error as exc:
+            raise DataError(f"cannot open catalog database {self.path}: {exc}") from exc
+        return connection
+
+    def _ensure_schema(self) -> None:
+        row = self._execute_raw("PRAGMA user_version").fetchone()
+        version = 0 if row is None else int(row[0])
+        if version == 0:
+            with self.transaction():
+                for statement in SCHEMA_STATEMENTS:
+                    self._execute_raw(statement)
+                self._execute_raw(f"PRAGMA user_version = {int(SCHEMA_VERSION)}")
+            return
+        if version != SCHEMA_VERSION:
+            raise DataError(
+                f"catalog database {self.path} uses schema version {version}; this "
+                f"build supports {SCHEMA_VERSION} — rebuild the catalog (it is an "
+                "index over the stores, which remain the source of truth)"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Statement execution
+    # ------------------------------------------------------------------ #
+    def _execute_raw(self, sql: str, parameters: Sequence[object] = ()) -> sqlite3.Cursor:
+        """Run one statement, translating sqlite errors into the taxonomy."""
+        try:
+            return self._connection.execute(sql, tuple(parameters))
+        except sqlite3.Error as exc:
+            raise DataError(f"catalog database {self.path}: {exc}") from exc
+
+    def execute(self, sql: str, parameters: Sequence[object] = ()) -> sqlite3.Cursor:
+        """Run one **write** statement; only valid inside :meth:`transaction`."""
+        if not self._in_transaction:
+            raise DataError(
+                "catalog writes must run inside CatalogDB.transaction(); "
+                "wrap the statement in 'with db.transaction():'"
+            )
+        return self._execute_raw(sql, parameters)
+
+    def query(self, sql: str, parameters: Sequence[object] = ()) -> list[sqlite3.Row]:
+        """Run one read statement and fetch all rows."""
+        return self._execute_raw(sql, parameters).fetchall()
+
+    def query_one(self, sql: str, parameters: Sequence[object] = ()) -> sqlite3.Row | None:
+        """Run one read statement and fetch the first row (or ``None``)."""
+        row = self._execute_raw(sql, parameters).fetchone()
+        return row  # sqlite3.Row | None; fetchone's Any needs the named binding
+
+    @contextmanager
+    def transaction(self) -> Iterator["CatalogDB"]:
+        """``BEGIN IMMEDIATE`` … ``COMMIT``/``ROLLBACK`` around a write batch.
+
+        Reentrant: a nested ``with db.transaction():`` joins the outer
+        transaction instead of nesting (SQLite has no true nested
+        transactions), so helpers that write — :func:`~repro.catalog.registry.sync_store`
+        inside a fleet step, say — compose with callers that already hold one.
+        """
+        if self._in_transaction:
+            yield self
+            return
+        self._execute_raw("BEGIN IMMEDIATE")
+        self._in_transaction = True
+        try:
+            yield self
+        except BaseException:
+            self._in_transaction = False
+            self._execute_raw("ROLLBACK")
+            raise
+        else:
+            self._in_transaction = False
+            self._execute_raw("COMMIT")
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close the connection; an open transaction is rolled back."""
+        if self._in_transaction:
+            self._in_transaction = False
+            try:
+                self._execute_raw("ROLLBACK")
+            except DataError:
+                pass  # closing a broken connection must not mask the original error
+        self._connection.close()
+
+    def __enter__(self) -> "CatalogDB":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        traceback: TracebackType | None,
+    ) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"CatalogDB(path={str(self.path)!r})"

@@ -206,6 +206,11 @@ def build_parser() -> argparse.ArgumentParser:
             "monolithic JSON documents"
         ),
     )
+    build_artifacts.add_argument(
+        "--catalog",
+        default=None,
+        help="register the finished store into this fleet catalog database",
+    )
 
     migrate = subparsers.add_parser(
         "migrate-artifacts",
@@ -348,7 +353,28 @@ def build_parser() -> argparse.ArgumentParser:
             "store's manifest changes on disk."
         ),
     )
-    serve.add_argument("--artifacts", required=True, help="artifact store directory to serve")
+    serve.add_argument(
+        "--artifacts",
+        default=None,
+        help=(
+            "artifact store directory to serve (or pick one from --catalog by "
+            "--graph-fingerprint instead)"
+        ),
+    )
+    serve.add_argument(
+        "--catalog",
+        default=None,
+        help=(
+            "fleet catalog database; with --artifacts the served store is "
+            "registered into it, without --artifacts the store to serve is "
+            "looked up in it (freshest non-stale match wins)"
+        ),
+    )
+    serve.add_argument(
+        "--graph-fingerprint",
+        default=None,
+        help="with --catalog: serve a store matching this graph content fingerprint",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080, help="listening port (0 = ephemeral)")
     serve.add_argument("--method", default="V-BS-60", type=_method_name, help=method_help)
@@ -387,6 +413,98 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="expose POST /faults for deterministic chaos drills (off by default)",
     )
+
+    catalog = subparsers.add_parser(
+        "catalog",
+        help="manage a SQLite fleet catalog over many artifact stores",
+        description=(
+            "Register artifact store directories into one catalog.sqlite and answer "
+            "fleet questions over it: which stores serve a graph fingerprint, which "
+            "still carry format-version-1 artifacts, which drifted since their last "
+            "sync.  Batch jobs (migrate --all) record per-store progress in the "
+            "catalog, so a killed run resumes with --resume instead of restarting.  "
+            "The stores stay the source of truth; the catalog is a rebuildable index."
+        ),
+    )
+    catalog_db = argparse.ArgumentParser(add_help=False)
+    catalog_db.add_argument(
+        "--db", default="catalog.sqlite", help="catalog database file (default: ./catalog.sqlite)"
+    )
+    report_format = argparse.ArgumentParser(add_help=False)
+    report_format.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="report_format",
+        help="report format (default: text)",
+    )
+    catalog_sub = catalog.add_subparsers(dest="catalog_command", required=True)
+
+    cat_register = catalog_sub.add_parser(
+        "register", parents=[catalog_db],
+        help="register (or re-sync) artifact store directories",
+    )
+    cat_register.add_argument("stores", nargs="+", help="artifact store directories")
+
+    cat_sync = catalog_sub.add_parser(
+        "sync", parents=[catalog_db],
+        help="re-read registered stores and refresh their catalog rows",
+    )
+    cat_sync.add_argument(
+        "stores", nargs="*", help="store directories to sync (default: every registered store)"
+    )
+
+    catalog_sub.add_parser(
+        "list", parents=[catalog_db, report_format], help="list the registered stores"
+    )
+
+    cat_query = catalog_sub.add_parser(
+        "query", parents=[catalog_db, report_format],
+        help="find stores by graph fingerprint, artifact format version or staleness",
+    )
+    cat_query.add_argument(
+        "--graph-fingerprint", default=None,
+        help="stores whose PACE or V-path-closure fingerprint matches",
+    )
+    cat_query.add_argument(
+        "--format-version", type=int, default=None,
+        help="stores holding ANY artifact at this format version",
+    )
+    cat_query.add_argument("--dataset", default=None, help="stores mined from this dataset")
+    cat_query.add_argument(
+        "--stale", action="store_true",
+        help="only stores whose on-disk manifest changed (or vanished) since the last sync",
+    )
+
+    cat_verify = catalog_sub.add_parser(
+        "verify", parents=[catalog_db, report_format],
+        help="check every registered store's files against the catalog records",
+    )
+    cat_verify.add_argument(
+        "--deep", action="store_true",
+        help="re-read every artifact and verify its checksum (full read cost)",
+    )
+
+    cat_migrate = catalog_sub.add_parser(
+        "migrate", parents=[catalog_db],
+        help="convert stores to another artifact format, resumably",
+    )
+    cat_migrate.add_argument(
+        "--to", default="v2", choices=list(_STORE_FORMATS),
+        help="target artifact format (default: v2 columnar)",
+    )
+    scope = cat_migrate.add_mutually_exclusive_group(required=True)
+    scope.add_argument(
+        "--all", action="store_true", dest="all_stores",
+        help="migrate every registered store",
+    )
+    scope.add_argument("--stores", nargs="+", default=None, help="store directories to migrate")
+    cat_migrate.add_argument(
+        "--resume", action="store_true",
+        help="resume the matching unfinished operation instead of starting a new one",
+    )
+
+    cat_unregister = catalog_sub.add_parser(
+        "unregister", parents=[catalog_db], help="drop stores from the catalog"
+    )
+    cat_unregister.add_argument("stores", nargs="+", help="store directories to drop")
 
     bench = subparsers.add_parser("bench", help="run one experiment driver and print its rows")
     bench.add_argument("experiment", choices=sorted(_EXPERIMENTS))
@@ -491,6 +609,18 @@ def _command_build_artifacts(args: argparse.Namespace) -> int:
         provenance={"builder": "repro build-artifacts", "mine_seconds": round(mine_seconds, 3)},
         format_version=_STORE_FORMATS[args.format],
     )
+    catalogued = None
+    if args.catalog:
+        from repro.catalog import CatalogDB, register_store
+
+        try:
+            with CatalogDB(args.catalog) as db:
+                catalogued = register_store(db, args.out).path
+        except DataError as exc:
+            # The store itself was written fine; a broken catalog is an
+            # operational error the caller must notice.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     rows = [
         ("store", args.out),
         ("format", args.format),
@@ -501,6 +631,8 @@ def _command_build_artifacts(args: argparse.Namespace) -> int:
         ("heuristic sweeps", "converged" if args.sweeps is None else args.sweeps),
         ("artifacts", " ".join(sorted(manifest.artifacts))),
     ]
+    if catalogued is not None:
+        rows.append(("catalog", f"{args.catalog} <- {catalogued}"))
     print(render_report(f"Artifact store: {args.dataset}", ("property", "value"), rows))
     return 0
 
@@ -716,10 +848,48 @@ def _command_route_batch(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def _resolve_serve_store(args: argparse.Namespace) -> str:
+    """Which store ``repro serve`` boots from: ``--artifacts`` or a catalog pick.
+
+    With ``--artifacts`` the path is served as given (and registered into
+    ``--catalog`` when one is supplied, so the fleet knows about it).  Without
+    it, ``--catalog`` is searched — optionally narrowed by
+    ``--graph-fingerprint`` — and the freshest non-stale store wins; raises
+    :class:`DataError` when nothing servable matches.
+    """
+    from repro.catalog import CatalogDB, find_stores, register_store, store_staleness
+
+    if args.artifacts:
+        if args.catalog:
+            with CatalogDB(args.catalog) as db:
+                register_store(db, args.artifacts)
+        return str(args.artifacts)
+    if not args.catalog:
+        raise DataError("serve needs --artifacts, or --catalog to pick a store from")
+    with CatalogDB(args.catalog, create=False) as db:
+        records = find_stores(db, graph_fingerprint=args.graph_fingerprint)
+    fresh = [record for record in records if store_staleness(record) is None]
+    if not fresh:
+        wanted = (
+            f"graph fingerprint {args.graph_fingerprint}"
+            if args.graph_fingerprint
+            else "any graph"
+        )
+        raise DataError(
+            f"catalog {args.catalog} has no fresh store for {wanted} "
+            f"({len(records)} registered match(es), all stale or missing); "
+            "run 'repro catalog sync' and retry"
+        )
+    # Freshest sync first; ties broken by path for determinism.
+    fresh.sort(key=lambda record: (record.last_synced_at, record.path), reverse=True)
+    return fresh[0].path
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.serving import RouteServer, ServerConfig
 
     try:
+        store_root = _resolve_serve_store(args)
         config = ServerConfig(
             host=args.host,
             port=args.port,
@@ -732,7 +902,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             reload_poll_seconds=args.reload_poll_seconds,
             enable_fault_injection=args.enable_fault_injection,
         )
-        server = RouteServer(args.artifacts, config)
+        server = RouteServer(store_root, config)
     except (ConfigurationError, DataError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -741,7 +911,7 @@ def _command_serve(args: argparse.Namespace) -> int:
     endpoints = "POST /route, GET /stats, GET /healthz"
     if args.enable_fault_injection:
         endpoints += ", POST /faults"
-    print(f"repro serve: listening on http://{host}:{port} (store: {args.artifacts})")
+    print(f"repro serve: listening on http://{host}:{port} (store: {store_root})")
     print(f"endpoints: {endpoints}")
     try:
         while True:
@@ -751,6 +921,224 @@ def _command_serve(args: argparse.Namespace) -> int:
     finally:
         server.stop()
     return 0
+
+
+def _short(fingerprint: str | None) -> str:
+    """Fingerprints are 32 hex chars; reports show a readable prefix."""
+    return "-" if fingerprint is None else fingerprint[:12]
+
+
+def _catalog_register(args: argparse.Namespace) -> int:
+    from repro.catalog import CatalogDB, register_store
+
+    rows = []
+    with CatalogDB(args.db) as db:
+        for store in args.stores:
+            record = register_store(db, store)
+            rows.append((record.path, f"v{record.format_version}", _short(record.pace_fingerprint)))
+    print(render_report(f"Registered stores: {args.db}", ("path", "format", "pace"), rows))
+    return 0
+
+
+def _catalog_sync(args: argparse.Namespace) -> int:
+    from repro.catalog import CatalogDB, sync_all, sync_store
+
+    rows = []
+    failures = 0
+    with CatalogDB(args.db, create=False) as db:
+        if args.stores:
+            for store in args.stores:
+                record, changed = sync_store(db, store)
+                rows.append((record.path, "updated" if changed else "unchanged"))
+        else:
+            synced, errors = sync_all(db)
+            for record, changed in synced:
+                rows.append((record.path, "updated" if changed else "unchanged"))
+            for path, message in errors:
+                rows.append((path, f"FAILED: {message}"))
+                failures += 1
+    print(render_report(f"Synced stores: {args.db}", ("path", "result"), rows))
+    # Unreadable stores are a per-store domain failure (the sync itself ran);
+    # scripts branch on 1 vs the catalog-is-broken exit 2.
+    return 1 if failures else 0
+
+
+def _render_store_rows(records, staleness_by_path: dict | None = None) -> list:
+    rows = []
+    for record in records:
+        staleness = None if staleness_by_path is None else staleness_by_path.get(record.path)
+        rows.append(
+            (
+                record.path,
+                f"v{record.format_version}",
+                record.dataset or "-",
+                _short(record.pace_fingerprint),
+                record.last_synced_at,
+                staleness or "fresh",
+            )
+        )
+    return rows
+
+
+_STORE_COLUMNS = ("path", "format", "dataset", "pace", "synced", "state")
+
+
+def _print_records(args: argparse.Namespace, title: str, records, staleness=None) -> None:
+    if args.report_format == "json":
+        payload = []
+        for record in records:
+            entry = record.to_dict()
+            if staleness is not None:
+                entry["staleness"] = staleness.get(record.path)
+            payload.append(entry)
+        print(json.dumps(payload, indent=2, allow_nan=False))
+        return
+    print(render_report(title, _STORE_COLUMNS, _render_store_rows(records, staleness)))
+
+
+def _catalog_list(args: argparse.Namespace) -> int:
+    from repro.catalog import CatalogDB, list_stores, store_staleness
+
+    with CatalogDB(args.db, create=False) as db:
+        records = list_stores(db)
+    staleness = {record.path: store_staleness(record) for record in records}
+    _print_records(args, f"Catalog: {args.db}", records, staleness)
+    return 0
+
+
+def _catalog_query(args: argparse.Namespace) -> int:
+    from repro.catalog import CatalogDB, find_stores, store_staleness
+
+    with CatalogDB(args.db, create=False) as db:
+        records = find_stores(
+            db,
+            graph_fingerprint=args.graph_fingerprint,
+            format_version=args.format_version,
+            dataset=args.dataset,
+        )
+    staleness = {record.path: store_staleness(record) for record in records}
+    if args.stale:
+        records = [record for record in records if staleness[record.path] is not None]
+    _print_records(args, f"Catalog query: {args.db}", records, staleness)
+    return 0
+
+
+def _catalog_verify(args: argparse.Namespace) -> int:
+    from repro.catalog import CatalogDB, verify_fleet
+
+    with CatalogDB(args.db, create=False) as db:
+        results = verify_fleet(db, deep=args.deep)
+    if args.report_format == "json":
+        print(json.dumps([result.to_dict() for result in results], indent=2, allow_nan=False))
+    else:
+        rows = [
+            (result.path, result.status, "; ".join(result.problems) or "-")
+            for result in results
+        ]
+        print(render_report(f"Catalog verify: {args.db}", ("path", "status", "problems"), rows))
+    return 0 if all(result.ok for result in results) else 1
+
+
+def _catalog_migrate(args: argparse.Namespace) -> int:
+    from repro.catalog import (
+        CatalogDB,
+        create_operation,
+        find_resumable,
+        get_store,
+        list_stores,
+        migrate_worker,
+        run_operation,
+    )
+
+    target = _STORE_FORMATS[args.to]
+    parameters: dict = {"to": target}
+    with CatalogDB(args.db, create=False) as db:
+        if args.all_stores:
+            targets = list_stores(db)
+        else:
+            targets = []
+            for store in args.stores:
+                record = get_store(db, store)
+                if record is None:
+                    print(
+                        f"error: {store} is not registered in {args.db} "
+                        "(run 'repro catalog register' first)",
+                        file=sys.stderr,
+                    )
+                    return 2
+                targets.append(record)
+            parameters["stores"] = sorted(record.path for record in targets)
+        operation = find_resumable(db, "migrate", parameters) if args.resume else None
+        if operation is not None:
+            done = len(operation.done_steps)
+            print(
+                f"resuming operation {operation.operation_id}: "
+                f"{done}/{len(operation.steps)} stores already done",
+                file=sys.stderr,
+            )
+        else:
+            operation = create_operation(db, "migrate", parameters, targets)
+        try:
+            result = run_operation(
+                db,
+                operation,
+                migrate_worker(target),
+                on_step=lambda step: print(
+                    f"  {step.path}: {step.status}"
+                    + (f" ({step.detail})" if step.detail else "")
+                    + (f" ({step.error})" if step.error else ""),
+                    file=sys.stderr,
+                ),
+            )
+        except KeyboardInterrupt:
+            print(
+                f"interrupted; finished stores are recorded — rerun with "
+                f"--resume to continue operation {operation.operation_id}",
+                file=sys.stderr,
+            )
+            return 130
+    rows = [
+        ("operation", result.operation_id),
+        ("status", result.status),
+        ("stores done", f"{len(result.done_steps)}/{len(result.steps)}"),
+    ]
+    for step in result.failed_steps:
+        rows.append((step.path, f"FAILED: {step.error}"))
+    print(render_report(f"Fleet migrate -> {args.to}", ("property", "value"), rows))
+    return 0 if result.status == "done" else 1
+
+
+def _catalog_unregister(args: argparse.Namespace) -> int:
+    from repro.catalog import CatalogDB, unregister_store
+
+    rows = []
+    with CatalogDB(args.db, create=False) as db:
+        for store in args.stores:
+            dropped = unregister_store(db, store)
+            rows.append((store, "dropped" if dropped else "not registered"))
+    print(render_report(f"Unregistered stores: {args.db}", ("path", "result"), rows))
+    return 0
+
+
+_CATALOG_COMMANDS = {
+    "register": _catalog_register,
+    "sync": _catalog_sync,
+    "list": _catalog_list,
+    "query": _catalog_query,
+    "verify": _catalog_verify,
+    "migrate": _catalog_migrate,
+    "unregister": _catalog_unregister,
+}
+
+
+def _command_catalog(args: argparse.Namespace) -> int:
+    try:
+        return _CATALOG_COMMANDS[args.catalog_command](args)
+    except DataError as exc:
+        # Catalog/store corruption is operational (exit 2), like every other
+        # persistence failure surfaced through the CLI.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _command_bench(args: argparse.Namespace) -> int:
@@ -805,6 +1193,7 @@ _COMMANDS = {
     "route": _command_route,
     "route-batch": _command_route_batch,
     "serve": _command_serve,
+    "catalog": _command_catalog,
     "bench": _command_bench,
     "analyze": _command_analyze,
 }

@@ -86,6 +86,9 @@ __all__ = [
     "ArtifactEntry",
     "ArtifactManifest",
     "ArtifactStore",
+    "StoreSummary",
+    "checksum_bytes",
+    "settings_digest",
 ]
 
 #: Filename of the store's root document.
@@ -117,9 +120,27 @@ def _supported_versions(name: str) -> tuple[int, ...] | None:
     return _SUPPORTED_ARTIFACT_VERSIONS.get(name)
 
 
-def _checksum(data: bytes) -> str:
-    """The store's file checksum: a blake2b digest of the raw bytes."""
+def checksum_bytes(data: bytes) -> str:
+    """The store's file checksum: a blake2b digest of the raw bytes.
+
+    Public because the catalog (:mod:`repro.catalog`) re-verifies artifact
+    files against the checksums it recorded at sync time — both sides must
+    agree on the algorithm.
+    """
     return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+_checksum = checksum_bytes
+
+
+def settings_digest(settings: dict) -> str:
+    """A stable digest of a manifest ``settings`` mapping.
+
+    Canonical strict JSON (sorted keys) hashed with the store checksum, so
+    two stores built for identical :class:`~repro.routing.engine.RouterSettings`
+    compare equal by digest no matter the key order their manifests recorded.
+    """
+    return checksum_bytes(strict_json_dumps(settings, sort_keys=True).encode("utf-8"))
 
 
 def _utc_now_iso() -> str:
@@ -249,6 +270,57 @@ class ArtifactManifest:
         )
 
 
+@dataclass(frozen=True)
+class StoreSummary:
+    """One consistent, cheap snapshot of a store's identity and contents.
+
+    This is the shared "what is this store?" accessor: the serving tier's
+    hot-reload watcher (:mod:`repro.serving.reload`) and the fleet catalog's
+    sync (:mod:`repro.catalog.registry`) both read it instead of poking at
+    manifest internals.  All fields come from **one** read of the manifest
+    bytes, so ``manifest_fingerprint`` is guaranteed to describe exactly the
+    parsed contents even while a writer republishes the store concurrently.
+    """
+
+    root: str
+    #: Checksum of the manifest bytes this summary was parsed from — the
+    #: change-detection primitive (writers replace the manifest atomically
+    #: and last, so a new fingerprint means a complete new build).
+    manifest_fingerprint: str
+    fingerprints: dict[str, str | None]
+    artifacts: dict[str, ArtifactEntry]
+    settings: dict
+    settings_digest: str
+    recipe: dict | None
+    provenance: dict
+
+    @property
+    def pace_fingerprint(self) -> str:
+        fingerprint = self.fingerprints.get("pace")
+        if not isinstance(fingerprint, str):  # unreachable past ArtifactManifest validation
+            raise DataError(f"store summary for {self.root} lacks a 'pace' fingerprint")
+        return fingerprint
+
+    @property
+    def updated_fingerprint(self) -> str | None:
+        return self.fingerprints.get("updated")
+
+    @property
+    def index_format_version(self) -> int:
+        return self.artifacts[INDEX_ARTIFACT].format_version
+
+    @property
+    def heuristic_documents(self) -> int:
+        """Persisted heuristic artifact count (v2 per-entry files, or 1 v1 bundle)."""
+        if HEURISTICS_ARTIFACT in self.artifacts:
+            return 1
+        return sum(1 for name in self.artifacts if name.startswith(HEURISTIC_ENTRY_PREFIX))
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(entry.size_bytes for entry in self.artifacts.values())
+
+
 class ArtifactStore:
     """One deployment's offline artifacts in one directory.
 
@@ -308,6 +380,42 @@ class ArtifactStore:
             return _checksum(self.manifest_path.read_bytes())
         except OSError:
             return None
+
+    def summary(self) -> StoreSummary:
+        """A :class:`StoreSummary` snapshot parsed from one manifest read.
+
+        Unlike :attr:`manifest` this never caches and pairs the parsed
+        contents with the fingerprint of the very bytes they came from, so a
+        watcher (serving reload) or an indexer (catalog sync) polling a store
+        that is being republished sees either the old build or the new one —
+        never the old fingerprint with the new contents.  Raises
+        :class:`~repro.core.errors.DataError` when the manifest is missing or
+        malformed.
+        """
+        try:
+            raw = self.manifest_path.read_bytes()
+        except OSError as exc:
+            raise DataError(f"no artifact store at {self.root}: {exc}") from exc
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise DataError(
+                f"corrupted artifact manifest {self.manifest_path}: not UTF-8 ({exc})"
+            ) from exc
+        payload = strict_json_loads(
+            text, what=f"corrupted artifact manifest {self.manifest_path}"
+        )
+        manifest = ArtifactManifest.from_dict(payload)
+        return StoreSummary(
+            root=str(self.root),
+            manifest_fingerprint=checksum_bytes(raw),
+            fingerprints=dict(manifest.fingerprints),
+            artifacts=dict(manifest.artifacts),
+            settings=dict(manifest.settings),
+            settings_digest=settings_digest(manifest.settings),
+            recipe=None if manifest.recipe is None else dict(manifest.recipe),
+            provenance=dict(manifest.provenance),
+        )
 
     def refresh(self) -> "ArtifactStore":
         """Drop the cached manifest so the next read reparses it from disk.

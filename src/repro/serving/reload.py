@@ -30,7 +30,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import TYPE_CHECKING
 
-from repro.persistence.store import ArtifactStore
+from repro.persistence.store import ArtifactStore, StoreSummary
 from repro.routing.engine import RoutingEngine
 from repro.routing.service import RoutingService
 from repro.serving.faults import FaultInjector
@@ -44,10 +44,19 @@ __all__ = ["EngineReloader"]
 class _Generation:
     """One booted engine plus the count of requests still running on it."""
 
-    def __init__(self, number: int, service: RoutingService, fingerprint: str | None) -> None:
+    def __init__(
+        self,
+        number: int,
+        service: RoutingService,
+        fingerprint: str | None,
+        summary: StoreSummary | None = None,
+    ) -> None:
         self.number = number
         self.service = service
         self.fingerprint = fingerprint
+        #: The StoreSummary the generation booted from (None when the
+        #: manifest vanished between the fingerprint check and the boot).
+        self.summary = summary
         self._lock = threading.Lock()
         self._active = 0
         self._idle = threading.Event()
@@ -95,9 +104,12 @@ class EngineReloader:
         self._stop = threading.Event()
         self._lock = threading.Lock()
         # Fail fast at boot: a server that cannot load its store should not
-        # start.  Reload failures after this point keep the old engine.
-        fingerprint = ArtifactStore(self.store_root).manifest_fingerprint()
-        self._current = _Generation(1, self._boot(), fingerprint)
+        # start.  Reload failures after this point keep the old engine.  The
+        # summary is the same store accessor the fleet catalog syncs from —
+        # one manifest read yields the change-detection fingerprint plus the
+        # identity /stats surfaces (format version, graph fingerprints).
+        summary = ArtifactStore(self.store_root).summary()
+        self._current = _Generation(1, self._boot(), summary.manifest_fingerprint, summary)
         self._poll_thread: threading.Thread | None = None
         self._reloads = 0
         self._reload_failures = 0
@@ -161,6 +173,7 @@ class EngineReloader:
         try:
             if self._faults.take("corrupt-reload"):
                 raise OSError("fault injection: corrupt-reload armed, boot aborted")
+            summary = ArtifactStore(self.store_root).summary()
             service = self._boot()
         except Exception as exc:  # noqa: BLE001 - any boot failure keeps the old engine
             with self._lock:
@@ -169,7 +182,11 @@ class EngineReloader:
             return False
         with self._lock:
             old = self._current
-            self._current = _Generation(old.number + 1, service, fingerprint)
+            # The summary's fingerprint, not the probe's: the two reads can
+            # straddle a republish, and the summary is what actually booted.
+            self._current = _Generation(
+                old.number + 1, service, summary.manifest_fingerprint, summary
+            )
             self._reloads += 1
             self._last_error = None
         # Drain outside the lock: new requests already land on the new
@@ -217,10 +234,15 @@ class EngineReloader:
     def snapshot(self) -> dict:
         """Reload state for ``/stats`` and ``/healthz``."""
         with self._lock:
+            summary = self._current.summary
             return {
                 "store": self.store_root,
                 "generation": self._current.number,
                 "manifest_fingerprint": self._current.fingerprint,
+                "store_format_version": (
+                    None if summary is None else summary.index_format_version
+                ),
+                "pace_fingerprint": None if summary is None else summary.pace_fingerprint,
                 "active_leases": self._current.active(),
                 "reloads": self._reloads,
                 "reload_failures": self._reload_failures,

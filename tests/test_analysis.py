@@ -33,6 +33,7 @@ EXPECTED_RULE_IDS = [
     "float-equality",
     "format-version",
     "lock-discipline",
+    "sqlite-discipline",
     "strict-json",
 ]
 
@@ -46,7 +47,7 @@ def rule_ids(violations: list[Violation]) -> set[str]:
 
 
 class TestRegistry:
-    def test_all_six_rules_registered_in_sorted_order(self) -> None:
+    def test_all_rules_registered_in_sorted_order(self) -> None:
         assert [rule.rule_id for rule in all_rules()] == EXPECTED_RULE_IDS
 
     def test_every_rule_has_a_description(self) -> None:
@@ -361,6 +362,88 @@ class TestFloatEqualityRule:
         assert analyze(snippet, virtual_path="heuristics/fixture.py") == []
 
 
+class TestSqliteDisciplineRule:
+    def test_connect_outside_the_db_module_is_flagged(self) -> None:
+        snippet = """\
+        import sqlite3
+
+        def open_index(path):
+            return sqlite3.connect(path)
+        """
+        violations = analyze(snippet, virtual_path="catalog/registry.py")
+        assert [v.rule_id for v in violations] == ["sqlite-discipline"]
+        assert violations[0].line == 4
+        assert "CatalogDB" in violations[0].message
+
+    def test_connect_import_alias_is_still_flagged(self) -> None:
+        snippet = """\
+        from sqlite3 import connect as open_db
+
+        def boot(path):
+            return open_db(path)
+        """
+        violations = analyze(snippet, virtual_path="serving/fixture.py")
+        assert [v.rule_id for v in violations] == ["sqlite-discipline"]
+
+    def test_connect_with_pragma_helper_in_db_module_is_clean(self) -> None:
+        snippet = """\
+        import sqlite3
+
+        def _apply_pragmas(connection):
+            connection.execute("PRAGMA journal_mode=WAL")
+            connection.execute("PRAGMA foreign_keys=ON")
+
+        def open_db(path):
+            connection = sqlite3.connect(path)
+            _apply_pragmas(connection)
+            return connection
+        """
+        assert analyze(snippet, virtual_path="catalog/db.py") == []
+
+    def test_connect_without_pragmas_in_db_module_is_flagged(self) -> None:
+        snippet = """\
+        import sqlite3
+
+        def open_db(path):
+            return sqlite3.connect(path)
+        """
+        violations = analyze(snippet, virtual_path="catalog/db.py")
+        assert [v.rule_id for v in violations] == ["sqlite-discipline"]
+        assert "_apply_pragmas" in violations[0].message
+
+    def test_manual_commit_in_catalog_module_is_flagged(self) -> None:
+        snippet = """\
+        def save(connection, path):
+            connection.execute("UPDATE stores SET path = ?", (path,))
+            connection.commit()
+        """
+        violations = analyze(snippet, virtual_path="catalog/fleet.py")
+        assert [v.rule_id for v in violations] == ["sqlite-discipline"]
+        assert "transaction()" in violations[0].message
+
+    def test_hand_rolled_begin_in_catalog_module_is_flagged(self) -> None:
+        snippet = """\
+        def start(connection):
+            connection.execute("BEGIN IMMEDIATE")
+        """
+        violations = analyze(snippet, virtual_path="catalog/fleet.py")
+        assert [v.rule_id for v in violations] == ["sqlite-discipline"]
+
+    def test_commit_outside_catalog_is_not_this_rules_business(self) -> None:
+        snippet = """\
+        def finish(txn):
+            txn.commit()
+        """
+        assert analyze(snippet, virtual_path="routing/engine.py") == []
+
+    def test_parameterised_execute_in_catalog_is_clean(self) -> None:
+        snippet = """\
+        def rows(db):
+            return db.query("SELECT * FROM stores ORDER BY path")
+        """
+        assert analyze(snippet, virtual_path="catalog/registry.py") == []
+
+
 class TestSuppressions:
     def test_suppression_comment_silences_exactly_that_rule(self) -> None:
         snippet = """\
@@ -429,6 +512,10 @@ class TestSuppressions:
                 "        return self.n\n",
             ),
             "float-equality": ("heuristics/f.py", "ok = 0.1 + 0.2 == 0.3\n"),
+            "sqlite-discipline": (
+                "routing/f.py",
+                "import sqlite3\nconn = sqlite3.connect('x.db')\n",
+            ),
         }
         assert set(fixtures) == set(EXPECTED_RULE_IDS)
         for rule_id, (virtual_path, body) in fixtures.items():
@@ -551,11 +638,16 @@ class TestCli:
 
 
 def test_seeded_fixture_tree_exercises_every_rule(tmp_path) -> None:
-    """End to end: one seeded tree trips all six rules in a single run."""
+    """End to end: one seeded tree trips every rule in a single run."""
     package = tmp_path / "repro"
     (package / "persistence").mkdir(parents=True)
     (package / "routing").mkdir()
     (package / "network").mkdir()
+    (package / "catalog").mkdir()
+    (package / "catalog" / "shortcut.py").write_text(
+        "import sqlite3\n\ndef open_db(path):\n    return sqlite3.connect(path)\n",
+        encoding="utf-8",
+    )
     (package / "persistence" / "codec.py").write_text(
         textwrap.dedent(
             """\
