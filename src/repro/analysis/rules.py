@@ -374,6 +374,10 @@ class LockDisciplineRule(Rule):
     LOCKED_MODULES = (
         "routing/engine.py",
         "routing/backends.py",
+        # The frontier accelerator is shared by every router over a graph
+        # (including the serving tier's worker threads); its memo caches are
+        # lock-guarded state.
+        "routing/accel.py",
         "routing/service.py",
         "serving/admission.py",
         "serving/faults.py",

@@ -24,9 +24,12 @@ from repro.catalog.fleet import (
     run_operation,
 )
 from repro.catalog.registry import (
+    GcAction,
     StoreRecord,
     StoreVerification,
     find_stores,
+    find_unregistered_store_dirs,
+    gc_fleet,
     get_store,
     get_store_by_id,
     list_stores,
@@ -61,6 +64,9 @@ __all__ = [
     "stale_stores",
     "verify_store",
     "verify_fleet",
+    "GcAction",
+    "find_unregistered_store_dirs",
+    "gc_fleet",
     "FleetOperation",
     "OperationStep",
     "StepWorker",

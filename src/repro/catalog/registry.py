@@ -18,6 +18,7 @@ per-artifact check against the recorded checksums.
 
 from __future__ import annotations
 
+import shutil
 from dataclasses import dataclass
 from pathlib import Path as FilePath
 from sqlite3 import Row
@@ -29,6 +30,7 @@ from repro.persistence.store import (
     HEURISTIC_ENTRY_PREFIX,
     HEURISTICS_ARTIFACT,
     INDEX_ARTIFACT,
+    MANIFEST_NAME,
     ArtifactStore,
     StoreSummary,
     checksum_bytes,
@@ -37,6 +39,7 @@ from repro.persistence.store import (
 __all__ = [
     "StoreRecord",
     "StoreVerification",
+    "GcAction",
     "register_store",
     "sync_store",
     "sync_all",
@@ -49,6 +52,8 @@ __all__ = [
     "stale_stores",
     "verify_store",
     "verify_fleet",
+    "find_unregistered_store_dirs",
+    "gc_fleet",
 ]
 
 
@@ -419,3 +424,84 @@ def verify_store(db: CatalogDB, record: StoreRecord, *, deep: bool = False) -> S
 def verify_fleet(db: CatalogDB, *, deep: bool = False) -> list[StoreVerification]:
     """Verify every registered store; ordered by path."""
     return [verify_store(db, record, deep=deep) for record in list_stores(db)]
+
+
+# --------------------------------------------------------------------------- #
+# Garbage collection: catalog rows without stores, stores without rows
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GcAction:
+    """One thing ``gc_fleet`` collected (or would collect, on a dry run)."""
+
+    #: ``missing-store`` (a registered path with no manifest on disk) or
+    #: ``unregistered-store`` (a store directory no catalog row points at).
+    kind: str
+    path: str
+    #: ``would-unregister`` / ``unregistered`` / ``would-delete`` / ``deleted``.
+    action: str
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "path": self.path, "action": self.action}
+
+
+def find_unregistered_store_dirs(db: CatalogDB, root: str | FilePath) -> list[str]:
+    """Store directories under ``root`` that no catalog row points at.
+
+    A directory is a store when it holds a ``manifest.json``; the walk does
+    not descend into stores it finds (anything below belongs to that store).
+    Paths come back canonicalised and sorted.
+    """
+    registered = {record.path for record in list_stores(db)}
+    unregistered: list[str] = []
+    pending = [FilePath(root)]
+    while pending:
+        directory = pending.pop()
+        if (directory / MANIFEST_NAME).is_file():
+            path = _canonical_path(directory)
+            if path not in registered:
+                unregistered.append(path)
+            continue
+        try:
+            pending.extend(child for child in directory.iterdir() if child.is_dir())
+        except OSError:
+            continue
+    return sorted(unregistered)
+
+
+def gc_fleet(
+    db: CatalogDB, *, root: str | FilePath | None = None, apply: bool = False
+) -> list[GcAction]:
+    """Collect fleet drift in both directions, dry-run unless ``apply``.
+
+    Registered stores whose directory no longer holds a manifest lose their
+    catalog rows (the index must not advertise stores that cannot serve),
+    and — when ``root`` is given — store directories on disk that no row
+    points at are deleted (a fleet root should not accumulate stray data a
+    rebuildable index knows nothing about).  The dry run reports the same
+    actions with ``would-`` prefixes and touches nothing.
+    """
+    actions: list[GcAction] = []
+    for record in list_stores(db):
+        if ArtifactStore(record.path).manifest_fingerprint() is not None:
+            continue
+        if apply:
+            unregister_store(db, record.path)
+        actions.append(
+            GcAction(
+                kind="missing-store",
+                path=record.path,
+                action="unregistered" if apply else "would-unregister",
+            )
+        )
+    if root is not None:
+        for path in find_unregistered_store_dirs(db, root):
+            if apply:
+                shutil.rmtree(path)
+            actions.append(
+                GcAction(
+                    kind="unregistered-store",
+                    path=path,
+                    action="deleted" if apply else "would-delete",
+                )
+            )
+    return actions

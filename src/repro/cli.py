@@ -506,6 +506,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cat_unregister.add_argument("stores", nargs="+", help="store directories to drop")
 
+    cat_gc = catalog_sub.add_parser(
+        "gc", parents=[catalog_db, report_format],
+        help="collect vanished-store rows and stray unregistered store directories",
+        description=(
+            "Garbage-collect fleet drift in both directions: registered stores whose "
+            "directory no longer holds a manifest lose their catalog rows, and — with "
+            "--root — store directories on disk that no catalog row points at are "
+            "deleted.  Dry run by default; pass --apply to act."
+        ),
+    )
+    cat_gc.add_argument(
+        "--root", default=None,
+        help="also scan this directory tree for unregistered store directories",
+    )
+    cat_gc.add_argument(
+        "--apply", action="store_true",
+        help="actually unregister/delete (default: report what would be collected)",
+    )
+
     bench = subparsers.add_parser("bench", help="run one experiment driver and print its rows")
     bench.add_argument("experiment", choices=sorted(_EXPERIMENTS))
     bench.add_argument("--dataset", default="tiny", choices=list(DATASET_NAMES))
@@ -1108,6 +1127,22 @@ def _catalog_migrate(args: argparse.Namespace) -> int:
     return 0 if result.status == "done" else 1
 
 
+def _catalog_gc(args: argparse.Namespace) -> int:
+    from repro.catalog import CatalogDB, gc_fleet
+
+    with CatalogDB(args.db, create=False) as db:
+        actions = gc_fleet(db, root=args.root, apply=args.apply)
+    if args.report_format == "json":
+        print(json.dumps([action.to_dict() for action in actions], indent=2, allow_nan=False))
+        return 0
+    rows = [(action.path, action.kind, action.action) for action in actions] or [
+        ("-", "-", "nothing to collect")
+    ]
+    suffix = "" if args.apply else " (dry run)"
+    print(render_report(f"Catalog gc: {args.db}{suffix}", ("path", "kind", "action"), rows))
+    return 0
+
+
 def _catalog_unregister(args: argparse.Namespace) -> int:
     from repro.catalog import CatalogDB, unregister_store
 
@@ -1128,6 +1163,7 @@ _CATALOG_COMMANDS = {
     "verify": _catalog_verify,
     "migrate": _catalog_migrate,
     "unregister": _catalog_unregister,
+    "gc": _catalog_gc,
 }
 
 

@@ -228,6 +228,34 @@ class Distribution:
         self._probabilities: tuple[float, ...] = tuple(probs.tolist())
 
     @classmethod
+    def from_support_arrays(
+        cls, values: np.ndarray, probs: np.ndarray, *, normalise: bool = False
+    ) -> "Distribution":
+        """Construct from parallel float64 support arrays, bitwise like pairs.
+
+        Equivalent to ``Distribution(zip(values.tolist(), probs.tolist()))``
+        without round-tripping through Python pair tuples: the small-support
+        path receives exactly the lists the pairs constructor would build,
+        and the vectorized path exactly its arrays, so the resulting state
+        is bit-for-bit the same.  Used by hot callers (the frontier
+        accelerator's chain finish) that already hold the support as arrays.
+        """
+        if len(values) == 0:
+            raise DistributionError(
+                "a distribution needs at least one (cost, probability) pair"
+            )
+        self = cls.__new__(cls)
+        if len(values) <= VECTORIZE_THRESHOLD:
+            self._init_small(values.tolist(), probs.tolist(), normalise=normalise)
+        else:
+            self._init_from_arrays(
+                np.asarray(values, dtype=float),
+                np.asarray(probs, dtype=float),
+                normalise=normalise,
+            )
+        return self
+
+    @classmethod
     def from_normalised(
         cls, values: Sequence[float], probs: Sequence[float]
     ) -> "Distribution":
@@ -385,6 +413,15 @@ class Distribution:
         """Probabilities aligned with :attr:`values_array` (treat as read-only)."""
         return self._probs
 
+    @property
+    def cdf_array(self) -> np.ndarray:
+        """``Prob(cost <= v)`` for each ``v`` in :attr:`values_array` (read-only).
+
+        The cumulative masses the dominance pruner compares wholesale; equal to
+        ``cdf_many(values_array)`` without the binary searches.
+        """
+        return self._cdf
+
     def items(self) -> Iterator[tuple[float, float]]:
         """Iterate over ``(cost, probability)`` pairs in increasing cost order."""
         return zip(self._support, self._probabilities)
@@ -452,8 +489,26 @@ class Distribution:
             return 0.0
         return float(self._cdf[index - 1])
 
-    def _cdf_at(self, points: np.ndarray) -> np.ndarray:
+    def cdf_many(self, points: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`cdf` over an array of query points."""
+        return self._cdf_at(points)
+
+    def cdf_before_many(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized left-limit CDF, ``Prob(cost < x)`` per query point.
+
+        Where :meth:`cdf_many` includes the mass sitting exactly at ``x``,
+        this excludes it — the value of the CDF just below each point, which
+        is what dominance comparisons need when sweeping another
+        distribution's support.
+        """
+        indices = np.searchsorted(self._values, points, side="left")
+        padded = self._cdf0
+        if padded is None:
+            padded = np.concatenate(([0.0], self._cdf))
+            self._cdf0 = padded
+        return padded[indices]
+
+    def _cdf_at(self, points: np.ndarray) -> np.ndarray:
         indices = np.searchsorted(self._values, points, side="right")
         padded = self._cdf0
         if padded is None:

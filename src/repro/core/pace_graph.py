@@ -34,7 +34,13 @@ from repro.core.joint import JointDistribution
 from repro.core.paths import Path
 from repro.network.road_network import RoadNetwork
 
-__all__ = ["PaceGraph"]
+__all__ = ["PaceGraph", "DEFAULT_MAX_CHAIN_STATES"]
+
+#: Default bound on the (last-element outcome, total) states kept while
+#: walking a coarsest sequence (see :meth:`PaceGraph.path_cost_distribution`).
+#: The frontier accelerator resumes chains from checkpoints and must prune
+#: with exactly the same bound to stay result-identical.
+DEFAULT_MAX_CHAIN_STATES = 4096
 
 
 class PaceGraph:
@@ -50,6 +56,7 @@ class PaceGraph:
         self._tpaths_by_target: dict[int, list[WeightedElement]] = {}
         self._tpaths_by_first_edge: dict[int, list[WeightedElement]] = {}
         self._fingerprint: str | None = None
+        self._max_cardinality: int | None = None
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -101,6 +108,21 @@ class PaceGraph:
     def tpaths_into(self, vertex_id: int) -> list[WeightedElement]:
         """T-paths ending at a vertex."""
         return list(self._tpaths_by_target.get(vertex_id, []))
+
+    def max_element_cardinality(self) -> int:
+        """The largest number of edges any traversable element covers (>= 1).
+
+        This bounds how far back a greedy CPS choice can reach: a T-path
+        considered while ``covered`` edges are accounted for ends at most
+        ``covered + max_element_cardinality()`` edges in.  The frontier
+        accelerator uses it to resume CPS construction from a checkpoint
+        that extending the path can never invalidate.
+        """
+        if self._max_cardinality is None:
+            self._max_cardinality = max(
+                (element.cardinality for element in self._tpaths.values()), default=1
+            )
+        return self._max_cardinality
 
     def content_fingerprint(self) -> str:
         """A stable digest of everything routing-relevant in this graph.
@@ -162,6 +184,7 @@ class PaceGraph:
                 f"joint distribution edges {joint.edge_ids} do not match the path edges {path.edges}"
             )
         self._fingerprint = None
+        self._max_cardinality = None
         if path.cardinality == 1:
             self._edge_graph.set_weight(path.edges[0], joint.total_cost_distribution())
             return self.edge_element(path.edges[0])
@@ -220,16 +243,34 @@ class PaceGraph:
         This mirrors the "longest overlapping T-paths" rule of the paper
         (Section 2.2) and of the original PACE work.
         """
-        edges = path.edges
+        return [element for element, _ in self.coarsest_tail(path.edges, 0)]
+
+    def coarsest_tail(
+        self, edges: tuple[int, ...], covered: int
+    ) -> list[tuple[WeightedElement, int]]:
+        """Resume the greedy CPS construction with ``covered`` leading edges done.
+
+        Returns ``(element, end)`` pairs where ``end`` is the number of leading
+        edges accounted for once the element is appended (the CPS milestone).
+        ``coarsest_tail(path.edges, 0)`` walks exactly the
+        :meth:`coarsest_sequence` elements.  With ``covered > 0`` the greedy
+        continues as if the first ``covered`` edges were already accounted
+        for, which is how the frontier accelerator extends a cached CPS
+        prefix instead of rebuilding the sequence from scratch on every
+        expansion.  Starting positions more than
+        ``max_element_cardinality()`` edges behind the frontier are skipped —
+        no element is long enough to reach past ``covered`` from there, so
+        the produced sequence is identical to the full scan.
+        """
         n = len(edges)
-        sequence: list[WeightedElement] = []
-        covered = 0  # number of leading edges whose cost is already accounted for
+        window = self.max_element_cardinality()
+        sequence: list[tuple[WeightedElement, int]] = []
         while covered < n:
             best: WeightedElement | None = None
             best_span: tuple[int, int] | None = None
             # Consider T-paths starting at any already-covered position (overlap)
             # or exactly at the frontier (adjacent).
-            for start in range(0, covered + 1):
+            for start in range(max(0, covered - window + 1), covered + 1):
                 for candidate in self._tpaths_by_first_edge.get(edges[start], []):
                     length = candidate.cardinality
                     end = start + length
@@ -245,8 +286,8 @@ class PaceGraph:
             if best is None:
                 best = self.edge_element(edges[covered])
                 best_span = (covered, covered + 1)
-            sequence.append(best)
             covered = best_span[1]
+            sequence.append((best, covered))
         return sequence
 
     # ------------------------------------------------------------------ #
@@ -269,7 +310,7 @@ class PaceGraph:
         path: Path,
         *,
         max_support: int | None = None,
-        max_states: int | None = 4096,
+        max_states: int | None = DEFAULT_MAX_CHAIN_STATES,
     ) -> Distribution:
         """The total-cost distribution ``D(P)`` of a path under PACE semantics.
 
@@ -287,55 +328,101 @@ class PaceGraph:
         final distribution.
         """
         sequence = self.coarsest_sequence(path)
-        first = sequence[0]
-        # State: (cost vector of the last element) -> {accumulated total -> probability}
+        states = self.seed_chain_states(sequence[0])
+        previous = sequence[0]
+        for element in sequence[1:]:
+            states = self.chain_step(states, previous, element, max_states)
+            previous = element
+        return self.finish_chain_states(states, max_support)
+
+    # The three pieces below are the state-chain walk of
+    # :meth:`path_cost_distribution`, split so callers holding a partially
+    # evaluated chain (the frontier accelerator's per-candidate checkpoints)
+    # can resume it over a CPS tail instead of recomputing the whole path.
+    # Every step builds fresh dicts, so a shared checkpoint is never mutated
+    # by the children extending it.
+
+    def seed_chain_states(
+        self, first: WeightedElement
+    ) -> dict[tuple[float, ...], dict[float, float]]:
+        """The chain state after the first CPS element.
+
+        State shape: (cost vector of the last element) -> {accumulated total
+        -> probability}.
+        """
         states: dict[tuple[float, ...], dict[float, float]] = {}
         for costs, prob in first.joint_distribution().items():
             states.setdefault(costs, {})[sum(costs)] = (
                 states.get(costs, {}).get(sum(costs), 0.0) + prob
             )
-        previous = first
-        for element in sequence[1:]:
-            overlap = previous.path.overlap_with(element.path)
-            element_joint = element.joint_distribution()
-            new_states: dict[tuple[float, ...], dict[float, float]] = {}
-            if overlap is None:
-                for costs_next, prob_next in element_joint.items():
-                    added = sum(costs_next)
-                    bucket = new_states.setdefault(costs_next, {})
-                    for totals in states.values():
-                        for total, prob in totals.items():
-                            key = total + added
-                            bucket[key] = bucket.get(key, 0.0) + prob * prob_next
-            else:
-                overlap_edges = overlap.edges
-                overlap_count = len(overlap_edges)
-                prev_positions = [previous.path.edges.index(e) for e in overlap_edges]
-                overlap_marginal = element_joint.marginal(overlap_edges)
-                for costs_next, prob_next in element_joint.items():
-                    overlap_costs = costs_next[:overlap_count]
-                    denominator = overlap_marginal.probability_of(overlap_costs)
-                    if denominator <= 0:
-                        continue
-                    added = sum(costs_next[overlap_count:])
-                    conditional = prob_next / denominator
-                    bucket = new_states.setdefault(costs_next, {})
-                    for costs_prev, totals in states.items():
-                        if tuple(costs_prev[i] for i in prev_positions) != overlap_costs:
-                            continue
-                        for total, prob in totals.items():
-                            key = total + added
-                            bucket[key] = bucket.get(key, 0.0) + prob * conditional
-            states = {costs: totals for costs, totals in new_states.items() if totals}
-            if not states:
-                raise PathError(
-                    "path cost evaluation lost all probability mass; the T-path joints are "
-                    "mutually inconsistent on their overlaps"
-                )
-            if max_states is not None:
-                states = _prune_states(states, max_states)
-            previous = element
+        return states
 
+    def chain_step(
+        self,
+        states: dict[tuple[float, ...], dict[float, float]],
+        previous: WeightedElement,
+        element: WeightedElement,
+        max_states: int | None,
+    ) -> dict[tuple[float, ...], dict[float, float]]:
+        """Advance the chain by one CPS element (conditioning on the overlap).
+
+        This is the plain-dict reference fold.  The frontier accelerator's
+        batched expansion mode re-implements it as an array-native kernel
+        (:mod:`repro.routing.accel`) that performs the identical float
+        operations in the identical order; the parity suite pins the two
+        bitwise equal.  Keeping this one free of ndarray staging preserves
+        the pre-accelerator evaluation behaviour for ``expansion="scalar"``.
+        """
+        overlap = previous.path.overlap_with(element.path)
+        element_joint = element.joint_distribution()
+        new_states: dict[tuple[float, ...], dict[float, float]] = {}
+        if overlap is None:
+            for costs_next, prob_next in element_joint.items():
+                added = sum(costs_next)
+                bucket = new_states.setdefault(costs_next, {})
+                for totals in states.values():
+                    for total, prob in totals.items():
+                        key = total + added
+                        bucket[key] = bucket.get(key, 0.0) + prob * prob_next
+        else:
+            overlap_edges = overlap.edges
+            overlap_count = len(overlap_edges)
+            prev_positions = [previous.path.edges.index(e) for e in overlap_edges]
+            overlap_marginal = element_joint.marginal(overlap_edges)
+            for costs_next, prob_next in element_joint.items():
+                overlap_costs = costs_next[:overlap_count]
+                denominator = overlap_marginal.probability_of(overlap_costs)
+                if denominator <= 0:
+                    continue
+                added = sum(costs_next[overlap_count:])
+                conditional = prob_next / denominator
+                bucket = new_states.setdefault(costs_next, {})
+                for costs_prev, totals in states.items():
+                    if tuple(costs_prev[i] for i in prev_positions) != overlap_costs:
+                        continue
+                    for total, prob in totals.items():
+                        key = total + added
+                        bucket[key] = bucket.get(key, 0.0) + prob * conditional
+        result = {costs: totals for costs, totals in new_states.items() if totals}
+        if not result:
+            raise PathError(
+                "path cost evaluation lost all probability mass; the T-path joints are "
+                "mutually inconsistent on their overlaps"
+            )
+        if max_states is not None:
+            result = _prune_states(result, max_states)
+        return result
+
+    def finish_chain_states(
+        self,
+        states: dict[tuple[float, ...], dict[float, float]],
+        max_support: int | None,
+    ) -> Distribution:
+        """Collapse chain states into the path's total-cost distribution.
+
+        Like :meth:`chain_step`, this is the plain-dict reference; the
+        accelerator's array-native collapse must match it bitwise.
+        """
         accumulator: dict[float, float] = {}
         for totals in states.values():
             for total, prob in totals.items():

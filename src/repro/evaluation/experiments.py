@@ -40,6 +40,7 @@ from repro.heuristics.binary import (
 )
 from repro.heuristics.budget import BudgetHeuristicConfig, BudgetSpecificHeuristic
 from repro.network.algorithms import shortest_path
+from repro.routing.accel import accelerator_for
 from repro.routing.engine import RouterSettings, RoutingEngine
 from repro.routing.methods import MethodSpec
 from repro.routing.queries import RoutingQuery
@@ -280,6 +281,15 @@ class ExperimentContext:
                     workload_query.query.destination for workload_query in workload_queries
                 }
                 engine.prewarm(spec, sorted(destinations))
+            # Start each method's batch with cold accelerator memos: the
+            # evaluation/convolution caches are shared per graph, so without
+            # this a method measured later would inherit chain walks already
+            # performed by an earlier one, breaking the order independence
+            # promised above.  (Queries *within* the batch still share the
+            # memos, as they would in any single process.)
+            for graph in (engine.pace_graph, engine.updated_graph):
+                if graph is not None:
+                    accelerator_for(graph).clear_evaluations()
             results = engine.route_many(
                 [workload_query.query for workload_query in workload_queries], method=spec
             )

@@ -41,6 +41,11 @@ class BinaryHeuristic(Heuristic):
     def __init__(self, destination: int, min_costs: dict[int, float]):
         self._destination = destination
         self._min_costs = min_costs
+        # Sorted-array mirror of ``_min_costs`` for the batched lookups,
+        # built lazily on first use (a concurrent double build is benign:
+        # both threads produce identical arrays).
+        self._sorted_ids: np.ndarray | None = None
+        self._sorted_costs: np.ndarray | None = None
 
     @property
     def destination(self) -> int:
@@ -60,6 +65,32 @@ class BinaryHeuristic(Heuristic):
         """The 0/1 step at ``getMin(vertex)`` over a whole array of budgets."""
         budgets = np.asarray(budgets, dtype=float)
         return np.where(budgets >= self.min_cost(vertex), 1.0, 0.0)
+
+    def min_cost_many(self, vertices) -> np.ndarray:
+        """``getMin`` for an array of vertices via one sorted-array gather."""
+        if self._sorted_ids is None:
+            ids = np.fromiter(self._min_costs.keys(), dtype=np.int64, count=len(self._min_costs))
+            order = np.argsort(ids)
+            costs = np.fromiter(
+                self._min_costs.values(), dtype=float, count=len(self._min_costs)
+            )[order]
+            self._sorted_ids = ids[order]
+            self._sorted_costs = costs
+        ids = self._sorted_ids
+        costs = self._sorted_costs
+        assert costs is not None
+        vertices = np.asarray(vertices, dtype=np.int64)
+        positions = np.searchsorted(ids, vertices)
+        clipped = np.minimum(positions, max(len(ids) - 1, 0))
+        if len(ids) == 0:
+            return np.full(len(vertices), float("inf"))
+        found = ids[clipped] == vertices
+        return np.where(found, costs[clipped], float("inf"))
+
+    def probability_many(self, vertices, budgets) -> np.ndarray:
+        """The 0/1 step for paired (vertex, residual budget) arrays."""
+        budgets = np.asarray(budgets, dtype=float)
+        return np.where(budgets >= self.min_cost_many(vertices), 1.0, 0.0)
 
     def storage_bytes(self) -> int:
         """One numeric ``getMin`` value per vertex, as the paper accounts storage."""

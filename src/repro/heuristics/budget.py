@@ -638,6 +638,15 @@ class BudgetSpecificHeuristic(Heuristic):
         values = self._table.values_at(vertex, budgets, rounding="ceil")
         return np.where(budgets < self.min_cost(vertex), 0.0, values)
 
+    def min_cost_many(self, vertices) -> np.ndarray:
+        return self._binary.min_cost_many(vertices)
+
+    def probability_many(self, vertices, budgets) -> np.ndarray:
+        """Vectorized :meth:`probability` over paired (vertex, budget) arrays."""
+        budgets = np.asarray(budgets, dtype=float)
+        values = self._table.values_at_many(vertices, budgets, rounding="ceil")
+        return np.where(budgets < self._binary.min_cost_many(vertices), 0.0, values)
+
     def storage_bytes(self) -> int:
         """Table storage plus the underlying binary heuristic's getMin values."""
         return self._table.storage_bytes() + self._binary.storage_bytes() + sys.getsizeof(self)

@@ -150,6 +150,13 @@ class HeuristicTable:
     rows: dict[int, HeuristicRow] = field(default_factory=dict)
     #: Number of Bellman passes the builder performed (0 for loaded tables).
     sweeps_performed: int = 0
+    #: Lazily flattened CSR mirror of ``rows`` for :meth:`values_at_many`
+    #: (sorted vertex ids, first_index / cell-count per row, concatenated
+    #: cells with a 1.0 sentinel terminating each row).  Invalidated by
+    #: :meth:`set_row`; rebuilt on the next many-lookup.
+    _flat: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.delta <= 0:
@@ -186,6 +193,7 @@ class HeuristicTable:
 
     def set_row(self, vertex: int, row: HeuristicRow) -> None:
         self.rows[vertex] = row
+        self._flat = None
 
     def value(self, vertex: int, budget: float, *, rounding: str = "ceil") -> float:
         """``U(vertex, budget)`` with the selected grid rounding."""
@@ -219,6 +227,56 @@ class HeuristicTable:
             return np.where(budgets > 0, 1.0, 0.0)
         columns = np.minimum(columns_for_budgets(budgets, self.delta, rounding=rounding), self.eta)
         return np.where(budgets > 0, row.values_at_columns(columns), 0.0)
+
+    def _flat_rows(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        flat = self._flat
+        if flat is None:
+            ids = np.sort(np.fromiter(self.rows.keys(), dtype=np.int64, count=len(self.rows)))
+            first = np.empty(len(ids), dtype=np.int64)
+            sizes = np.empty(len(ids), dtype=np.int64)
+            cells: list[np.ndarray] = []
+            for position, vertex in enumerate(ids.tolist()):
+                row = self.rows[vertex]
+                first[position] = row.first_index
+                sizes[position] = row.values.size
+                cells.append(row.values)
+                # Per-row sentinel: gathers past the stored cells read the
+                # implicit 1.0 tail, exactly like HeuristicRow's padded array.
+                cells.append(np.ones(1))
+            starts = np.zeros(len(ids) + 1, dtype=np.int64)
+            np.cumsum(sizes + 1, out=starts[1:])
+            values = np.concatenate(cells) if cells else np.empty(0)
+            flat = (ids, first, sizes, starts[:-1], values)
+            self._flat = flat
+        return flat
+
+    def values_at_many(self, vertices, budgets, *, rounding: str = "ceil") -> np.ndarray:
+        """Vectorized :meth:`value` over paired (vertex, budget) arrays.
+
+        The segmented analogue of :meth:`values_at`: one call answers
+        ``U(v_k, x_k)`` for every pair, which is how the batched frontier
+        kernel prices the concatenated supports of a whole successor slice.
+        Bitwise identical to looping :meth:`values_at` per vertex.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        budgets = np.asarray(budgets, dtype=float)
+        ids, first, sizes, starts, flat_values = self._flat_rows()
+        columns = np.minimum(columns_for_budgets(budgets, self.delta, rounding=rounding), self.eta)
+        if len(ids) == 0:
+            found = np.zeros(len(vertices), dtype=bool)
+            gathered = np.zeros(len(vertices))
+        else:
+            positions = np.searchsorted(ids, vertices)
+            clipped = np.minimum(positions, len(ids) - 1)
+            found = ids[clipped] == vertices
+            offsets = columns - first[clipped]
+            gathered = flat_values[starts[clipped] + np.clip(offsets, 0, sizes[clipped])]
+            gathered = np.where(offsets < 0, 0.0, gathered)
+        result = np.where(budgets > 0, gathered, 0.0)
+        # Missing rows answer the admissible bound of 1 for positive budgets;
+        # the destination row answers 1 for any non-negative budget.
+        result = np.where(~found & (budgets > 0), 1.0, result)
+        return np.where(vertices == self.destination, np.where(budgets >= 0, 1.0, 0.0), result)
 
     def storage_cells(self) -> int:
         """Total number of explicitly stored cells across all rows."""

@@ -324,6 +324,7 @@ def _initialise_worker(config: _WorkerConfig) -> None:
         )
     if config.heuristics_path is not None:
         engine.prewarm(config.heuristics_path)
+    engine.build_accelerators()
     _worker_engine = engine
 
 

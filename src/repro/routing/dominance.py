@@ -10,20 +10,112 @@ The rule requires the remainder's cost to be independent of the candidate's
 cost — which holds in the EDGE model and, thanks to V-paths, in the updated
 PACE graph (Lemma 4.1), but not in the plain PACE model.  The routing
 algorithms therefore only instantiate this pruner where it is sound.
+
+Admission is batched: one new candidate is compared against *all* live
+candidates at its vertex in a handful of array operations rather than a
+Python loop of pairwise CDF sweeps.  The key reduction: for step CDFs the
+supremum of ``F - G`` over the pair's joint support is attained at a support
+point of ``F`` (between ``F``'s jumps the difference can only shrink, since
+``F`` is flat there while ``G`` may rise).  Dominance of the new candidate
+is therefore decided entirely on the new candidate's own support — one grid
+shared by every live comparison — and dominance *by* the new candidate on
+each live candidate's own support, where that candidate's CDF is already
+materialised.  Both directions collapse into one ``searchsorted`` over the
+vertex's concatenated live supports (kept hot in per-vertex append-only
+buffers) plus segmented any-reductions, and the verdicts are exactly those
+of the sequential pairwise loop — which tiny frontiers still take directly,
+below a handful of live candidates the array setup costs more than the
+sweeps it replaces.
 """
 
 from __future__ import annotations
 
-from repro.core.distributions import Distribution
+import numpy as np
+
+from repro.core.distributions import PROBABILITY_TOLERANCE, Distribution
 
 __all__ = ["DominancePruner"]
 
+#: Frontier entry: candidate id, distribution, and its cached expectation,
+#: maximum, support array, and CDF array (the hot fields of every admission).
+_Entry = tuple[int, Distribution, float, float, np.ndarray, np.ndarray]
 
-class DominancePruner:
-    """Tracks, per frontier vertex, the cost distributions of live candidates."""
+#: Live-set size below which the sequential pairwise sweep beats the batched
+#: array setup.
+_SMALL_FRONTIER = 4
+
+
+class _VertexBlock:
+    """The live candidates at one vertex, in admission order, as flat arrays.
+
+    Scalar fields (expectation, maximum) and the concatenation of every
+    candidate's support and CDF live in amortised-doubling buffers so an
+    admission reads them as slices instead of rebuilding them from Python
+    tuples; a prune rebuilds the block from the survivors (rare — most
+    admissions either append or reject the newcomer).
+    """
+
+    __slots__ = ("entries", "exps", "maxs", "starts", "stops", "merged", "cdfs", "tail")
 
     def __init__(self) -> None:
-        self._frontier: dict[int, list[tuple[int, Distribution]]] = {}
+        self.entries: list[_Entry] = []
+        self.exps = np.empty(8, dtype=float)
+        self.maxs = np.empty(8, dtype=float)
+        self.starts = np.empty(8, dtype=np.intp)
+        self.stops = np.empty(8, dtype=np.intp)
+        self.merged = np.empty(512, dtype=float)
+        self.cdfs = np.empty(512, dtype=float)
+        self.tail = 0
+
+    def append(self, entry: _Entry) -> None:
+        count = len(self.entries)
+        if count == self.exps.size:
+            for name in ("exps", "maxs", "starts", "stops"):
+                old = getattr(self, name)
+                new = np.empty(count * 2, dtype=old.dtype)
+                new[:count] = old
+                setattr(self, name, new)
+        values = entry[4]
+        size = values.size
+        if self.tail + size > self.merged.size:
+            capacity = max(self.merged.size * 2, self.tail + size)
+            for name in ("merged", "cdfs"):
+                old = getattr(self, name)
+                new = np.empty(capacity, dtype=float)
+                new[: self.tail] = old[: self.tail]
+                setattr(self, name, new)
+        self.exps[count] = entry[2]
+        self.maxs[count] = entry[3]
+        self.starts[count] = self.tail
+        self.stops[count] = self.tail + size - 1
+        self.merged[self.tail : self.tail + size] = values
+        self.cdfs[self.tail : self.tail + size] = entry[5]
+        self.tail += size
+        self.entries.append(entry)
+
+    def rebuild(self, survivors: list[_Entry]) -> None:
+        self.entries = []
+        self.tail = 0
+        for entry in survivors:
+            self.append(entry)
+
+
+class DominancePruner:
+    """Tracks, per frontier vertex, the cost distributions of live candidates.
+
+    Each frontier entry caches the candidate's expectation and maximum cost:
+    dominance with the CDF slack of
+    :meth:`~repro.core.distributions.Distribution.stochastically_dominates`
+    implies ``E[dominator] <= E[dominated] + tol * span`` (integrate
+    ``1 - cdf`` over the union of both supports), so a pair whose
+    expectations are separated by more than that provably cannot dominate in
+    the tested direction and is excluded from the CDF comparison.  The
+    prefilter only skips comparisons whose outcome is ``False``; admission
+    decisions and counters are unchanged.
+    """
+
+    def __init__(self) -> None:
+        self._frontier: dict[int, _VertexBlock] = {}
         self._pruned: set[int] = set()
         self._checks = 0
         self._prunes = 0
@@ -50,24 +142,113 @@ class DominancePruner:
         candidates dominated by the new one are marked pruned so the routing
         loop can skip them when they surface from its priority queue.
         """
-        live = [
-            (other_id, other)
-            for other_id, other in self._frontier.get(vertex, [])
-            if other_id not in self._pruned
-        ]
-        for _other_id, other in live:
-            self._checks += 1
-            if other.stochastically_dominates(distribution):
+        entry: _Entry = (
+            candidate_id,
+            distribution,
+            distribution.expectation(),
+            distribution.max(),
+            distribution.values_array,
+            distribution.cdf_array,
+        )
+        block = self._frontier.get(vertex)
+        if block is None:
+            block = _VertexBlock()
+            self._frontier[vertex] = block
+        if not block.entries:
+            block.append(entry)
+            return True
+        if len(block.entries) <= _SMALL_FRONTIER:
+            return self._admit_sequential(block, entry)
+        return self._admit_batched(block, entry)
+
+    def _admit_sequential(self, block: _VertexBlock, entry: _Entry) -> bool:
+        """The pairwise reference sweep; the batched path replicates it."""
+        live = block.entries
+        _, distribution, expectation, maximum, _, _ = entry
+        for index, other in enumerate(live):
+            span = other[3] if other[3] > maximum else maximum
+            if other[2] - expectation > 2.0 * PROBABILITY_TOLERANCE * span:
+                continue
+            if other[1].stochastically_dominates(distribution):
+                self._checks += index + 1
                 self._prunes += 1
                 return False
+        self._checks += len(live)
         survivors = []
-        for other_id, other in live:
-            self._checks += 1
-            if distribution.stochastically_dominates(other, strict=True):
-                self._pruned.add(other_id)
+        for other in live:
+            span = other[3] if other[3] > maximum else maximum
+            if expectation - other[2] <= 2.0 * PROBABILITY_TOLERANCE * span and (
+                distribution.stochastically_dominates(other[1], strict=True)
+            ):
+                self._pruned.add(other[0])
                 self._prunes += 1
             else:
-                survivors.append((other_id, other))
-        survivors.append((candidate_id, distribution))
-        self._frontier[vertex] = survivors
+                survivors.append(other)
+        self._checks += len(live)
+        if len(survivors) < len(live):
+            block.rebuild(survivors)
+        block.append(entry)
+        return True
+
+    def _admit_batched(self, block: _VertexBlock, entry: _Entry) -> bool:
+        live = block.entries
+        count = len(live)
+        _, distribution, expectation, maximum, new_values, new_cdf = entry
+        slack = 2.0 * PROBABILITY_TOLERANCE * np.maximum(block.maxs[:count], maximum)
+        deltas = block.exps[:count] - expectation
+        can_dominate_new = deltas <= slack
+        can_be_dominated = -deltas <= slack
+
+        merged = block.merged[: block.tail]
+        cdfs = block.cdfs[: block.tail]
+        offsets = block.starts[:count]
+
+        # Pass 1 — is the new candidate dominated?  ``other`` dominates it
+        # unless other's CDF drops more than the tolerance below the new
+        # one's somewhere; for step CDFs that deficit peaks at a new-support
+        # point, and within each flat run of ``other`` at the *last*
+        # new-support point of the run.  So per live segment we compare each
+        # cumulative mass against the new CDF just below the segment's next
+        # support value — plus the run before other's support (CDF zero) and
+        # the run after it (CDF = total mass).
+        if can_dominate_new.any():
+            stops = block.stops[:count]
+            thresholds = distribution.cdf_before_many(merged) - PROBABILITY_TOLERANCE
+            fail = np.empty(merged.size, dtype=bool)
+            fail[:-1] = cdfs[:-1] < thresholds[1:]
+            fail[stops] = cdfs[stops] < new_cdf[-1] - PROBABILITY_TOLERANCE
+            row_fail = np.logical_or.reduceat(fail, offsets)
+            row_fail |= thresholds[offsets] > 0.0
+            winners = np.flatnonzero(can_dominate_new & ~row_fail)
+            if winners.size:
+                # The sequential loop would have stopped at the first
+                # dominator.
+                self._checks += int(winners[0]) + 1
+                self._prunes += 1
+                return False
+        self._checks += count
+
+        # Pass 2 — which live candidates does the new one dominate?  Same
+        # reduction with the roles swapped: the deficit of the new CDF below
+        # a live one peaks at that live candidate's own support, where its
+        # CDF needs no lookup at all.  Survivors of the any-deficit test are
+        # rare and get the full strict pairwise verdict.
+        dominated: set[int] = set()
+        if can_be_dominated.any():
+            fail = distribution.cdf_many(merged) < cdfs - PROBABILITY_TOLERANCE
+            row_fail = np.logical_or.reduceat(fail, offsets)
+            for index in np.flatnonzero(can_be_dominated & ~row_fail).tolist():
+                if distribution.stochastically_dominates(live[index][1], strict=True):
+                    dominated.add(index)
+        self._checks += count
+        if dominated:
+            survivors = []
+            for position, other in enumerate(live):
+                if position in dominated:
+                    self._pruned.add(other[0])
+                    self._prunes += 1
+                else:
+                    survivors.append(other)
+            block.rebuild(survivors)
+        block.append(entry)
         return True

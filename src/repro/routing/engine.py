@@ -85,24 +85,35 @@ class RouterSettings:
     ``None`` runs the sweep to its fixpoint (converged tables — the default
     for artifact builds, where the cost is paid once offline and the tables
     are served forever).
+
+    ``expansion`` selects how the guided routers walk a popped candidate's
+    successors: ``"batched"`` (the default) through the ndarray kernels of
+    :mod:`repro.routing.accel`, ``"scalar"`` through the per-element
+    reference loop.  Both modes return identical results.
     """
 
     max_support: int = 64
     max_explored: int = 100000
     max_budget: float = 5000.0
     heuristic_sweeps: int | None = 2
+    expansion: str = "batched"
 
     def naive(self) -> NaiveRouterConfig:
         return NaiveRouterConfig(max_support=self.max_support, max_explored=self.max_explored)
 
     def heuristic(self) -> HeuristicRouterConfig:
-        return HeuristicRouterConfig(max_support=self.max_support, max_explored=self.max_explored)
+        return HeuristicRouterConfig(
+            max_support=self.max_support,
+            max_explored=self.max_explored,
+            expansion=self.expansion,
+        )
 
     def vpath(self, *, use_dominance: bool = True) -> VPathRouterConfig:
         return VPathRouterConfig(
             max_support=self.max_support,
             max_explored=self.max_explored,
             use_dominance=use_dominance,
+            expansion=self.expansion,
         )
 
     def budget_config(self, delta: float) -> BudgetHeuristicConfig:
@@ -416,6 +427,27 @@ class RoutingEngine:
                     heuristic_cache=self._cache,
                 )
             return self._routers[name]
+
+    def build_accelerators(self) -> int:
+        """Build (or re-attach to) the frontier accelerators of this engine's graphs.
+
+        The batched expansion mode lazily builds one
+        :class:`~repro.routing.accel.FrontierAccelerator` per graph on the
+        first query; serving processes call this at boot instead so the
+        one-time flattening cost is paid before traffic arrives.  A no-op
+        when ``settings.expansion`` is ``"scalar"``.  Returns the number of
+        accelerators made hot.
+        """
+        if self._settings.expansion != "batched":
+            return 0
+        from repro.routing.accel import accelerator_for
+
+        accelerator_for(self._pace_graph)
+        count = 1
+        if self._updated_graph is not None:
+            accelerator_for(self._updated_graph)
+            count += 1
+        return count
 
     def prewarm(
         self,

@@ -14,6 +14,13 @@ exploration with an admissible heuristic:
 
 Stochastic-dominance pruning is *not* used here: without V-paths it is
 unsound in PACE (Section 2.3).
+
+The router runs in one of two result-identical expansion modes (see
+:mod:`repro.routing.accel`): ``"batched"`` (the default) evaluates each
+popped candidate's whole successor slice through ndarray kernels and resumes
+PACE chain evaluation from per-candidate chain trails, while ``"scalar"``
+keeps the straightforward per-element loop — useful as a reference, and
+occasionally faster on tiny graphs where slicing overhead dominates.
 """
 
 from __future__ import annotations
@@ -23,14 +30,19 @@ import time
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro.core.distributions import Distribution
 from repro.core.errors import ConfigurationError
 from repro.core.pace_graph import PaceGraph
+from repro.core.paths import Path
 from repro.heuristics.base import Heuristic, max_prob
+from repro.routing.accel import TCandidate, TExpansionKernel, accelerator_for
 from repro.routing.queries import RoutingQuery, RoutingResult
 
 __all__ = ["HeuristicRouterConfig", "HeuristicPaceRouter"]
 
 HeuristicFactory = Callable[[PaceGraph, int], Heuristic]
+
+_EXPANSION_MODES = ("batched", "scalar")
 
 
 @dataclass(frozen=True)
@@ -39,12 +51,17 @@ class HeuristicRouterConfig:
 
     max_support: int = 64
     max_explored: int = 100000
+    expansion: str = "batched"
 
     def validate(self) -> None:
         if self.max_support < 1:
             raise ConfigurationError("max_support must be positive")
         if self.max_explored < 1:
             raise ConfigurationError("max_explored must be positive")
+        if self.expansion not in _EXPANSION_MODES:
+            raise ConfigurationError(
+                f"expansion must be one of {_EXPANSION_MODES}, got {self.expansion!r}"
+            )
 
 
 class HeuristicPaceRouter:
@@ -86,12 +103,67 @@ class HeuristicPaceRouter:
     def route(self, query: RoutingQuery) -> RoutingResult:
         """Evaluate one arriving-on-time query."""
         start = time.perf_counter()
-        graph = self._graph
-        budget = query.budget
         heuristic = self.heuristic_for(query.destination)
+        if self._config.expansion == "batched":
+            best_path, best_prob, best_distribution, explored = self._search_batched(
+                query, heuristic
+            )
+        else:
+            best_path, best_prob, best_distribution, explored = self._search_scalar(
+                query, heuristic
+            )
+        return RoutingResult(
+            query=query,
+            method=self.method_name,
+            path=best_path,
+            probability=best_prob,
+            distribution=best_distribution,
+            explored=explored,
+            runtime_seconds=time.perf_counter() - start,
+        )
+
+    def _search_batched(
+        self, query: RoutingQuery, heuristic: Heuristic
+    ) -> tuple[Path | None, float, Distribution | None, int]:
+        budget = query.budget
+        kernel = TExpansionKernel(
+            self._graph,
+            accelerator_for(self._graph),
+            heuristic,
+            budget,
+            max_support=self._config.max_support,
+        )
         explored = 0
         counter = 0
-        heap: list[tuple[float, int, object]] = []
+        heap: list[tuple[float, int, TCandidate]] = []
+        for priority, candidate in kernel.seed(query.source):
+            counter += 1
+            heapq.heappush(heap, (-priority, counter, candidate))
+
+        while heap and explored < self._config.max_explored:
+            _, _, candidate = heapq.heappop(heap)
+            explored += 1
+            if candidate.path.target == query.destination:
+                # Admissible priorities: nothing left in the queue can beat this path.
+                return (
+                    candidate.path,
+                    candidate.distribution.prob_at_most(budget),
+                    candidate.distribution,
+                    explored,
+                )
+            for priority, child in kernel.expand(candidate):
+                counter += 1
+                heapq.heappush(heap, (-priority, counter, child))
+        return None, 0.0, None, explored
+
+    def _search_scalar(
+        self, query: RoutingQuery, heuristic: Heuristic
+    ) -> tuple[Path | None, float, Distribution | None, int]:
+        graph = self._graph
+        budget = query.budget
+        explored = 0
+        counter = 0
+        heap: list[tuple[float, int, tuple[Path, Distribution, float]]] = []
 
         for element in graph.outgoing_elements(query.source):
             path = element.path
@@ -104,27 +176,27 @@ class HeuristicPaceRouter:
             if priority <= 0:
                 continue
             counter += 1
-            heapq.heappush(heap, (-priority, counter, (path, distribution)))
+            heapq.heappush(
+                heap,
+                (-priority, counter, (path, distribution, graph.path_min_cost(path))),
+            )
 
-        best_path = None
-        best_prob = 0.0
-        best_distribution = None
         while heap and explored < self._config.max_explored:
-            negative_priority, _, (path, distribution) = heapq.heappop(heap)
+            _, _, (path, distribution, min_cost) = heapq.heappop(heap)
             explored += 1
             if path.target == query.destination:
                 # Admissible priorities: nothing left in the queue can beat this path.
-                best_path = path
-                best_prob = distribution.prob_at_most(budget)
-                best_distribution = distribution
-                break
+                return path, distribution.prob_at_most(budget), distribution, explored
             for element in graph.outgoing_elements(path.target):
                 if any(path.visits(v) for v in element.path.vertices[1:]):
                     continue
-                new_path = path.concat(element.path)
-                lower_bound = graph.path_min_cost(new_path) + heuristic.min_cost(new_path.target)
-                if lower_bound > budget:
+                # Candidate min-cost is carried incrementally: parent minimum
+                # plus the element's own minimum, instead of re-summing the
+                # whole path per expansion.
+                new_min_cost = min_cost + graph.path_min_cost(element.path)
+                if new_min_cost + heuristic.min_cost(element.path.target) > budget:
                     continue
+                new_path = path.concat(element.path)
                 new_distribution = graph.path_cost_distribution(
                     new_path, max_support=self._config.max_support
                 )
@@ -132,14 +204,7 @@ class HeuristicPaceRouter:
                 if priority <= 0:
                     continue
                 counter += 1
-                heapq.heappush(heap, (-priority, counter, (new_path, new_distribution)))
-
-        return RoutingResult(
-            query=query,
-            method=self.method_name,
-            path=best_path,
-            probability=best_prob,
-            distribution=best_distribution,
-            explored=explored,
-            runtime_seconds=time.perf_counter() - start,
-        )
+                heapq.heappush(
+                    heap, (-priority, counter, (new_path, new_distribution, new_min_cost))
+                )
+        return None, 0.0, None, explored

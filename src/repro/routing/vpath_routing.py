@@ -15,6 +15,14 @@ With a heuristic (V-B-P, V-BS-δ) the search is best-first on ``maxProb`` and
 stops when the top of the queue reaches the destination; without one (V-None)
 it explores exhaustively in expected-cost order, exactly like the T-None
 baseline but with convolution and dominance pruning.
+
+Like the T-path routers, the frontier can be expanded in two result-identical
+modes (see :mod:`repro.routing.accel`): ``"batched"`` (the default) masks
+cycles, applies the budget prune and prices Eq. 3 for a popped candidate's
+whole successor slice in bulk ndarray ops, while ``"scalar"`` keeps the
+per-element loop.  Dominance admission stays sequential in both modes — its
+outcome depends on admission order — and candidate distributions stay
+incremental convolutions either way.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from repro.core.distributions import Distribution
 from repro.core.errors import ConfigurationError
 from repro.core.paths import Path
 from repro.heuristics.base import Heuristic, NoHeuristic, max_prob
+from repro.routing.accel import VExpansionKernel, accelerator_for
 from repro.routing.dominance import DominancePruner
 from repro.routing.queries import RoutingQuery, RoutingResult
 from repro.vpaths.updated_graph import UpdatedPaceGraph
@@ -36,6 +45,8 @@ from repro.vpaths.updated_graph import UpdatedPaceGraph
 __all__ = ["VPathRouterConfig", "VPathRouter"]
 
 VPathHeuristicFactory = Callable[[UpdatedPaceGraph, int], Heuristic]
+
+_EXPANSION_MODES = ("batched", "scalar")
 
 
 @dataclass(frozen=True)
@@ -56,12 +67,17 @@ class VPathRouterConfig:
     max_explored: int = 100000
     use_dominance: bool = True
     reevaluate_with_pace: bool = True
+    expansion: str = "batched"
 
     def validate(self) -> None:
         if self.max_support < 1:
             raise ConfigurationError("max_support must be positive")
         if self.max_explored < 1:
             raise ConfigurationError("max_explored must be positive")
+        if self.expansion not in _EXPANSION_MODES:
+            raise ConfigurationError(
+                f"expansion must be one of {_EXPANSION_MODES}, got {self.expansion!r}"
+            )
 
 
 class VPathRouter:
@@ -112,27 +128,46 @@ class VPathRouter:
         candidate_ids = itertools.count()
         explored = 0
         heap: list[tuple[float, int, Path, Distribution]] = []
+        kernel: VExpansionKernel | None = None
+        if self._config.expansion == "batched":
+            kernel = VExpansionKernel(
+                graph,
+                accelerator_for(graph),
+                heuristic,
+                budget,
+                max_support=self._config.max_support,
+                guided=self.guided,
+            )
 
         def priority_of(path: Path, distribution: Distribution) -> float:
             if self.guided:
                 return -max_prob(distribution, heuristic, path.target, budget)
             return distribution.expectation()
 
-        def push(path: Path, distribution: Distribution) -> None:
+        def push(path: Path, distribution: Distribution, priority: float | None = None) -> None:
             candidate_id = next(candidate_ids)
             if pruner is not None and not pruner.admit(candidate_id, path.target, distribution):
                 return
-            heapq.heappush(heap, (priority_of(path, distribution), candidate_id, path, distribution))
+            if priority is None:
+                priority = priority_of(path, distribution)
+            heapq.heappush(heap, (priority, candidate_id, path, distribution))
 
-        for element in graph.outgoing_elements(query.source):
-            path = element.path
-            if not path.is_simple():
-                continue
-            if element.distribution.min() + heuristic.min_cost(path.target) > budget:
-                continue
-            if self.guided and max_prob(element.distribution, heuristic, path.target, budget) <= 0:
-                continue
-            push(path, element.distribution)
+        if kernel is not None:
+            for path, distribution, priority in kernel.seed(query.source):
+                push(path, distribution, priority)
+        else:
+            for element in graph.outgoing_elements(query.source):
+                path = element.path
+                if not path.is_simple():
+                    continue
+                if element.distribution.min() + heuristic.min_cost(path.target) > budget:
+                    continue
+                if (
+                    self.guided
+                    and max_prob(element.distribution, heuristic, path.target, budget) <= 0
+                ):
+                    continue
+                push(path, element.distribution)
 
         best_path = None
         best_prob = 0.0
@@ -149,6 +184,10 @@ class VPathRouter:
                     break
                 if probability > best_prob:
                     best_path, best_prob, best_distribution = path, probability, distribution
+                continue
+            if kernel is not None:
+                for new_path, new_distribution, priority in kernel.expand(path, distribution):
+                    push(new_path, new_distribution, priority)
                 continue
             for element in graph.outgoing_elements(path.target):
                 if any(path.visits(v) for v in element.path.vertices[1:]):

@@ -117,6 +117,9 @@ class EngineReloader:
 
     def _boot(self) -> RoutingService:
         engine = RoutingEngine.from_artifacts(self.store_root, settings=self._settings)
+        # Pay the one-time frontier-accelerator flattening at (re)boot, not
+        # on the first query after a generation swap.
+        engine.build_accelerators()
         return RoutingService(engine, default_method=self._default_method)
 
     # ------------------------------------------------------------------ #

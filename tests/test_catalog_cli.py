@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import shutil
 
 import pytest
 
@@ -179,6 +180,52 @@ class TestMigrateFlows:
         with CatalogDB(fleet.db, create=False) as db:
             rows = db.query("SELECT operation_id FROM operations")
             assert len(rows) == 2
+
+
+class TestGcFlows:
+    def test_dry_run_on_a_healthy_fleet_collects_nothing(self, fleet, capsys):
+        assert query_json(capsys, "gc", "--db", fleet.db) == []
+        capsys.readouterr()
+        assert main(["catalog", "gc", "--db", fleet.db]) == 0
+        out = capsys.readouterr().out
+        assert "dry run" in out
+        assert "nothing to collect" in out
+
+    def test_vanished_store_rows_survive_dry_run_and_fall_to_apply(self, fleet, capsys):
+        shutil.rmtree(fleet.old)
+        actions = query_json(capsys, "gc", "--db", fleet.db)
+        assert actions == [
+            {
+                "kind": "missing-store",
+                "path": str(fleet.old.resolve()),
+                "action": "would-unregister",
+            }
+        ]
+        with CatalogDB(fleet.db, create=False) as db:
+            assert len(list_stores(db)) == 2  # the dry run touched nothing
+        assert main(["catalog", "gc", "--db", fleet.db, "--apply"]) == 0
+        with CatalogDB(fleet.db, create=False) as db:
+            assert [record.path for record in list_stores(db)] == [str(fleet.new.resolve())]
+
+    def test_root_scan_deletes_only_unregistered_store_dirs(
+        self, fleet, tiny_engine, tmp_path, capsys
+    ):
+        stray = tmp_path / "strays" / "forgotten-store"
+        tiny_engine.save_artifacts(stray, format_version=2)
+        actions = query_json(capsys, "gc", "--db", fleet.db, "--root", str(tmp_path))
+        assert actions == [
+            {
+                "kind": "unregistered-store",
+                "path": str(stray.resolve()),
+                "action": "would-delete",
+            }
+        ]
+        assert stray.exists()  # the dry run touched nothing
+        capsys.readouterr()
+        assert main(["catalog", "gc", "--db", fleet.db, "--root", str(tmp_path), "--apply"]) == 0
+        assert "deleted" in capsys.readouterr().out
+        assert not stray.exists()
+        assert fleet.old.exists() and fleet.new.exists()  # registered stores stay
 
 
 class TestIntegrationHooks:

@@ -93,6 +93,72 @@ class TestDominancePruner:
         assert pruner.admit(1, vertex=7, distribution=strong)
         assert pruner.admit(2, vertex=8, distribution=weak)
 
+    def test_batched_admission_matches_pairwise_reference(self):
+        """The array-batched admission sweep is decision- and counter-identical
+        to the naive pairwise loop it replaced, on frontiers large enough to
+        take the batched path and dense enough to exercise both prune
+        directions (including identical and shifted distributions)."""
+        import random
+
+        rng = random.Random(11)
+
+        def reference_admit(frontier, pruned, counters, cid, vertex, dist):
+            live = [e for e in frontier.get(vertex, []) if e[0] not in pruned]
+            if not live:
+                frontier[vertex] = [(cid, dist)]
+                return True
+            for index, (_, other) in enumerate(live):
+                if other.stochastically_dominates(dist):
+                    counters["checks"] += index + 1
+                    counters["prunes"] += 1
+                    return False
+            counters["checks"] += len(live)
+            survivors = []
+            for other_id, other in live:
+                if dist.stochastically_dominates(other, strict=True):
+                    pruned.add(other_id)
+                    counters["prunes"] += 1
+                else:
+                    survivors.append((other_id, other))
+            counters["checks"] += len(live)
+            survivors.append((cid, dist))
+            frontier[vertex] = survivors
+            return True
+
+        def random_distribution():
+            size = rng.randint(1, 10)
+            values = sorted(rng.sample(range(1, 300), size))
+            masses = [rng.random() + 0.05 for _ in range(size)]
+            total = sum(masses)
+            return Distribution.from_pairs(
+                [(float(v), mass / total) for v, mass in zip(values, masses)]
+            )
+
+        for _ in range(40):
+            pruner = DominancePruner()
+            frontier, pruned, counters = {}, set(), {"checks": 0, "prunes": 0}
+            seen = {}
+            for cid in range(60):
+                vertex = rng.randint(0, 2)
+                if seen and rng.random() < 0.3:
+                    base = rng.choice(list(seen.values()))
+                    if rng.random() < 0.5:
+                        dist = base
+                    else:
+                        dist = Distribution.from_pairs(
+                            [(v + 1.0, p) for v, p in base.items()]
+                        )
+                else:
+                    dist = random_distribution()
+                seen[cid] = dist
+                admitted = pruner.admit(cid, vertex, dist)
+                expected = reference_admit(frontier, pruned, counters, cid, vertex, dist)
+                assert admitted == expected
+                assert pruner.checks == counters["checks"]
+                assert pruner.prunes == counters["prunes"]
+            for cid in seen:
+                assert pruner.is_pruned(cid) == (cid in pruned)
+
 
 class TestNaiveRouter:
     def test_finds_optimal_path(self, paper_example):
