@@ -1,0 +1,146 @@
+"""Benchmark: boot peak memory and time-to-first-route, eager vs lazy residency.
+
+Country-scale stores hold far more heuristic mass than any one serving
+process touches.  ``RoutingEngine.from_artifacts(prewarm="none")`` exists so
+boot cost scales with the *touched* artifacts, not the store size: the index
+loads, every heuristic table stays on disk, and tables fault in on first
+use.  This benchmark pins that contract on the shared ``aalborg-like`` city
+store after packing it with per-destination tables:
+
+1. obtain the shared city artifact store and densify it (budget tables plus
+   binary getMin maps for a spread of destinations, re-saved into the store),
+2. measure **boot peak memory** with tracemalloc for an eager ``"all"`` boot
+   and a lazy ``"none"`` boot and assert lazy <= 25% of eager,
+3. measure wall-clock and assert a lazy **boot + first route** completes
+   before a bare eager boot does,
+4. prove the lazy engine is the *same* engine: a mixed-method batch answers
+   identically to the eager boot, with the resident tier holding only the
+   touched entries (resident counters, not just tracemalloc).
+
+A report with the measured numbers is written to
+``results/boot_memory_bench.txt``.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+import tracemalloc
+
+from repro.evaluation.reporting import render_report, write_report
+from repro.routing import RoutingEngine
+
+#: Lazy boot peak must stay under this fraction of the eager boot peak.
+LAZY_PEAK_CEILING = 0.25
+#: The methods the serving batch exercises (and lazily faults tables for).
+METHODS = ("T-B-P", "T-BS-10")
+#: Everything persisted into the store: the served methods plus the V-graph
+#: tables no query here touches — a lazy boot must not pay for them.
+DENSIFY_METHODS = ("T-B-P", "T-BS-10", "V-BS-10")
+QUERY_TARGET = 10
+MIN_PAIR_DISTANCE = 1100.0
+
+
+def _boot_peak(store_root, **kwargs) -> tuple[int, RoutingEngine]:
+    """Peak traced bytes during one cold ``from_artifacts`` boot."""
+    gc.collect()
+    tracemalloc.start()
+    try:
+        engine = RoutingEngine.from_artifacts(store_root, **kwargs)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak, engine
+
+
+def _timed(function) -> tuple[float, object]:
+    started = time.perf_counter()
+    result = function()
+    return time.perf_counter() - started, result
+
+
+def test_lazy_boot_memory_and_first_route(city_store, city_batch_factory):
+    store_root, mined, mine_seconds = city_store
+
+    # 1. Densify the store to the country-scale shape — heuristic mass
+    #    dominating the index: fine-δ tables (both graphs) and getMin maps
+    #    for *every* vertex, even though the batch will touch a handful.
+    origin = mined if mined is not None else RoutingEngine.from_artifacts(store_root)
+    queries = city_batch_factory(
+        origin,
+        source_stride=5,
+        destination_stride=7,
+        target=QUERY_TARGET,
+        min_distance=MIN_PAIR_DISTANCE,
+    )
+    assert len(queries) >= QUERY_TARGET // 2, "workload generation came up short"
+    destinations = sorted({query.destination for query in queries})
+    every_vertex = sorted(origin.pace_graph.network.vertex_ids())
+    for method in DENSIFY_METHODS:
+        origin.prewarm(method, every_vertex)
+    origin.save_artifacts(store_root, provenance={"mine_seconds": round(mine_seconds, 3)})
+    expected = {method: origin.route_many(queries, method=method) for method in METHODS}
+    entry_count = len(origin.heuristic_cache.snapshot())
+    del origin
+    first = queries[0]
+
+    # 2. Boot peaks (tracemalloc traces the Python heap; the streaming
+    #    reader's mmap pages are page cache, which is exactly the point).
+    eager_peak, eager = _boot_peak(store_root)
+    eager_resident = eager.heuristic_cache.counters().resident_bytes
+    del eager
+    lazy_peak, lazy = _boot_peak(store_root, prewarm="none")
+    assert lazy.heuristic_cache.counters().entries == 0
+
+    # 3. Wall-clock: a lazy boot answers its first query before an eager
+    #    boot has even finished loading tables it may never serve.
+    del lazy
+    gc.collect()
+    eager_boot_seconds, eager = _timed(lambda: RoutingEngine.from_artifacts(store_root))
+
+    def lazy_first_route():
+        engine = RoutingEngine.from_artifacts(store_root, prewarm="none")
+        engine.route(first, method=METHODS[0])
+        return engine
+
+    lazy_first_seconds, lazy = _timed(lazy_first_route)
+
+    # 4. Differential serving + residency counters: identical answers, and
+    #    the resident tier holds only what the batch touched.
+    for method in METHODS:
+        actual = lazy.route_many(queries, method=method)
+        for a, b in zip(expected[method], actual):
+            assert a.path == b.path
+            assert a.probability == b.probability
+            assert a.distribution == b.distribution
+    counters = lazy.heuristic_cache.counters()
+    assert counters.misses == 0, "every table was persisted; nothing may rebuild"
+    assert counters.faults == counters.entries == len(destinations) * len(METHODS)
+    assert 0 < counters.resident_bytes <= eager_resident
+
+    ratio = lazy_peak / eager_peak if eager_peak else float("inf")
+    report = render_report(
+        "Boot memory and time-to-first-route: aalborg-like store",
+        ("metric", "value"),
+        [
+            ("heuristic entries in store", entry_count),
+            ("eager boot peak (MB)", round(eager_peak / 1e6, 2)),
+            ("lazy boot peak (MB)", round(lazy_peak / 1e6, 2)),
+            ("lazy/eager peak ratio", round(ratio, 3)),
+            ("eager boot (s)", round(eager_boot_seconds, 3)),
+            ("lazy boot + first route (s)", round(lazy_first_seconds, 3)),
+            ("eager resident bytes", eager_resident),
+            ("lazy resident bytes after batch", counters.resident_bytes),
+            ("lazy faults after batch", counters.faults),
+        ],
+    )
+    write_report(report, "boot_memory_bench.txt")
+
+    assert lazy_peak <= LAZY_PEAK_CEILING * eager_peak, (
+        f"lazy boot peak {lazy_peak / 1e6:.2f} MB is {ratio:.0%} of the eager "
+        f"{eager_peak / 1e6:.2f} MB peak; the ceiling is {LAZY_PEAK_CEILING:.0%}"
+    )
+    assert lazy_first_seconds < eager_boot_seconds, (
+        f"lazy boot + first route ({lazy_first_seconds:.3f}s) should beat a bare "
+        f"eager boot ({eager_boot_seconds:.3f}s)"
+    )

@@ -19,6 +19,10 @@ Each rule encodes an invariant a previous PR paid for the hard way:
 * ``sqlite-discipline`` — the fleet catalog (PR 8) runs SQLite in WAL mode
   with foreign keys on and explicit ``BEGIN IMMEDIATE`` transactions; a
   connection opened anywhere else silently loses all three guarantees.
+* ``residency-discipline`` — PR 10 made v2 decode zero-copy via mmap
+  streaming; a whole-file ``read()`` on the persistence path re-introduces
+  the doubled boot peak, and a writable map would let consumers corrupt
+  each other's zero-copy views.
 """
 
 from __future__ import annotations
@@ -37,6 +41,7 @@ __all__ = [
     "LockDisciplineRule",
     "FloatEqualityRule",
     "SqliteDisciplineRule",
+    "ResidencyDisciplineRule",
 ]
 
 
@@ -660,3 +665,81 @@ class SqliteDisciplineRule(Rule):
                         "the catalog pragmas; call _apply_pragmas(connection, ...) "
                         "before the connection is used",
                     )
+
+
+@register
+class ResidencyDisciplineRule(Rule):
+    """R8: persistence decode paths stream v2 documents, never slurp them.
+
+    PR 10's country-scale boots hinge on the v2 column containers being
+    *mapped*, not read: one whole-file ``read()`` of a country-sized index
+    holds every byte in Python heap alongside the decoded arrays, doubling
+    the boot peak the streaming reader was built to eliminate.  Whole-file
+    reads in ``persistence/`` are therefore opt-in: v1 JSON documents and
+    manifest/summary reads carry an explicit suppression, everything else
+    must go through :class:`~repro.persistence.codecs.ColumnDocumentReader`.
+    Flagged:
+
+    * ``.read_bytes()`` / ``.read_text()`` calls and argless ``.read()``
+      calls (a bounded ``.read(n)`` — e.g. the 4-byte magic sniff — is
+      fine) anywhere in ``persistence/``;
+    * ``mmap.mmap(...)`` without ``access=mmap.ACCESS_READ`` — the streaming
+      reader's maps hand out long-lived ndarray views, so a writable (or
+      copy-on-write) map would let any consumer corrupt every other
+      consumer's arrays.
+    """
+
+    rule_id = "residency-discipline"
+    description = (
+        "persistence/ must stream v2 column documents through the mmap reader: "
+        "whole-file read()/read_bytes()/read_text() calls need an explicit "
+        "suppression, and mmap maps must be opened ACCESS_READ"
+    )
+
+    _WHOLE_FILE: ClassVar[set[str]] = {"read_bytes", "read_text"}
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return _is_persistence(source)
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted_name(node.func)
+            if name is None:
+                continue
+            method = name.rsplit(".", 1)[-1]
+            if method in self._WHOLE_FILE:
+                yield self.violation(
+                    source,
+                    node,
+                    f".{method}() slurps a whole document into heap; v2 column "
+                    "containers must stream through "
+                    "repro.persistence.codecs.ColumnDocumentReader (suppress "
+                    "explicitly for v1 JSON / manifest reads)",
+                )
+            elif method == "read" and not node.args and not node.keywords:
+                yield self.violation(
+                    source,
+                    node,
+                    "argless .read() slurps a whole stream into heap; read a "
+                    "bounded .read(n) or stream through "
+                    "repro.persistence.codecs.ColumnDocumentReader",
+                )
+            elif name in ("mmap.mmap", "mmap"):
+                yield from self._check_mmap(source, node)
+
+    def _check_mmap(self, source: SourceFile, node: ast.Call) -> Iterator[Violation]:
+        for keyword in node.keywords:
+            if keyword.arg != "access":
+                continue
+            if _dotted_name(keyword.value) == "mmap.ACCESS_READ":
+                return
+            break
+        yield self.violation(
+            source,
+            node,
+            "mmap.mmap() without access=mmap.ACCESS_READ; the streaming reader "
+            "exports long-lived ndarray views, so persistence maps must be "
+            "read-only",
+        )

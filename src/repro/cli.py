@@ -130,6 +130,39 @@ def _method_name(value: str) -> str:
         raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
+class _FlattenIds(argparse.Action):
+    """Concatenate the per-argument id lists ``_destination_ids`` produces."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        ids = list(getattr(namespace, self.dest) or [])
+        for chunk in values:
+            ids.extend(chunk)
+        setattr(namespace, self.dest, ids)
+
+
+def _destination_ids(value: str) -> list[int]:
+    """argparse type for ``--destinations``: vertex ids, comma- or space-separated.
+
+    ``--destinations 3,7,12`` and ``--destinations 3 7 12`` (and mixtures)
+    are equivalent; the :class:`_FlattenIds` action concatenates every chunk
+    into one flat id list.
+    """
+    ids: list[int] = []
+    for chunk in value.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        try:
+            ids.append(int(chunk))
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(
+                f"destination ids must be integers, got {chunk!r}"
+            ) from exc
+    if not ids:
+        raise argparse.ArgumentTypeError("empty destination list")
+    return ids
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing and docs generation)."""
     parser = argparse.ArgumentParser(
@@ -175,10 +208,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     build_artifacts.add_argument(
         "--destinations",
-        type=int,
+        type=_destination_ids,
+        action=_FlattenIds,
         nargs="+",
         default=None,
-        help="destination vertex ids to prewarm (default: all vertices when --method given)",
+        help=(
+            "destination vertex ids to prewarm, space- and/or comma-separated "
+            "(default: all vertices when --method given)"
+        ),
     )
     build_artifacts.add_argument(
         "--max-budget", type=float, default=600.0, help="largest budget the tables must answer"
@@ -237,7 +274,12 @@ def build_parser() -> argparse.ArgumentParser:
     prewarm.add_argument("--dataset", default="tiny", choices=list(DATASET_NAMES))
     prewarm.add_argument("--method", default="V-BS-60", type=_method_name, help=method_help)
     prewarm.add_argument(
-        "--destinations", type=int, nargs="+", required=True, help="destination vertex ids"
+        "--destinations",
+        type=_destination_ids,
+        action=_FlattenIds,
+        nargs="+",
+        required=True,
+        help="destination vertex ids (space- and/or comma-separated: '3 7' or '3,7,12')",
     )
     prewarm.add_argument(
         "--out",
@@ -412,6 +454,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--enable-fault-injection",
         action="store_true",
         help="expose POST /faults for deterministic chaos drills (off by default)",
+    )
+    serve.add_argument(
+        "--prewarm",
+        default="all",
+        choices=("all", "none"),
+        help=(
+            "heuristic residency at boot: 'all' eagerly loads every persisted "
+            "table (classic boot), 'none' starts empty and faults tables in "
+            "from the store on first touch (country-scale boot)"
+        ),
+    )
+    serve.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=None,
+        help=(
+            "byte budget for resident heuristics (LRU eviction above it; "
+            "default: unbounded)"
+        ),
     )
 
     catalog = subparsers.add_parser(
@@ -920,6 +981,8 @@ def _command_serve(args: argparse.Namespace) -> int:
             default_deadline_ms=args.deadline_ms,
             reload_poll_seconds=args.reload_poll_seconds,
             enable_fault_injection=args.enable_fault_injection,
+            prewarm=args.prewarm,
+            cache_bytes=args.cache_bytes,
         )
         server = RouteServer(store_root, config)
     except (ConfigurationError, DataError, OSError) as exc:
@@ -992,6 +1055,12 @@ def _render_store_rows(records, staleness_by_path: dict | None = None) -> list:
                 f"v{record.format_version}",
                 record.dataset or "-",
                 _short(record.pace_fingerprint),
+                # The fault tier an engine can draw on: how many persisted
+                # heuristic documents, and the store's on-disk footprint
+                # (live resident bytes / faults / evictions are per serving
+                # process — GET /stats surfaces those).
+                record.heuristic_documents,
+                _human_bytes(record.total_bytes),
                 record.last_synced_at,
                 staleness or "fresh",
             )
@@ -999,7 +1068,16 @@ def _render_store_rows(records, staleness_by_path: dict | None = None) -> list:
     return rows
 
 
-_STORE_COLUMNS = ("path", "format", "dataset", "pace", "synced", "state")
+def _human_bytes(count: int) -> str:
+    """Bytes as a compact fixed-unit figure for report columns."""
+    if count >= 1_000_000:
+        return f"{count / 1_000_000:.1f}MB"
+    if count >= 1_000:
+        return f"{count / 1_000:.1f}kB"
+    return f"{count}B"
+
+
+_STORE_COLUMNS = ("path", "format", "dataset", "pace", "heur", "bytes", "synced", "state")
 
 
 def _print_records(args: argparse.Namespace, title: str, records, staleness=None) -> None:

@@ -23,9 +23,11 @@ from __future__ import annotations
 
 import hashlib
 import json
+import mmap
 import struct
 from collections.abc import Sequence
-from typing import IO, Any
+from pathlib import Path as FilePath
+from typing import IO, Any, NamedTuple
 
 import numpy as np
 
@@ -49,6 +51,8 @@ __all__ = [
     "decode_column_document",
     "is_column_document",
     "split_ragged_column",
+    "ColumnDocumentReader",
+    "open_column_document",
 ]
 
 
@@ -149,8 +153,88 @@ _COLUMN_HEAD = struct.Struct("<H3sQ16s")  # name length, dtype, elements, digest
 _COLUMN_DIGEST_SIZE = 16
 
 
-def _column_digest(payload: bytes) -> bytes:
+def _column_digest(payload: bytes | memoryview) -> bytes:
     return hashlib.blake2b(payload, digest_size=_COLUMN_DIGEST_SIZE).digest()
+
+
+class _ColumnFrame(NamedTuple):
+    """One column's location inside a framed document (payload not yet read)."""
+
+    name: str
+    dtype: str
+    offset: int  # byte offset of the payload within the document
+    elements: int
+    digest: bytes
+
+    @property
+    def nbytes(self) -> int:
+        return self.elements * 8
+
+
+def _walk_frames(view: memoryview, *, what: str) -> tuple[dict, list[_ColumnFrame]]:
+    """Validate a column document's header and frame offsets without touching payloads.
+
+    Shared by the eager decoder and the streaming reader: every structural
+    check (magic, container version, metadata JSON, dtype whitelist, frame
+    bounds, duplicate names, trailing bytes) happens here, so both paths
+    reject malformed documents identically.  Per-column digests are *not*
+    checked — the caller decides when to pay for reading the payload bytes.
+    """
+
+    def fail(reason: str) -> DataError:
+        return DataError(f"malformed {what}: {reason}")
+
+    if len(view) < _HEADER.size:
+        raise fail("shorter than the container header")
+    magic, version, meta_length = _HEADER.unpack_from(view, 0)
+    if magic != COLUMN_MAGIC:
+        raise fail(f"bad magic {magic!r} (not a column container)")
+    if version != _COLUMN_CONTAINER_VERSION:
+        raise fail(
+            f"unsupported column container version {version} "
+            f"(this reader supports version {_COLUMN_CONTAINER_VERSION})"
+        )
+    offset = _HEADER.size
+    if len(view) < offset + meta_length + _COLUMN_COUNT.size:
+        raise fail("truncated metadata block")
+    try:
+        meta_text = bytes(view[offset : offset + meta_length]).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise fail(f"metadata is not valid UTF-8: {exc}") from exc
+    meta = strict_json_loads(meta_text, what=f"malformed {what}: metadata")
+    if not isinstance(meta, dict):
+        raise fail("metadata must be a JSON object")
+    offset += meta_length
+    (count,) = _COLUMN_COUNT.unpack_from(view, offset)
+    offset += _COLUMN_COUNT.size
+    frames: list[_ColumnFrame] = []
+    seen: set[str] = set()
+    for _ in range(count):
+        if len(view) < offset + _COLUMN_HEAD.size:
+            raise fail("truncated column header")
+        name_length, dtype_bytes, elements, digest = _COLUMN_HEAD.unpack_from(view, offset)
+        offset += _COLUMN_HEAD.size
+        dtype = dtype_bytes.decode("ascii", errors="replace")
+        if dtype not in _COLUMN_DTYPES:
+            raise fail(f"column dtype {dtype!r} is not in the supported set {_COLUMN_DTYPES}")
+        nbytes = elements * 8
+        if len(view) < offset + name_length + nbytes:
+            raise fail("truncated column payload")
+        try:
+            name = bytes(view[offset : offset + name_length]).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise fail(f"column name is not valid UTF-8: {exc}") from exc
+        offset += name_length
+        if name in seen:
+            raise fail(f"duplicate column {name!r}")
+        seen.add(name)
+        frames.append(
+            _ColumnFrame(name=name, dtype=dtype, offset=offset, elements=elements, digest=digest)
+        )
+        offset += nbytes
+    if offset != len(view):
+        raise fail(f"{len(view) - offset} trailing bytes after the last column")
+    return meta, frames
 
 
 def encode_column_document(meta: dict, columns: dict[str, np.ndarray]) -> bytes:
@@ -199,63 +283,176 @@ def decode_column_document(data: bytes, *, what: str = "column document") -> tup
     — wrong magic, unknown container versions, truncated frames, non-JSON
     metadata, out-of-whitelist dtypes and per-column checksum mismatches.
     Returned arrays are fresh, writable copies (decoding never aliases the
-    input buffer).
+    input buffer).  Each column materialises as exactly one allocation: the
+    digest is hashed over a view of the input and the array copied straight
+    out of it, never through an intermediate ``bytes`` payload (which used to
+    double the per-column peak).
+    """
+    view = memoryview(data)
+    meta, frames = _walk_frames(view, what=what)
+    columns: dict[str, np.ndarray] = {}
+    for frame in frames:
+        payload = view[frame.offset : frame.offset + frame.nbytes]
+        if _column_digest(payload) != frame.digest:
+            raise DataError(f"malformed {what}: column {frame.name!r} failed its checksum")
+        columns[frame.name] = np.frombuffer(payload, dtype=frame.dtype).copy()
+    return meta, columns
+
+
+class ColumnDocumentReader:
+    """Zero-copy streaming reader over one on-disk column document.
+
+    The document is ``mmap``-ed read-only and its header and frame offsets
+    validated up front (same structural checks as
+    :func:`decode_column_document`), but **no payload bytes are read** until a
+    column is touched: :meth:`column` returns a read-only ndarray *view* over
+    the map, verifying that column's blake2b digest on first access (pages
+    fault in as the hash and the consumer walk them; nothing is ever held
+    twice).  :meth:`verify` performs the eager whole-document check the
+    ``verify --deep`` paths want.
+
+    Views alias the mapping, so they remain valid for the reader's lifetime —
+    and keep the mapping alive afterwards (``close`` releases the reader's own
+    reference; the OS unmaps once the last view is garbage-collected).  Use as
+    a context manager for scoped reads.
     """
 
-    def fail(reason: str) -> DataError:
-        return DataError(f"malformed {what}: {reason}")
-
-    view = memoryview(data)
-    if len(view) < _HEADER.size:
-        raise fail("shorter than the container header")
-    magic, version, meta_length = _HEADER.unpack_from(view, 0)
-    if magic != COLUMN_MAGIC:
-        raise fail(f"bad magic {magic!r} (not a column container)")
-    if version != _COLUMN_CONTAINER_VERSION:
-        raise fail(
-            f"unsupported column container version {version} "
-            f"(this reader supports version {_COLUMN_CONTAINER_VERSION})"
-        )
-    offset = _HEADER.size
-    if len(view) < offset + meta_length + _COLUMN_COUNT.size:
-        raise fail("truncated metadata block")
-    try:
-        meta_text = bytes(view[offset : offset + meta_length]).decode("utf-8")
-    except UnicodeDecodeError as exc:
-        raise fail(f"metadata is not valid UTF-8: {exc}") from exc
-    meta = strict_json_loads(meta_text, what=f"malformed {what}: metadata")
-    if not isinstance(meta, dict):
-        raise fail("metadata must be a JSON object")
-    offset += meta_length
-    (count,) = _COLUMN_COUNT.unpack_from(view, offset)
-    offset += _COLUMN_COUNT.size
-    columns: dict[str, np.ndarray] = {}
-    for _ in range(count):
-        if len(view) < offset + _COLUMN_HEAD.size:
-            raise fail("truncated column header")
-        name_length, dtype_bytes, elements, digest = _COLUMN_HEAD.unpack_from(view, offset)
-        offset += _COLUMN_HEAD.size
-        dtype = dtype_bytes.decode("ascii", errors="replace")
-        if dtype not in _COLUMN_DTYPES:
-            raise fail(f"column dtype {dtype!r} is not in the supported set {_COLUMN_DTYPES}")
-        nbytes = elements * 8
-        if len(view) < offset + name_length + nbytes:
-            raise fail("truncated column payload")
+    def __init__(self, path: str | FilePath, *, what: str = "column document") -> None:
+        self._path = FilePath(path)
+        self._what = what
         try:
-            name = bytes(view[offset : offset + name_length]).decode("utf-8")
-        except UnicodeDecodeError as exc:
-            raise fail(f"column name is not valid UTF-8: {exc}") from exc
-        offset += name_length
-        payload = bytes(view[offset : offset + nbytes])
-        offset += nbytes
-        if _column_digest(payload) != digest:
-            raise fail(f"column {name!r} failed its checksum")
-        if name in columns:
-            raise fail(f"duplicate column {name!r}")
-        columns[name] = np.frombuffer(payload, dtype=dtype).copy()
-    if offset != len(view):
-        raise fail(f"{len(view) - offset} trailing bytes after the last column")
-    return meta, columns
+            with open(self._path, "rb") as handle:
+                # Map read-only: views must not be able to rewrite the store
+                # (and a shared writable map would let one reader corrupt
+                # every other's verified columns).
+                self._map = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except FileNotFoundError as exc:
+            raise DataError(f"column document file not found: {self._path}") from exc
+        except ValueError as exc:
+            # mmap refuses empty files; an empty document is malformed anyway.
+            raise DataError(f"malformed {what}: shorter than the container header") from exc
+        self._view = memoryview(self._map)
+        try:
+            meta, frames = _walk_frames(self._view, what=what)
+        except DataError:
+            self.close()
+            raise
+        self._meta = meta
+        self._frames = {frame.name: frame for frame in frames}
+        self._verified: set[str] = set()
+        self._arrays: dict[str, np.ndarray] = {}
+
+    # -- introspection ------------------------------------------------- #
+    @property
+    def path(self) -> FilePath:
+        return self._path
+
+    @property
+    def meta(self) -> dict:
+        """The document's strict-JSON metadata header (parsed at open)."""
+        return self._meta
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(self._frames)
+
+    @property
+    def size_bytes(self) -> int:
+        """The mapped document's total size (no payload read)."""
+        return len(self._view)
+
+    def column_nbytes(self, name: str) -> int:
+        """One column's payload size in bytes, from the frame header alone."""
+        return self._frame(name).nbytes
+
+    # -- reading ------------------------------------------------------- #
+    def _frame(self, name: str) -> _ColumnFrame:
+        try:
+            return self._frames[name]
+        except KeyError as exc:
+            raise DataError(
+                f"malformed {self._what}: no column named {name!r} "
+                f"(document holds {sorted(self._frames)})"
+            ) from exc
+
+    def column(self, name: str) -> np.ndarray:
+        """A read-only ndarray view of one column, digest-verified on first touch."""
+        frame = self._frame(name)
+        if name not in self._verified:
+            payload = self._view[frame.offset : frame.offset + frame.nbytes]
+            if _column_digest(payload) != frame.digest:
+                raise DataError(
+                    f"malformed {self._what}: column {name!r} failed its checksum"
+                )
+            self._verified.add(name)
+        array = self._arrays.get(name)
+        if array is None:
+            # The map is ACCESS_READ, so frombuffer yields a non-writeable
+            # array aliasing the page cache — decode copies nothing.
+            array = np.frombuffer(
+                self._view, dtype=frame.dtype, count=frame.elements, offset=frame.offset
+            )
+            self._arrays[name] = array
+        return array
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """Every column as a verified read-only view (faults the whole document in)."""
+        return {name: self.column(name) for name in self._frames}
+
+    def verify(self) -> None:
+        """Eagerly digest-verify every column (the ``verify --deep`` path)."""
+        for name in self._frames:
+            self.column(name)
+
+    def checksum(self) -> str:
+        """blake2b-16 hexdigest of the whole document, hashed over the map.
+
+        Matches :func:`repro.persistence.store.checksum_bytes` without ever
+        materialising the file bytes as a Python object — pages stream through
+        the hash and stay evictable page cache.
+        """
+        return hashlib.blake2b(self._view, digest_size=16).hexdigest()
+
+    # -- lifecycle ----------------------------------------------------- #
+    def close(self) -> None:
+        """Release the reader's reference to the mapping.
+
+        Outstanding column views keep the underlying map alive (the mmap
+        object refuses to unmap while buffers are exported); the mapping is
+        released when the last view goes away.
+        """
+        self._arrays = {}
+        try:
+            self._view.release()
+            self._map.close()
+        except BufferError:
+            # A caller still holds column views; refcounting unmaps later.
+            pass
+
+    def __enter__(self) -> "ColumnDocumentReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def open_column_document(
+    path: str | FilePath, *, what: str = "column document", verify: bool = False
+) -> ColumnDocumentReader:
+    """Open a :class:`ColumnDocumentReader` over ``path``.
+
+    ``verify=True`` digest-checks every column before returning (eager mode
+    for the deep-verification paths); the default defers each column's check
+    to its first touch.
+    """
+    reader = ColumnDocumentReader(path, what=what)
+    if verify:
+        try:
+            reader.verify()
+        except DataError:
+            reader.close()
+            raise
+    return reader
 
 
 def split_ragged_column(values: np.ndarray, counts: np.ndarray, *, what: str) -> list:

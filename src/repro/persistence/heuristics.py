@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.core.errors import DataError
 from repro.persistence.codecs import (
+    ColumnDocumentReader,
     decode_column_document,
     encode_column_document,
     require_format_version,
@@ -68,6 +69,7 @@ __all__ = [
     "heuristic_entry_key",
     "encode_heuristic_entry",
     "decode_heuristic_entry",
+    "heuristic_entry_from_reader",
 ]
 
 _FORMAT_VERSION = 1
@@ -199,7 +201,7 @@ def load_heuristic_table(path: str | FilePath) -> HeuristicTable:
     if not path.exists():
         raise DataError(f"heuristic table file not found: {path}")
     payload = strict_json_loads(
-        path.read_text(encoding="utf-8"),
+        path.read_text(encoding="utf-8"),  # repro: ignore[residency-discipline] — v1 JSON table
         what=f"heuristic table file {path}",
         allow_legacy_infinity=True,
     )
@@ -255,7 +257,7 @@ def load_heuristic_bundle(path: str | FilePath) -> list[dict]:
     if not path.exists():
         raise DataError(f"heuristic bundle file not found: {path}")
     payload = strict_json_loads(
-        path.read_text(encoding="utf-8"),
+        path.read_text(encoding="utf-8"),  # repro: ignore[residency-discipline] — v1 JSON bundle
         what=f"heuristic bundle file {path}",
         allow_legacy_infinity=True,
     )
@@ -373,6 +375,22 @@ def decode_heuristic_entry(data: bytes) -> dict:
     entries through one code path.
     """
     meta, columns = decode_column_document(data, what="heuristic entry document")
+    return _entry_from_meta_columns(meta, columns)
+
+
+def heuristic_entry_from_reader(reader: ColumnDocumentReader) -> dict:
+    """Decode one tagged entry from an open streaming reader (zero-copy fault path).
+
+    Semantically identical to :func:`decode_heuristic_entry`, but the columns
+    are digest-verified mmap views rather than copies of an in-memory blob —
+    this is what :meth:`repro.persistence.store.ArtifactStore.open_heuristics`
+    uses to fault a single destination's table without reading the file into
+    a bytes object first.
+    """
+    return _entry_from_meta_columns(reader.meta, reader.columns())
+
+
+def _entry_from_meta_columns(meta: dict, columns: dict[str, np.ndarray]) -> dict:
     if meta.get("kind") != _ENTRY_KIND:
         raise DataError(f"not a heuristic entry document (kind {meta.get('kind')!r})")
     require_format_version(meta, expected=HEURISTIC_ENTRY_FORMAT_V2, what="heuristic entry")

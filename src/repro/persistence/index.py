@@ -40,16 +40,18 @@ from repro.core.errors import DataError
 from repro.core.pace_graph import PaceGraph
 from repro.network.io import network_from_dict, network_to_dict
 from repro.persistence.codecs import (
+    COLUMN_MAGIC,
+    ColumnDocumentReader,
     decode_column_document,
     split_ragged_column,
     distribution_from_dict,
     distribution_from_sequences,
     distribution_to_dict,
     encode_column_document,
-    is_column_document,
     joint_from_dict,
     joint_from_sequences,
     joint_to_dict,
+    open_column_document,
     require_format_version,
     strict_json_dump,
     strict_json_loads,
@@ -63,6 +65,7 @@ __all__ = [
     "index_from_dict",
     "index_to_column_bytes",
     "index_from_column_bytes",
+    "index_from_column_reader",
     "save_index",
     "load_index",
 ]
@@ -259,6 +262,21 @@ def index_to_column_bytes(graph: PaceGraph | UpdatedPaceGraph) -> bytes:
 def index_from_column_bytes(data: bytes) -> UpdatedPaceGraph:
     """Rebuild the routable index from :func:`index_to_column_bytes` output."""
     meta, columns = decode_column_document(data, what="index column document")
+    return _index_from_meta_columns(meta, columns)
+
+
+def index_from_column_reader(reader: ColumnDocumentReader) -> UpdatedPaceGraph:
+    """Rebuild the routable index from an open streaming reader.
+
+    The zero-copy boot path: columns are read-only views over the reader's
+    map (digest-verified as they are touched), so the only allocations are
+    the graph objects themselves — the document's bytes are never held as a
+    second copy alongside them.
+    """
+    return _index_from_meta_columns(reader.meta, reader.columns())
+
+
+def _index_from_meta_columns(meta: dict, columns: dict[str, np.ndarray]) -> UpdatedPaceGraph:
     if meta.get("kind") != _INDEX_KIND:
         raise DataError(f"not a columnar index document (kind {meta.get('kind')!r})")
     require_format_version(meta, expected=INDEX_FORMAT_V2, what="columnar index")
@@ -368,12 +386,22 @@ def save_index(
 
 
 def load_index(path: str | FilePath) -> UpdatedPaceGraph:
-    """Read an index written by :func:`save_index`, sniffing v1 JSON vs v2 binary."""
+    """Read an index written by :func:`save_index`, sniffing v1 JSON vs v2 binary.
+
+    v2 column documents stream through :class:`ColumnDocumentReader` (mmap
+    views, no whole-file read); v1 JSON documents release their raw bytes
+    before the graph is materialised, so neither format holds file bytes and
+    decoded objects concurrently.
+    """
     path = FilePath(path)
     if not path.exists():
         raise DataError(f"index file not found: {path}")
-    data = path.read_bytes()
-    if is_column_document(data):
-        return index_from_column_bytes(data)
+    with path.open("rb") as handle:
+        head = handle.read(len(COLUMN_MAGIC))  # bounded sniff, not a whole-file read
+    if head == COLUMN_MAGIC:
+        with open_column_document(path, what=f"index file {path}") as reader:
+            return index_from_column_reader(reader)
+    data = path.read_bytes()  # repro: ignore[residency-discipline] — v1 JSON document
     payload = strict_json_loads(data, what=f"index file {path} (not a column document)")
+    del data  # the parsed payload supersedes the raw bytes; drop them first
     return index_from_dict(payload)

@@ -48,6 +48,7 @@ entry points; the CLI exposes them as ``repro build-artifacts`` and
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path as FilePath
@@ -55,22 +56,24 @@ from pathlib import Path as FilePath
 from repro.core.errors import DataError
 from repro.core.pace_graph import PaceGraph
 from repro.persistence.codecs import (
+    ColumnDocumentReader,
     is_column_document,
+    open_column_document,
     require_format_version,
     strict_json_dumps,
     strict_json_loads,
 )
 from repro.persistence.heuristics import (
-    decode_heuristic_entry,
     encode_heuristic_entry,
     heuristic_bundle_entries,
     heuristic_bundle_payload,
+    heuristic_entry_from_reader,
     heuristic_entry_key,
 )
 from repro.persistence.index import (
     INDEX_FORMAT_V1,
     INDEX_FORMAT_V2,
-    index_from_column_bytes,
+    index_from_column_reader,
     index_from_dict,
     index_to_column_bytes,
     index_to_dict,
@@ -86,6 +89,7 @@ __all__ = [
     "ArtifactEntry",
     "ArtifactManifest",
     "ArtifactStore",
+    "HeuristicStoreHandle",
     "StoreSummary",
     "checksum_bytes",
     "settings_digest",
@@ -358,7 +362,8 @@ class ArtifactStore:
         """The parsed manifest (cached after the first read)."""
         if self._manifest is None:
             try:
-                text = self.manifest_path.read_text(encoding="utf-8")
+                # The manifest is a small JSON document.
+                text = self.manifest_path.read_text(encoding="utf-8")  # repro: ignore[residency-discipline]
             except FileNotFoundError as exc:
                 raise DataError(f"no artifact store at {self.root}: {exc}") from exc
             payload = strict_json_loads(
@@ -377,7 +382,8 @@ class ArtifactStore:
         ``None`` while no manifest exists (store mid-creation or removed).
         """
         try:
-            return _checksum(self.manifest_path.read_bytes())
+            # Small manifest; the fingerprint needs every byte.
+            return _checksum(self.manifest_path.read_bytes())  # repro: ignore[residency-discipline]
         except OSError:
             return None
 
@@ -393,7 +399,8 @@ class ArtifactStore:
         malformed.
         """
         try:
-            raw = self.manifest_path.read_bytes()
+            # Small manifest JSON document.
+            raw = self.manifest_path.read_bytes()  # repro: ignore[residency-discipline]
         except OSError as exc:
             raise DataError(f"no artifact store at {self.root}: {exc}") from exc
         try:
@@ -440,12 +447,12 @@ class ArtifactStore:
     # ------------------------------------------------------------------ #
     # Reading
     # ------------------------------------------------------------------ #
-    def _artifact_bytes(self, name: str) -> tuple[ArtifactEntry, bytes]:
-        """One artifact's manifest entry and checksum-verified raw bytes.
+    def _artifact_entry(self, name: str) -> ArtifactEntry:
+        """One artifact's manifest entry, its ``format_version`` validated.
 
-        Also validates the entry's recorded ``format_version`` against the
-        versions this reader supports for ``name`` — a store written by a
-        newer codec is refused before a single payload byte is parsed.
+        A store written by a newer codec is refused here — before a single
+        payload byte is parsed, whichever read path (bytes or streaming)
+        follows.
         """
         entry = self.manifest.artifacts.get(name)
         if entry is None:
@@ -458,9 +465,21 @@ class ArtifactStore:
                 "re-export the store with a matching writer or run "
                 "'repro migrate-artifacts'"
             )
+        return entry
+
+    def _artifact_bytes(self, name: str) -> tuple[ArtifactEntry, bytes]:
+        """One artifact's manifest entry and checksum-verified raw bytes.
+
+        The *v1 JSON* read path: the whole document is read and hashed against
+        the manifest checksum before parsing.  v2 column documents must go
+        through :meth:`_open_artifact_reader` instead (enforced by the
+        ``residency-discipline`` analysis rule), which streams mmap views and
+        never materialises the file as a bytes object.
+        """
+        entry = self._artifact_entry(name)
         path = self.root / entry.filename
         try:
-            data = path.read_bytes()
+            data = path.read_bytes()  # repro: ignore[residency-discipline] — v1 JSON read path
         except FileNotFoundError as exc:
             raise DataError(
                 f"artifact store {self.root} is missing {entry.filename} "
@@ -473,6 +492,47 @@ class ArtifactStore:
                 f"{checksum} does not match the manifest's {entry.checksum}"
             )
         return entry, data
+
+    def _open_artifact_reader(self, name: str, *, verify: bool = False) -> ColumnDocumentReader:
+        """Open one v2 column artifact as a zero-copy streaming reader.
+
+        The header and frame offsets are validated at open and the mapped
+        size checked against the manifest's ``size_bytes`` (truncation and
+        appended garbage surface immediately); per-column digests cover every
+        payload byte and are verified as columns are touched.  ``verify=True``
+        is the opt-in eager mode for the deep-verification paths: the whole
+        document is re-hashed against the manifest checksum and every column
+        digest checked before the reader is returned.
+        """
+        entry = self._artifact_entry(name)
+        path = self.root / entry.filename
+        try:
+            reader = open_column_document(path, what=f"artifact {entry.filename}")
+        except DataError as exc:
+            if not path.exists():
+                raise DataError(
+                    f"artifact store {self.root} is missing {entry.filename} "
+                    f"(referenced by the manifest as {name!r})"
+                ) from exc
+            raise
+        try:
+            if reader.size_bytes != entry.size_bytes:
+                raise DataError(
+                    f"artifact {entry.filename} in {self.root} is corrupted: size "
+                    f"{reader.size_bytes} does not match the manifest's {entry.size_bytes}"
+                )
+            if verify:
+                checksum = reader.checksum()
+                if checksum != entry.checksum:
+                    raise DataError(
+                        f"artifact {entry.filename} in {self.root} is corrupted: checksum "
+                        f"{checksum} does not match the manifest's {entry.checksum}"
+                    )
+                reader.verify()
+        except DataError:
+            reader.close()
+            raise
+        return reader
 
     def read_document(self, name: str) -> dict:
         """Read one *JSON* artifact document, verifying checksum and format version."""
@@ -489,11 +549,19 @@ class ArtifactStore:
         return payload
 
     def _read_index_graph(self) -> UpdatedPaceGraph:
-        """Parse the index artifact, dispatching on its recorded format version."""
-        entry, data = self._artifact_bytes(INDEX_ARTIFACT)
+        """Parse the index artifact, dispatching on its recorded format version.
+
+        v2 documents stream through an mmap reader, so boot never holds the
+        index file bytes and the materialised graph concurrently; the v1 JSON
+        path releases its raw bytes once parsed, before graph construction.
+        """
+        entry = self._artifact_entry(INDEX_ARTIFACT)
         if entry.format_version == INDEX_FORMAT_V2:
-            return index_from_column_bytes(data)
+            with self._open_artifact_reader(INDEX_ARTIFACT) as reader:
+                return index_from_column_reader(reader)
+        entry, data = self._artifact_bytes(INDEX_ARTIFACT)
         payload = strict_json_loads(data, what=f"artifact {entry.filename}")
+        del data  # parsed payload supersedes the raw document bytes
         require_format_version(payload, expected=INDEX_FORMAT_V1, what="index artifact")
         return index_from_dict(payload)
 
@@ -531,24 +599,41 @@ class ArtifactStore:
         """The tagged heuristic entries, or ``[]`` when none were persisted.
 
         Reads whichever layout the store holds: the v1 monolithic bundle, or
-        the v2 per-entry column documents (each verified against its manifest
-        checksum *and* against its own ``heuristic:<key>`` name, so a file
-        swapped for a different destination's table fails loudly).
+        the v2 per-entry column documents (each streamed through an mmap
+        reader — per-column digests verified as the columns are decoded — and
+        checked against its own ``heuristic:<key>`` name, so a file swapped
+        for a different destination's table fails loudly).
         """
         if self.has_artifact(HEURISTICS_ARTIFACT):
             return heuristic_bundle_entries(self.read_document(HEURISTICS_ARTIFACT))
         entries: list[dict] = []
         for name in self.manifest.heuristic_entry_names():
-            _, data = self._artifact_bytes(name)
-            entry = decode_heuristic_entry(data)
-            expected = HEURISTIC_ENTRY_PREFIX + heuristic_entry_key(entry)
-            if name != expected:
-                raise DataError(
-                    f"heuristic artifact {name!r} in {self.root} decodes to a different "
-                    f"heuristic ({expected!r}); the store is inconsistent"
-                )
-            entries.append(entry)
+            entries.append(self._load_heuristic_document(name))
         return entries
+
+    def _load_heuristic_document(self, name: str) -> dict:
+        """Fault in one ``heuristic:<key>`` document, verified against its name."""
+        with self._open_artifact_reader(name) as reader:
+            entry = heuristic_entry_from_reader(reader)
+        expected = HEURISTIC_ENTRY_PREFIX + heuristic_entry_key(entry)
+        if name != expected:
+            raise DataError(
+                f"heuristic artifact {name!r} in {self.root} decodes to a different "
+                f"heuristic ({expected!r}); the store is inconsistent"
+            )
+        return entry
+
+    def open_heuristics(self) -> "HeuristicStoreHandle":
+        """A lazy, key-addressed handle over the store's persisted heuristics.
+
+        Listing the entry keys costs only the (already parsed) manifest for a
+        v2 store — no blob is read until :meth:`HeuristicStoreHandle.load_entry`
+        faults a single entry in.  This is the residency primitive behind
+        ``RoutingEngine.from_artifacts(prewarm="none")``: a country-scale boot
+        lists thousands of keys for free and pages individual destinations'
+        tables in on demand.
+        """
+        return HeuristicStoreHandle(self)
 
     # ------------------------------------------------------------------ #
     # Writing
@@ -714,7 +799,8 @@ class ArtifactStore:
         # Content-addressed names make equality checkable without reading the
         # old file for the bundle; the index name is the graph fingerprint, so
         # compare checksums before rewriting a multi-megabyte document.
-        if not path.exists() or _checksum(path.read_bytes()) != checksum:
+        # Write-path dedup checksum, not a decode.
+        if not path.exists() or _checksum(path.read_bytes()) != checksum:  # repro: ignore[residency-discipline]
             path.write_bytes(data)
         return ArtifactEntry(
             filename=filename,
@@ -733,3 +819,100 @@ class ArtifactStore:
     def __repr__(self) -> str:
         root = str(self.root)
         return f"ArtifactStore(root={root!r})"
+
+
+class HeuristicStoreHandle:
+    """Key-addressed, fault-on-demand access to one store's heuristic tables.
+
+    Created by :meth:`ArtifactStore.open_heuristics`.  For v2 stores the
+    entry keys (``binary-P-35``, ``budget-60.0-pace-35``, …) come straight
+    from the manifest — listing is free — and :meth:`load_entry` opens just
+    that entry's column document through the streaming reader.  v1 stores
+    hold one monolithic bundle, so the same interface is served by parsing
+    the bundle once, lazily, on the first touch (a v1 store cannot fault
+    per-entry; migrating to v2 is what buys true laziness).
+
+    The handle is thread-safe: concurrent faults for different keys proceed
+    in parallel (each opens its own reader), and the one-time v1 bundle parse
+    is serialised on an internal lock.
+    """
+
+    def __init__(self, store: ArtifactStore) -> None:
+        self._store = store
+        manifest = store.manifest
+        self._names: dict[str, str] = {
+            name[len(HEURISTIC_ENTRY_PREFIX) :]: name
+            for name in manifest.heuristic_entry_names()
+        }
+        self._has_v1_bundle = HEURISTICS_ARTIFACT in manifest.artifacts
+        self._lock = threading.Lock()
+        self._v1_entries: dict[str, dict] | None = None
+
+    @property
+    def store(self) -> ArtifactStore:
+        return self._store
+
+    def _bundle_entries(self) -> dict[str, dict]:
+        """The parsed v1 bundle, keyed by entry key (read once, under the lock)."""
+        with self._lock:
+            if self._v1_entries is None:
+                entries: dict[str, dict] = {}
+                for entry in self._store.load_heuristic_entries():
+                    entries[heuristic_entry_key(entry)] = entry
+                self._v1_entries = entries
+            return self._v1_entries
+
+    def keys(self) -> tuple[str, ...]:
+        """Every persisted entry key, sorted (manifest-only for v2 stores)."""
+        if self._has_v1_bundle:
+            return tuple(sorted(self._bundle_entries()))
+        return tuple(sorted(self._names))
+
+    def __contains__(self, key: str) -> bool:
+        if self._has_v1_bundle:
+            return key in self._bundle_entries()
+        return key in self._names
+
+    def __len__(self) -> int:
+        if self._has_v1_bundle:
+            return len(self._bundle_entries())
+        return len(self._names)
+
+    def entry_size_bytes(self, key: str) -> int:
+        """One entry's on-disk size from the manifest (0 for v1 bundle entries)."""
+        name = self._names.get(key)
+        if name is None:
+            return 0
+        return self._store.manifest.artifacts[name].size_bytes
+
+    def total_size_bytes(self) -> int:
+        """The summed on-disk size of every persisted heuristic document."""
+        manifest = self._store.manifest
+        total = sum(
+            manifest.artifacts[name].size_bytes for name in self._names.values()
+        )
+        if self._has_v1_bundle:
+            total += manifest.artifacts[HEURISTICS_ARTIFACT].size_bytes
+        return total
+
+    def load_entry(self, key: str) -> dict:
+        """Fault one tagged entry in by key.
+
+        v2: opens exactly that entry's column document (mmap streamed, column
+        digests verified during decode, name re-derived and checked).  v1:
+        served from the lazily parsed bundle.  Unknown keys and corrupted
+        documents raise :class:`~repro.core.errors.DataError`.
+        """
+        if self._has_v1_bundle:
+            try:
+                return self._bundle_entries()[key]
+            except KeyError as exc:
+                raise DataError(
+                    f"artifact store {self._store.root} holds no heuristic entry {key!r}"
+                ) from exc
+        name = self._names.get(key)
+        if name is None:
+            raise DataError(
+                f"artifact store {self._store.root} holds no heuristic entry {key!r}"
+            )
+        return self._store._load_heuristic_document(name)

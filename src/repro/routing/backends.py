@@ -256,12 +256,24 @@ class ArtifactRef:
     path: str
     pace_fingerprint: str | None = None
     updated_fingerprint: str | None = None
+    #: Boot-time residency policy, mirrored into every worker this ref
+    #: spawns: which persisted heuristics to make resident up front
+    #: (``"all"``, ``"none"`` or a tuple of store entry keys) and the
+    #: resident tier's byte budget (``None`` = unbounded).  Kept hashable
+    #: (tuple, not list) because worker-pool respawn decisions compare refs.
+    prewarm: "str | tuple[str, ...]" = "all"
+    cache_bytes: int | None = None
 
     def build_engine(self, settings: "RouterSettings | None" = None) -> "RoutingEngine":
         """Load the engine from the artifact store, verifying fingerprints."""
         from repro.routing.engine import RoutingEngine
 
-        engine = RoutingEngine.from_artifacts(self.path, settings=settings)
+        engine = RoutingEngine.from_artifacts(
+            self.path,
+            settings=settings,
+            prewarm=self.prewarm,
+            cache_bytes=self.cache_bytes,
+        )
         if (
             self.pace_fingerprint is not None
             and engine.pace_graph.content_fingerprint() != self.pace_fingerprint

@@ -36,7 +36,8 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import Counter
+import warnings
+from collections import Counter, OrderedDict
 from collections.abc import Callable, Sequence
 from dataclasses import asdict, dataclass, field
 from pathlib import Path as FilePath
@@ -60,6 +61,12 @@ from repro.persistence.heuristics import (
 )
 from repro.routing.backends import ExecutionBackend, SerialBackend, ThreadBackend
 from repro.routing.methods import METHOD_NAMES, MethodSpec
+from repro.routing.residency import (
+    CacheCounters,
+    PrewarmPolicy,
+    heuristic_nbytes,
+    normalise_prewarm,
+)
 from repro.routing.naive import NaivePaceRouter, NaiveRouterConfig
 from repro.routing.queries import RoutingQuery, RoutingResult
 from repro.routing.tpath_routing import HeuristicPaceRouter, HeuristicRouterConfig
@@ -72,6 +79,7 @@ __all__ = [
     "MethodSpec",
     "create_router",
     "HeuristicCache",
+    "CacheCounters",
     "EngineStats",
     "RoutingEngine",
 ]
@@ -125,7 +133,7 @@ class RouterSettings:
 
 
 class HeuristicCache:
-    """Destination-keyed cache of heuristic instances, shared across routers.
+    """Two-tier destination-keyed cache of heuristic instances.
 
     Heuristics are destination-specific pre-computations (Section 3).  Without
     sharing, every router instance pays for its own copies: ``T-B-P`` and
@@ -136,72 +144,173 @@ class HeuristicCache:
     the fingerprint depends only on graph *content*, keys are meaningful
     across engines and across processes, not just for one object graph.  It
     is thread-safe so a worker pool can share it.
+
+    The *resident* tier is this in-memory map, optionally bounded to
+    ``cache_bytes`` (:func:`~repro.routing.residency.heuristic_nbytes` per
+    entry) with least-recently-used eviction; ``None`` keeps everything
+    resident, which is the classic unbounded behaviour.  The optional
+    *fault* tier is a loader (:meth:`set_loader`) consulted before the
+    builder on every miss — the engine points it at the artifact store's
+    per-entry documents, so a miss for a persisted destination streams the
+    table from disk instead of re-running the offline computation.  An
+    entry larger than the whole budget is served un-cached (build or fault
+    again next time) with a loud :class:`RuntimeWarning` rather than
+    silently evicting everything else.
     """
 
-    def __init__(self) -> None:
-        self._entries: dict[tuple, Heuristic] = {}
+    def __init__(self, *, cache_bytes: int | None = None) -> None:
+        if cache_bytes is not None and cache_bytes <= 0:
+            raise ConfigurationError(
+                f"cache_bytes must be a positive byte budget or None (unbounded), "
+                f"got {cache_bytes!r}"
+            )
+        self._cache_bytes = cache_bytes
+        self._entries: OrderedDict[tuple, Heuristic] = OrderedDict()
+        self._sizes: dict[tuple, int] = {}
         self._lock = threading.Lock()
         self._building: dict[tuple, threading.Lock] = {}
+        self._loader: Callable[[tuple], Heuristic | None] | None = None
+        self._oversize_warned: set[tuple] = set()
         self.hits = 0
         self.misses = 0
+        self.faults = 0
+        self.evictions = 0
+        self.resident_bytes = 0
         self.build_seconds = 0.0
+
+    @property
+    def cache_bytes(self) -> int | None:
+        """The resident-tier byte budget (``None`` = unbounded)."""
+        return self._cache_bytes
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
-    def counters(self) -> tuple[int, int, int, float]:
-        """One consistent ``(entries, hits, misses, build_seconds)`` snapshot.
+    def counters(self) -> CacheCounters:
+        """One consistent :class:`~repro.routing.residency.CacheCounters` snapshot.
 
         Readers that want more than one counter must take them together:
         reading ``hits`` and ``misses`` in two unlocked steps can observe a
         miss that has been counted while its entry is still being inserted.
         """
         with self._lock:
-            return len(self._entries), self.hits, self.misses, self.build_seconds
+            return CacheCounters(
+                entries=len(self._entries),
+                hits=self.hits,
+                misses=self.misses,
+                faults=self.faults,
+                evictions=self.evictions,
+                resident_bytes=self.resident_bytes,
+                build_seconds=self.build_seconds,
+            )
+
+    def set_loader(self, loader: Callable[[tuple], Heuristic | None] | None) -> None:
+        """Attach the fault tier: ``loader(key)`` returns a persisted heuristic
+        or ``None`` when the key has no (admissible) persisted entry.  A
+        loader signalling corruption must raise
+        :class:`~repro.core.errors.DataError`; the cache propagates it and
+        stays consistent (nothing is inserted, later lookups retry).
+        """
+        with self._lock:
+            self._loader = loader
 
     def insert(self, key: tuple, heuristic: Heuristic) -> None:
         """Seed the cache with an already built heuristic (e.g. loaded from disk).
 
         Counts as neither a hit nor a miss; subsequent :meth:`get_or_build`
-        calls for ``key`` are hits and never invoke their builder.
+        calls for ``key`` are hits and never invoke their builder.  Budget
+        accounting and eviction apply exactly as for built entries.
         """
         with self._lock:
-            self._entries[key] = heuristic
+            warn_size = self._admit_locked(key, heuristic)
+        self._warn_oversize(key, warn_size)
+
+    def _admit_locked(self, key: tuple, heuristic: Heuristic) -> int | None:
+        """Store ``heuristic`` under ``key`` and evict down to budget.
+
+        Caller holds ``self._lock``.  Returns the entry's size when it
+        exceeds the whole budget and was *not* stored (the caller warns
+        outside the lock; ``None`` otherwise).
+        """
+        size = heuristic_nbytes(heuristic)
+        budget = self._cache_bytes
+        if budget is not None and size > budget:
+            if key in self._oversize_warned:
+                return None
+            self._oversize_warned.add(key)
+            return size
+        previous = self._sizes.pop(key, None)
+        if previous is not None:
+            self.resident_bytes -= previous
+        self._entries[key] = heuristic
+        self._entries.move_to_end(key)
+        self._sizes[key] = size
+        self.resident_bytes += size
+        while budget is not None and self.resident_bytes > budget:
+            evicted_key, _ = self._entries.popitem(last=False)
+            self.resident_bytes -= self._sizes.pop(evicted_key)
+            self.evictions += 1
+        return None
+
+    def _warn_oversize(self, key: tuple, size: int | None) -> None:
+        if size is None:
+            return
+        warnings.warn(
+            f"heuristic {key!r} is {size} bytes but the cache budget is only "
+            f"{self._cache_bytes} bytes; it will be rebuilt or re-faulted on "
+            "every lookup — raise cache_bytes to keep it resident",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def snapshot(self) -> dict[tuple, Heuristic]:
-        """A point-in-time copy of the cached entries (used for persistence)."""
+        """A point-in-time copy of the resident entries (used for persistence)."""
         with self._lock:
             return dict(self._entries)
 
     def get_or_build(self, key: tuple, builder: Callable[[], Heuristic]) -> Heuristic:
-        """Return the cached heuristic for ``key``, building it (once) on a miss.
+        """Return the cached heuristic for ``key``, faulting or building on a miss.
 
-        Concurrent misses on the *same* key serialise on a per-key lock so the
-        expensive build runs exactly once (same-destination queries are
-        adjacent in a batch and land on different workers simultaneously);
-        builds for different keys proceed in parallel.
+        Misses consult the fault-tier loader first (when attached) and fall
+        back to ``builder``.  Concurrent misses on the *same* key serialise
+        on a per-key lock so the expensive build or disk fault runs exactly
+        once (same-destination queries are adjacent in a batch and land on
+        different workers simultaneously); different keys proceed in
+        parallel.
         """
         with self._lock:
             cached = self._entries.get(key)
             if cached is not None:
+                self._entries.move_to_end(key)
                 self.hits += 1
                 return cached
             key_lock = self._building.setdefault(key, threading.Lock())
+            loader = self._loader
         with key_lock:
             with self._lock:
                 cached = self._entries.get(key)
                 if cached is not None:
+                    self._entries.move_to_end(key)
                     self.hits += 1
                     return cached
+            faulted = loader(key) if loader is not None else None
+            if faulted is not None:
+                with self._lock:
+                    warn_size = self._admit_locked(key, faulted)
+                    self.faults += 1
+                    self._building.pop(key, None)
+                self._warn_oversize(key, warn_size)
+                return faulted
             started = time.perf_counter()
             built = builder()
             elapsed = time.perf_counter() - started
             with self._lock:
-                self._entries[key] = built
+                warn_size = self._admit_locked(key, built)
                 self.misses += 1
                 self.build_seconds += elapsed
                 self._building.pop(key, None)
+            self._warn_oversize(key, warn_size)
         return built
 
 
@@ -260,6 +369,11 @@ def create_router(
     spec = MethodSpec.coerce(method)
     settings = settings or RouterSettings()
     name = spec.canonical_name
+    # A byte-budgeted shared cache must stay the *only* owner of heuristic
+    # references — router-level pinning would keep evicted tables alive (and
+    # invisible to the resident-bytes accounting), so bounded caches disable
+    # it and every lookup goes through the cache's LRU.
+    pin = heuristic_cache is None or heuristic_cache.cache_bytes is None
     if spec.graph == "pace":
         if spec.heuristic == "none":
             return NaivePaceRouter(pace_graph, settings.naive())
@@ -268,7 +382,7 @@ def create_router(
         else:
             factory = _binary_factory(spec.binary_kind, settings, heuristic_cache)
         return HeuristicPaceRouter(
-            pace_graph, factory, method_name=name, config=settings.heuristic()
+            pace_graph, factory, method_name=name, config=settings.heuristic(), pin_heuristics=pin
         )
 
     if updated_graph is None:
@@ -279,7 +393,9 @@ def create_router(
         factory = _budget_factory(spec.delta, settings, heuristic_cache)
     else:
         factory = _binary_factory(spec.binary_kind, settings, heuristic_cache)
-    return VPathRouter(updated_graph, factory, method_name=name, config=settings.vpath())
+    return VPathRouter(
+        updated_graph, factory, method_name=name, config=settings.vpath(), pin_heuristics=pin
+    )
 
 
 @dataclass(frozen=True)
@@ -291,7 +407,11 @@ class EngineStats:
     ``heuristic_build_seconds``; entries loaded from a bundle count as
     neither).  ``queries_by_method`` counts queries accepted through
     :meth:`RoutingEngine.route` / :meth:`RoutingEngine.route_many` per
-    canonical method name.
+    canonical method name.  The residency trio — ``cache_faults`` (misses
+    answered by streaming the persisted table from the artifact store),
+    ``cache_evictions`` (entries dropped to stay under the byte budget) and
+    ``cache_resident_bytes`` (the resident tier's current footprint) — is
+    zero for classic unbounded eager engines.
     """
 
     cache_entries: int
@@ -300,6 +420,9 @@ class EngineStats:
     heuristic_build_seconds: float
     queries_total: int
     queries_by_method: dict[str, int]
+    cache_faults: int = 0
+    cache_evictions: int = 0
+    cache_resident_bytes: int = 0
     #: Where this engine's graphs came from: ``{"source": "artifacts", "path":
     #: ..., ...}`` for engines booted via :meth:`RoutingEngine.from_artifacts`,
     #: ``{"source": "recipe", ...}`` for re-mined engines, ``{"source":
@@ -359,11 +482,13 @@ class RoutingEngine:
         settings: RouterSettings | None = None,
         spec=None,
         provenance: dict | None = None,
+        cache_bytes: int | None = None,
     ):
         self._pace_graph = pace_graph
         self._updated_graph = updated_graph
         self._settings = settings or RouterSettings()
-        self._cache = HeuristicCache()
+        self._cache = HeuristicCache(cache_bytes=cache_bytes)
+        self._heuristic_source = None
         self._routers: dict[str, object] = {}
         self._router_lock = threading.Lock()
         self._query_counts: Counter[str] = Counter()
@@ -395,14 +520,17 @@ class RoutingEngine:
         """A snapshot of the serving counters (cache behaviour, query mix)."""
         with self._stats_lock:
             counts = dict(self._query_counts)
-        entries, hits, misses, build_seconds = self._cache.counters()
+        counters = self._cache.counters()
         return EngineStats(
-            cache_entries=entries,
-            cache_hits=hits,
-            cache_misses=misses,
-            heuristic_build_seconds=build_seconds,
+            cache_entries=counters.entries,
+            cache_hits=counters.hits,
+            cache_misses=counters.misses,
+            heuristic_build_seconds=counters.build_seconds,
             queries_total=sum(counts.values()),
             queries_by_method=counts,
+            cache_faults=counters.faults,
+            cache_evictions=counters.evictions,
+            cache_resident_bytes=counters.resident_bytes,
             provenance=dict(self.provenance),
         )
 
@@ -601,71 +729,148 @@ class RoutingEngine:
         """Validate tagged bundle entries and seed the cache with them."""
         loaded = 0
         for entry in entries:
-            try:
-                kind = entry["kind"]
-                if kind == "binary":
-                    flavour = "pace"
-                    heuristic = binary_heuristic_from_dict(entry["heuristic"])
-                    key = (
-                        "binary",
-                        entry["variant"],
-                        self._graph_fingerprint("pace"),
-                        heuristic.destination,
-                    )
-                elif kind == "budget":
-                    flavour = entry.get("graph", "pace")
-                    if flavour == "updated" and self._updated_graph is None:
-                        # Tables built over the V-path closure are useless
-                        # without one; skip rather than mis-key them.
-                        continue
-                    heuristic = budget_heuristic_from_dict(entry["heuristic"])
-                    # Exact comparison intended: both sides round-tripped
-                    # through the same JSON document, so any difference means
-                    # the entry's tag and its table genuinely disagree.
-                    if float(entry["delta"]) != heuristic.table.delta:  # repro: ignore[float-equality]
-                        raise DataError(
-                            f"bundle entry delta {entry['delta']!r} does not match "
-                            f"its table delta {heuristic.table.delta!r}"
-                        )
-                    if heuristic.table.max_budget < self._settings.max_budget - 1e-9:
-                        # The table cannot answer this engine's largest budgets.
-                        continue
-                    if heuristic.grid_rounding != "ceil":
-                        # Floor-built cells may under-estimate (inadmissible);
-                        # routing needs upper bounds, so rebuild instead.
-                        continue
-                    key = (
-                        "budget",
-                        float(entry["delta"]),
-                        self._graph_fingerprint(flavour),
-                        heuristic.destination,
-                    )
-                else:
-                    raise DataError(f"unknown heuristic bundle entry kind {kind!r}")
-                fingerprint = entry.get("graph_fingerprint")
-                if fingerprint is not None:
-                    if fingerprint != self._graph_fingerprint(flavour):
-                        raise DataError(
-                            "heuristic bundle was built over a different graph "
-                            f"(content fingerprint {fingerprint} != "
-                            f"{self._graph_fingerprint(flavour)}, structural signature "
-                            f"{entry.get('graph_signature')} vs "
-                            f"{self._graph_signature(flavour)}); "
-                            "rebuild or load the matching index"
-                        )
-                else:
-                    signature = entry.get("graph_signature")
-                    if signature is not None and list(signature) != self._graph_signature(flavour):
-                        raise DataError(
-                            f"heuristic bundle was built over a different graph "
-                            f"(signature {signature} != {self._graph_signature(flavour)}); "
-                            "rebuild or load the matching index"
-                        )
-            except (KeyError, TypeError) as exc:
-                raise DataError(f"malformed heuristic bundle entry: {exc}") from exc
+            validated = self._validated_heuristic(entry)
+            if validated is None:
+                continue
+            key, heuristic = validated
             self._cache.insert(key, heuristic)
             loaded += 1
         return loaded
+
+    def _validated_heuristic(self, entry: dict) -> tuple[tuple, Heuristic] | None:
+        """Validate one tagged bundle entry against this engine's graphs.
+
+        Returns the ``(cache key, heuristic)`` pair ready for the cache, or
+        ``None`` when the entry cannot serve this engine admissibly and
+        should simply be (re)built on demand.  Raises
+        :class:`~repro.core.errors.DataError` when the entry is malformed or
+        was built over *different* graph content — both the eager boot and
+        the lazy fault tier apply exactly this validation, so a lazily
+        faulted table can never answer a query an eagerly loaded one would
+        have refused.
+        """
+        try:
+            kind = entry["kind"]
+            if kind == "binary":
+                flavour = "pace"
+                heuristic: Heuristic = binary_heuristic_from_dict(entry["heuristic"])
+                key = (
+                    "binary",
+                    entry["variant"],
+                    self._graph_fingerprint("pace"),
+                    heuristic.destination,
+                )
+            elif kind == "budget":
+                flavour = entry.get("graph", "pace")
+                if flavour == "updated" and self._updated_graph is None:
+                    # Tables built over the V-path closure are useless
+                    # without one; skip rather than mis-key them.
+                    return None
+                heuristic = budget_heuristic_from_dict(entry["heuristic"])
+                # Exact comparison intended: both sides round-tripped
+                # through the same JSON document, so any difference means
+                # the entry's tag and its table genuinely disagree.
+                if float(entry["delta"]) != heuristic.table.delta:  # repro: ignore[float-equality]
+                    raise DataError(
+                        f"bundle entry delta {entry['delta']!r} does not match "
+                        f"its table delta {heuristic.table.delta!r}"
+                    )
+                if heuristic.table.max_budget < self._settings.max_budget - 1e-9:
+                    # The table cannot answer this engine's largest budgets.
+                    return None
+                if heuristic.grid_rounding != "ceil":
+                    # Floor-built cells may under-estimate (inadmissible);
+                    # routing needs upper bounds, so rebuild instead.
+                    return None
+                key = (
+                    "budget",
+                    float(entry["delta"]),
+                    self._graph_fingerprint(flavour),
+                    heuristic.destination,
+                )
+            else:
+                raise DataError(f"unknown heuristic bundle entry kind {kind!r}")
+            fingerprint = entry.get("graph_fingerprint")
+            if fingerprint is not None:
+                if fingerprint != self._graph_fingerprint(flavour):
+                    raise DataError(
+                        "heuristic bundle was built over a different graph "
+                        f"(content fingerprint {fingerprint} != "
+                        f"{self._graph_fingerprint(flavour)}, structural signature "
+                        f"{entry.get('graph_signature')} vs "
+                        f"{self._graph_signature(flavour)}); "
+                        "rebuild or load the matching index"
+                    )
+            else:
+                signature = entry.get("graph_signature")
+                if signature is not None and list(signature) != self._graph_signature(flavour):
+                    raise DataError(
+                        f"heuristic bundle was built over a different graph "
+                        f"(signature {signature} != {self._graph_signature(flavour)}); "
+                        "rebuild or load the matching index"
+                    )
+        except (KeyError, TypeError) as exc:
+            raise DataError(f"malformed heuristic bundle entry: {exc}") from exc
+        return key, heuristic
+
+    # -------------------------------------------------------------- #
+    # Tiered residency (fault heuristics from the artifact store)
+    # -------------------------------------------------------------- #
+    def _attach_heuristic_store(self, handle) -> None:
+        """Back the cache's fault tier with an artifact store handle.
+
+        After this, a cache miss for a destination whose table is persisted
+        streams the per-entry document from disk (one mmap'd read, validated
+        like an eager load) instead of re-running the offline computation.
+        """
+        self._heuristic_source = handle
+        self._cache.set_loader(self._fault_heuristic)
+
+    def _store_entry_key(self, key: tuple) -> str | None:
+        """Map a cache key onto the store's heuristic entry key (or ``None``).
+
+        The store keys entries by :func:`~repro.persistence.heuristics.
+        heuristic_entry_key` (kind, variant/δ, graph *flavour*, destination);
+        cache keys carry the graph content fingerprint instead, so the
+        flavour is recovered through this engine's own graphs.  Keys over
+        foreign fingerprints have no persisted counterpart here.
+        """
+        kind = key[0]
+        if kind == "binary":
+            _, variant, fingerprint, destination = key
+            if self._graph_flavour(fingerprint) is None:
+                return None
+            return f"binary-{variant}-{destination}"
+        if kind == "budget":
+            _, delta, fingerprint, destination = key
+            flavour = self._graph_flavour(fingerprint)
+            if flavour is None:
+                return None
+            return f"budget-{float(delta)!r}-{flavour}-{destination}"
+        return None
+
+    def _fault_heuristic(self, key: tuple) -> Heuristic | None:
+        """The cache's fault tier: load ``key``'s persisted entry on demand.
+
+        Returns ``None`` (→ build) when the store holds no admissible entry
+        for the key; raises :class:`~repro.core.errors.DataError` on
+        corruption, leaving the cache untouched.
+        """
+        handle = self._heuristic_source
+        if handle is None:
+            return None
+        name = self._store_entry_key(key)
+        if name is None or name not in handle:
+            return None
+        validated = self._validated_heuristic(handle.load_entry(name))
+        if validated is None:
+            return None
+        loaded_key, heuristic = validated
+        if loaded_key != key:
+            # The persisted entry decodes into a different cache slot than
+            # the one that asked for it; building is always safe.
+            return None
+        return heuristic
 
     # -------------------------------------------------------------- #
     # Artifact persistence (mine once, boot engines from disk forever)
@@ -738,24 +943,41 @@ class RoutingEngine:
         )
 
     @classmethod
-    def from_artifacts(cls, store, *, settings: RouterSettings | None = None) -> "RoutingEngine":
+    def from_artifacts(
+        cls,
+        store,
+        *,
+        settings: RouterSettings | None = None,
+        prewarm: str | Sequence[str] = "all",
+        cache_bytes: int | None = None,
+    ) -> "RoutingEngine":
         """Boot an engine from a persisted artifact store — never re-mine.
 
-        Loads the index (checksum- and fingerprint-verified) and seeds the
-        heuristic cache from the store's persisted bundle, so the first
-        queries are served from the pre-computed tables with zero cache
-        misses.  ``settings`` defaults to the :class:`RouterSettings` the
-        artifacts were built for (recorded in the manifest) — overriding
-        them is allowed, but heuristics that cannot serve the override
-        admissibly (e.g. budget tables below a larger ``max_budget``) are
-        skipped and rebuilt on demand.  The returned engine's ``spec`` is an
+        Loads the index (checksum- and fingerprint-verified) and wires the
+        heuristic cache's fault tier to the store, so every persisted table
+        can be streamed in on demand.  ``prewarm`` controls the *resident*
+        tier at boot: ``"all"`` (the default) eagerly loads every persisted
+        heuristic — the classic cold boot, first queries see zero cache
+        misses; ``"none"`` starts empty — boot cost scales with the index
+        alone and each table faults in on first touch; an explicit sequence
+        of store entry keys (``["budget-60.0-pace-35", ...]``) warms exactly
+        those.  ``cache_bytes`` bounds the resident tier (LRU eviction,
+        see :class:`HeuristicCache`); ``None`` keeps everything resident.
+
+        ``settings`` defaults to the :class:`RouterSettings` the artifacts
+        were built for (recorded in the manifest) — overriding them is
+        allowed, but heuristics that cannot serve the override admissibly
+        (e.g. budget tables below a larger ``max_budget``) are skipped and
+        rebuilt on demand.  The returned engine's ``spec`` is an
         :class:`~repro.routing.backends.ArtifactRef` pinned to the loaded
-        fingerprints, so a :class:`~repro.routing.backends.ProcessBackend`
-        boots every worker from the same store, verified, with zero rebuilds.
+        fingerprints *and* this boot policy, so a
+        :class:`~repro.routing.backends.ProcessBackend` boots every worker
+        from the same store with the same residency discipline.
         """
         from repro.persistence.store import ArtifactStore
         from repro.routing.backends import ArtifactRef
 
+        policy = normalise_prewarm(prewarm)
         if not isinstance(store, ArtifactStore):
             store = ArtifactStore.open(store)
         manifest = store.manifest
@@ -772,12 +994,15 @@ class RoutingEngine:
             path=str(store.root),
             pace_fingerprint=manifest.fingerprints["pace"],
             updated_fingerprint=manifest.fingerprints.get("updated"),
+            prewarm=policy,
+            cache_bytes=cache_bytes,
         )
         engine = cls(
             pace,
             updated,
             settings=settings,
             spec=spec,
+            cache_bytes=cache_bytes,
             provenance={
                 "source": "artifacts",
                 "path": str(store.root),
@@ -786,10 +1011,35 @@ class RoutingEngine:
                 "build": dict(manifest.provenance),
             },
         )
-        entries = store.load_heuristic_entries()
-        if entries:
-            engine._load_heuristic_entries(entries)
+        handle = store.open_heuristics()
+        if len(handle):
+            engine._attach_heuristic_store(handle)
+            engine._prewarm_from_store(handle, policy)
         return engine
+
+    def _prewarm_from_store(self, handle, policy: PrewarmPolicy) -> int:
+        """Load the ``policy``-selected persisted entries into the resident tier.
+
+        Entries are faulted one at a time (each per-entry document is decoded
+        and dropped before the next), so even an eager ``"all"`` boot never
+        holds the whole store's raw bytes alongside the decoded tables.
+        """
+        if policy == "none":
+            return 0
+        if policy == "all":
+            keys = handle.keys()
+        else:
+            missing = [key for key in policy if key not in handle]
+            if missing:
+                raise DataError(
+                    f"prewarm keys {missing!r} are not persisted in the artifact "
+                    f"store (available: {sorted(handle.keys())!r})"
+                )
+            keys = policy
+        loaded = 0
+        for key in keys:
+            loaded += self._load_heuristic_entries([handle.load_entry(key)])
+        return loaded
 
     # -------------------------------------------------------------- #
     # Routing

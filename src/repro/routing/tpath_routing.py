@@ -74,12 +74,14 @@ class HeuristicPaceRouter:
         *,
         method_name: str,
         config: HeuristicRouterConfig | None = None,
+        pin_heuristics: bool = True,
     ):
         self._graph = pace_graph
         self._factory = heuristic_factory
         self.method_name = method_name
         self._config = config or HeuristicRouterConfig()
         self._config.validate()
+        self._pin_heuristics = pin_heuristics
         self._heuristics: dict[int, Heuristic] = {}
 
     # ------------------------------------------------------------------ #
@@ -91,8 +93,14 @@ class HeuristicPaceRouter:
         Heuristics are destination-specific pre-computations (Section 3); the
         router keeps one per destination so repeated queries to the same
         destination — the scenario the paper's offline/online split targets —
-        do not pay the construction cost again.
+        do not pay the construction cost again.  With
+        ``pin_heuristics=False`` the router holds no references of its own
+        and consults the factory every time — the mode a byte-budgeted
+        engine cache uses, so an evicted table's memory is actually
+        reclaimed instead of staying pinned here.
         """
+        if not self._pin_heuristics:
+            return self._factory(self._graph, destination)
         if destination not in self._heuristics:
             self._heuristics[destination] = self._factory(self._graph, destination)
         return self._heuristics[destination]

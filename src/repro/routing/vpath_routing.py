@@ -90,24 +90,36 @@ class VPathRouter:
         *,
         method_name: str | None = None,
         config: VPathRouterConfig | None = None,
+        pin_heuristics: bool = True,
     ):
         self._graph = graph
         self._factory = heuristic_factory
         self.method_name = method_name or ("V-None" if heuristic_factory is None else "V-heuristic")
         self._config = config or VPathRouterConfig()
         self._config.validate()
+        self._pin_heuristics = pin_heuristics
         self._heuristics: dict[int, Heuristic] = {}
 
     # ------------------------------------------------------------------ #
     # Heuristic management
     # ------------------------------------------------------------------ #
     def heuristic_for(self, destination: int) -> Heuristic:
-        """The cached destination-specific heuristic (trivial for V-None)."""
-        if destination not in self._heuristics:
-            if self._factory is None:
+        """The cached destination-specific heuristic (trivial for V-None).
+
+        With ``pin_heuristics=False`` a guided router holds no references of
+        its own and consults the factory every time — the mode a
+        byte-budgeted engine cache uses, so an evicted table's memory is
+        actually reclaimed instead of staying pinned here.  V-None's trivial
+        heuristics are always pinned; they hold no tables.
+        """
+        if self._factory is None:
+            if destination not in self._heuristics:
                 self._heuristics[destination] = NoHeuristic(destination)
-            else:
-                self._heuristics[destination] = self._factory(self._graph, destination)
+            return self._heuristics[destination]
+        if not self._pin_heuristics:
+            return self._factory(self._graph, destination)
+        if destination not in self._heuristics:
+            self._heuristics[destination] = self._factory(self._graph, destination)
         return self._heuristics[destination]
 
     @property

@@ -94,12 +94,16 @@ class EngineReloader:
         poll_seconds: float = 2.0,
         drain_timeout_seconds: float = 30.0,
         faults: FaultInjector | None = None,
+        prewarm: "str | tuple[str, ...]" = "all",
+        cache_bytes: int | None = None,
     ) -> None:
         self.store_root = str(store_root)
         self.poll_seconds = poll_seconds
         self.drain_timeout_seconds = drain_timeout_seconds
         self._settings = settings
         self._default_method = default_method
+        self._prewarm = prewarm
+        self._cache_bytes = cache_bytes
         self._faults = faults or FaultInjector()
         self._stop = threading.Event()
         self._lock = threading.Lock()
@@ -116,7 +120,12 @@ class EngineReloader:
         self._last_error: str | None = None
 
     def _boot(self) -> RoutingService:
-        engine = RoutingEngine.from_artifacts(self.store_root, settings=self._settings)
+        engine = RoutingEngine.from_artifacts(
+            self.store_root,
+            settings=self._settings,
+            prewarm=self._prewarm,
+            cache_bytes=self._cache_bytes,
+        )
         # Pay the one-time frontier-accelerator flattening at (re)boot, not
         # on the first query after a generation swap.
         engine.build_accelerators()

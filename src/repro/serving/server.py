@@ -73,6 +73,12 @@ class ServerConfig:
     max_respawn_attempts: int = 5
     backoff_base_seconds: float = 0.1
     backoff_cap_seconds: float = 5.0
+    #: Boot-time heuristic residency: ``"all"`` eagerly loads every persisted
+    #: table (classic boot), ``"none"`` starts empty and faults tables in on
+    #: first touch — the country-scale boot.  ``cache_bytes`` bounds the
+    #: resident tier (LRU); ``None`` keeps everything resident.
+    prewarm: str = "all"
+    cache_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in _BACKENDS:
@@ -85,6 +91,14 @@ class ServerConfig:
             )
         if self.max_body_bytes < 1:
             raise ConfigurationError(f"max_body_bytes must be >= 1, got {self.max_body_bytes}")
+        if self.prewarm not in ("all", "none"):
+            raise ConfigurationError(
+                f"prewarm must be 'all' or 'none', got {self.prewarm!r}"
+            )
+        if self.cache_bytes is not None and self.cache_bytes <= 0:
+            raise ConfigurationError(
+                f"cache_bytes must be a positive byte budget or None, got {self.cache_bytes}"
+            )
 
 
 class _ExpiredInQueue(Exception):
@@ -114,6 +128,8 @@ class RouteServer:
             poll_seconds=self.config.reload_poll_seconds,
             drain_timeout_seconds=self.config.drain_timeout_seconds,
             faults=self.faults,
+            prewarm=self.config.prewarm,
+            cache_bytes=self.config.cache_bytes,
         )
         inner = (
             ProcessBackend(self.config.workers) if self.config.backend == "process" else None

@@ -33,6 +33,7 @@ EXPECTED_RULE_IDS = [
     "float-equality",
     "format-version",
     "lock-discipline",
+    "residency-discipline",
     "sqlite-discipline",
     "strict-json",
 ]
@@ -444,6 +445,76 @@ class TestSqliteDisciplineRule:
         assert analyze(snippet, virtual_path="catalog/registry.py") == []
 
 
+class TestResidencyDisciplineRule:
+    def test_read_bytes_in_persistence_is_flagged(self) -> None:
+        snippet = """\
+        def load(path):
+            return path.read_bytes()
+        """
+        violations = analyze(snippet, virtual_path="persistence/fixture.py")
+        assert [v.rule_id for v in violations] == ["residency-discipline"]
+        assert violations[0].line == 2
+        assert "ColumnDocumentReader" in violations[0].message
+
+    def test_read_text_in_persistence_is_flagged(self) -> None:
+        snippet = """\
+        def load(path):
+            return path.read_text(encoding="utf-8")
+        """
+        violations = analyze(snippet, virtual_path="persistence/fixture.py")
+        assert [v.rule_id for v in violations] == ["residency-discipline"]
+
+    def test_argless_read_is_flagged_but_bounded_read_is_clean(self) -> None:
+        slurp = """\
+        def load(handle):
+            return handle.read()
+        """
+        violations = analyze(slurp, virtual_path="persistence/fixture.py")
+        assert [v.rule_id for v in violations] == ["residency-discipline"]
+        sniff = """\
+        def magic(handle):
+            return handle.read(4)
+        """
+        assert analyze(sniff, virtual_path="persistence/fixture.py") == []
+
+    def test_mmap_without_access_read_is_flagged(self) -> None:
+        snippet = """\
+        import mmap
+
+        def map_file(handle):
+            return mmap.mmap(handle.fileno(), 0)
+        """
+        violations = analyze(snippet, virtual_path="persistence/fixture.py")
+        assert [v.rule_id for v in violations] == ["residency-discipline"]
+        assert "ACCESS_READ" in violations[0].message
+
+    def test_mmap_with_access_read_is_clean(self) -> None:
+        snippet = """\
+        import mmap
+
+        def map_file(handle):
+            return mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        """
+        assert analyze(snippet, virtual_path="persistence/fixture.py") == []
+
+    def test_writable_mmap_access_is_flagged(self) -> None:
+        snippet = """\
+        import mmap
+
+        def map_file(handle):
+            return mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_WRITE)
+        """
+        violations = analyze(snippet, virtual_path="persistence/fixture.py")
+        assert [v.rule_id for v in violations] == ["residency-discipline"]
+
+    def test_reads_outside_persistence_are_not_this_rules_business(self) -> None:
+        snippet = """\
+        def load(path):
+            return path.read_bytes()
+        """
+        assert analyze(snippet, virtual_path="routing/fixture.py") == []
+
+
 class TestSuppressions:
     def test_suppression_comment_silences_exactly_that_rule(self) -> None:
         snippet = """\
@@ -512,6 +583,10 @@ class TestSuppressions:
                 "        return self.n\n",
             ),
             "float-equality": ("heuristics/f.py", "ok = 0.1 + 0.2 == 0.3\n"),
+            "residency-discipline": (
+                "persistence/f.py",
+                "def slurp(path):\n    return path.read_bytes()\n",
+            ),
             "sqlite-discipline": (
                 "routing/f.py",
                 "import sqlite3\nconn = sqlite3.connect('x.db')\n",
@@ -660,6 +735,9 @@ def test_seeded_fixture_tree_exercises_every_rule(tmp_path) -> None:
 
             def save(payload, path):
                 path.write_text(json.dumps(payload))
+
+            def slurp(path):
+                return path.read_bytes()
             """
         ),
         encoding="utf-8",

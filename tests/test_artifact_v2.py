@@ -154,7 +154,9 @@ class TestRejection:
         engine.save_artifacts(root, format_version=2)
         victim = next(root.glob("heuristic-*.bin"))
         victim.write_bytes(victim.read_bytes()[:-3] + b"zzz")
-        with pytest.raises(DataError, match="corrupted: checksum"):
+        # The streaming reader pins the failure to the corrupted column's
+        # digest rather than the whole-file manifest checksum.
+        with pytest.raises(DataError, match="checksum"):
             RoutingEngine.from_artifacts(root)
 
     def test_swapped_heuristic_documents_are_detected(self, mined, tmp_path):

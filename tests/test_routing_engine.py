@@ -169,13 +169,19 @@ class TestRoutingEngine:
         engine.route(RoutingQuery(VS, VD, budget=30.0), method="T-B-P")
         engine.route(RoutingQuery(VS, VD, budget=30.0), method="V-B-P")
         cache = engine.heuristic_cache
-        entries, hits, misses, build_seconds = cache.counters()
-        assert entries == len(cache) == 1
-        assert (hits, misses) == (cache.hits, cache.misses)
-        assert (hits, misses) == (1, 1)
-        assert build_seconds == cache.build_seconds >= 0.0
+        counters = cache.counters()
+        assert counters.entries == len(cache) == 1
+        assert (counters.hits, counters.misses) == (cache.hits, cache.misses)
+        assert (counters.hits, counters.misses) == (1, 1)
+        assert counters.build_seconds == cache.build_seconds >= 0.0
+        # An unbounded eager cache never faults or evicts, but the resident
+        # footprint is accounted regardless of budget.
+        assert (counters.faults, counters.evictions) == (0, 0)
+        assert counters.resident_bytes > 0
         stats = engine.stats()
         assert (stats.cache_entries, stats.cache_hits, stats.cache_misses) == (1, 1, 1)
+        assert stats.cache_resident_bytes == counters.resident_bytes
+        assert (stats.cache_faults, stats.cache_evictions) == (0, 0)
 
     def test_prewarm_builds_heuristics(self, paper_example, updated_example):
         engine = _engine(paper_example, updated_example)
